@@ -1,0 +1,56 @@
+//! Regenerates the paper's quantitative claims as tables.
+//!
+//! ```text
+//! cargo run -p fssga-bench --release --bin experiments             # all
+//! cargo run -p fssga-bench --release --bin experiments -- e8 e11  # some
+//! cargo run -p fssga-bench --release --bin experiments -- --quick # small workloads
+//! cargo run -p fssga-bench --release --bin experiments -- --seed 42 e13
+//! ```
+
+use fssga_bench::{experiments, DEFAULT_SEED};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = DEFAULT_SEED;
+    let mut quick = false;
+    let mut markdown = false;
+    let mut ids: Vec<String> = Vec::new();
+    while let Some(a) = args.first().cloned() {
+        args.remove(0);
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--markdown" => markdown = true,
+            "--seed" => {
+                seed = args
+                    .first()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed takes a u64");
+                args.remove(0);
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--quick] [--markdown] [--seed N] [e1 .. e15]");
+                return;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = experiments::ALL.iter().map(|s| s.to_string()).collect();
+    }
+    println!("# Symmetric Network Computation — experiment suite");
+    println!("# seed = {seed}, quick = {quick}");
+    println!();
+    for id in &ids {
+        let start = std::time::Instant::now();
+        let tables = experiments::run(id, seed, quick);
+        for t in &tables {
+            if markdown {
+                println!("{}", t.render_markdown());
+            } else {
+                println!("{}", t.render());
+            }
+        }
+        println!("  [{id} took {:?}]", start.elapsed());
+        println!();
+    }
+}

@@ -1,0 +1,187 @@
+//! E2 — random-walk bridge detection (paper §2.1, Claim 2.1).
+//!
+//! Predictions: a non-bridge's counter first exceeds ±1 within `O(mn)`
+//! expected steps (proved via the lifted 3n+1-node graph); after
+//! `c·mn·ln n` steps all non-bridges are flagged with probability
+//! `1 - n^{1-c}`; bridges are never flagged.
+
+use fssga_graph::rng::Xoshiro256;
+use fssga_graph::{exact, generators, Graph};
+use fssga_protocols::bridges::{lifted_graph, BridgeWalk};
+
+use crate::fit::mean;
+use crate::report::{f, Table};
+
+/// Runs E2: hitting-time measurement + end-to-end detection accuracy.
+pub fn e2_bridge_detection(seed: u64, quick: bool) -> Vec<Table> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+
+    // E2a: expected steps until a fixed non-bridge's counter exceeds +-1,
+    // against the Claim 2.1 bound O(mn).
+    let mut hit = Table::new(
+        "E2a: steps until a non-bridge counter exceeds +-1 (Claim 2.1)",
+        &["graph", "n", "m", "mean-steps", "m*n", "steps/(m*n)"],
+    );
+    let trials = if quick { 10 } else { 40 };
+    let sizes: &[usize] = if quick { &[12, 24] } else { &[12, 24, 48, 96] };
+    for &n in sizes {
+        let g = generators::cycle_with_chords(n, n / 6 + 1, &mut rng);
+        let e = g.edges().next().unwrap();
+        let mut steps = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let mut w = BridgeWalk::new(&g, e.0);
+            let mut count = 0u64;
+            while w.counter(e.0, e.1).abs() < 2 {
+                w.step(&mut rng).unwrap();
+                count += 1;
+                if count > 50_000_000 {
+                    break;
+                }
+            }
+            steps.push(count as f64);
+        }
+        let mn = (g.m() * g.n()) as f64;
+        let ms = mean(&steps);
+        hit.row(vec![
+            "cycle+chords".into(),
+            n.to_string(),
+            g.m().to_string(),
+            f(ms),
+            f(mn),
+            f(ms / mn),
+        ]);
+    }
+    hit.note("paper: expected hitting time O(mn); the steps/(m*n) column should stay bounded");
+
+    // E2b: end-to-end detection at the recommended step budget.
+    let mut det = Table::new(
+        "E2b: detection after c*m*n*ln(n) steps (c = 2)",
+        &["graph", "n", "true-bridges", "found", "false-pos", "false-neg"],
+    );
+    let mut cases: Vec<(String, Graph)> = vec![
+        ("barbell(5,3)".into(), generators::barbell(5, 3)),
+        ("caterpillar(6,2)".into(), generators::caterpillar(6, 2)),
+        ("petersen".into(), generators::petersen()),
+    ];
+    if !quick {
+        for i in 0..4 {
+            cases.push((
+                format!("gnp-{i}"),
+                generators::connected_gnp(20, 0.12, &mut rng),
+            ));
+        }
+    }
+    for (name, g) in cases {
+        let truth = exact::bridges(&g);
+        let mut walk = BridgeWalk::new(&g, 0);
+        walk.run(BridgeWalk::recommended_steps(&g, 2.0), &mut rng);
+        let found = walk.candidate_bridges();
+        let false_pos = found.iter().filter(|e| !truth.contains(e)).count();
+        let false_neg = truth.iter().filter(|e| !found.contains(e)).count();
+        det.row(vec![
+            name,
+            g.n().to_string(),
+            truth.len().to_string(),
+            found.len().to_string(),
+            false_pos.to_string(),
+            false_neg.to_string(),
+        ]);
+    }
+    det.note("paper: prob 1 - n^{1-c} that all non-bridges are identified; bridges never flagged");
+    det.note("false-neg must be 0 always (deterministic invariant); false-pos 0 w.h.p.");
+
+    // E2c: the lifted-graph construction itself.
+    let mut lift = Table::new(
+        "E2c: Claim 2.1 lifted graph (3n+1 nodes, 3m+1 edges)",
+        &["base", "edge-kind", "lifted-n", "lifted-m", "EXCEEDED reachable"],
+    );
+    let g = generators::cycle_with_chords(10, 2, &mut rng);
+    let non_bridge = g.edges().next().unwrap();
+    let (lg, ex) = lifted_graph(&g, non_bridge);
+    let reach = exact::bfs_distances(&lg, &[3 * non_bridge.0 + 1])[ex as usize]
+        != exact::UNREACHABLE;
+    lift.row(vec![
+        "cycle+chords".into(),
+        "non-bridge".into(),
+        lg.n().to_string(),
+        lg.m().to_string(),
+        reach.to_string(),
+    ]);
+    let p = generators::path(6);
+    let bridge = (2u32, 3u32);
+    let (lp, exp) = lifted_graph(&p, bridge);
+    let reach_b =
+        exact::bfs_distances(&lp, &[3 * bridge.0 + 1])[exp as usize] != exact::UNREACHABLE;
+    lift.row(vec![
+        "path 6".into(),
+        "bridge".into(),
+        lp.n().to_string(),
+        lp.m().to_string(),
+        reach_b.to_string(),
+    ]);
+    lift.note("paper: non-bridge => lifted graph connected (hitting time applies);");
+    lift.note("bridge => EXCEEDED unreachable (counter provably stays in {-1,0,1})");
+
+    // E2d: measure the hitting time ON the lifted graph and compare with
+    // the paper's explicit bound 2(3m+1)(3n) from [Motwani-Raghavan].
+    let mut hitb = Table::new(
+        "E2d: random-walk hitting time of EXCEEDED on the lifted graph",
+        &["base n", "lifted n", "mean-steps", "2(3m+1)(3n)", "ratio"],
+    );
+    let trials_l = if quick { 10 } else { 30 };
+    for &n in if quick { &[8usize, 16][..] } else { &[8usize, 16, 32][..] } {
+        let g = generators::cycle_with_chords(n, 2, &mut rng);
+        let e = g.edges().next().unwrap();
+        let (lg, ex) = lifted_graph(&g, e);
+        let start = 3 * e.0 + 1; // v1^0
+        let mut steps = Vec::new();
+        for _ in 0..trials_l {
+            let mut pos = start;
+            let mut count = 0u64;
+            while pos != ex && count < 100_000_000 {
+                let nb = lg.neighbors(pos);
+                pos = nb[rng.gen_index(nb.len())];
+                count += 1;
+            }
+            steps.push(count as f64);
+        }
+        let bound = 2.0 * (3.0 * g.m() as f64 + 1.0) * (3.0 * g.n() as f64);
+        let ms = mean(&steps);
+        hitb.row(vec![
+            n.to_string(),
+            lg.n().to_string(),
+            f(ms),
+            f(bound),
+            f(ms / bound),
+        ]);
+    }
+    hitb.note("the Claim 2.1 proof: expected hitting time <= 2(3m+1)(3n) on the lifted");
+    hitb.note("graph; the measured ratio stays well below 1");
+
+    vec![hit, det, lift, hitb]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_shape() {
+        let tables = e2_bridge_detection(11, true);
+        // Lifted-graph hitting time within the Motwani-Raghavan bound.
+        for v in tables[3].column_f64("ratio") {
+            assert!(v < 1.0, "hitting bound violated: {v}");
+        }
+        // Hitting times stay within a constant multiple of m*n.
+        for v in tables[0].column_f64("steps/(m*n)") {
+            assert!(v < 8.0, "hitting ratio {v}");
+        }
+        // Detection: no false negatives ever.
+        for row in &tables[1].rows {
+            assert_eq!(row[5], "0", "false negatives in {row:?}");
+        }
+        // Lifted graph: reachable for non-bridge, unreachable for bridge.
+        assert_eq!(tables[2].rows[0][4], "true");
+        assert_eq!(tables[2].rows[1][4], "false");
+    }
+}

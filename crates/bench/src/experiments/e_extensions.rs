@@ -1,0 +1,108 @@
+//! E15 — beyond the paper: the §5/§5.2 discussion topics made executable.
+//!
+//! Three pieces the paper raises but does not resolve, measured:
+//! the firing squad on paths (open for general graphs, solved here for
+//! the path case inside the model), the "are mod atoms ever necessary?"
+//! question (decided per function), and the sequential-vs-parallel
+//! working-memory question for uniform tape families.
+
+use fssga_core::library;
+use fssga_core::modfree::mod_atoms_essential;
+use fssga_core::tape::example_families;
+use fssga_protocols::firing_squad::{run_on_path, run_oriented};
+
+use crate::report::Table;
+
+/// Runs E15: firing squad + mod-atom decisions + tape-family bits.
+pub fn e15_extensions(_seed: u64, quick: bool) -> Vec<Table> {
+    let mut fs = Table::new(
+        "E15a: firing squad on paths (open problem §5.2, path case solved in-model)",
+        &["n", "oriented-CA fires at", "FSSGA fires at", "time/n", "simultaneous"],
+    );
+    let sizes: &[usize] = if quick { &[4, 8, 16, 32] } else { &[4, 8, 16, 32, 64, 128] };
+    for &n in sizes {
+        let ca = run_oriented(n, 30 * n + 60);
+        let net = run_on_path(n, 40 * n + 80);
+        let simultaneous = ca.is_some() && net.is_some();
+        fs.row(vec![
+            n.to_string(),
+            ca.map(|t| t.to_string()).unwrap_or_else(|| "FAIL".into()),
+            net.map(|t| t.to_string()).unwrap_or_else(|| "FAIL".into()),
+            net.map(|t| format!("{:.2}", t as f64 / n as f64)).unwrap_or_default(),
+            simultaneous.to_string(),
+        ]);
+    }
+    fs.note("every node fires in the SAME round (verified; partial firing would be FAIL);");
+    fs.note("time is ~3n: two-speed divide and conquer over mod-3-label orientation");
+
+    let mut ma = Table::new(
+        "E15b: are mod atoms essential? (the paper's closing question, decided)",
+        &["function", "mod atoms essential"],
+    );
+    let progs: Vec<(&str, fssga_core::SeqProgram)> = vec![
+        ("OR", library::or_seq()),
+        ("AND", library::and_seq()),
+        ("parity", library::parity_seq()),
+        ("count-ones mod 3", library::count_ones_mod_seq(3)),
+        ("at-least-3 ones", library::count_at_least_seq(2, 1, 3)),
+        ("max of 4 states", library::max_state_seq(4)),
+        ("all-equal (3)", library::all_equal_seq(3)),
+    ];
+    for (name, seq) in progs {
+        let essential = mod_atoms_essential(&seq, 1 << 20).unwrap().is_some();
+        ma.row(vec![name.into(), essential.to_string()]);
+    }
+    ma.note("threshold-only rewrites exist exactly for the eventually-constant functions;");
+    ma.note("parity/mod counters are the (only) witnesses that mod atoms add power");
+
+    let mut tp = Table::new(
+        "E15c: tape families — sequential vs parallel working bits (§5 question)",
+        &["family", "N", "w(N) seq bits", "generic par bound", "best par bits"],
+    );
+    for fam in example_families() {
+        for &n in &[4usize, 8, 16] {
+            tp.row(vec![
+                fam.name.into(),
+                n.to_string(),
+                fam.seq_bits(n).to_string(),
+                fam.generic_bound_bits(n).to_string(),
+                fam.best_par_bits(n).map(|b| b.to_string()).unwrap_or_default(),
+            ]);
+        }
+    }
+    tp.note("the generic Lemma 3.8 construction costs O(2^q(N) w(N)) bits, but every");
+    tp.note("example family admits a direct parallel program with w'(N) = O(w(N)) —");
+    tp.note("consistent with the paper's conjecture that sequential never separates");
+
+    vec![fs, ma, tp]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e15_shape() {
+        let tables = e15_extensions(0, true);
+        for row in &tables[0].rows {
+            assert_eq!(row[4], "true", "firing must be simultaneous: {row:?}");
+        }
+        // Parity needs mod atoms; OR does not.
+        let find = |name: &str| {
+            tables[1]
+                .rows
+                .iter()
+                .find(|r| r[0] == name)
+                .unwrap()[1]
+                .clone()
+        };
+        assert_eq!(find("parity"), "true");
+        assert_eq!(find("OR"), "false");
+        // Best parallel bits never exceed 2x sequential bits + 2.
+        for row in &tables[2].rows {
+            let ws: f64 = row[2].parse().unwrap();
+            let wp: f64 = row[4].parse().unwrap();
+            assert!(wp <= 2.0 * ws.max(1.0) + 2.0, "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! E12 — the FSSGA ↔ IWA simulations (paper §5.1).
+
+use fssga_core::modthresh::{ModThreshProgram, Prop};
+use fssga_core::{Fssga, FsmProgram, ProbFssga};
+use fssga_graph::rng::Xoshiro256;
+use fssga_graph::generators;
+use fssga_iwa::fssga_on_iwa::FssgaOnIwa;
+use fssga_iwa::iwa_on_fssga::IwaFssgaHarness;
+use fssga_iwa::machine::{Guard, Iwa, IwaRule};
+
+use crate::fit::mean;
+use crate::report::{f, Table};
+
+fn infection() -> ProbFssga {
+    let catch = ModThreshProgram::new(2, 2, vec![(Prop::some(1), 1)], 0).unwrap();
+    let keep = ModThreshProgram::new(2, 2, vec![], 1).unwrap();
+    ProbFssga::from_deterministic(
+        Fssga::new(2, vec![FsmProgram::ModThresh(catch), FsmProgram::ModThresh(keep)]).unwrap(),
+    )
+}
+
+/// Runs E12: Θ(m) moves per simulated FSSGA round, and O(log Δ) rounds
+/// per simulated IWA step.
+pub fn e12_iwa_simulations(seed: u64, quick: bool) -> Vec<Table> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut fwd = Table::new(
+        "E12a: FSSGA round on an IWA — agent moves per round vs m",
+        &["graph", "n", "m", "moves/round", "moves/m", "lockstep-ok"],
+    );
+    let auto = infection();
+    let graphs: Vec<(String, fssga_graph::Graph)> = if quick {
+        vec![
+            ("cycle 40".into(), generators::cycle(40)),
+            ("grid 6x6".into(), generators::grid(6, 6)),
+        ]
+    } else {
+        vec![
+            ("cycle 40".into(), generators::cycle(40)),
+            ("grid 8x8".into(), generators::grid(8, 8)),
+            ("complete 16".into(), generators::complete(16)),
+            ("gnp 60".into(), generators::connected_gnp(60, 0.08, &mut rng)),
+            ("star 60".into(), generators::star(60)),
+        ]
+    };
+    for (name, g) in graphs {
+        let mut sim = FssgaOnIwa::new(&auto, &g, |v| usize::from(v == 0));
+        let mut net = fssga_engine::interp::InterpNetwork::new(&g, &auto, |v| usize::from(v == 0));
+        let rounds = 5;
+        let mut per_round = Vec::new();
+        let mut ok = true;
+        for r in 0..rounds {
+            per_round.push(sim.sync_round(r) as f64);
+            net.sync_step_seeded(r);
+            ok &= sim.states() == net.states();
+        }
+        let mpr = mean(&per_round);
+        fwd.row(vec![
+            name,
+            g.n().to_string(),
+            g.m().to_string(),
+            f(mpr),
+            f(mpr / g.m() as f64),
+            ok.to_string(),
+        ]);
+    }
+    fwd.note("paper: an IWA computes a synchronous FSSGA round in O(m) time;");
+    fwd.note("the moves/m column is the constant (8 counting + O(n/m) walking)");
+
+    let mut back = Table::new(
+        "E12b: IWA step on an FSSGA — rounds per move vs log2(d)",
+        &["d (candidates)", "mean-rounds/step", "log2(d)", "ratio"],
+    );
+    // An IWA that hops to a label-0 neighbour forever (relabelling its
+    // position keeps it wandering).
+    let hopper = Iwa {
+        num_states: 1,
+        num_labels: 2,
+        rules: vec![IwaRule {
+            state: 0,
+            guard: Guard::Always,
+            relabel: 1,
+            move_to: Some(0),
+            next_state: 0,
+        }],
+    };
+    let degrees: &[usize] = if quick { &[2, 16] } else { &[2, 4, 16, 64, 256] };
+    let trials = if quick { 30 } else { 100 };
+    for &d in degrees {
+        let g = generators::star(d + 1);
+        let mut rounds = Vec::new();
+        for _ in 0..trials {
+            let mut h = IwaFssgaHarness::<2, 1, 1>::new(hopper.clone(), &g, 0, |_| 0);
+            let steps = h.run(1, 1_000_000, &mut rng);
+            rounds.push(f64::from(steps[0].1));
+        }
+        let m = mean(&rounds);
+        let l = (d as f64).log2().max(1.0);
+        back.row(vec![d.to_string(), f(m), f(l), f(m / l)]);
+    }
+    back.note("paper: an FSSGA network simulates an IWA with O(log Δ) delay —");
+    back.note("the symmetry-breaking tournament to pick the agent's destination");
+
+    vec![fwd, back]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e12_shape() {
+        let tables = e12_iwa_simulations(29, true);
+        for row in &tables[0].rows {
+            assert_eq!(row[5], "true", "lockstep: {row:?}");
+            let ratio: f64 = row[4].parse().unwrap();
+            assert!(ratio < 16.0, "moves/m must be a constant: {row:?}");
+        }
+        let ratio = tables[1].column_f64("ratio");
+        let hi = ratio.iter().cloned().fold(f64::MIN, f64::max);
+        let lo = ratio.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(hi / lo < 5.0, "log-delay band too wide: {ratio:?}");
+    }
+}

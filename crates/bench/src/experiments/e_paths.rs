@@ -1,0 +1,157 @@
+//! E3 — decentralized shortest paths (paper §2.2) and
+//! E7 — breadth-first search (paper §4.3).
+
+use fssga_engine::{Network, SyncScheduler};
+use fssga_graph::rng::Xoshiro256;
+use fssga_graph::{exact, generators};
+use fssga_protocols::bfs::{run_bfs, Status};
+use fssga_protocols::shortest_paths::{labels_as_distances, ShortestPaths};
+
+use crate::report::Table;
+
+/// Runs E3: convergence-in-d-rounds + exactness + fault recovery.
+pub fn e3_shortest_paths(seed: u64, quick: bool) -> Vec<Table> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut t = Table::new(
+        "E3: shortest-path labelling (cap 256)",
+        &["graph", "n", "max-dist", "rounds", "rounds<=d+1", "labels-exact"],
+    );
+    const CAP: usize = 256;
+    let mut cases: Vec<(String, fssga_graph::Graph, Vec<u32>)> = vec![
+        ("path 100".into(), generators::path(100), vec![0]),
+        ("grid 10x10".into(), generators::grid(10, 10), vec![0]),
+        (
+            "grid 10x10 3-sinks".into(),
+            generators::grid(10, 10),
+            vec![0, 55, 99],
+        ),
+    ];
+    if !quick {
+        for i in 0..4 {
+            cases.push((
+                format!("gnp-{i} 120"),
+                generators::connected_gnp(120, 0.04, &mut rng),
+                vec![i as u32 * 17],
+            ));
+        }
+    }
+    for (name, g, sinks) in cases {
+        let mut net = Network::new(&g, ShortestPaths::<CAP>, |v| {
+            ShortestPaths::<CAP>::init(sinks.contains(&v))
+        });
+        let rounds = SyncScheduler::run_to_fixpoint(&mut net, 4 * CAP).unwrap();
+        let truth = exact::bfs_distances(&g, &sinks);
+        let maxd = *truth.iter().max().unwrap() as usize;
+        let exactness = labels_as_distances(net.states()) == truth;
+        t.row(vec![
+            name,
+            g.n().to_string(),
+            maxd.to_string(),
+            rounds.to_string(),
+            (rounds <= maxd + 1).to_string(),
+            exactness.to_string(),
+        ]);
+    }
+    t.note("paper: a node at distance d stabilizes at d within d rounds (plus 1 quiescent)");
+
+    let mut rec = Table::new(
+        "E3b: 0-sensitive re-convergence after faults (grid 8x8)",
+        &["faults", "re-rounds", "labels-exact-after"],
+    );
+    let g = generators::grid(8, 8);
+    let mut net = Network::new(&g, ShortestPaths::<CAP>, |v| ShortestPaths::<CAP>::init(v == 0));
+    SyncScheduler::run_to_fixpoint(&mut net, 4 * CAP).unwrap();
+    for wave in 1..=3 {
+        for _ in 0..3 {
+            let edges: Vec<_> = net.graph().edges().collect();
+            let &(u, v) = rng.choose(&edges);
+            // Keep the sink connected so re-convergence is meaningful.
+            let mut probe = net.graph().clone();
+            probe.remove_edge(u, v);
+            if probe.component_of(0).len() == probe.n_alive() {
+                net.remove_edge(u, v);
+            }
+        }
+        let rounds = SyncScheduler::run_to_fixpoint(&mut net, 8 * CAP).unwrap();
+        let snapshot = net.graph().snapshot();
+        let truth = exact::bfs_distances(&snapshot, &[0]);
+        rec.row(vec![
+            format!("wave {wave}"),
+            rounds.to_string(),
+            (labels_as_distances(net.states()) == truth).to_string(),
+        ]);
+    }
+    rec.note("paper: 0-sensitive — labels re-converge on whatever stays connected");
+
+    vec![t, rec]
+}
+
+/// Runs E7: BFS labels, verdicts, and the 2d found-latency bound.
+pub fn e7_bfs(seed: u64, quick: bool) -> Vec<Table> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut t = Table::new(
+        "E7: FSSGA breadth-first search (Algorithm 4.1)",
+        &["graph", "n", "dist(org,target)", "verdict", "rounds", "labels=dist%3"],
+    );
+    let trials = if quick { 4 } else { 12 };
+    for i in 0..trials {
+        let g = generators::connected_gnp(40, 0.07, &mut rng);
+        let target = (g.n() - 1) as u32;
+        let d = exact::bfs_distances(&g, &[0])[target as usize];
+        let (status, rounds, states) =
+            run_bfs(&g, 0, &[target], 20 * g.n()).expect("stabilizes");
+        let truth = exact::bfs_distances(&g, &[0]);
+        let labels_ok = g.nodes().all(|v| {
+            states[v as usize].label.residue() == Some(truth[v as usize] % 3)
+        });
+        t.row(vec![
+            format!("gnp-{i}"),
+            g.n().to_string(),
+            d.to_string(),
+            format!("{status:?}"),
+            rounds.to_string(),
+            labels_ok.to_string(),
+        ]);
+        assert_eq!(status, Status::Found);
+    }
+    // A no-target case.
+    let g = generators::grid(6, 6);
+    let (status, rounds, _) = run_bfs(&g, 0, &[], 30 * g.n()).unwrap();
+    t.row(vec![
+        "grid 6x6 (no target)".into(),
+        g.n().to_string(),
+        "-".into(),
+        format!("{status:?}"),
+        rounds.to_string(),
+        "true".into(),
+    ]);
+    t.note("paper: labels are distance mod 3; found-status reaches the originator ~2d rounds");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_shape() {
+        let tables = e3_shortest_paths(3, true);
+        for row in &tables[0].rows {
+            assert_eq!(row[4], "true", "convergence bound: {row:?}");
+            assert_eq!(row[5], "true", "exactness: {row:?}");
+        }
+        for row in &tables[1].rows {
+            assert_eq!(row[2], "true", "fault recovery: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e7_shape() {
+        let tables = e7_bfs(3, true);
+        let last = tables[0].rows.last().unwrap();
+        assert_eq!(last[3], "Failed", "no-target case must report Failed");
+        for row in &tables[0].rows {
+            assert_eq!(row[5], "true", "label correctness: {row:?}");
+        }
+    }
+}

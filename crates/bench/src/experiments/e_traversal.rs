@@ -1,0 +1,163 @@
+//! E9 — Milgram's traversal (paper §4.5) and
+//! E10 — the greedy tourist (paper §4.6).
+
+use fssga_graph::rng::Xoshiro256;
+use fssga_graph::generators;
+use fssga_protocols::greedy_tourist::GreedyTourist;
+use fssga_protocols::traversal::TraversalHarness;
+
+use crate::fit::power_law_exponent;
+use crate::report::{f, Table};
+
+/// Runs E9: hand-move exactness (2n-2) + O(n log n) time scaling.
+pub fn e9_milgram_traversal(seed: u64, quick: bool) -> Vec<Table> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut t = Table::new(
+        "E9: Milgram traversal — hand moves and round scaling",
+        &["graph", "n", "hand-moves", "2n-2", "rounds", "rounds/(n log2 n)"],
+    );
+    let sizes: &[usize] = if quick { &[8, 16, 32] } else { &[8, 16, 32, 64, 128, 256] };
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &n in sizes {
+        let g = generators::connected_gnp(n, (2.2 * (n as f64).ln()) / n as f64, &mut rng);
+        let mut h = TraversalHarness::new(&g, 0);
+        let run = h.run(20_000 * n as u64, &mut rng, false);
+        assert!(run.complete, "traversal must finish at n={n}");
+        let nlogn = n as f64 * (n as f64).log2();
+        t.row(vec![
+            format!("gnp {n}"),
+            n.to_string(),
+            run.hand_moves.to_string(),
+            (2 * n - 2).to_string(),
+            run.rounds.to_string(),
+            f(run.rounds as f64 / nlogn),
+        ]);
+        xs.push(n as f64);
+        ys.push(run.rounds as f64);
+    }
+    let p = power_law_exponent(&xs, &ys);
+    t.note("paper: the hand moves exactly 2n-2 times (scan-first spanning tree),");
+    t.note(format!(
+        "and total time is O(n log n); measured rounds ~ n^{} (1 <= p < 1.5 expected)",
+        f(p)
+    ));
+    vec![t]
+}
+
+/// Runs E10: tourist step/time scaling + sensitivity contrast vs Milgram.
+pub fn e10_greedy_tourist(seed: u64, quick: bool) -> Vec<Table> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut t = Table::new(
+        "E10a: greedy tourist — agent steps and rounds",
+        &["graph", "n", "agent-steps", "n log2 n", "rounds", "rounds/(n log2^2 n)"],
+    );
+    let sizes: &[usize] = if quick { &[16, 32] } else { &[16, 32, 64, 128, 256] };
+    for &n in sizes {
+        let g = generators::connected_gnp(n, (2.2 * (n as f64).ln()) / n as f64, &mut rng);
+        let mut tour = GreedyTourist::new(&g, 0);
+        let run = tour.run(50_000_000, &mut rng);
+        assert!(run.complete);
+        let nlogn = n as f64 * (n as f64).log2();
+        let nlog2n = nlogn * (n as f64).log2();
+        t.row(vec![
+            format!("gnp {n}"),
+            n.to_string(),
+            run.agent_steps.to_string(),
+            f(nlogn),
+            run.total_rounds.to_string(),
+            f(run.total_rounds as f64 / nlog2n),
+        ]);
+    }
+    t.note("paper: O(n log n) agent steps (Rosenkrantz et al. tour bound) and");
+    t.note("O(n log^2 n) total time with BFS + symmetry-breaking per step");
+
+    // Sensitivity contrast: kill a node on the Milgram ARM (critical,
+    // Θ(n) of them) vs a non-agent node for the tourist (non-critical).
+    let mut s = Table::new(
+        "E10b: sensitivity contrast under one node fault",
+        &["algorithm", "fault-target", "trials", "completed"],
+    );
+    let trials = if quick { 6 } else { 20 };
+    let mut milgram_ok = 0;
+    let mut tourist_ok = 0;
+    for i in 0..trials {
+        let g = generators::connected_gnp(24, 0.14, &mut Xoshiro256::seed_from_u64(seed + i));
+        // Milgram: run until the arm is long, then kill an interior arm node.
+        let mut h = TraversalHarness::new(&g, 0);
+        let mut r = Xoshiro256::seed_from_u64(seed + 100 + i);
+        let _ = h.run(120, &mut r, false);
+        let arm = h.arm_path_nodes();
+        if arm.len() >= 3 {
+            let victim = arm[arm.len() / 2];
+            h.network_mut().remove_node(victim);
+        }
+        let run = h.run(2_000_000, &mut r, false);
+        let visited_all_alive = !run.corrupted
+            && run.complete
+            && (0..g.n()).all(|v| {
+                !h.network_mut().graph().is_alive(v as u32) || run.visited[v]
+            });
+        if visited_all_alive {
+            milgram_ok += 1;
+        }
+        // Tourist: kill a non-agent unvisited node mid-run.
+        let mut tour = GreedyTourist::new(&g, 0);
+        let mut r = Xoshiro256::seed_from_u64(seed + 200 + i);
+        let _ = tour.run(60, &mut r);
+        let victim = (0..g.n() as u32)
+            .rev()
+            .find(|&v| v != tour.agent() && !tour.visited()[v as usize]);
+        if let Some(v) = victim {
+            tour.network_mut().remove_node(v);
+        }
+        let run = tour.run(50_000_000, &mut r);
+        if run.complete {
+            tourist_ok += 1;
+        }
+    }
+    s.row(vec![
+        "Milgram (sensitivity Θ(n))".into(),
+        "interior arm node".into(),
+        trials.to_string(),
+        format!("{milgram_ok}/{trials}"),
+    ]);
+    s.row(vec![
+        "greedy tourist (sensitivity 1)".into(),
+        "non-agent node".into(),
+        trials.to_string(),
+        format!("{tourist_ok}/{trials}"),
+    ]);
+    s.note("paper: killing an arm node breaks Milgram's traversal; the tourist's only");
+    s.note("critical node is the agent, so non-agent faults leave it reasonably correct");
+
+    vec![t, s]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e9_shape() {
+        let tables = e9_milgram_traversal(17, true);
+        for row in &tables[0].rows {
+            assert_eq!(row[2], row[3], "hand moves = 2n-2: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e10_shape() {
+        let tables = e10_greedy_tourist(17, true);
+        // The tourist completes every faulted trial; Milgram fails most.
+        let rows = &tables[1].rows;
+        let parse = |s: &str| -> (u32, u32) {
+            let p: Vec<&str> = s.split('/').collect();
+            (p[0].parse().unwrap(), p[1].parse().unwrap())
+        };
+        let (m_ok, m_total) = parse(&rows[0][3]);
+        let (t_ok, t_total) = parse(&rows[1][3]);
+        assert_eq!(t_ok, t_total, "tourist survives all non-agent faults");
+        assert!(m_ok < m_total, "arm faults must break some Milgram runs");
+    }
+}

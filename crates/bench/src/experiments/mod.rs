@@ -1,0 +1,62 @@
+//! The E1–E14 experiment suite (see `DESIGN.md` for the index).
+//!
+//! Every experiment takes a seed and returns one or more [`Table`]s whose
+//! shape is asserted by the integration tests; `EXPERIMENTS.md` records
+//! the paper-vs-measured comparison for each.
+
+mod e_bridges;
+mod e_census;
+mod e_coloring;
+mod e_conversions;
+mod e_election;
+mod e_extensions;
+mod e_iwa;
+mod e_paths;
+mod e_sensitivity;
+mod e_sync;
+mod e_traversal;
+mod e_walk;
+
+pub use e_bridges::e2_bridge_detection;
+pub use e_census::e1_census;
+pub use e_coloring::e5_two_coloring;
+pub use e_conversions::{e14_tree_combination, e4_conversion_blowup};
+pub use e_election::e11_election;
+pub use e_extensions::e15_extensions;
+pub use e_iwa::e12_iwa_simulations;
+pub use e_paths::{e3_shortest_paths, e7_bfs};
+pub use e_sensitivity::e13_sensitivity_ranking;
+pub use e_sync::e6_synchronizer;
+pub use e_traversal::{e10_greedy_tourist, e9_milgram_traversal};
+pub use e_walk::e8_random_walk;
+
+use crate::report::Table;
+
+/// Runs one experiment by id ("e1" .. "e14"); `quick` shrinks the
+/// workloads (used by the integration tests).
+pub fn run(id: &str, seed: u64, quick: bool) -> Vec<Table> {
+    match id {
+        "e1" => e1_census(seed, quick),
+        "e2" => e2_bridge_detection(seed, quick),
+        "e3" => e3_shortest_paths(seed, quick),
+        "e4" => e4_conversion_blowup(seed, quick),
+        "e5" => e5_two_coloring(seed, quick),
+        "e6" => e6_synchronizer(seed, quick),
+        "e7" => e7_bfs(seed, quick),
+        "e8" => e8_random_walk(seed, quick),
+        "e9" => e9_milgram_traversal(seed, quick),
+        "e10" => e10_greedy_tourist(seed, quick),
+        "e11" => e11_election(seed, quick),
+        "e12" => e12_iwa_simulations(seed, quick),
+        "e13" => e13_sensitivity_ranking(seed, quick),
+        "e14" => e14_tree_combination(seed, quick),
+        "e15" => e15_extensions(seed, quick),
+        _ => panic!("unknown experiment {id:?} (expected e1..e15)"),
+    }
+}
+
+/// All experiment ids, in order.
+pub const ALL: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e15",
+];

@@ -1,0 +1,108 @@
+//! Scaling-law fitting: the experiments verify asymptotic claims by
+//! regressing measured costs against the predicted law in log space.
+
+/// Least-squares slope and intercept of `y = a + b x`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2);
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let b = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let a = (sy - b * sx) / n;
+    (a, b)
+}
+
+/// The exponent `p` in `y ≈ c · x^p`, from a log-log fit.
+pub fn power_law_exponent(xs: &[f64], ys: &[f64]) -> f64 {
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    linear_fit(&lx, &ly).1
+}
+
+/// Mean of a sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Median of a sample (by sorting a copy).
+pub fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        let (a, b) = linear_fit(&xs, &ys);
+        assert!((a - 1.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadratic_exponent() {
+        let xs: Vec<f64> = (1..=6).map(|i| (1 << i) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x * x).collect();
+        let p = power_law_exponent(&xs, &ys);
+        assert!((p - 2.0).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn nlogn_exponent_between_1_and_2() {
+        let xs: Vec<f64> = (3..=10).map(|i| (1 << i) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x.log2()).collect();
+        let p = power_law_exponent(&xs, &ys);
+        assert!(p > 1.0 && p < 1.5, "p = {p}");
+    }
+
+    #[test]
+    fn stats() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+}
+
+/// Pearson chi-square statistic against the given expected counts.
+pub fn chi_square(observed: &[u64], expected: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected.len());
+    observed
+        .iter()
+        .zip(expected)
+        .map(|(&o, &e)| {
+            let d = o as f64 - e;
+            d * d / e
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod chi_tests {
+    use super::*;
+
+    #[test]
+    fn perfect_fit_is_zero() {
+        assert_eq!(chi_square(&[10, 10, 10], &[10.0, 10.0, 10.0]), 0.0);
+    }
+
+    #[test]
+    fn deviation_grows_statistic() {
+        let near = chi_square(&[11, 9, 10], &[10.0, 10.0, 10.0]);
+        let far = chi_square(&[20, 0, 10], &[10.0, 10.0, 10.0]);
+        assert!(far > near);
+        assert!((near - 0.2).abs() < 1e-9);
+    }
+}

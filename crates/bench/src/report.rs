@@ -1,0 +1,163 @@
+//! Minimal table rendering for experiment reports.
+
+/// A printable experiment table: caption, column headers, string rows,
+/// and free-form conclusion notes.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Experiment id and title, e.g. "E8: random walk move delay".
+    pub caption: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Post-table notes: the paper's prediction vs what was measured.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(caption: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            caption: caption.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Fetches a column as f64s (for test assertions).
+    pub fn column_f64(&self, name: &str) -> Vec<f64> {
+        let idx = self
+            .headers
+            .iter()
+            .position(|h| h == name)
+            .unwrap_or_else(|| panic!("no column {name:?}"));
+        self.rows
+            .iter()
+            .map(|r| r[idx].trim_end_matches('%').parse::<f64>().unwrap_or(f64::NAN))
+            .collect()
+    }
+
+    /// Renders the table as GitHub-flavoured markdown (for embedding in
+    /// EXPERIMENTS.md or reports).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.caption));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n> {n}"));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Renders the table as aligned ASCII.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.caption));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  * {n}\n"));
+        }
+        out
+    }
+}
+
+/// Formats a float compactly.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("T", &["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("hello");
+        let s = t.render();
+        assert!(s.contains("long-header"));
+        assert!(s.contains("* hello"));
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new("Cap", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("note");
+        let md = t.render_markdown();
+        assert!(md.contains("### Cap"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("> note"));
+    }
+
+    #[test]
+    fn column_extraction() {
+        let mut t = Table::new("T", &["n", "pct"]);
+        t.row(vec!["4".into(), "50%".into()]);
+        assert_eq!(t.column_f64("n"), vec![4.0]);
+        assert_eq!(t.column_f64("pct"), vec![50.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(3.14159), "3.142");
+        assert_eq!(f(31.4159), "31.4");
+        assert_eq!(f(31415.9), "31416");
+    }
+}

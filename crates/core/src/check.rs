@@ -1,0 +1,166 @@
+//! Coarsest-congruence computation (Moore-style partition refinement).
+//!
+//! Both symmetry decision procedures (Definitions 3.2 and 3.4) reduce to
+//! the same question about a finite deterministic transition system: *which
+//! working states are behaviourally equivalent* — indistinguishable by any
+//! sequence of further transitions followed by the output map β?
+//!
+//! Given `n` states, an initial classification `init` (here: β), and a set
+//! of unary transition functions (here: "process input q" for each q, or
+//! "combine with reachable value u on the left/right"), the coarsest
+//! congruence is the limit of signature refinement: two states stay
+//! together while they have equal class and all their successors have equal
+//! classes. This is precisely DFA minimisation's state-equivalence, and it
+//! is what makes the swap test `p(p(w,a),b) ≈ p(p(w,b),a)` *complete*: an
+//! inequivalent pair is, by definition, separated by some suffix, which
+//! would be a witness sequence violating Definition 3.2.
+
+use std::collections::HashMap;
+
+/// Computes the coarsest equivalence `~` on `0..n` such that
+///
+/// * `x ~ y` implies `init[x] == init[y]`, and
+/// * `x ~ y` implies `f(x) ~ f(y)` for every `f` in `fns`
+///   (each `f` given as a full table of length `n`).
+///
+/// Returns the class index of each state, with classes numbered
+/// consecutively from 0 in first-occurrence order (so the result is
+/// canonical).
+pub fn coarsest_congruence(n: usize, init: &[u32], fns: &[&[u32]]) -> Vec<u32> {
+    assert_eq!(init.len(), n);
+    for f in fns {
+        assert_eq!(f.len(), n, "transition table has wrong length");
+    }
+    let mut class: Vec<u32> = canonicalize(init);
+    loop {
+        // Signature of x: (class[x], class[f1(x)], ..., class[fk(x)]).
+        let mut sig_to_class: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut next = vec![0u32; n];
+        for x in 0..n {
+            let mut sig = Vec::with_capacity(fns.len() + 1);
+            sig.push(class[x]);
+            for f in fns {
+                sig.push(class[f[x] as usize]);
+            }
+            let fresh = sig_to_class.len() as u32;
+            next[x] = *sig_to_class.entry(sig).or_insert(fresh);
+        }
+        if next == class {
+            return class;
+        }
+        class = next;
+    }
+}
+
+/// Renumbers an arbitrary labelling into consecutive class ids in
+/// first-occurrence order.
+fn canonicalize(labels: &[u32]) -> Vec<u32> {
+    let mut map: HashMap<u32, u32> = HashMap::new();
+    labels
+        .iter()
+        .map(|&l| {
+            let fresh = map.len() as u32;
+            *map.entry(l).or_insert(fresh)
+        })
+        .collect()
+}
+
+/// Forward reachability closure: all states reachable from `starts` by the
+/// given transition tables. Returns a membership mask.
+pub fn reachable(n: usize, starts: &[usize], fns: &[&[u32]]) -> Vec<bool> {
+    let mut seen = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    for &s in starts {
+        if !seen[s] {
+            seen[s] = true;
+            stack.push(s);
+        }
+    }
+    while let Some(x) = stack.pop() {
+        for f in fns {
+            let y = f[x] as usize;
+            if !seen[y] {
+                seen[y] = true;
+                stack.push(y);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_distinct_outputs_stay_distinct() {
+        // No transitions; classes are exactly the init classes.
+        let classes = coarsest_congruence(3, &[7, 9, 7], &[]);
+        assert_eq!(classes, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn behavioural_merge() {
+        // States 0 and 1 both output 0 and both map to state 2 under f:
+        // they are equivalent. State 2 outputs 1.
+        let f = [2u32, 2, 2];
+        let classes = coarsest_congruence(3, &[0, 0, 1], &[&f]);
+        assert_eq!(classes[0], classes[1]);
+        assert_ne!(classes[0], classes[2]);
+    }
+
+    #[test]
+    fn successor_distinguishes() {
+        // 0 and 1 share outputs, but f sends 0 to an accepting state and 1
+        // to a rejecting one, so they must be split.
+        let f = [2u32, 3, 2, 3];
+        let classes = coarsest_congruence(4, &[0, 0, 1, 2], &[&f]);
+        assert_ne!(classes[0], classes[1]);
+    }
+
+    #[test]
+    fn two_step_distinction_parity_automaton() {
+        // Mod-3 counter with output = (state == 0). States 1 and 2 output
+        // the same and step to 2 and 0: distinguished only through the
+        // *class* of their successors (iteration to fixpoint).
+        let f = [1u32, 2, 0];
+        let out = [1u32, 0, 0];
+        let classes = coarsest_congruence(3, &out, &[&f]);
+        // All three states are pairwise inequivalent.
+        assert_ne!(classes[0], classes[1]);
+        assert_ne!(classes[1], classes[2]);
+        assert_ne!(classes[0], classes[2]);
+    }
+
+    #[test]
+    fn merge_with_two_functions() {
+        // Two unary functions; equivalence requires agreement under both.
+        let f = [1u32, 0, 3, 2];
+        let g = [2u32, 3, 0, 1];
+        let out = [0u32, 0, 0, 0];
+        let classes = coarsest_congruence(4, &out, &[&f, &g]);
+        // Identical outputs, structure-preserving maps: everything merges.
+        assert!(classes.iter().all(|&c| c == classes[0]));
+    }
+
+    #[test]
+    fn reachable_closure() {
+        let f = [1u32, 2, 2, 4, 3];
+        let seen = reachable(5, &[0], &[&f]);
+        assert_eq!(seen, vec![true, true, true, false, false]);
+    }
+
+    #[test]
+    fn reachable_multiple_starts_and_fns() {
+        let f = [1u32, 1, 3, 3];
+        let g = [0u32, 2, 2, 0];
+        let seen = reachable(4, &[0], &[&f, &g]);
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn canonical_class_numbering() {
+        let classes = coarsest_congruence(4, &[5, 3, 5, 9], &[]);
+        assert_eq!(classes, vec![0, 1, 0, 2]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Finite-state symmetric graph automata (Definitions 3.10 and 3.11).
+//!
+//! An FSSGA `(Q, f)` places a copy of the same automaton at every node of
+//! a connected graph: when a node in state `q` activates, its new state is
+//! `f[q]` applied to the multiset of its neighbours' states. The node thus
+//! acts *symmetrically on its neighbours but asymmetrically on itself*.
+//! The probabilistic variant `(Q, r, f)` lets each activation draw a coin
+//! `i ∈ {0..r-1}` uniformly and use `f[q, i]`.
+//!
+//! This module holds the model-level definitions; actually *running* an
+//! FSSGA over a graph (schedulers, faults, instrumentation) lives in the
+//! `fssga-engine` crate.
+
+use crate::modthresh::ModThreshProgram;
+use crate::multiset::Multiset;
+use crate::par::ParProgram;
+use crate::seq::SeqProgram;
+use crate::{Id, SmError};
+
+/// An FSM function in any of the three equivalent presentations of
+/// Theorem 3.7.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsmProgram {
+    /// A sequential program (Definition 3.2).
+    Seq(SeqProgram),
+    /// A parallel program (Definition 3.4).
+    Par(ParProgram),
+    /// A mod-thresh program (Definition 3.6).
+    ModThresh(ModThreshProgram),
+}
+
+impl FsmProgram {
+    /// `|Q|`.
+    pub fn num_inputs(&self) -> usize {
+        match self {
+            FsmProgram::Seq(p) => p.num_inputs(),
+            FsmProgram::Par(p) => p.num_inputs(),
+            FsmProgram::ModThresh(p) => p.num_inputs(),
+        }
+    }
+
+    /// `|R|`.
+    pub fn num_outputs(&self) -> usize {
+        match self {
+            FsmProgram::Seq(p) => p.num_outputs(),
+            FsmProgram::Par(p) => p.num_outputs(),
+            FsmProgram::ModThresh(p) => p.num_outputs(),
+        }
+    }
+
+    /// Evaluates on a nonempty multiset.
+    pub fn eval_multiset(&self, ms: &Multiset) -> Id {
+        match self {
+            FsmProgram::Seq(p) => p.eval_multiset(ms),
+            FsmProgram::Par(p) => p.eval_multiset(ms),
+            FsmProgram::ModThresh(p) => p.eval_multiset(ms),
+        }
+    }
+
+    /// Checks that the program really is an SM function (mod-thresh
+    /// programs are symmetric by construction; sequential and parallel
+    /// programs are checked with the Section 3 decision procedures).
+    pub fn check_sm(&self) -> Result<(), SmError> {
+        match self {
+            FsmProgram::Seq(p) => p.check_sm(),
+            FsmProgram::Par(p) => p.check_sm(),
+            FsmProgram::ModThresh(_) => Ok(()),
+        }
+    }
+}
+
+/// A deterministic FSSGA `(Q, f)` (Definition 3.10): for each own-state
+/// `q ∈ Q`, an FSM function `f[q] : Q^+ -> Q`.
+#[derive(Clone, Debug)]
+pub struct Fssga {
+    num_states: usize,
+    f: Vec<FsmProgram>,
+}
+
+impl Fssga {
+    /// Builds an automaton, checking that there is one program per state
+    /// and that every program maps `Q^+` to `Q`.
+    pub fn new(num_states: usize, f: Vec<FsmProgram>) -> Result<Self, SmError> {
+        if num_states == 0 {
+            return Err(SmError::Malformed("at least one state required".into()));
+        }
+        if f.len() != num_states {
+            return Err(SmError::Malformed(format!(
+                "need {} programs, got {}",
+                num_states,
+                f.len()
+            )));
+        }
+        for (q, prog) in f.iter().enumerate() {
+            if prog.num_inputs() != num_states || prog.num_outputs() != num_states {
+                return Err(SmError::Malformed(format!(
+                    "program for state {q} has signature {} -> {}, expected {num_states} -> {num_states}",
+                    prog.num_inputs(),
+                    prog.num_outputs()
+                )));
+            }
+        }
+        Ok(Self { num_states, f })
+    }
+
+    /// `|Q|`.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The FSM function used by a node whose current state is `q`.
+    pub fn program(&self, q: Id) -> &FsmProgram {
+        &self.f[q]
+    }
+
+    /// The new state of an activating node: own state `q`, neighbour
+    /// multiset `nbrs`.
+    pub fn transition(&self, q: Id, nbrs: &Multiset) -> Id {
+        self.f[q].eval_multiset(nbrs)
+    }
+
+    /// Verifies every per-state program satisfies its SM condition.
+    pub fn check_sm(&self) -> Result<(), SmError> {
+        for (q, prog) in self.f.iter().enumerate() {
+            prog.check_sm().map_err(|e| {
+                SmError::NotSymmetric(format!("program for state {q}: {e}"))
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// A probabilistic FSSGA `(Q, r, f)` (Definition 3.11): for each state `q`
+/// and coin value `i ∈ {0..r-1}`, an FSM function `f[q, i]`.
+#[derive(Clone, Debug)]
+pub struct ProbFssga {
+    num_states: usize,
+    r: usize,
+    /// Row-major: `f[q * r + i]`.
+    f: Vec<FsmProgram>,
+}
+
+impl ProbFssga {
+    /// Builds a probabilistic automaton; `f` is indexed `[q * r + i]`.
+    pub fn new(num_states: usize, r: usize, f: Vec<FsmProgram>) -> Result<Self, SmError> {
+        if num_states == 0 || r == 0 {
+            return Err(SmError::Malformed("need |Q| >= 1 and r >= 1".into()));
+        }
+        if f.len() != num_states * r {
+            return Err(SmError::Malformed(format!(
+                "need {} programs, got {}",
+                num_states * r,
+                f.len()
+            )));
+        }
+        for (idx, prog) in f.iter().enumerate() {
+            if prog.num_inputs() != num_states || prog.num_outputs() != num_states {
+                return Err(SmError::Malformed(format!(
+                    "program {idx} has wrong signature"
+                )));
+            }
+        }
+        Ok(Self { num_states, r, f })
+    }
+
+    /// Wraps a deterministic automaton as the trivial `r = 1` case.
+    pub fn from_deterministic(auto: Fssga) -> Self {
+        Self { num_states: auto.num_states, r: 1, f: auto.f }
+    }
+
+    /// `|Q|`.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The amount of per-activation randomness `r`.
+    pub fn randomness(&self) -> usize {
+        self.r
+    }
+
+    /// The FSM function for own-state `q` and coin `i`.
+    pub fn program(&self, q: Id, i: usize) -> &FsmProgram {
+        &self.f[q * self.r + i]
+    }
+
+    /// The new state for own-state `q`, coin `i`, neighbours `nbrs`.
+    pub fn transition(&self, q: Id, i: usize, nbrs: &Multiset) -> Id {
+        assert!(i < self.r, "coin out of range");
+        self.f[q * self.r + i].eval_multiset(nbrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use crate::modthresh::Prop;
+
+    /// A 2-state "infection" FSSGA: state 1 spreads to any node with an
+    /// infected neighbour (iterated OR — the Flajolet-Martin core).
+    fn infection() -> Fssga {
+        let stay_infected =
+            ModThreshProgram::new(2, 2, vec![(Prop::True, 1)], 1).unwrap();
+        let catch = ModThreshProgram::new(2, 2, vec![(Prop::some(1), 1)], 0).unwrap();
+        Fssga::new(
+            2,
+            vec![FsmProgram::ModThresh(catch), FsmProgram::ModThresh(stay_infected)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn transition_applies_per_state_program() {
+        let auto = infection();
+        let none = Multiset::from_seq(2, &[0, 0]);
+        let some = Multiset::from_seq(2, &[0, 1]);
+        assert_eq!(auto.transition(0, &none), 0);
+        assert_eq!(auto.transition(0, &some), 1);
+        assert_eq!(auto.transition(1, &none), 1, "infected stays infected");
+    }
+
+    #[test]
+    fn fsm_program_dispatch() {
+        let seq = FsmProgram::Seq(library::or_seq());
+        let par = FsmProgram::Par(library::or_par());
+        let ms = Multiset::from_seq(2, &[0, 1, 0]);
+        assert_eq!(seq.eval_multiset(&ms), 1);
+        assert_eq!(par.eval_multiset(&ms), 1);
+        assert_eq!(seq.num_inputs(), 2);
+        assert_eq!(par.num_outputs(), 2);
+        assert!(seq.check_sm().is_ok());
+        assert!(par.check_sm().is_ok());
+    }
+
+    #[test]
+    fn signature_mismatch_rejected() {
+        // A 3-input program can't serve a 2-state automaton.
+        let p = FsmProgram::Seq(library::max_state_seq(3));
+        assert!(Fssga::new(2, vec![p.clone(), p]).is_err());
+    }
+
+    #[test]
+    fn wrong_count_rejected() {
+        let p = FsmProgram::Seq(library::or_seq());
+        assert!(Fssga::new(2, vec![p]).is_err());
+        assert!(Fssga::new(0, vec![]).is_err());
+    }
+
+    #[test]
+    fn check_sm_flags_bad_component() {
+        let bad = SeqProgram::from_fn(2, 3, 2, 2, |_, q| q, |w| if w == 2 { 0 } else { w })
+            .unwrap();
+        let auto = Fssga::new(
+            2,
+            vec![FsmProgram::Seq(library::or_seq()), FsmProgram::Seq(bad)],
+        )
+        .unwrap();
+        let err = auto.check_sm().unwrap_err();
+        assert!(matches!(err, SmError::NotSymmetric(msg) if msg.contains("state 1")));
+    }
+
+    #[test]
+    fn probabilistic_wrapper() {
+        let auto = ProbFssga::from_deterministic(infection());
+        assert_eq!(auto.randomness(), 1);
+        let ms = Multiset::from_seq(2, &[1]);
+        assert_eq!(auto.transition(0, 0, &ms), 1);
+    }
+
+    #[test]
+    fn probabilistic_coin_selects_program() {
+        // r = 2: coin 0 -> constant 0, coin 1 -> constant 1.
+        let c0 = FsmProgram::ModThresh(
+            ModThreshProgram::new(2, 2, vec![], 0).unwrap(),
+        );
+        let c1 = FsmProgram::ModThresh(
+            ModThreshProgram::new(2, 2, vec![], 1).unwrap(),
+        );
+        let auto = ProbFssga::new(2, 2, vec![c0.clone(), c1.clone(), c0, c1]).unwrap();
+        let ms = Multiset::from_seq(2, &[0]);
+        assert_eq!(auto.transition(0, 0, &ms), 0);
+        assert_eq!(auto.transition(0, 1, &ms), 1);
+        assert_eq!(auto.transition(1, 0, &ms), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "coin out of range")]
+    fn coin_out_of_range_panics() {
+        let auto = ProbFssga::from_deterministic(infection());
+        auto.transition(0, 5, &Multiset::from_seq(2, &[0]));
+    }
+}

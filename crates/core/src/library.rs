@@ -1,0 +1,214 @@
+//! A library of named SM functions.
+//!
+//! These are the worked examples used across the test suites, benches and
+//! documentation: classic semi-lattice functions (OR, AND, MAX — the class
+//! the paper's Section 5 notes give "automatic fault-tolerance"), modular
+//! counters (which genuinely need mod atoms), thresholds, and the
+//! Section 4.1 two-colouring clauses.
+
+use crate::modthresh::{ModThreshProgram, Prop};
+use crate::par::ParProgram;
+use crate::seq::SeqProgram;
+use crate::Id;
+
+/// Sequential OR over `{0,1}`: outputs 1 iff some input is 1.
+pub fn or_seq() -> SeqProgram {
+    SeqProgram::from_fn(2, 2, 2, 0, |w, q| w | q, |w| w).expect("valid")
+}
+
+/// Parallel OR over `{0,1}`.
+pub fn or_par() -> ParProgram {
+    ParProgram::from_fn(2, 2, 2, |q| q, |a, b| a | b, |w| w).expect("valid")
+}
+
+/// Sequential AND over `{0,1}`: outputs 1 iff all inputs are 1.
+pub fn and_seq() -> SeqProgram {
+    SeqProgram::from_fn(2, 2, 2, 1, |w, q| w & q, |w| w).expect("valid")
+}
+
+/// Sequential parity over `{0,1}`: sum of inputs mod 2.
+pub fn parity_seq() -> SeqProgram {
+    SeqProgram::from_fn(2, 2, 2, 0, |w, q| w ^ q, |w| w).expect("valid")
+}
+
+/// Sequential count of 1-inputs modulo `m` (outputs `0..m`).
+pub fn count_ones_mod_seq(m: usize) -> SeqProgram {
+    assert!(m >= 1);
+    SeqProgram::from_fn(2, m, m, 0, |w, q| (w + q) % m, |w| w).expect("valid")
+}
+
+/// Parallel sum of input ids modulo `m`, over alphabet `{0..m}`.
+pub fn sum_mod_par(m: usize) -> ParProgram {
+    assert!(m >= 1);
+    ParProgram::from_fn(m, m, m, |q| q, |a, b| (a + b) % m, |w| w).expect("valid")
+}
+
+/// Sequential MAX over alphabet `{0..s}` (a semi-lattice function).
+pub fn max_state_seq(s: usize) -> SeqProgram {
+    assert!(s >= 1);
+    SeqProgram::from_fn(s, s, s, 0, |w, q| w.max(q), |w| w).expect("valid")
+}
+
+/// Parallel MAX over alphabet `{0..s}`.
+pub fn max_state_par(s: usize) -> ParProgram {
+    assert!(s >= 1);
+    ParProgram::from_fn(s, s, s, |q| q, |a, b| a.max(b), |w| w).expect("valid")
+}
+
+/// Sequential MIN over alphabet `{0..s}` — the aggregation at the heart of
+/// the Section 2.2 shortest-path rule (`1 + min` of neighbour labels).
+pub fn min_state_seq(s: usize) -> SeqProgram {
+    assert!(s >= 1);
+    SeqProgram::from_fn(s, s, s, s - 1, |w, q| w.min(q), |w| w).expect("valid")
+}
+
+/// Sequential saturating counter of inputs equal to `target`, capped at
+/// `cap`; outputs 1 iff at least `t` inputs equal `target`. Needs
+/// `1 <= t <= cap`.
+pub fn count_at_least_seq(s: usize, target: Id, t: u64) -> SeqProgram {
+    assert!(target < s && t >= 1);
+    let cap = t as usize;
+    SeqProgram::from_fn(
+        s,
+        cap + 1,
+        2,
+        0,
+        move |w, q| {
+            if q == target {
+                (w + 1).min(cap)
+            } else {
+                w
+            }
+        },
+        move |w| usize::from(w >= cap),
+    )
+    .expect("valid")
+}
+
+/// "All inputs equal": outputs 1 iff the multiset is `{q, q, ..., q}` for
+/// some single `q`. Working states: `s` "seen only q" states, plus a
+/// "mixed" sink and a "nothing yet" start.
+pub fn all_equal_seq(s: usize) -> SeqProgram {
+    assert!(s >= 1);
+    let start = s; // nothing seen yet
+    let mixed = s + 1; // conflicting inputs seen
+    SeqProgram::from_fn(
+        s,
+        s + 2,
+        2,
+        start,
+        move |w, q| {
+            if w == start {
+                q
+            } else if w == mixed || w != q {
+                mixed
+            } else {
+                w
+            }
+        },
+        move |w| usize::from(w < s),
+    )
+    .expect("valid")
+}
+
+/// The Section 4.1 two-colouring clause set, as seen from a BLANK node.
+/// States: 0 = BLANK, 1 = RED, 2 = BLUE, 3 = FAILED.
+pub fn two_coloring_blank_mt() -> ModThreshProgram {
+    ModThreshProgram::new(
+        4,
+        4,
+        vec![
+            (Prop::some(3), 3),
+            (Prop::some(1).and(Prop::some(2)), 3),
+            (Prop::some(1), 2),
+            (Prop::some(2), 1),
+        ],
+        0,
+    )
+    .expect("valid")
+}
+
+/// Mod-thresh parity of state-`target` multiplicity over alphabet `s`.
+pub fn parity_mt(s: usize, target: Id) -> ModThreshProgram {
+    assert!(target < s);
+    ModThreshProgram::new(s, 2, vec![(Prop::mod_count(target, 1, 2), 1)], 0).expect("valid")
+}
+
+/// Mod-thresh "exactly one input in `target`" over alphabet `s` — the
+/// shape used by the random-walk tournament (Algorithm 4.2, "exactly one
+/// neighbour in state tails").
+pub fn exactly_one_mt(s: usize, target: Id) -> ModThreshProgram {
+    assert!(target < s);
+    ModThreshProgram::new(s, 2, vec![(Prop::exactly_one(target), 1)], 0).expect("valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiset::Multiset;
+
+    #[test]
+    fn all_library_seq_programs_are_sm() {
+        assert!(or_seq().is_sm());
+        assert!(and_seq().is_sm());
+        assert!(parity_seq().is_sm());
+        assert!(count_ones_mod_seq(5).is_sm());
+        assert!(max_state_seq(4).is_sm());
+        assert!(min_state_seq(4).is_sm());
+        assert!(count_at_least_seq(3, 1, 3).is_sm());
+        assert!(all_equal_seq(3).is_sm());
+    }
+
+    #[test]
+    fn all_library_par_programs_are_sm() {
+        assert!(or_par().is_sm());
+        assert!(sum_mod_par(4).is_sm());
+        assert!(max_state_par(5).is_sm());
+    }
+
+    #[test]
+    fn and_semantics() {
+        let p = and_seq();
+        assert_eq!(p.eval_seq(&[1, 1, 1]), 1);
+        assert_eq!(p.eval_seq(&[1, 0, 1]), 0);
+    }
+
+    #[test]
+    fn min_semantics() {
+        let p = min_state_seq(5);
+        assert_eq!(p.eval_seq(&[4, 2, 3]), 2);
+        assert_eq!(p.eval_seq(&[4]), 4);
+    }
+
+    #[test]
+    fn count_at_least_semantics() {
+        let p = count_at_least_seq(3, 2, 3);
+        assert_eq!(p.eval_seq(&[2, 2]), 0);
+        assert_eq!(p.eval_seq(&[2, 0, 2, 1, 2]), 1);
+        assert_eq!(p.eval_seq(&[2, 2, 2, 2]), 1);
+    }
+
+    #[test]
+    fn all_equal_semantics() {
+        let p = all_equal_seq(3);
+        assert_eq!(p.eval_seq(&[1, 1, 1]), 1);
+        assert_eq!(p.eval_seq(&[2]), 1);
+        assert_eq!(p.eval_seq(&[1, 2]), 0);
+        assert_eq!(p.eval_seq(&[0, 0, 1]), 0);
+    }
+
+    #[test]
+    fn parity_mt_semantics() {
+        let p = parity_mt(3, 1);
+        assert_eq!(p.eval_multiset(&Multiset::from_seq(3, &[1, 1, 2])), 0);
+        assert_eq!(p.eval_multiset(&Multiset::from_seq(3, &[1, 0, 1, 1])), 1);
+    }
+
+    #[test]
+    fn exactly_one_mt_semantics() {
+        let p = exactly_one_mt(2, 1);
+        assert_eq!(p.eval_multiset(&Multiset::from_seq(2, &[1, 0])), 1);
+        assert_eq!(p.eval_multiset(&Multiset::from_seq(2, &[1, 1])), 0);
+        assert_eq!(p.eval_multiset(&Multiset::from_seq(2, &[0, 0])), 0);
+    }
+}

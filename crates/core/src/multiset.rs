@@ -1,0 +1,165 @@
+//! Finite multisets over the input alphabet `Q`.
+//!
+//! An SM function (Definition 3.1) is exactly a function of the
+//! *multiplicity vector* `(μ_0(q⃗), ..., μ_{s-1}(q⃗))`, so this is the
+//! canonical input representation throughout the crate.
+
+use crate::Id;
+
+/// A multiset over `Q = {0, .., s-1}`, stored as a multiplicity vector.
+///
+/// The paper's SM functions take inputs from `Q^+` (nonempty sequences);
+/// an empty `Multiset` is constructible (it is useful as an accumulator)
+/// but evaluators reject it.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Multiset {
+    counts: Vec<u64>,
+}
+
+impl Multiset {
+    /// The empty multiset over an alphabet of `s` states.
+    pub fn empty(s: usize) -> Self {
+        Self { counts: vec![0; s] }
+    }
+
+    /// Builds from an explicit multiplicity vector.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        Self { counts }
+    }
+
+    /// Builds from a sequence of elements; `s` is the alphabet size.
+    /// Panics if an element is out of range — inputs are states of a finite
+    /// automaton and an out-of-range one is a caller bug.
+    pub fn from_seq(s: usize, elems: &[Id]) -> Self {
+        let mut counts = vec![0u64; s];
+        for &e in elems {
+            assert!(e < s, "element {e} out of range for alphabet size {s}");
+            counts[e] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Alphabet size `s = |Q|`.
+    pub fn alphabet(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Multiplicity `μ_i`.
+    #[inline]
+    pub fn mu(&self, i: Id) -> u64 {
+        self.counts[i]
+    }
+
+    /// The raw multiplicity vector.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of elements `|q⃗|`.
+    pub fn len(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether the multiset is empty (not a valid SM input).
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Adds one occurrence of `e`.
+    pub fn push(&mut self, e: Id) {
+        self.counts[e] += 1;
+    }
+
+    /// Iterates the elements in canonical (sorted) order, expanding
+    /// multiplicities. Intended for small multisets (tests, conversions).
+    pub fn iter_elems(&self) -> impl Iterator<Item = Id> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &c)| std::iter::repeat_n(i, c as usize))
+    }
+
+    /// Enumerates every *nonempty* multiset over `s` states with total
+    /// multiplicity at most `max_total`. Used by exhaustive equivalence
+    /// checks; the count is `C(max_total + s, s) - 1`, so keep the
+    /// parameters small.
+    pub fn enumerate_up_to(s: usize, max_total: u64) -> Vec<Multiset> {
+        let mut out = Vec::new();
+        let mut current = vec![0u64; s];
+        fn rec(s: usize, i: usize, remaining: u64, current: &mut Vec<u64>, out: &mut Vec<Multiset>) {
+            if i == s {
+                out.push(Multiset::from_counts(current.clone()));
+                return;
+            }
+            for c in 0..=remaining {
+                current[i] = c;
+                rec(s, i + 1, remaining - c, current, out);
+            }
+            current[i] = 0;
+        }
+        rec(s, 0, max_total, &mut current, &mut out);
+        out.retain(|ms| !ms.is_empty());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seq_counts_correctly() {
+        let ms = Multiset::from_seq(3, &[0, 2, 2, 0, 0]);
+        assert_eq!(ms.counts(), &[3, 0, 2]);
+        assert_eq!(ms.len(), 5);
+        assert_eq!(ms.mu(2), 2);
+        assert!(!ms.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_seq_rejects_out_of_range() {
+        Multiset::from_seq(2, &[0, 5]);
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        let ms = Multiset::empty(4);
+        assert!(ms.is_empty());
+        assert_eq!(ms.len(), 0);
+    }
+
+    #[test]
+    fn push_accumulates() {
+        let mut ms = Multiset::empty(2);
+        ms.push(1);
+        ms.push(1);
+        ms.push(0);
+        assert_eq!(ms.counts(), &[1, 2]);
+    }
+
+    #[test]
+    fn iter_elems_canonical_order() {
+        let ms = Multiset::from_counts(vec![2, 0, 1]);
+        let elems: Vec<_> = ms.iter_elems().collect();
+        assert_eq!(elems, vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn enumerate_counts_match_stars_and_bars() {
+        // Nonempty multisets over 2 states with total <= 3:
+        // C(3+2,2) - 1 = 10 - 1 = 9.
+        let all = Multiset::enumerate_up_to(2, 3);
+        assert_eq!(all.len(), 9);
+        assert!(all.iter().all(|ms| !ms.is_empty() && ms.len() <= 3));
+        // All distinct.
+        let set: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn enumerate_single_state() {
+        let all = Multiset::enumerate_up_to(1, 5);
+        assert_eq!(all.len(), 5);
+    }
+}

@@ -1,0 +1,138 @@
+//! Semi-lattice SM functions (paper §5 discussion).
+//!
+//! "The class of semi-lattice (or infimum) functions essentially provide
+//! the automatic fault-tolerance we desire, but these functions are
+//! limited in their scope. One example of a semi-lattice function is the
+//! iterated OR of the Flajolet-Martin algorithm."
+//!
+//! A parallel program's combine `p` is a semi-lattice operation when it is
+//! idempotent, commutative and associative *on the obtainable values* —
+//! then iterated application over a network is order-, duplication- and
+//! history-insensitive, which is exactly why OR-diffusion shrugs off
+//! benign faults. This module decides the property and the related
+//! inflationary (progress-monotone) property.
+
+use crate::par::ParProgram;
+use crate::Id;
+
+/// Why a program failed the semi-lattice test.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LatticeViolation {
+    /// `p(a, a) != a` for an obtainable `a`.
+    NotIdempotent(Id),
+    /// `p(a, b) != p(b, a)` for obtainable `a, b`.
+    NotCommutative(Id, Id),
+    /// `p(p(a,b),c) != p(a,p(b,c))` for obtainable `a, b, c`.
+    NotAssociative(Id, Id, Id),
+}
+
+/// Decides whether the combine of `par` is a semi-lattice operation on
+/// its obtainable values (exact table equality — stronger than the
+/// behavioural-equivalence test in [`ParProgram::check_sm`], because the
+/// fault-tolerance argument needs the *state*, not just the output, to be
+/// history-insensitive).
+pub fn check_semilattice(par: &ParProgram) -> Result<(), LatticeViolation> {
+    let values = par.obtainable_values();
+    for &a in &values {
+        if par.combine(a, a) != a {
+            return Err(LatticeViolation::NotIdempotent(a));
+        }
+    }
+    for &a in &values {
+        for &b in &values {
+            if par.combine(a, b) != par.combine(b, a) {
+                return Err(LatticeViolation::NotCommutative(a, b));
+            }
+        }
+    }
+    for &a in &values {
+        for &b in &values {
+            let ab = par.combine(a, b);
+            for &c in &values {
+                if par.combine(ab, c) != par.combine(a, par.combine(b, c)) {
+                    return Err(LatticeViolation::NotAssociative(a, b, c));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Returns `true` iff [`check_semilattice`] succeeds.
+pub fn is_semilattice(par: &ParProgram) -> bool {
+    check_semilattice(par).is_ok()
+}
+
+/// The lattice order induced by a semi-lattice combine:
+/// `a <= b` iff `p(a, b) = b`. Returns the relation as a matrix over the
+/// obtainable values (callers should have verified the semi-lattice
+/// property first).
+pub fn lattice_order(par: &ParProgram) -> Vec<(Id, Id)> {
+    let values = par.obtainable_values();
+    let mut order = Vec::new();
+    for &a in &values {
+        for &b in &values {
+            if par.combine(a, b) == b {
+                order.push((a, b));
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use crate::ParProgram;
+
+    #[test]
+    fn or_max_min_are_semilattices() {
+        assert!(is_semilattice(&library::or_par()));
+        assert!(is_semilattice(&library::max_state_par(5)));
+        // Bitwise OR over 3-bit sketches (the FM core).
+        let fm = ParProgram::from_fn(8, 8, 8, |q| q, |a, b| a | b, |w| w).unwrap();
+        assert!(is_semilattice(&fm));
+    }
+
+    #[test]
+    fn sum_mod_is_not_a_semilattice() {
+        // Commutative and associative but NOT idempotent: 1 + 1 = 2.
+        let p = library::sum_mod_par(3);
+        assert_eq!(
+            check_semilattice(&p),
+            Err(LatticeViolation::NotIdempotent(1))
+        );
+    }
+
+    #[test]
+    fn keep_left_fails_commutativity() {
+        let p = ParProgram::from_fn(2, 2, 2, |q| q, |a, _| a, |w| w).unwrap();
+        // Idempotent (p(a,a) = a) but not commutative.
+        assert!(matches!(
+            check_semilattice(&p),
+            Err(LatticeViolation::NotCommutative(_, _))
+        ));
+    }
+
+    #[test]
+    fn order_of_or_is_boolean_lattice() {
+        let order = lattice_order(&library::or_par());
+        // 0 <= 0, 0 <= 1, 1 <= 1 (and not 1 <= 0).
+        assert!(order.contains(&(0, 0)));
+        assert!(order.contains(&(0, 1)));
+        assert!(order.contains(&(1, 1)));
+        assert!(!order.contains(&(1, 0)));
+    }
+
+    #[test]
+    fn semilattice_implies_duplication_insensitivity() {
+        // The automatic-fault-tolerance mechanism: re-delivering the same
+        // input (a node reading a neighbour twice across rounds) cannot
+        // change a semi-lattice fold — spot-check on MAX.
+        let p = library::max_state_par(4);
+        let with_dup = p.eval_seq(&[2, 3, 3, 3, 1, 2]);
+        let without = p.eval_seq(&[2, 3, 1]);
+        assert_eq!(with_dup, without);
+    }
+}

@@ -1,0 +1,540 @@
+//! Sequential SM programs (Definition 3.2).
+//!
+//! A sequential program `(W, w0, p, β)` folds its inputs one at a time:
+//! start in `w0`, apply `w := p(w, q_i)` per input, output `β(w)`. It
+//! defines an SM function exactly when the final output is independent of
+//! the input ordering — a semantic condition this module *decides* (see
+//! [`SeqProgram::check_sm`]).
+
+use crate::check::{coarsest_congruence, reachable};
+use crate::multiset::Multiset;
+use crate::{Id, SmError};
+
+/// A sequential program `(W, w0, p, β)` over input alphabet `Q`
+/// (Definition 3.2), with all components given as dense tables.
+///
+/// ```
+/// use fssga_core::SeqProgram;
+///
+/// // Parity of 1-inputs over Q = {0, 1}.
+/// let parity = SeqProgram::from_fn(2, 2, 2, 0, |w, q| w ^ q, |w| w).unwrap();
+/// assert!(parity.is_sm()); // order-invariance is *decided*, not assumed
+/// assert_eq!(parity.eval_seq(&[1, 0, 1, 1]), 1);
+///
+/// // "Last input" is not symmetric — and the checker says so.
+/// let last = SeqProgram::from_fn(2, 3, 2, 2, |_, q| q, |w| w.min(1)).unwrap();
+/// assert!(!last.is_sm());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeqProgram {
+    num_inputs: usize,
+    num_working: usize,
+    num_outputs: usize,
+    w0: u32,
+    /// `p[w * num_inputs + q]` = next working state.
+    p: Vec<u32>,
+    /// `beta[w]` = result id.
+    beta: Vec<u32>,
+}
+
+impl SeqProgram {
+    /// Builds a program from raw tables, validating all ranges.
+    pub fn new(
+        num_inputs: usize,
+        num_working: usize,
+        num_outputs: usize,
+        w0: Id,
+        p: Vec<u32>,
+        beta: Vec<u32>,
+    ) -> Result<Self, SmError> {
+        if num_inputs == 0 || num_working == 0 || num_outputs == 0 {
+            return Err(SmError::Malformed("empty alphabet not allowed".into()));
+        }
+        if w0 >= num_working {
+            return Err(SmError::Malformed(format!("w0 = {w0} out of range")));
+        }
+        if p.len() != num_working * num_inputs {
+            return Err(SmError::Malformed(format!(
+                "p table has {} entries, expected {}",
+                p.len(),
+                num_working * num_inputs
+            )));
+        }
+        if beta.len() != num_working {
+            return Err(SmError::Malformed("beta table has wrong length".into()));
+        }
+        if let Some(&bad) = p.iter().find(|&&w| w as usize >= num_working) {
+            return Err(SmError::Malformed(format!("p entry {bad} out of range")));
+        }
+        if let Some(&bad) = beta.iter().find(|&&r| r as usize >= num_outputs) {
+            return Err(SmError::Malformed(format!("beta entry {bad} out of range")));
+        }
+        Ok(Self { num_inputs, num_working, num_outputs, w0: w0 as u32, p, beta })
+    }
+
+    /// Convenience constructor from closures.
+    pub fn from_fn(
+        num_inputs: usize,
+        num_working: usize,
+        num_outputs: usize,
+        w0: Id,
+        mut p: impl FnMut(Id, Id) -> Id,
+        mut beta: impl FnMut(Id) -> Id,
+    ) -> Result<Self, SmError> {
+        let mut ptab = Vec::with_capacity(num_working * num_inputs);
+        for w in 0..num_working {
+            for q in 0..num_inputs {
+                ptab.push(p(w, q) as u32);
+            }
+        }
+        let btab = (0..num_working).map(|w| beta(w) as u32).collect();
+        Self::new(num_inputs, num_working, num_outputs, w0, ptab, btab)
+    }
+
+    /// `|Q|`.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// `|W|`.
+    pub fn num_working(&self) -> usize {
+        self.num_working
+    }
+
+    /// `|R|`.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// The starting working state `w0`.
+    pub fn w0(&self) -> Id {
+        self.w0 as usize
+    }
+
+    /// One processing step `p(w, q)`.
+    #[inline]
+    pub fn step(&self, w: Id, q: Id) -> Id {
+        debug_assert!(w < self.num_working && q < self.num_inputs);
+        self.p[w * self.num_inputs + q] as usize
+    }
+
+    /// The output map `β(w)`.
+    #[inline]
+    pub fn output(&self, w: Id) -> Id {
+        self.beta[w] as usize
+    }
+
+    /// Evaluates the program on an explicit input sequence (Equation (2)).
+    /// Panics on the empty sequence: SM functions have domain `Q^+`.
+    pub fn eval_seq(&self, inputs: &[Id]) -> Id {
+        assert!(!inputs.is_empty(), "SM functions take at least one input");
+        let mut w = self.w0 as usize;
+        for &q in inputs {
+            w = self.step(w, q);
+        }
+        self.output(w)
+    }
+
+    /// Applies `g_q : w -> p(w, q)` exactly `count` times, in
+    /// `O(min(count, |W|))` using rho-shaped orbit reduction. This is the
+    /// computational content of the "eventually periodic" observation in
+    /// the proof of Lemma 3.9.
+    pub fn apply_iterated(&self, w: Id, q: Id, count: u64) -> Id {
+        let mut w = w;
+        if count <= self.num_working as u64 {
+            for _ in 0..count {
+                w = self.step(w, q);
+            }
+            return w;
+        }
+        // Walk until a repeat; record the path to find tail + cycle.
+        let mut seen: Vec<i64> = vec![-1; self.num_working];
+        let mut path: Vec<Id> = Vec::new();
+        let mut cur = w;
+        loop {
+            if seen[cur] >= 0 {
+                let tail = seen[cur] as u64;
+                let cycle = path.len() as u64 - tail;
+                let idx = if count < tail {
+                    count
+                } else {
+                    tail + (count - tail) % cycle
+                };
+                return path[idx as usize];
+            }
+            seen[cur] = path.len() as i64;
+            path.push(cur);
+            cur = self.step(cur, q);
+        }
+    }
+
+    /// Evaluates on a multiset, processing states in canonical (ascending)
+    /// order. For an SM program this equals the value on any ordering; for
+    /// a non-SM program it is simply the canonical-order fold.
+    pub fn eval_multiset(&self, ms: &Multiset) -> Id {
+        assert!(!ms.is_empty(), "SM functions take at least one input");
+        assert_eq!(ms.alphabet(), self.num_inputs, "alphabet mismatch");
+        let mut w = self.w0 as usize;
+        for q in 0..self.num_inputs {
+            let c = ms.mu(q);
+            if c > 0 {
+                w = self.apply_iterated(w, q, c);
+            }
+        }
+        self.output(w)
+    }
+
+    /// Per-input transition tables `g_q`, as columns of `p`.
+    fn input_tables(&self) -> Vec<Vec<u32>> {
+        (0..self.num_inputs)
+            .map(|q| {
+                (0..self.num_working)
+                    .map(|w| self.p[w * self.num_inputs + q])
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Working states reachable from `w0` by processing zero or more inputs.
+    pub fn reachable_states(&self) -> Vec<bool> {
+        let tables = self.input_tables();
+        let refs: Vec<&[u32]> = tables.iter().map(|t| t.as_slice()).collect();
+        reachable(self.num_working, &[self.w0 as usize], &refs)
+    }
+
+    /// Decides whether this program satisfies Definition 3.2 (the output is
+    /// independent of input order), i.e. whether it defines a sequential SM
+    /// function.
+    ///
+    /// Sound and complete: compute behavioural equivalence `≈` of working
+    /// states (coarsest congruence refining β and respecting every `g_q`),
+    /// then require `p(p(w,a),b) ≈ p(p(w,b),a)` for all reachable `w` and
+    /// all input pairs. Adjacent transpositions generate all permutations,
+    /// and `≈`-equivalent states yield equal outputs under every suffix, so
+    /// the condition holds iff Equation (2) is permutation-invariant.
+    pub fn check_sm(&self) -> Result<(), SmError> {
+        let tables = self.input_tables();
+        let refs: Vec<&[u32]> = tables.iter().map(|t| t.as_slice()).collect();
+        let classes = coarsest_congruence(self.num_working, &self.beta, &refs);
+        let reach = reachable(self.num_working, &[self.w0 as usize], &refs);
+        for (w, _) in reach.iter().enumerate().filter(|&(_, &r)| r) {
+            for a in 0..self.num_inputs {
+                let wa = self.step(w, a);
+                for b in (a + 1)..self.num_inputs {
+                    let wb = self.step(w, b);
+                    let wab = self.step(wa, b);
+                    let wba = self.step(wb, a);
+                    if classes[wab] != classes[wba] {
+                        return Err(SmError::NotSymmetric(format!(
+                            "at reachable working state {w}, inputs ({a},{b}) and ({b},{a}) \
+                             lead to inequivalent states {wab} vs {wba}"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns `true` iff [`Self::check_sm`] succeeds.
+    pub fn is_sm(&self) -> bool {
+        self.check_sm().is_ok()
+    }
+
+    /// Tail length `t_j` and period `m_j` of the orbit of `w0` under
+    /// `g_j` (proof of Lemma 3.9): for all `z1, z2 >= t_j` with
+    /// `z1 ≡ z2 (mod m_j)`, `g_j^(z1)(w0) = g_j^(z2)(w0)`.
+    pub fn orbit_tail_period(&self, j: Id) -> (u64, u64) {
+        let mut seen: Vec<i64> = vec![-1; self.num_working];
+        let mut cur = self.w0 as usize;
+        let mut step = 0i64;
+        loop {
+            if seen[cur] >= 0 {
+                let tail = seen[cur] as u64;
+                let period = step as u64 - tail;
+                return (tail, period);
+            }
+            seen[cur] = step;
+            cur = self.step(cur, j);
+            step += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    /// OR over {0,1}: output 1 iff some input is 1.
+    fn or_program() -> SeqProgram {
+        SeqProgram::from_fn(2, 2, 2, 0, |w, q| w | q, |w| w).unwrap()
+    }
+
+    /// Parity over {0,1}: output = sum of inputs mod 2.
+    fn parity_program() -> SeqProgram {
+        SeqProgram::from_fn(2, 2, 2, 0, |w, q| w ^ q, |w| w).unwrap()
+    }
+
+    /// "Last input" — the canonical NON-symmetric program.
+    fn last_input_program() -> SeqProgram {
+        SeqProgram::from_fn(2, 3, 2, 2, |_, q| q, |w| if w == 2 { 0 } else { w }).unwrap()
+    }
+
+    #[test]
+    fn or_evaluates() {
+        let p = or_program();
+        assert_eq!(p.eval_seq(&[0, 0, 0]), 0);
+        assert_eq!(p.eval_seq(&[0, 1, 0]), 1);
+        assert_eq!(p.eval_seq(&[1]), 1);
+    }
+
+    #[test]
+    fn or_is_sm() {
+        assert!(or_program().is_sm());
+    }
+
+    #[test]
+    fn parity_is_sm() {
+        assert!(parity_program().is_sm());
+    }
+
+    #[test]
+    fn last_input_is_not_sm() {
+        let p = last_input_program();
+        assert_eq!(p.eval_seq(&[0, 1]), 1);
+        assert_eq!(p.eval_seq(&[1, 0]), 0);
+        let err = p.check_sm().unwrap_err();
+        assert!(matches!(err, SmError::NotSymmetric(_)));
+    }
+
+    #[test]
+    fn non_sm_on_unreachable_part_is_still_sm() {
+        // p is order-sensitive only from working state 3, which is
+        // unreachable from w0 = 0; the program is still SM.
+        let p = SeqProgram::from_fn(
+            2,
+            4,
+            2,
+            0,
+            |w, q| match (w, q) {
+                (3, q) => q, // order-sensitive, but unreachable
+                (w, q) => (w | q) & 1,
+            },
+            |w| w & 1,
+        )
+        .unwrap();
+        assert!(p.is_sm());
+    }
+
+    #[test]
+    fn eval_multiset_matches_eval_seq_for_sm() {
+        let p = parity_program();
+        let ms = Multiset::from_seq(2, &[1, 0, 1, 1]);
+        assert_eq!(p.eval_multiset(&ms), p.eval_seq(&[1, 0, 1, 1]));
+        assert_eq!(p.eval_multiset(&ms), 1);
+    }
+
+    #[test]
+    fn apply_iterated_matches_naive() {
+        let p = library::count_ones_mod_seq(3);
+        for start in 0..p.num_working() {
+            for count in 0..20u64 {
+                let mut w = start;
+                for _ in 0..count {
+                    w = p.step(w, 1);
+                }
+                assert_eq!(p.apply_iterated(start, 1, count), w);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_iterated_huge_count() {
+        // Parity: even huge counts reduce by the period.
+        let p = parity_program();
+        assert_eq!(p.apply_iterated(0, 1, 1_000_000_000_001), 1);
+        assert_eq!(p.apply_iterated(0, 1, 1_000_000_000_000), 0);
+    }
+
+    #[test]
+    fn orbit_tail_period_examples() {
+        // OR on input 1: w0=0 -> 1 -> 1 -> ... tail 1, period 1.
+        assert_eq!(or_program().orbit_tail_period(1), (1, 1));
+        // OR on input 0: stays at 0 forever: tail 0, period 1.
+        assert_eq!(or_program().orbit_tail_period(0), (0, 1));
+        // Parity on input 1: 0 -> 1 -> 0: tail 0, period 2.
+        assert_eq!(parity_program().orbit_tail_period(1), (0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn empty_input_rejected() {
+        or_program().eval_seq(&[]);
+    }
+
+    #[test]
+    fn malformed_tables_rejected() {
+        assert!(matches!(
+            SeqProgram::new(2, 2, 2, 5, vec![0, 0, 0, 0], vec![0, 0]),
+            Err(SmError::Malformed(_))
+        ));
+        assert!(matches!(
+            SeqProgram::new(2, 2, 2, 0, vec![0, 0, 0], vec![0, 0]),
+            Err(SmError::Malformed(_))
+        ));
+        assert!(matches!(
+            SeqProgram::new(2, 2, 2, 0, vec![0, 0, 0, 9], vec![0, 0]),
+            Err(SmError::Malformed(_))
+        ));
+        assert!(matches!(
+            SeqProgram::new(2, 2, 2, 0, vec![0, 0, 0, 0], vec![0, 7]),
+            Err(SmError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn exhaustive_permutation_invariance_spotcheck() {
+        // Directly verify Definition 3.2 on all sequences of length <= 4
+        // for a program check_sm accepts.
+        let p = or_program();
+        assert!(p.is_sm());
+        for len in 1..=4usize {
+            let total = 1usize << len;
+            for bits in 0..total {
+                let seq: Vec<Id> = (0..len).map(|i| (bits >> i) & 1).collect();
+                let mut sorted = seq.clone();
+                sorted.sort_unstable();
+                assert_eq!(p.eval_seq(&seq), p.eval_seq(&sorted));
+            }
+        }
+    }
+}
+
+impl SeqProgram {
+    /// Returns the Moore-minimal equivalent program: unreachable working
+    /// states are dropped and behaviourally-equivalent states merged.
+    /// The result computes the same function with the fewest working
+    /// states any sequential program with this transition structure can
+    /// have — the natural inverse to the Theorem 3.7 conversions, whose
+    /// constructions can blow the working set up.
+    pub fn minimized(&self) -> SeqProgram {
+        let tables = self.input_tables();
+        let refs: Vec<&[u32]> = tables.iter().map(|t| t.as_slice()).collect();
+        let reach = reachable(self.num_working, &[self.w0 as usize], &refs);
+        // Quotient by behavioural equivalence, computed on the reachable
+        // part only (unreachable states may not respect the congruence
+        // and must not prevent merging).
+        let reach_ids: Vec<usize> = (0..self.num_working).filter(|&w| reach[w]).collect();
+        let old_to_dense: Vec<Option<usize>> = {
+            let mut m = vec![None; self.num_working];
+            for (d, &w) in reach_ids.iter().enumerate() {
+                m[w] = Some(d);
+            }
+            m
+        };
+        // Dense transition tables over reachable states (closed under p).
+        let dense_tabs: Vec<Vec<u32>> = (0..self.num_inputs)
+            .map(|q| {
+                reach_ids
+                    .iter()
+                    .map(|&w| old_to_dense[self.step(w, q)].expect("closed") as u32)
+                    .collect()
+            })
+            .collect();
+        let dense_beta: Vec<u32> = reach_ids.iter().map(|&w| self.beta[w]).collect();
+        let dense_refs: Vec<&[u32]> = dense_tabs.iter().map(|t| t.as_slice()).collect();
+        let classes = coarsest_congruence(reach_ids.len(), &dense_beta, &dense_refs);
+        let num_classes = classes.iter().copied().max().map(|c| c as usize + 1).unwrap_or(0);
+        // Representative per class.
+        let mut rep = vec![usize::MAX; num_classes];
+        for (d, &c) in classes.iter().enumerate() {
+            if rep[c as usize] == usize::MAX {
+                rep[c as usize] = d;
+            }
+        }
+        let mut p = Vec::with_capacity(num_classes * self.num_inputs);
+        let mut beta = Vec::with_capacity(num_classes);
+        for &r in &rep {
+            for q in 0..self.num_inputs {
+                p.push(classes[dense_tabs[q][r] as usize]);
+            }
+            beta.push(dense_beta[r]);
+        }
+        let w0 = classes[old_to_dense[self.w0 as usize].expect("start reachable")] as usize;
+        SeqProgram::new(self.num_inputs, num_classes, self.num_outputs, w0, p, beta)
+            .expect("quotient is well-formed")
+    }
+}
+
+#[cfg(test)]
+mod minimize_tests {
+    use super::*;
+    use crate::convert::{mt_to_par, par_to_seq, seq_to_mt, DEFAULT_LIMIT};
+    use crate::equiv::decide_equiv_seq;
+    use crate::library;
+
+    #[test]
+    fn already_minimal_programs_stay_put() {
+        for p in [library::or_seq(), library::parity_seq(), library::count_ones_mod_seq(5)] {
+            let m = p.minimized();
+            assert_eq!(m.num_working(), p.num_working());
+            assert_eq!(decide_equiv_seq(&p, &m, 1 << 20).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn conversion_blowup_shrinks_back() {
+        // seq -> mt -> par -> seq inflates the working set; minimization
+        // recovers (at most) the original size.
+        for orig in [
+            library::or_seq(),
+            library::parity_seq(),
+            library::max_state_seq(3),
+            library::count_at_least_seq(2, 1, 3),
+        ] {
+            let mt = seq_to_mt(&orig, DEFAULT_LIMIT).unwrap();
+            let par = mt_to_par(&mt, DEFAULT_LIMIT).unwrap();
+            let big = par_to_seq(&par);
+            assert!(big.num_working() > orig.num_working());
+            let small = big.minimized();
+            assert!(
+                small.num_working() <= orig.num_working(),
+                "minimized {} > original {}",
+                small.num_working(),
+                orig.num_working()
+            );
+            assert_eq!(decide_equiv_seq(&orig, &small, 1 << 22).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn unreachable_states_are_dropped() {
+        // 5 working states, only 2 reachable (OR with junk states).
+        let p = SeqProgram::from_fn(2, 5, 2, 0, |w, q| if w < 2 { w | q } else { 4 }, |w| {
+            usize::from(w == 1)
+        })
+        .unwrap();
+        let m = p.minimized();
+        assert_eq!(m.num_working(), 2);
+        assert_eq!(decide_equiv_seq(&p, &m, 1 << 20).unwrap(), None);
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        let p = par_to_seq(
+            &mt_to_par(&seq_to_mt(&library::all_equal_seq(3), DEFAULT_LIMIT).unwrap(), DEFAULT_LIMIT)
+                .unwrap(),
+        );
+        let once = p.minimized();
+        let twice = once.minimized();
+        assert_eq!(once.num_working(), twice.num_working());
+    }
+
+    #[test]
+    fn minimized_program_preserves_sm_property() {
+        let p = library::max_state_seq(4);
+        let m = p.minimized();
+        assert!(m.is_sm());
+    }
+}

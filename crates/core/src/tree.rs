@@ -1,0 +1,405 @@
+//! Rooted binary combination trees (Definition 3.3, Figure 1).
+//!
+//! A parallel SM program reduces its `k` inputs pairwise over *some* rooted
+//! binary tree with `k` leaves; Definition 3.4 requires the result to be
+//! independent of which tree (and of the leaf ordering). This module
+//! provides the tree type, the shapes used in testing (left comb, right
+//! comb, balanced, random), exhaustive enumeration of all shapes (Catalan
+//! many — use only for small `k`), and the ASCII rendering that reproduces
+//! Figure 1.
+
+use crate::Id;
+
+/// A rooted binary tree whose leaves, read left to right, are implicitly
+/// labelled `t_1, ..., t_k` (0-indexed here).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CombTree {
+    /// A leaf; payload is its left-to-right index.
+    Leaf(usize),
+    /// An internal node with left and right subtrees (`T.ℓ`, `T.r`).
+    Node(Box<CombTree>, Box<CombTree>),
+}
+
+impl CombTree {
+    /// Number of leaves.
+    pub fn leaves(&self) -> usize {
+        match self {
+            CombTree::Leaf(_) => 1,
+            CombTree::Node(l, r) => l.leaves() + r.leaves(),
+        }
+    }
+
+    /// Height (a single leaf has height 0).
+    pub fn height(&self) -> usize {
+        match self {
+            CombTree::Leaf(_) => 0,
+            CombTree::Node(l, r) => 1 + l.height().max(r.height()),
+        }
+    }
+
+    /// The left comb `((((t1 t2) t3) t4) ...)` — the shape that makes a
+    /// parallel reduction degenerate to a sequential fold.
+    pub fn left_comb(k: usize) -> Self {
+        assert!(k >= 1);
+        let mut t = CombTree::Leaf(0);
+        for i in 1..k {
+            t = CombTree::Node(Box::new(t), Box::new(CombTree::Leaf(i)));
+        }
+        t
+    }
+
+    /// The right comb `(... (t_{k-2} (t_{k-1} t_k)))`.
+    pub fn right_comb(k: usize) -> Self {
+        assert!(k >= 1);
+        let mut t = CombTree::Leaf(k - 1);
+        for i in (0..k - 1).rev() {
+            t = CombTree::Node(Box::new(CombTree::Leaf(i)), Box::new(t));
+        }
+        t
+    }
+
+    /// A balanced tree: splits the leaf range in half recursively. This is
+    /// the O(log k)-depth shape that motivates the *parallel* reading of
+    /// Definition 3.4.
+    pub fn balanced(k: usize) -> Self {
+        assert!(k >= 1);
+        fn build(lo: usize, hi: usize) -> CombTree {
+            if hi - lo == 1 {
+                CombTree::Leaf(lo)
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                CombTree::Node(Box::new(build(lo, mid)), Box::new(build(mid, hi)))
+            }
+        }
+        build(0, k)
+    }
+
+    /// A uniformly-shaped random tree over `k` leaves, built by random
+    /// splits. `rand` must return a value in `[0, bound)`.
+    pub fn random(k: usize, mut rand: impl FnMut(usize) -> usize) -> Self {
+        assert!(k >= 1);
+        fn build(lo: usize, hi: usize, rand: &mut impl FnMut(usize) -> usize) -> CombTree {
+            if hi - lo == 1 {
+                CombTree::Leaf(lo)
+            } else {
+                let split = lo + 1 + rand(hi - lo - 1);
+                CombTree::Node(
+                    Box::new(build(lo, split, rand)),
+                    Box::new(build(split, hi, rand)),
+                )
+            }
+        }
+        build(0, k, &mut rand)
+    }
+
+    /// Every rooted binary tree shape with `k` leaves (Catalan(k-1) many):
+    /// 1, 1, 2, 5, 14, 42, 132, 429, ... Use only for small `k`.
+    pub fn enumerate_all(k: usize) -> Vec<CombTree> {
+        assert!((1..=12).contains(&k), "Catalan growth: refuse k > 12");
+        fn build(lo: usize, hi: usize) -> Vec<CombTree> {
+            if hi - lo == 1 {
+                return vec![CombTree::Leaf(lo)];
+            }
+            let mut out = Vec::new();
+            for split in (lo + 1)..hi {
+                for l in build(lo, split) {
+                    for r in build(split, hi) {
+                        out.push(CombTree::Node(Box::new(l.clone()), Box::new(r)));
+                    }
+                }
+            }
+            out
+        }
+        build(0, k)
+    }
+
+    /// Leaf indices in left-to-right order (should be `0..k`).
+    pub fn leaf_order(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<usize>) {
+        match self {
+            CombTree::Leaf(i) => out.push(*i),
+            CombTree::Node(l, r) => {
+                l.collect_leaves(out);
+                r.collect_leaves(out);
+            }
+        }
+    }
+
+    /// The tree-combination `TC^{(p,T)}` of Definition 3.3: recursively
+    /// combine the leaf values `w` with `p`.
+    pub fn combine<W: Copy>(&self, w: &[W], p: &mut impl FnMut(W, W) -> W) -> W {
+        match self {
+            CombTree::Leaf(i) => w[*i],
+            CombTree::Node(l, r) => {
+                let a = l.combine(w, p);
+                let b = r.combine(w, p);
+                p(a, b)
+            }
+        }
+    }
+
+    /// ASCII rendering in the style of Figure 1: each internal node shows
+    /// the combined value, leaves show `labels[i]`. Returns a multi-line
+    /// string (root at top).
+    pub fn render(&self, labels: &[String]) -> String {
+        fn node_label(t: &CombTree, labels: &[String]) -> String {
+            match t {
+                CombTree::Leaf(i) => labels.get(*i).cloned().unwrap_or_else(|| format!("t{i}")),
+                CombTree::Node(_, _) => "p".to_string(),
+            }
+        }
+        let mut lines = Vec::new();
+        fn rec(
+            t: &CombTree,
+            prefix: &str,
+            is_last: bool,
+            is_root: bool,
+            labels: &[String],
+            lines: &mut Vec<String>,
+        ) {
+            let connector = if is_root {
+                ""
+            } else if is_last {
+                "└── "
+            } else {
+                "├── "
+            };
+            lines.push(format!("{prefix}{connector}{}", node_label(t, labels)));
+            if let CombTree::Node(l, r) = t {
+                let child_prefix = if is_root {
+                    String::new()
+                } else if is_last {
+                    format!("{prefix}    ")
+                } else {
+                    format!("{prefix}│   ")
+                };
+                rec(l, &child_prefix, false, false, labels, lines);
+                rec(r, &child_prefix, true, false, labels, lines);
+            }
+        }
+        rec(self, "", true, true, labels, &mut lines);
+        lines.join("\n")
+    }
+
+    /// Renders with an evaluated value at every node (Figure 1 shows the
+    /// intermediate combined data). `alpha` gives each leaf's value;
+    /// `p` combines; `show` formats a value.
+    pub fn render_evaluated<W: Copy>(
+        &self,
+        alpha: &[W],
+        p: &mut impl FnMut(W, W) -> W,
+        show: &mut impl FnMut(W) -> String,
+    ) -> String {
+        fn value<W: Copy>(t: &CombTree, alpha: &[W], p: &mut impl FnMut(W, W) -> W) -> W {
+            t.combine(alpha, p)
+        }
+        let mut lines = Vec::new();
+        #[allow(clippy::too_many_arguments)]
+        fn rec<W: Copy>(
+            t: &CombTree,
+            prefix: &str,
+            is_last: bool,
+            is_root: bool,
+            alpha: &[W],
+            p: &mut impl FnMut(W, W) -> W,
+            show: &mut impl FnMut(W) -> String,
+            lines: &mut Vec<String>,
+        ) {
+            let connector = if is_root {
+                ""
+            } else if is_last {
+                "└── "
+            } else {
+                "├── "
+            };
+            let v = value(t, alpha, p);
+            let tag = match t {
+                CombTree::Leaf(i) => format!("leaf t{} = {}", i + 1, show(v)),
+                CombTree::Node(_, _) => format!("p -> {}", show(v)),
+            };
+            lines.push(format!("{prefix}{connector}{tag}"));
+            if let CombTree::Node(l, r) = t {
+                let child_prefix = if is_root {
+                    String::new()
+                } else if is_last {
+                    format!("{prefix}    ")
+                } else {
+                    format!("{prefix}│   ")
+                };
+                rec(l, &child_prefix, false, false, alpha, p, show, lines);
+                rec(r, &child_prefix, true, false, alpha, p, show, lines);
+            }
+        }
+        rec(self, "", true, true, alpha, p, show, &mut lines);
+        lines.join("\n")
+    }
+
+    /// Applies a permutation to the leaf labels: leaf `i` becomes leaf
+    /// `perm[i]`. Used when testing π-invariance (Definition 3.4).
+    pub fn permute_leaves(&self, perm: &[Id]) -> CombTree {
+        match self {
+            CombTree::Leaf(i) => CombTree::Leaf(perm[*i]),
+            CombTree::Node(l, r) => CombTree::Node(
+                Box::new(l.permute_leaves(perm)),
+                Box::new(r.permute_leaves(perm)),
+            ),
+        }
+    }
+}
+
+/// All permutations of `0..k` (k! many; use for small k).
+pub fn permutations(k: usize) -> Vec<Vec<usize>> {
+    assert!(k <= 8, "factorial growth: refuse k > 8");
+    let mut out = Vec::new();
+    let mut cur: Vec<usize> = (0..k).collect();
+    fn heap(n: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if n <= 1 {
+            out.push(cur.clone());
+            return;
+        }
+        for i in 0..n {
+            heap(n - 1, cur, out);
+            if n.is_multiple_of(2) {
+                cur.swap(i, n - 1);
+            } else {
+                cur.swap(0, n - 1);
+            }
+        }
+    }
+    heap(k, &mut cur, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_counts() {
+        assert_eq!(CombTree::left_comb(5).leaves(), 5);
+        assert_eq!(CombTree::right_comb(5).leaves(), 5);
+        assert_eq!(CombTree::balanced(5).leaves(), 5);
+        assert_eq!(CombTree::Leaf(0).leaves(), 1);
+    }
+
+    #[test]
+    fn heights() {
+        assert_eq!(CombTree::left_comb(8).height(), 7);
+        assert_eq!(CombTree::balanced(8).height(), 3);
+        assert_eq!(CombTree::balanced(1).height(), 0);
+    }
+
+    #[test]
+    fn leaf_order_is_identity() {
+        for k in 1..=6 {
+            assert_eq!(
+                CombTree::left_comb(k).leaf_order(),
+                (0..k).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                CombTree::right_comb(k).leaf_order(),
+                (0..k).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                CombTree::balanced(k).leaf_order(),
+                (0..k).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn enumerate_matches_catalan() {
+        // Trees with k leaves = Catalan(k - 1).
+        let catalan = [1usize, 1, 2, 5, 14, 42];
+        for k in 1..=catalan.len() {
+            assert_eq!(CombTree::enumerate_all(k).len(), catalan[k - 1], "k = {k}");
+        }
+    }
+
+    #[test]
+    fn enumerated_trees_are_distinct_and_ordered() {
+        let all = CombTree::enumerate_all(4);
+        for t in &all {
+            assert_eq!(t.leaf_order(), vec![0, 1, 2, 3]);
+        }
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                assert_ne!(all[i], all[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn combine_sum_is_tree_independent() {
+        let vals = [1i64, 2, 3, 4, 5];
+        let mut add = |a: i64, b: i64| a + b;
+        for t in CombTree::enumerate_all(5) {
+            assert_eq!(t.combine(&vals, &mut add), 15);
+        }
+    }
+
+    #[test]
+    fn combine_subtraction_is_tree_dependent() {
+        let vals = [10i64, 3, 2];
+        let mut sub = |a: i64, b: i64| a - b;
+        let left = CombTree::left_comb(3).combine(&vals, &mut sub); // (10-3)-2
+        let right = CombTree::right_comb(3).combine(&vals, &mut sub); // 10-(3-2)
+        assert_eq!(left, 5);
+        assert_eq!(right, 9);
+    }
+
+    #[test]
+    fn random_trees_have_right_leaves() {
+        let mut x = 12345usize;
+        let mut rand = move |b: usize| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) % b
+        };
+        for k in 1..=20 {
+            let t = CombTree::random(k, &mut rand);
+            assert_eq!(t.leaves(), k);
+            assert_eq!(t.leaf_order(), (0..k).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn permute_leaves_relabels() {
+        let t = CombTree::left_comb(3).permute_leaves(&[2, 0, 1]);
+        assert_eq!(t.leaf_order(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn permutations_count() {
+        assert_eq!(permutations(1).len(), 1);
+        assert_eq!(permutations(3).len(), 6);
+        assert_eq!(permutations(5).len(), 120);
+        let p4 = permutations(4);
+        let set: std::collections::HashSet<_> = p4.iter().cloned().collect();
+        assert_eq!(set.len(), 24);
+    }
+
+    #[test]
+    fn render_contains_all_leaves() {
+        let t = CombTree::balanced(4);
+        let labels: Vec<String> = (0..4).map(|i| format!("q{i}")).collect();
+        let s = t.render(&labels);
+        for l in &labels {
+            assert!(s.contains(l.as_str()), "missing {l} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn render_evaluated_shows_root_value() {
+        let t = CombTree::balanced(4);
+        let alpha = [1u32, 2, 3, 4];
+        let mut p = |a: u32, b: u32| a + b;
+        let mut show = |v: u32| v.to_string();
+        let s = t.render_evaluated(&alpha, &mut p, &mut show);
+        assert!(s.lines().next().unwrap().contains("10"), "{s}");
+    }
+}

@@ -1,0 +1,280 @@
+//! Compiling a typed [`Protocol`] into a formal [`ProbFssga`].
+//!
+//! Because a protocol can only read its neighbours through
+//! [`crate::NeighborView`], its transition function for a fixed own-state
+//! and coin *is* a function of `(min(μ_j, T_j), μ_j mod M_j)_j` for the
+//! largest thresholds `T_j` and moduli lcms `M_j` it ever queries. This
+//! module discovers those bounds with the query recorder and materializes
+//! the function as a [`ModThreshProgram`] — one clause per reachable
+//! per-state count-class combination, exactly the shape of Lemma 3.9's
+//! construction.
+//!
+//! The resulting tables are the *witness* that our algorithm
+//! implementations really are FSSGA automata (S0–S2): the `fssga-protocols`
+//! test suites compile each protocol and step the compiled tables and the
+//! native code side by side.
+
+use std::cell::RefCell;
+
+use fssga_core::modthresh::{ModThreshProgram, Prop};
+use fssga_core::{FsmProgram, ProbFssga, SmError};
+
+use crate::protocol::{Protocol, StateSpace};
+use crate::view::{NeighborView, QueryRecorder};
+
+/// Compiles `protocol` to a probabilistic FSSGA. `clause_limit` bounds the
+/// number of clauses per (state, coin) program.
+///
+/// The query bounds are found by fixpoint iteration: evaluate the
+/// transition on one representative per count-class combination while
+/// recording queries; if the recorder reports larger thresholds or moduli
+/// than assumed, re-run with the enlarged bounds. Protocols whose query
+/// sizes depend on the input converge in a few iterations; a protocol
+/// that queries unboundedly (impossible through the view API with
+/// constant arguments, but conceivable with computed ones) hits
+/// `clause_limit` and errors out.
+pub fn compile_protocol<P: Protocol>(
+    protocol: &P,
+    clause_limit: u128,
+) -> Result<ProbFssga, SmError> {
+    let s = P::State::COUNT;
+    let r = P::RANDOMNESS.max(1) as usize;
+    let mut programs: Vec<FsmProgram> = Vec::with_capacity(s * r);
+    // Bounds are discovered globally (max over all own-states and coins):
+    // the automaton family shares one alphabet, and a single bound vector
+    // keeps the clause structure uniform.
+    let mut thresholds = vec![1u64; s];
+    let mut moduli = vec![1u64; s];
+    'grow: loop {
+        programs.clear();
+        let recorder = RefCell::new(QueryRecorder::new(s));
+        for own in 0..s {
+            for coin in 0..r {
+                let prog = build_program::<P>(
+                    protocol,
+                    own,
+                    coin as u32,
+                    &thresholds,
+                    &moduli,
+                    &recorder,
+                    clause_limit,
+                )?;
+                programs.push(prog);
+            }
+        }
+        let rec = recorder.borrow();
+        let mut grew = false;
+        for j in 0..s {
+            if rec.thresholds[j] > thresholds[j] {
+                thresholds[j] = rec.thresholds[j];
+                grew = true;
+            }
+            if !rec.moduli[j].is_multiple_of(moduli[j]) || rec.moduli[j] > moduli[j] {
+                moduli[j] = fssga_core::modthresh::lcm(moduli[j], rec.moduli[j]);
+                grew = true;
+            }
+        }
+        if !grew {
+            break 'grow;
+        }
+    }
+    ProbFssga::new(s, r, programs)
+}
+
+/// Builds the mod-thresh program for one (own state, coin) pair under the
+/// assumed bounds, recording any queries that exceed them.
+fn build_program<P: Protocol>(
+    protocol: &P,
+    own: usize,
+    coin: u32,
+    thresholds: &[u64],
+    moduli: &[u64],
+    recorder: &RefCell<QueryRecorder>,
+    clause_limit: u128,
+) -> Result<FsmProgram, SmError> {
+    let s = P::State::COUNT;
+    // Count classes per state j: singletons {0..T_j-1} plus residues
+    // {>= T_j, ≡ i (mod M_j)} — tail T_j, period M_j.
+    let class_counts: Vec<u64> = (0..s).map(|j| thresholds[j] + moduli[j]).collect();
+    let total: u128 = class_counts.iter().map(|&c| c as u128).product();
+    if total > clause_limit {
+        return Err(SmError::TooLarge { needed: total, limit: clause_limit });
+    }
+    let mut clauses: Vec<(Prop, usize)> = Vec::with_capacity(total as usize);
+    let mut combo = vec![0u64; s];
+    loop {
+        let mut counts = vec![0u32; s];
+        let mut guard = Prop::True;
+        for j in 0..s {
+            let (t_j, m_j) = (thresholds[j], moduli[j]);
+            let c = combo[j];
+            if c < t_j {
+                counts[j] = c as u32;
+                let mut p = Prop::below(j, c + 1);
+                if c > 0 {
+                    p = p.and(Prop::below(j, c).not());
+                }
+                guard = guard.and(p);
+            } else {
+                let i = c - t_j;
+                let z = t_j + (i + m_j - (t_j % m_j)) % m_j;
+                counts[j] = z as u32;
+                let mut p = Prop::mod_count(j, i % m_j, m_j);
+                if t_j > 0 {
+                    p = Prop::below(j, t_j).not().and(p);
+                }
+                guard = guard.and(p);
+            }
+        }
+        // Bump an all-zero representative into Q^+ via a periodic class.
+        if counts.iter().all(|&c| c == 0) {
+            if let Some(j) = (0..s).find(|&j| combo[j] >= thresholds[j]) {
+                counts[j] += moduli[j] as u32;
+            }
+        }
+        if counts.iter().any(|&c| c > 0) {
+            let view: NeighborView<'_, P::State> = NeighborView::new(&counts, Some(recorder));
+            let new = protocol.transition(P::State::from_index(own), &view, coin);
+            clauses.push((guard, new.index()));
+        }
+        let mut j = 0;
+        loop {
+            if j == s {
+                let default = clauses.last().map(|&(_, r)| r).unwrap_or(own);
+                if !clauses.is_empty() {
+                    clauses.pop();
+                }
+                let prog = ModThreshProgram::new(s, s, clauses, default)?;
+                return Ok(FsmProgram::ModThresh(prog));
+            }
+            combo[j] += 1;
+            if combo[j] < class_counts[j] {
+                break;
+            }
+            combo[j] = 0;
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impl_state_space;
+    use crate::interp::InterpNetwork;
+    use crate::network::Network;
+    use fssga_core::multiset::Multiset;
+    use fssga_graph::generators;
+    use fssga_graph::rng::Xoshiro256;
+
+    #[derive(Copy, Clone, PartialEq, Eq, Debug)]
+    enum Tri {
+        A,
+        B,
+        C,
+    }
+    impl_state_space!(Tri { A, B, C });
+
+    /// Uses a threshold of 3 on B and parity of C.
+    struct Mixed;
+    impl Protocol for Mixed {
+        type State = Tri;
+        fn transition(&self, own: Tri, nbrs: &NeighborView<'_, Tri>, _c: u32) -> Tri {
+            if nbrs.at_least(Tri::B, 3) {
+                Tri::C
+            } else if nbrs.congruent(Tri::C, 1, 2) {
+                Tri::B
+            } else {
+                own
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_tables_match_native_on_all_small_multisets() {
+        let auto = compile_protocol(&Mixed, 1 << 20).unwrap();
+        assert_eq!(auto.num_states(), 3);
+        assert_eq!(auto.randomness(), 1);
+        for own in 0..3 {
+            for ms in Multiset::enumerate_up_to(3, 6) {
+                let counts: Vec<u32> = ms.counts().iter().map(|&c| c as u32).collect();
+                let view: NeighborView<'_, Tri> = NeighborView::over(&counts);
+                let native = Mixed
+                    .transition(Tri::from_index(own), &view, 0)
+                    .index();
+                let compiled = auto.transition(own, 0, &ms);
+                assert_eq!(native, compiled, "own={own}, ms={:?}", ms.counts());
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_network_steps_identically() {
+        let auto = compile_protocol(&Mixed, 1 << 20).unwrap();
+        let g = generators::connected_gnp(40, 0.1, &mut Xoshiro256::seed_from_u64(5));
+        let init = |v: u32| Tri::from_index((v as usize) % 3);
+        let mut native = Network::new(&g, Mixed, init);
+        let mut interp = InterpNetwork::new(&g, &auto, |v| (v as usize) % 3);
+        for round in 0..20 {
+            native.sync_step_seeded(round);
+            interp.sync_step_seeded(round);
+            let native_ids: Vec<usize> =
+                native.states().iter().map(|s| s.index()).collect();
+            assert_eq!(native_ids, interp.states(), "round {round}");
+        }
+    }
+
+    /// Probabilistic protocol: coin chooses between two behaviours.
+    struct Flip;
+    impl Protocol for Flip {
+        type State = Tri;
+        const RANDOMNESS: u32 = 2;
+        fn transition(&self, own: Tri, nbrs: &NeighborView<'_, Tri>, coin: u32) -> Tri {
+            match coin {
+                0 if nbrs.some(Tri::A) => Tri::A,
+                1 if nbrs.some(Tri::C) => Tri::C,
+                _ => own,
+            }
+        }
+    }
+
+    #[test]
+    fn probabilistic_compile_and_lockstep() {
+        let auto = compile_protocol(&Flip, 1 << 20).unwrap();
+        assert_eq!(auto.randomness(), 2);
+        let g = generators::grid(6, 6);
+        let init_t = |v: u32| Tri::from_index((v as usize * 5 + 1) % 3);
+        let mut native = Network::new(&g, Flip, init_t);
+        let mut interp = InterpNetwork::new(&g, &auto, |v| (v as usize * 5 + 1) % 3);
+        for round in 0..30 {
+            native.sync_step_seeded(round * 31 + 7);
+            interp.sync_step_seeded(round * 31 + 7);
+            let native_ids: Vec<usize> =
+                native.states().iter().map(|s| s.index()).collect();
+            assert_eq!(native_ids, interp.states(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn clause_limit_respected() {
+        struct Wide;
+        impl Protocol for Wide {
+            type State = Tri;
+            fn transition(&self, own: Tri, nbrs: &NeighborView<'_, Tri>, _c: u32) -> Tri {
+                // Thresholds of 50 on every state: 51^3 clause classes.
+                if nbrs.at_least(Tri::A, 50) && nbrs.at_least(Tri::B, 50)
+                    && nbrs.at_least(Tri::C, 50)
+                {
+                    Tri::A
+                } else {
+                    own
+                }
+            }
+        }
+        assert!(matches!(
+            compile_protocol(&Wide, 100),
+            Err(SmError::TooLarge { .. })
+        ));
+        assert!(compile_protocol(&Wide, 1 << 20).is_ok());
+    }
+}

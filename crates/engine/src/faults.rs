@@ -1,0 +1,198 @@
+//! Timed fault plans for the decreasing-benign fault model (Section 1).
+
+use fssga_graph::rng::Xoshiro256;
+use fssga_graph::{DynGraph, NodeId};
+
+use crate::network::Network;
+use crate::protocol::Protocol;
+
+/// One benign fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// An edge dies.
+    Edge(NodeId, NodeId),
+    /// A node dies (with all incident edges).
+    Node(NodeId),
+}
+
+/// A fault scheduled at a point in (round/step) time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The time at or after which the fault fires.
+    pub time: u64,
+    /// What dies.
+    pub kind: FaultKind,
+}
+
+/// A time-sorted sequence of faults, applied incrementally as simulated
+/// time advances.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    cursor: usize,
+}
+
+impl FaultPlan {
+    /// Builds a plan; events are sorted by time (stable).
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.time);
+        Self { events, cursor: 0 }
+    }
+
+    /// An empty plan.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// All events (sorted).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events not yet applied.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+
+    /// Applies every not-yet-applied fault with `time <= now`. Returns the
+    /// number of faults applied. Faults that name already-dead structure
+    /// are silently skipped (a plan may kill a node and later "kill" one
+    /// of its edges).
+    pub fn apply_due<P: Protocol>(&mut self, net: &mut Network<P>, now: u64) -> usize {
+        let mut applied = 0;
+        while self.cursor < self.events.len() && self.events[self.cursor].time <= now {
+            match self.events[self.cursor].kind {
+                FaultKind::Edge(u, v) => {
+                    net.remove_edge(u, v);
+                }
+                FaultKind::Node(v) => {
+                    net.remove_node(v);
+                }
+            }
+            self.cursor += 1;
+            applied += 1;
+        }
+        applied
+    }
+
+    /// Generates a random plan: `count` faults at uniform times in
+    /// `0..horizon`, each an edge fault with probability `edge_bias`
+    /// (else a node fault), drawn from the *initial* topology. Nodes in
+    /// `protected` are never killed directly (their edges may still be) —
+    /// this is how sensitivity experiments spare the critical set.
+    pub fn random(
+        graph: &DynGraph,
+        count: usize,
+        horizon: u64,
+        edge_bias: f64,
+        protected: &[NodeId],
+        rng: &mut Xoshiro256,
+    ) -> Self {
+        let edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
+        let nodes: Vec<NodeId> = graph
+            .alive_nodes()
+            .filter(|v| !protected.contains(v))
+            .collect();
+        let mut events = Vec::with_capacity(count);
+        for _ in 0..count {
+            let time = rng.gen_range(horizon.max(1));
+            let kind = if (rng.gen_bool(edge_bias) && !edges.is_empty()) || nodes.is_empty() {
+                if edges.is_empty() {
+                    continue;
+                }
+                let &(u, v) = rng.choose(&edges);
+                FaultKind::Edge(u, v)
+            } else {
+                FaultKind::Node(*rng.choose(&nodes))
+            };
+            events.push(FaultEvent { time, kind });
+        }
+        Self::new(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impl_state_space;
+    use crate::view::NeighborView;
+    use fssga_graph::generators;
+
+    #[derive(Copy, Clone, PartialEq, Eq, Debug)]
+    enum Unit {
+        Only,
+    }
+    impl_state_space!(Unit { Only });
+
+    struct Idle;
+    impl Protocol for Idle {
+        type State = Unit;
+        fn transition(&self, own: Unit, _n: &NeighborView<'_, Unit>, _c: u32) -> Unit {
+            own
+        }
+    }
+
+    fn net(g: &fssga_graph::Graph) -> Network<Idle> {
+        Network::new(g, Idle, |_| Unit::Only)
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let g = generators::path(5);
+        let mut n = net(&g);
+        let mut plan = FaultPlan::new(vec![
+            FaultEvent { time: 5, kind: FaultKind::Edge(1, 2) },
+            FaultEvent { time: 2, kind: FaultKind::Node(4) },
+        ]);
+        assert_eq!(plan.remaining(), 2);
+        assert_eq!(plan.apply_due(&mut n, 1), 0);
+        assert_eq!(plan.apply_due(&mut n, 2), 1);
+        assert!(!n.graph().is_alive(4));
+        assert!(n.graph().has_edge(1, 2));
+        assert_eq!(plan.apply_due(&mut n, 10), 1);
+        assert!(!n.graph().has_edge(1, 2));
+        assert_eq!(plan.remaining(), 0);
+    }
+
+    #[test]
+    fn double_kill_is_harmless() {
+        let g = generators::path(3);
+        let mut n = net(&g);
+        let mut plan = FaultPlan::new(vec![
+            FaultEvent { time: 0, kind: FaultKind::Node(1) },
+            FaultEvent { time: 1, kind: FaultKind::Edge(0, 1) },
+            FaultEvent { time: 2, kind: FaultKind::Node(1) },
+        ]);
+        assert_eq!(plan.apply_due(&mut n, 100), 3);
+        assert_eq!(n.graph().n_alive(), 2);
+    }
+
+    #[test]
+    fn random_plan_respects_protection() {
+        let g = generators::complete(8);
+        let base = net(&g);
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        for _ in 0..20 {
+            let plan =
+                FaultPlan::random(base.graph(), 10, 50, 0.0, &[0, 1], &mut rng);
+            for e in plan.events() {
+                if let FaultKind::Node(v) = e.kind {
+                    assert!(v != 0 && v != 1, "protected node scheduled to die");
+                }
+                assert!(e.time < 50);
+            }
+        }
+    }
+
+    #[test]
+    fn random_plan_edge_bias_one_yields_edges_only() {
+        let g = generators::cycle(10);
+        let base = net(&g);
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        let plan = FaultPlan::random(base.graph(), 15, 10, 1.0, &[], &mut rng);
+        assert!(plan
+            .events()
+            .iter()
+            .all(|e| matches!(e.kind, FaultKind::Edge(_, _))));
+    }
+}

@@ -1,0 +1,156 @@
+//! Round-by-round execution recording.
+//!
+//! Protocol debugging and the examples want to *see* a network evolve:
+//! [`History`] snapshots the state vector each round and renders compact
+//! ASCII timelines (one row per round, one column per node), which is how
+//! the repository's figures of merit (firing-squad synchrony, colour
+//! flood fronts, arm growth) were eyeballed during development.
+
+use crate::network::Network;
+use crate::protocol::Protocol;
+
+/// A recorded sequence of network state vectors.
+#[derive(Clone, Debug, Default)]
+pub struct History<S> {
+    rounds: Vec<Vec<S>>,
+}
+
+impl<S: Copy + PartialEq> History<S> {
+    /// An empty history.
+    pub fn new() -> Self {
+        History { rounds: Vec::new() }
+    }
+
+    /// Snapshots the network's current states.
+    pub fn record<P: Protocol<State = S>>(&mut self, net: &Network<P>) {
+        self.rounds.push(net.states().to_vec());
+    }
+
+    /// Number of recorded snapshots.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// The snapshot at `round` (0-based).
+    pub fn at(&self, round: usize) -> &[S] {
+        &self.rounds[round]
+    }
+
+    /// How many nodes changed state between consecutive snapshots
+    /// (`changes()[i]` compares snapshot `i` to `i+1`).
+    pub fn changes(&self) -> Vec<usize> {
+        self.rounds
+            .windows(2)
+            .map(|w| w[0].iter().zip(&w[1]).filter(|(a, b)| a != b).count())
+            .collect()
+    }
+
+    /// The first snapshot index from which nothing ever changes again,
+    /// if the recording reached quiescence.
+    pub fn quiescent_from(&self) -> Option<usize> {
+        let last = self.rounds.last()?;
+        let mut idx = self.rounds.len() - 1;
+        while idx > 0 && self.rounds[idx - 1] == *last {
+            idx -= 1;
+        }
+        if idx + 1 < self.rounds.len() || self.rounds.len() == 1 {
+            Some(idx)
+        } else {
+            None // never saw two equal consecutive snapshots
+        }
+    }
+
+    /// Renders the history as an ASCII timeline: one line per round, one
+    /// glyph per node.
+    pub fn timeline(&self, mut glyph: impl FnMut(S) -> char) -> String {
+        self.rounds
+            .iter()
+            .enumerate()
+            .map(|(t, row)| {
+                let cells: String = row.iter().map(|&s| glyph(s)).collect();
+                format!("t={t:4}  {cells}")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impl_state_space;
+    use crate::view::NeighborView;
+    use fssga_graph::generators;
+    use fssga_graph::rng::Xoshiro256;
+
+    #[derive(Copy, Clone, PartialEq, Eq, Debug)]
+    enum Bit {
+        Off,
+        On,
+    }
+    impl_state_space!(Bit { Off, On });
+
+    struct Spread;
+    impl Protocol for Spread {
+        type State = Bit;
+        fn transition(&self, own: Bit, nbrs: &NeighborView<'_, Bit>, _c: u32) -> Bit {
+            if own == Bit::On || nbrs.some(Bit::On) {
+                Bit::On
+            } else {
+                Bit::Off
+            }
+        }
+    }
+
+    fn run_recorded(rounds: usize) -> History<Bit> {
+        let g = generators::path(5);
+        let mut net = Network::new(&g, Spread, |v| if v == 0 { Bit::On } else { Bit::Off });
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut h = History::new();
+        h.record(&net);
+        for _ in 0..rounds {
+            net.sync_step(&mut rng);
+            h.record(&net);
+        }
+        h
+    }
+
+    #[test]
+    fn records_every_round() {
+        let h = run_recorded(6);
+        assert_eq!(h.len(), 7);
+        assert_eq!(h.at(0)[0], Bit::On);
+        assert_eq!(h.at(0)[4], Bit::Off);
+        assert_eq!(h.at(6)[4], Bit::On);
+    }
+
+    #[test]
+    fn change_counts_track_the_front() {
+        let h = run_recorded(6);
+        // One new node per round until saturation, then zero.
+        assert_eq!(h.changes(), vec![1, 1, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn quiescence_detection() {
+        let h = run_recorded(6);
+        assert_eq!(h.quiescent_from(), Some(4));
+        let early = run_recorded(2);
+        assert_eq!(early.quiescent_from(), None, "still spreading");
+    }
+
+    #[test]
+    fn timeline_renders_rows() {
+        let h = run_recorded(4);
+        let s = h.timeline(|b| if b == Bit::On { '#' } else { '.' });
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].ends_with("#...."));
+        assert!(lines[4].ends_with("#####"));
+    }
+}

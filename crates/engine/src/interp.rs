@@ -1,0 +1,187 @@
+//! Running table-level FSSGA automata directly.
+//!
+//! [`crate::Network`] executes typed Rust protocols; this module executes
+//! a [`ProbFssga`] given as program tables (the artifact of Section 3's
+//! formal model, or of [`crate::compile`]). Coins are drawn with the same
+//! `(round_seed, node)` derivation as the typed engine, so a protocol and
+//! its compiled form can be stepped side by side and compared state by
+//! state.
+
+use fssga_core::multiset::Multiset;
+use fssga_core::ProbFssga;
+use fssga_graph::rng::Xoshiro256;
+use fssga_graph::{DynGraph, Graph, NodeId};
+
+use crate::network::round_coin;
+
+/// A network whose nodes run a table-level [`ProbFssga`].
+pub struct InterpNetwork<'a> {
+    auto: &'a ProbFssga,
+    graph: DynGraph,
+    states: Vec<usize>,
+    next: Vec<usize>,
+}
+
+impl<'a> InterpNetwork<'a> {
+    /// Builds the network; `init` gives each node's initial state id.
+    pub fn new(
+        graph: &Graph,
+        auto: &'a ProbFssga,
+        mut init: impl FnMut(NodeId) -> usize,
+    ) -> Self {
+        let states: Vec<usize> = (0..graph.n() as NodeId)
+            .map(|v| {
+                let s = init(v);
+                assert!(s < auto.num_states(), "initial state out of range");
+                s
+            })
+            .collect();
+        Self {
+            auto,
+            graph: DynGraph::from_graph(graph),
+            next: states.clone(),
+            states,
+        }
+    }
+
+    /// Current states (ids).
+    pub fn states(&self) -> &[usize] {
+        &self.states
+    }
+
+    /// The current topology.
+    pub fn graph(&self) -> &DynGraph {
+        &self.graph
+    }
+
+    /// Removes an edge (benign fault).
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.graph.remove_edge(u, v)
+    }
+
+    /// Removes a node (benign fault).
+    pub fn remove_node(&mut self, v: NodeId) -> bool {
+        self.graph.remove_node(v)
+    }
+
+    fn neighbor_multiset(&self, v: NodeId) -> Multiset {
+        let mut ms = Multiset::empty(self.auto.num_states());
+        for &w in self.graph.neighbors(v) {
+            ms.push(self.states[w as usize]);
+        }
+        ms
+    }
+
+    /// Asynchronous activation of `v`; returns whether the state changed.
+    pub fn activate(&mut self, v: NodeId, rng: &mut Xoshiro256) -> bool {
+        if !self.graph.is_alive(v) || self.graph.degree(v) == 0 {
+            return false;
+        }
+        let coin = if self.auto.randomness() > 1 {
+            rng.gen_range(self.auto.randomness() as u64) as usize
+        } else {
+            0
+        };
+        let ms = self.neighbor_multiset(v);
+        let new = self.auto.transition(self.states[v as usize], coin, &ms);
+        let changed = new != self.states[v as usize];
+        self.states[v as usize] = new;
+        changed
+    }
+
+    /// One synchronous round with an explicit round seed (matches
+    /// [`crate::network::round_coin`]); returns the number of changes.
+    pub fn sync_step_seeded(&mut self, round_seed: u64) -> usize {
+        let n = self.graph.n_slots();
+        let mut changed = 0;
+        for v in 0..n as NodeId {
+            let old = self.states[v as usize];
+            if !self.graph.is_alive(v) || self.graph.degree(v) == 0 {
+                self.next[v as usize] = old;
+                continue;
+            }
+            let coin = round_coin(round_seed, v, self.auto.randomness() as u32) as usize;
+            let ms = self.neighbor_multiset(v);
+            let new = self.auto.transition(old, coin, &ms);
+            self.next[v as usize] = new;
+            if new != old {
+                changed += 1;
+            }
+        }
+        std::mem::swap(&mut self.states, &mut self.next);
+        changed
+    }
+
+    /// One synchronous round, drawing the round seed from `rng` exactly as
+    /// the typed engine does.
+    pub fn sync_step(&mut self, rng: &mut Xoshiro256) -> usize {
+        let round_seed = if self.auto.randomness() > 1 { rng.next_u64() } else { 0 };
+        self.sync_step_seeded(round_seed)
+    }
+
+    /// Synchronous rounds to fixpoint, up to `max_rounds`.
+    pub fn run_to_fixpoint(&mut self, rng: &mut Xoshiro256, max_rounds: usize) -> Option<usize> {
+        (1..=max_rounds).find(|_| self.sync_step(rng) == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fssga_core::modthresh::{ModThreshProgram, Prop};
+    use fssga_core::{Fssga, FsmProgram};
+    use fssga_graph::generators;
+
+    /// 2-state infection automaton as tables.
+    fn infection() -> ProbFssga {
+        let catch =
+            ModThreshProgram::new(2, 2, vec![(Prop::some(1), 1)], 0).unwrap();
+        let keep = ModThreshProgram::new(2, 2, vec![], 1).unwrap();
+        ProbFssga::from_deterministic(
+            Fssga::new(2, vec![FsmProgram::ModThresh(catch), FsmProgram::ModThresh(keep)])
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn interp_spreads_like_native() {
+        let auto = infection();
+        let g = generators::path(8);
+        let mut net = InterpNetwork::new(&g, &auto, |v| usize::from(v == 0));
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let rounds = net.run_to_fixpoint(&mut rng, 100).expect("converges");
+        assert_eq!(rounds, 8, "7 spreading rounds + 1 quiescent");
+        assert!(net.states().iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn interp_respects_faults() {
+        let auto = infection();
+        let g = generators::path(6);
+        let mut net = InterpNetwork::new(&g, &auto, |v| usize::from(v == 0));
+        net.remove_edge(2, 3);
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        net.run_to_fixpoint(&mut rng, 100).unwrap();
+        assert_eq!(net.states(), &[1, 1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn async_activation() {
+        let auto = infection();
+        let g = generators::path(3);
+        let mut net = InterpNetwork::new(&g, &auto, |v| usize::from(v == 0));
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        assert!(!net.activate(2, &mut rng));
+        assert!(net.activate(1, &mut rng));
+        assert!(net.activate(2, &mut rng));
+        assert_eq!(net.states(), &[1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_initial_state_rejected() {
+        let auto = infection();
+        let g = generators::path(3);
+        let _ = InterpNetwork::new(&g, &auto, |_| 7);
+    }
+}

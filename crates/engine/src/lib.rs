@@ -1,0 +1,56 @@
+//! Execution engine for FSSGA networks (Section 3.4: "running" an
+//! algorithm).
+//!
+//! The engine's central design decision is that protocol code **cannot see
+//! raw neighbour lists**. A node activation hands the protocol a
+//! [`NeighborView`] that answers only the questions a mod-thresh program
+//! could ask — `μ_q ≡ r (mod m)` and `μ_q >= t` — so any protocol written
+//! against this crate is an SM function of its neighbour multiset *by
+//! construction* (properties S0–S2 of the paper). A recording mode
+//! captures which moduli and thresholds a protocol actually uses, and
+//! [`compile`] turns a protocol into a bona fide
+//! [`fssga_core::ProbFssga`] whose behaviour is cross-checked against the
+//! native implementation.
+//!
+//! Components:
+//!
+//! * [`protocol`] — the [`Protocol`] and [`StateSpace`] traits.
+//! * [`view`] — the restricted [`NeighborView`] and its recorder.
+//! * [`network`] — graph + per-node states + O(deg) activation tally.
+//! * [`scheduler`] — synchronous rounds ([`SyncScheduler`]), and the
+//!   asynchronous activation policies of Section 3.4 ([`AsyncScheduler`]):
+//!   uniform-random, round-robin sweeps, random-permutation sweeps, and
+//!   fully adversarial orders.
+//! * [`parallel`] — a multi-threaded synchronous step that is bit-identical
+//!   to the sequential one (per-round coin streams are derived from
+//!   `(round seed, node id)`, not from thread interleaving).
+//! * [`faults`] — timed decreasing-benign fault plans (Section 1).
+//! * [`sensitivity`] — the Section 2 k-sensitivity harness: critical sets,
+//!   fault campaigns that avoid or target them, and "reasonably correct"
+//!   verdicts.
+//! * [`interp`] — run a table-level [`fssga_core::ProbFssga`] directly.
+//! * [`compile`] — protocol → mod-thresh FSSGA extraction.
+
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod faults;
+pub mod history;
+pub mod interp;
+pub mod network;
+pub mod parallel;
+pub mod protocol;
+pub mod scheduler;
+pub mod sensitivity;
+pub mod view;
+
+/// Deterministic RNG, re-exported from the graph substrate so that the
+/// whole workspace draws from one generator family.
+pub mod rng {
+    pub use fssga_graph::rng::{SplitMix64, Xoshiro256};
+}
+
+pub use network::Network;
+pub use protocol::{Protocol, StateSpace};
+pub use scheduler::{AsyncPolicy, AsyncScheduler, SyncScheduler};
+pub use view::NeighborView;

@@ -1,0 +1,461 @@
+//! A network of identical automata: graph + per-node states + the O(deg)
+//! activation machinery.
+
+use std::cell::RefCell;
+
+use fssga_core::multiset::Multiset;
+use fssga_graph::rng::{SplitMix64, Xoshiro256};
+use fssga_graph::{DynGraph, Graph, NodeId};
+
+use crate::protocol::{Protocol, StateSpace};
+use crate::view::{NeighborView, QueryRecorder};
+
+/// The coin a node draws in a synchronous round: a pure function of
+/// `(round_seed, node, r)`, shared by the sequential stepper, the parallel
+/// stepper, and the table-level interpreter so that all three agree
+/// bit-for-bit.
+#[inline]
+pub fn round_coin(round_seed: u64, v: NodeId, r: u32) -> u32 {
+    if r <= 1 {
+        return 0;
+    }
+    let mut sm = SplitMix64::new(round_seed ^ (v as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+    (sm.next_u64() % r as u64) as u32
+}
+
+/// Execution counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Individual node activations performed.
+    pub activations: u64,
+    /// Synchronous rounds performed.
+    pub rounds: u64,
+    /// Activations that changed the node's state.
+    pub changes: u64,
+}
+
+/// A graph whose every node runs the same [`Protocol`] automaton.
+///
+/// The graph is a [`DynGraph`]: the paper's *decreasing benign faults*
+/// (edge/node deletion) can be injected mid-run. A node with no remaining
+/// neighbours never activates — an SM function's domain is `Q^+`, so a
+/// degree-0 node has nothing to read and simply holds its state; dead
+/// nodes likewise freeze.
+pub struct Network<P: Protocol> {
+    protocol: P,
+    graph: DynGraph,
+    states: Vec<P::State>,
+    next: Vec<P::State>,
+    scratch: Vec<u32>,
+    touched: Vec<u32>,
+    recorder: Option<RefCell<QueryRecorder>>,
+    /// Execution counters (public for instrumentation).
+    pub metrics: Metrics,
+}
+
+impl<P: Protocol> Network<P> {
+    /// Builds a network over `graph`, with per-node initial states from
+    /// `init` (this is where distinguished roles — originator, target,
+    /// sink membership — enter, per the paper's per-algorithm setups).
+    pub fn new(graph: &Graph, protocol: P, mut init: impl FnMut(NodeId) -> P::State) -> Self {
+        let n = graph.n();
+        let states: Vec<P::State> = (0..n as NodeId).map(&mut init).collect();
+        Self {
+            protocol,
+            graph: DynGraph::from_graph(graph),
+            next: states.clone(),
+            states,
+            scratch: vec![0; P::State::COUNT],
+            touched: Vec::with_capacity(64),
+            recorder: None,
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Number of node slots.
+    pub fn n(&self) -> usize {
+        self.graph.n_slots()
+    }
+
+    /// The current (possibly fault-reduced) topology.
+    pub fn graph(&self) -> &DynGraph {
+        &self.graph
+    }
+
+    /// The protocol instance.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// All node states (dead nodes keep their last state).
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// The state of node `v`.
+    pub fn state(&self, v: NodeId) -> P::State {
+        self.states[v as usize]
+    }
+
+    /// Overwrites the state of node `v` (test setup, oracles).
+    pub fn set_state(&mut self, v: NodeId, s: P::State) {
+        self.states[v as usize] = s;
+    }
+
+    /// Starts recording the mod/thresh queries the protocol performs.
+    pub fn enable_recording(&mut self) {
+        self.recorder = Some(RefCell::new(QueryRecorder::new(P::State::COUNT)));
+    }
+
+    /// The recorded queries so far, if recording is enabled.
+    pub fn recorded_queries(&self) -> Option<QueryRecorder> {
+        self.recorder.as_ref().map(|r| r.borrow().clone())
+    }
+
+    /// Removes an edge (a benign fault). Returns whether it existed.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.graph.remove_edge(u, v)
+    }
+
+    /// Removes a node and its edges (a benign fault). The node's state is
+    /// frozen; it never activates again and neighbours no longer see it.
+    pub fn remove_node(&mut self, v: NodeId) -> bool {
+        self.graph.remove_node(v)
+    }
+
+    /// Tallies the neighbour states of `v` into the scratch counter.
+    /// Callers must invoke [`Self::clear_scratch`] afterwards.
+    fn tally(&mut self, v: NodeId) {
+        for &w in self.graph.neighbors(v) {
+            let idx = self.states[w as usize].index();
+            if self.scratch[idx] == 0 {
+                self.touched.push(idx as u32);
+            }
+            self.scratch[idx] += 1;
+        }
+    }
+
+    fn clear_scratch(&mut self) {
+        for &idx in &self.touched {
+            self.scratch[idx as usize] = 0;
+        }
+        self.touched.clear();
+    }
+
+    /// The neighbour multiset of `v` as a core [`Multiset`] — for
+    /// cross-validation against table-level FSSGA programs.
+    pub fn multiset_of(&self, v: NodeId) -> Multiset {
+        let mut ms = Multiset::empty(P::State::COUNT);
+        for &w in self.graph.neighbors(v) {
+            ms.push(self.states[w as usize].index());
+        }
+        ms
+    }
+
+    /// Whether `v` can activate (alive with at least one neighbour).
+    pub fn can_activate(&self, v: NodeId) -> bool {
+        self.graph.is_alive(v) && self.graph.degree(v) > 0
+    }
+
+    /// Asynchronously activates node `v` (Definition 3.10's asynchronous
+    /// successor): reads neighbours atomically, replaces `σ(v)`. The coin
+    /// is drawn from `rng` iff the protocol is probabilistic. Returns
+    /// whether the state changed; a node that cannot activate returns
+    /// `false` without consuming randomness.
+    pub fn activate(&mut self, v: NodeId, rng: &mut Xoshiro256) -> bool {
+        if !self.can_activate(v) {
+            return false;
+        }
+        let coin = if P::RANDOMNESS > 1 {
+            rng.gen_range(P::RANDOMNESS as u64) as u32
+        } else {
+            0
+        };
+        self.activate_with_coin(v, coin)
+    }
+
+    /// Activation with an explicit coin (the synchronous path and the
+    /// compiler use this).
+    pub fn activate_with_coin(&mut self, v: NodeId, coin: u32) -> bool {
+        if !self.can_activate(v) {
+            return false;
+        }
+        self.tally(v);
+        let view = NeighborView::new_with_presence(
+            &self.scratch,
+            Some(&self.touched),
+            self.recorder.as_ref(),
+        );
+        let old = self.states[v as usize];
+        let new = self.protocol.transition(old, &view, coin);
+        self.clear_scratch();
+        self.states[v as usize] = new;
+        self.metrics.activations += 1;
+        let changed = new != old;
+        if changed {
+            self.metrics.changes += 1;
+        }
+        changed
+    }
+
+    /// The coin node `v` uses in the synchronous round with seed
+    /// `round_seed`. Deriving coins from `(round_seed, v)` — rather than
+    /// from a shared stream — makes the parallel synchronous step
+    /// bit-identical to the sequential one.
+    #[inline]
+    pub(crate) fn coin_for(round_seed: u64, v: NodeId) -> u32 {
+        round_coin(round_seed, v, P::RANDOMNESS)
+    }
+
+    /// One synchronous round (Definition 3.10's synchronous successor):
+    /// every activatable node computes its new state from the *old*
+    /// network state; all updates land at once. Returns the number of
+    /// nodes whose state changed.
+    pub fn sync_step(&mut self, rng: &mut Xoshiro256) -> usize {
+        let round_seed = if P::RANDOMNESS > 1 { rng.next_u64() } else { 0 };
+        self.sync_step_seeded(round_seed)
+    }
+
+    /// Synchronous round with an explicit seed (determinism across
+    /// sequential/parallel paths; see [`crate::parallel`]).
+    pub fn sync_step_seeded(&mut self, round_seed: u64) -> usize {
+        let n = self.n();
+        let mut changed = 0;
+        for v in 0..n as NodeId {
+            if !self.can_activate(v) {
+                self.next[v as usize] = self.states[v as usize];
+                continue;
+            }
+            self.tally(v);
+            let view = NeighborView::new_with_presence(
+                &self.scratch,
+                Some(&self.touched),
+                self.recorder.as_ref(),
+            );
+            let old = self.states[v as usize];
+            let new = self
+                .protocol
+                .transition(old, &view, Self::coin_for(round_seed, v));
+            self.clear_scratch();
+            self.next[v as usize] = new;
+            self.metrics.activations += 1;
+            if new != old {
+                changed += 1;
+            }
+        }
+        std::mem::swap(&mut self.states, &mut self.next);
+        self.metrics.rounds += 1;
+        self.metrics.changes += changed as u64;
+        changed
+    }
+
+    /// Splits the network into the pieces the parallel stepper needs.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn parallel_parts(
+        &mut self,
+    ) -> (&P, &DynGraph, &[P::State], &mut [P::State], &mut Metrics) {
+        (
+            &self.protocol,
+            &self.graph,
+            &self.states,
+            &mut self.next,
+            &mut self.metrics,
+        )
+    }
+
+    pub(crate) fn swap_buffers(&mut self) {
+        std::mem::swap(&mut self.states, &mut self.next);
+    }
+
+    pub(crate) fn recording_enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impl_state_space;
+    use fssga_graph::generators;
+
+    #[derive(Copy, Clone, PartialEq, Eq, Debug)]
+    enum Infect {
+        Healthy,
+        Infected,
+    }
+    impl_state_space!(Infect { Healthy, Infected });
+
+    /// State 1 spreads to neighbours (iterated OR).
+    struct Spread;
+    impl Protocol for Spread {
+        type State = Infect;
+        fn transition(
+            &self,
+            own: Infect,
+            nbrs: &NeighborView<'_, Infect>,
+            _coin: u32,
+        ) -> Infect {
+            if own == Infect::Infected || nbrs.some(Infect::Infected) {
+                Infect::Infected
+            } else {
+                Infect::Healthy
+            }
+        }
+    }
+
+    fn seeded(net_seed: u64) -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(net_seed)
+    }
+
+    #[test]
+    fn sync_spread_takes_distance_rounds() {
+        let g = generators::path(6);
+        let mut net = Network::new(&g, Spread, |v| {
+            if v == 0 {
+                Infect::Infected
+            } else {
+                Infect::Healthy
+            }
+        });
+        let mut rng = seeded(1);
+        for round in 1..=5 {
+            let changed = net.sync_step(&mut rng);
+            assert_eq!(changed, 1, "round {round} infects exactly one new node");
+            let infected = net
+                .states()
+                .iter()
+                .filter(|&&s| s == Infect::Infected)
+                .count();
+            assert_eq!(infected, round + 1);
+        }
+        assert_eq!(net.sync_step(&mut rng), 0, "fixpoint reached");
+        assert_eq!(net.metrics.rounds, 6);
+    }
+
+    #[test]
+    fn async_activation_only_updates_target() {
+        let g = generators::path(3);
+        let mut net = Network::new(&g, Spread, |v| {
+            if v == 0 {
+                Infect::Infected
+            } else {
+                Infect::Healthy
+            }
+        });
+        let mut rng = seeded(2);
+        assert!(!net.activate(2, &mut rng), "node 2 sees no infection yet");
+        assert!(net.activate(1, &mut rng));
+        assert_eq!(net.state(1), Infect::Infected);
+        assert_eq!(net.state(2), Infect::Healthy);
+        assert!(net.activate(2, &mut rng));
+        assert_eq!(net.metrics.activations, 3);
+        assert_eq!(net.metrics.changes, 2);
+    }
+
+    #[test]
+    fn faults_block_spread() {
+        let g = generators::path(4);
+        let mut net = Network::new(&g, Spread, |v| {
+            if v == 0 {
+                Infect::Infected
+            } else {
+                Infect::Healthy
+            }
+        });
+        net.remove_edge(1, 2);
+        let mut rng = seeded(3);
+        for _ in 0..10 {
+            net.sync_step(&mut rng);
+        }
+        assert_eq!(net.state(1), Infect::Infected);
+        assert_eq!(net.state(2), Infect::Healthy, "cut isolates the right half");
+    }
+
+    #[test]
+    fn isolated_node_never_activates() {
+        let g = generators::path(3);
+        let mut net = Network::new(&g, Spread, |_| Infect::Healthy);
+        net.remove_node(1); // isolates 0 and 2
+        net.set_state(0, Infect::Infected);
+        let mut rng = seeded(4);
+        assert!(!net.activate(0, &mut rng));
+        assert_eq!(net.sync_step(&mut rng), 0);
+        assert!(!net.can_activate(1));
+    }
+
+    #[test]
+    fn dead_node_invisible_to_neighbors() {
+        let g = generators::star(4);
+        let mut net = Network::new(&g, Spread, |v| {
+            if v == 1 {
+                Infect::Infected
+            } else {
+                Infect::Healthy
+            }
+        });
+        net.remove_node(1);
+        let mut rng = seeded(5);
+        for _ in 0..5 {
+            net.sync_step(&mut rng);
+        }
+        assert_eq!(net.state(0), Infect::Healthy, "infection died with node 1");
+    }
+
+    #[test]
+    fn multiset_of_matches_tally() {
+        let g = generators::star(5);
+        let net = Network::new(&g, Spread, |v| {
+            if v % 2 == 0 {
+                Infect::Infected
+            } else {
+                Infect::Healthy
+            }
+        });
+        let ms = net.multiset_of(0);
+        assert_eq!(ms.len(), 4);
+        assert_eq!(ms.mu(Infect::Infected.index()), 2); // nodes 2, 4
+        assert_eq!(ms.mu(Infect::Healthy.index()), 2); // nodes 1, 3
+    }
+
+    #[test]
+    fn recording_observes_protocol_queries() {
+        let g = generators::cycle(4);
+        let mut net = Network::new(&g, Spread, |_| Infect::Healthy);
+        net.enable_recording();
+        let mut rng = seeded(6);
+        net.sync_step(&mut rng);
+        let rec = net.recorded_queries().unwrap();
+        // Spread asks only some(Infected): threshold 1 everywhere, no mods.
+        assert_eq!(rec.thresholds, vec![1, 1]);
+        assert_eq!(rec.moduli, vec![1, 1]);
+    }
+
+    #[test]
+    fn coin_derivation_is_stable() {
+        // Same (seed, node) -> same coin, independent of anything else.
+        struct Coiny;
+        impl Protocol for Coiny {
+            type State = Infect;
+            const RANDOMNESS: u32 = 8;
+            fn transition(
+                &self,
+                _own: Infect,
+                _n: &NeighborView<'_, Infect>,
+                coin: u32,
+            ) -> Infect {
+                if coin.is_multiple_of(2) {
+                    Infect::Healthy
+                } else {
+                    Infect::Infected
+                }
+            }
+        }
+        let a = Network::<Coiny>::coin_for(42, 7);
+        let b = Network::<Coiny>::coin_for(42, 7);
+        assert_eq!(a, b);
+        assert!(a < 8);
+        let coins: std::collections::HashSet<u32> =
+            (0..100u32).map(|v| Network::<Coiny>::coin_for(42, v)).collect();
+        assert!(coins.len() > 1, "different nodes get different coins");
+    }
+}

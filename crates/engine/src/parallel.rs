@@ -1,0 +1,214 @@
+//! Multi-threaded synchronous rounds.
+//!
+//! A synchronous FSSGA round is embarrassingly parallel: every node's new
+//! state depends only on the *old* network state. The stepper partitions
+//! the node range into contiguous chunks, gives each worker its own
+//! scratch counter, and writes results into disjoint slices of the `next`
+//! buffer (`split_at_mut` — no locks, no atomics on the hot path; see the
+//! data-race-freedom discipline the workspace guides recommend).
+//!
+//! Determinism: per-node coins are derived from `(round_seed, node id)`
+//! exactly as in [`Network::sync_step_seeded`], so the parallel step is
+//! **bit-identical** to the sequential one for every thread count — an
+//! invariant the tests and the `engine_ablation` bench both exercise.
+
+use fssga_graph::rng::Xoshiro256;
+use fssga_graph::NodeId;
+
+use crate::network::Network;
+use crate::protocol::{Protocol, StateSpace};
+use crate::view::NeighborView;
+
+/// One synchronous round computed on `threads` worker threads. Returns
+/// the number of changed nodes. Falls back to the sequential path when
+/// `threads <= 1` or the network is tiny.
+///
+/// Panics if query recording is enabled (the recorder is intentionally
+/// not shared across threads; record on the sequential path instead).
+pub fn sync_step_parallel<P>(
+    net: &mut Network<P>,
+    rng: &mut Xoshiro256,
+    threads: usize,
+) -> usize
+where
+    P: Protocol + Sync,
+    P::State: Send + Sync,
+{
+    assert!(
+        !net.recording_enabled(),
+        "query recording requires the sequential stepper"
+    );
+    let round_seed = if P::RANDOMNESS > 1 { rng.next_u64() } else { 0 };
+    let n = net.n();
+    if threads <= 1 || n < 256 {
+        return net.sync_step_seeded(round_seed);
+    }
+
+    let (protocol, graph, states, next, metrics) = net.parallel_parts();
+    let chunk = n.div_ceil(threads);
+    let mut changed_total = 0usize;
+    let mut activations_total = 0u64;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        let mut rest = next;
+        let mut start = 0usize;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (mine, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let lo = start;
+            start += take;
+            handles.push(scope.spawn(move || {
+                let mut scratch = vec![0u32; P::State::COUNT];
+                let mut touched: Vec<u32> = Vec::with_capacity(64);
+                let mut changed = 0usize;
+                let mut activations = 0u64;
+                for (off, slot) in mine.iter_mut().enumerate() {
+                    let v = (lo + off) as NodeId;
+                    let old = states[v as usize];
+                    if !graph.is_alive(v) || graph.degree(v) == 0 {
+                        *slot = old;
+                        continue;
+                    }
+                    for &w in graph.neighbors(v) {
+                        let idx = states[w as usize].index();
+                        if scratch[idx] == 0 {
+                            touched.push(idx as u32);
+                        }
+                        scratch[idx] += 1;
+                    }
+                    let view: NeighborView<'_, P::State> =
+                        NeighborView::new_with_presence(&scratch, Some(&touched), None);
+                    let coin = Network::<P>::coin_for(round_seed, v);
+                    let new = protocol.transition(old, &view, coin);
+                    for &idx in &touched {
+                        scratch[idx as usize] = 0;
+                    }
+                    touched.clear();
+                    *slot = new;
+                    activations += 1;
+                    if new != old {
+                        changed += 1;
+                    }
+                }
+                (changed, activations)
+            }));
+        }
+        for h in handles {
+            let (c, a) = h.join().expect("worker panicked");
+            changed_total += c;
+            activations_total += a;
+        }
+    });
+
+    metrics.rounds += 1;
+    metrics.activations += activations_total;
+    metrics.changes += changed_total as u64;
+    net.swap_buffers();
+    changed_total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impl_state_space;
+    use fssga_graph::generators;
+
+    #[derive(Copy, Clone, PartialEq, Eq, Debug)]
+    enum Mod3 {
+        Zero,
+        One,
+        Two,
+    }
+    impl_state_space!(Mod3 { Zero, One, Two });
+
+    /// A state-rich deterministic protocol: become (sum of neighbour
+    /// indices + own) mod 3, computed through mod queries only.
+    struct Rotate;
+    impl Protocol for Rotate {
+        type State = Mod3;
+        fn transition(&self, own: Mod3, nbrs: &NeighborView<'_, Mod3>, _c: u32) -> Mod3 {
+            let s = (nbrs.count_mod(Mod3::One, 3) + 2 * nbrs.count_mod(Mod3::Two, 3)
+                + own.index() as u32)
+                % 3;
+            Mod3::from_index(s as usize)
+        }
+    }
+
+    /// A probabilistic protocol to exercise coin derivation.
+    struct CoinFlip;
+    impl Protocol for CoinFlip {
+        type State = Mod3;
+        const RANDOMNESS: u32 = 3;
+        fn transition(&self, own: Mod3, nbrs: &NeighborView<'_, Mod3>, coin: u32) -> Mod3 {
+            let bump = if nbrs.some(Mod3::Two) { 1 } else { 0 };
+            Mod3::from_index(((own.index() as u32 + coin + bump) % 3) as usize)
+        }
+    }
+
+    fn init(v: NodeId) -> Mod3 {
+        Mod3::from_index((v as usize * 7 + 3) % 3)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_deterministic() {
+        let g = generators::grid(20, 20);
+        let mut seq_net = Network::new(&g, Rotate, init);
+        let mut par_net = Network::new(&g, Rotate, init);
+        let mut rng1 = Xoshiro256::seed_from_u64(1);
+        let mut rng2 = Xoshiro256::seed_from_u64(1);
+        for _ in 0..10 {
+            let a = seq_net.sync_step(&mut rng1);
+            let b = sync_step_parallel(&mut par_net, &mut rng2, 4);
+            assert_eq!(a, b);
+            assert_eq!(seq_net.states(), par_net.states());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_probabilistic() {
+        let g = generators::connected_gnp(400, 0.02, &mut Xoshiro256::seed_from_u64(5));
+        let mut seq_net = Network::new(&g, CoinFlip, init);
+        let mut par2 = Network::new(&g, CoinFlip, init);
+        let mut par8 = Network::new(&g, CoinFlip, init);
+        let mut r1 = Xoshiro256::seed_from_u64(2);
+        let mut r2 = Xoshiro256::seed_from_u64(2);
+        let mut r3 = Xoshiro256::seed_from_u64(2);
+        for _ in 0..8 {
+            seq_net.sync_step(&mut r1);
+            sync_step_parallel(&mut par2, &mut r2, 2);
+            sync_step_parallel(&mut par8, &mut r3, 8);
+            assert_eq!(seq_net.states(), par2.states());
+            assert_eq!(seq_net.states(), par8.states());
+        }
+    }
+
+    #[test]
+    fn parallel_respects_faults() {
+        let g = generators::grid(16, 16);
+        let mut seq_net = Network::new(&g, Rotate, init);
+        let mut par_net = Network::new(&g, Rotate, init);
+        for net in [&mut seq_net, &mut par_net] {
+            net.remove_edge(0, 1);
+            net.remove_node(100);
+        }
+        let mut r1 = Xoshiro256::seed_from_u64(3);
+        let mut r2 = Xoshiro256::seed_from_u64(3);
+        for _ in 0..5 {
+            seq_net.sync_step(&mut r1);
+            sync_step_parallel(&mut par_net, &mut r2, 3);
+        }
+        assert_eq!(seq_net.states(), par_net.states());
+    }
+
+    #[test]
+    fn small_networks_fall_back() {
+        let g = generators::path(10);
+        let mut net = Network::new(&g, Rotate, init);
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        // Should not spawn threads (n < 256) and still work.
+        let _ = sync_step_parallel(&mut net, &mut rng, 8);
+        assert_eq!(net.metrics.rounds, 1);
+    }
+}

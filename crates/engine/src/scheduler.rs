@@ -1,0 +1,283 @@
+//! Activation schedulers for the two evolution models of Section 3.4.
+
+use fssga_graph::rng::Xoshiro256;
+use fssga_graph::NodeId;
+
+use crate::network::Network;
+use crate::protocol::Protocol;
+
+/// The synchronous model: every node activates simultaneously each round.
+pub struct SyncScheduler;
+
+impl SyncScheduler {
+    /// Runs synchronous rounds until no state changes, up to `max_rounds`.
+    /// Returns the number of rounds taken to reach the fixpoint, or `None`
+    /// if it was not reached. Deterministic protocols need no entropy;
+    /// probabilistic ones get a fixed-seed stream (use
+    /// [`Self::run_to_fixpoint_with_rng`] to control it).
+    pub fn run_to_fixpoint<P: Protocol>(
+        net: &mut Network<P>,
+        max_rounds: usize,
+    ) -> Option<usize> {
+        let mut rng = Xoshiro256::seed_from_u64(0);
+        Self::run_to_fixpoint_with_rng(net, &mut rng, max_rounds)
+    }
+
+    /// As [`Self::run_to_fixpoint`], drawing coins from `rng`.
+    pub fn run_to_fixpoint_with_rng<P: Protocol>(
+        net: &mut Network<P>,
+        rng: &mut Xoshiro256,
+        max_rounds: usize,
+    ) -> Option<usize> {
+        (1..=max_rounds).find(|_| net.sync_step(rng) == 0)
+    }
+
+    /// Runs exactly `rounds` synchronous rounds; returns the total number
+    /// of state changes.
+    pub fn run_rounds<P: Protocol>(
+        net: &mut Network<P>,
+        rng: &mut Xoshiro256,
+        rounds: usize,
+    ) -> usize {
+        (0..rounds).map(|_| net.sync_step(rng)).sum()
+    }
+}
+
+/// Asynchronous activation orders. All three satisfy the paper's fairness
+/// assumption ("each node activates at least once per unit time") in
+/// expectation or deterministically; fully adversarial orders are
+/// available through [`AsyncScheduler::run_order`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AsyncPolicy {
+    /// Each step activates a uniformly random alive node.
+    UniformRandom,
+    /// Repeated sweeps in fixed id order.
+    RoundRobin,
+    /// Repeated sweeps, each in a fresh random order.
+    RandomPermutation,
+}
+
+/// The asynchronous model: nodes activate one at a time.
+pub struct AsyncScheduler;
+
+impl AsyncScheduler {
+    /// Performs `steps` single activations under `policy`. Returns the
+    /// number of state changes.
+    pub fn run_steps<P: Protocol>(
+        net: &mut Network<P>,
+        rng: &mut Xoshiro256,
+        steps: usize,
+        policy: AsyncPolicy,
+    ) -> usize {
+        let n = net.n();
+        if n == 0 {
+            return 0;
+        }
+        let mut changes = 0;
+        match policy {
+            AsyncPolicy::UniformRandom => {
+                for _ in 0..steps {
+                    let v = rng.gen_index(n) as NodeId;
+                    if net.activate(v, rng) {
+                        changes += 1;
+                    }
+                }
+            }
+            AsyncPolicy::RoundRobin => {
+                for i in 0..steps {
+                    let v = (i % n) as NodeId;
+                    if net.activate(v, rng) {
+                        changes += 1;
+                    }
+                }
+            }
+            AsyncPolicy::RandomPermutation => {
+                let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+                let mut idx = order.len(); // force reshuffle on first step
+                for _ in 0..steps {
+                    if idx == order.len() {
+                        rng.shuffle(&mut order);
+                        idx = 0;
+                    }
+                    let v = order[idx];
+                    idx += 1;
+                    if net.activate(v, rng) {
+                        changes += 1;
+                    }
+                }
+            }
+        }
+        changes
+    }
+
+    /// Runs full sweeps (one activation per node per sweep, in round-robin
+    /// or freshly-permuted order) until a sweep changes nothing; returns
+    /// the number of sweeps to the fixpoint, or `None` after `max_sweeps`.
+    pub fn run_to_fixpoint<P: Protocol>(
+        net: &mut Network<P>,
+        rng: &mut Xoshiro256,
+        max_sweeps: usize,
+        policy: AsyncPolicy,
+    ) -> Option<usize> {
+        assert!(
+            policy != AsyncPolicy::UniformRandom,
+            "fixpoint detection needs sweep-based policies"
+        );
+        let n = net.n();
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        for sweep in 1..=max_sweeps {
+            if policy == AsyncPolicy::RandomPermutation {
+                rng.shuffle(&mut order);
+            }
+            let mut changed = false;
+            for &v in &order {
+                if net.activate(v, rng) {
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Some(sweep);
+            }
+        }
+        None
+    }
+
+    /// Activates nodes in exactly the given (adversarial) order.
+    /// Returns the number of state changes.
+    pub fn run_order<P: Protocol>(
+        net: &mut Network<P>,
+        rng: &mut Xoshiro256,
+        order: &[NodeId],
+    ) -> usize {
+        order.iter().filter(|&&v| net.activate(v, rng)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impl_state_space;
+    use crate::view::NeighborView;
+    use fssga_graph::generators;
+
+    #[derive(Copy, Clone, PartialEq, Eq, Debug)]
+    enum Infect {
+        Healthy,
+        Infected,
+    }
+    impl_state_space!(Infect { Healthy, Infected });
+
+    struct Spread;
+    impl Protocol for Spread {
+        type State = Infect;
+        fn transition(
+            &self,
+            own: Infect,
+            nbrs: &NeighborView<'_, Infect>,
+            _c: u32,
+        ) -> Infect {
+            if own == Infect::Infected || nbrs.some(Infect::Infected) {
+                Infect::Infected
+            } else {
+                Infect::Healthy
+            }
+        }
+    }
+
+    fn infected_net(g: &fssga_graph::Graph) -> Network<Spread> {
+        Network::new(g, Spread, |v| {
+            if v == 0 {
+                Infect::Infected
+            } else {
+                Infect::Healthy
+            }
+        })
+    }
+
+    fn all_infected(net: &Network<Spread>) -> bool {
+        net.states().iter().all(|&s| s == Infect::Infected)
+    }
+
+    #[test]
+    fn sync_fixpoint_on_path() {
+        let g = generators::path(10);
+        let mut net = infected_net(&g);
+        // 9 spreading rounds + 1 quiescent round.
+        assert_eq!(SyncScheduler::run_to_fixpoint(&mut net, 100), Some(10));
+        assert!(all_infected(&net));
+    }
+
+    #[test]
+    fn sync_fixpoint_budget_exceeded() {
+        let g = generators::path(10);
+        let mut net = infected_net(&g);
+        assert_eq!(SyncScheduler::run_to_fixpoint(&mut net, 3), None);
+    }
+
+    #[test]
+    fn round_robin_sweeps_converge() {
+        let g = generators::cycle(12);
+        let mut net = infected_net(&g);
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let sweeps =
+            AsyncScheduler::run_to_fixpoint(&mut net, &mut rng, 100, AsyncPolicy::RoundRobin)
+                .expect("converges");
+        // Round-robin in id order spreads clockwise a full arc per sweep,
+        // so very few sweeps are needed — but at least 2 (last is quiet).
+        assert!(sweeps >= 2);
+        assert!(all_infected(&net));
+    }
+
+    #[test]
+    fn random_permutation_sweeps_converge() {
+        let g = generators::grid(5, 5);
+        let mut net = infected_net(&g);
+        let mut rng = Xoshiro256::seed_from_u64(10);
+        AsyncScheduler::run_to_fixpoint(&mut net, &mut rng, 200, AsyncPolicy::RandomPermutation)
+            .expect("converges");
+        assert!(all_infected(&net));
+    }
+
+    #[test]
+    fn uniform_random_eventually_spreads() {
+        let g = generators::path(6);
+        let mut net = infected_net(&g);
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        AsyncScheduler::run_steps(&mut net, &mut rng, 10_000, AsyncPolicy::UniformRandom);
+        assert!(all_infected(&net));
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep-based")]
+    fn uniform_random_fixpoint_rejected() {
+        let g = generators::path(3);
+        let mut net = infected_net(&g);
+        let mut rng = Xoshiro256::seed_from_u64(12);
+        let _ =
+            AsyncScheduler::run_to_fixpoint(&mut net, &mut rng, 10, AsyncPolicy::UniformRandom);
+    }
+
+    #[test]
+    fn adversarial_order_can_stall_or_finish() {
+        let g = generators::path(4);
+        // Worst order: far end first — nothing to see, no spread beyond 1.
+        let mut net = infected_net(&g);
+        let mut rng = Xoshiro256::seed_from_u64(13);
+        let changes = AsyncScheduler::run_order(&mut net, &mut rng, &[3, 2, 1]);
+        assert_eq!(changes, 1, "only node 1 sees the infection");
+        // Best order: 1, 2, 3 — full spread in one pass.
+        let mut net2 = infected_net(&g);
+        let changes2 = AsyncScheduler::run_order(&mut net2, &mut rng, &[1, 2, 3]);
+        assert_eq!(changes2, 3);
+        assert!(all_infected(&net2));
+    }
+
+    #[test]
+    fn run_rounds_counts_changes() {
+        let g = generators::path(5);
+        let mut net = infected_net(&g);
+        let mut rng = Xoshiro256::seed_from_u64(14);
+        let changes = SyncScheduler::run_rounds(&mut net, &mut rng, 2);
+        assert_eq!(changes, 2);
+    }
+}

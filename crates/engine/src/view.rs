@@ -1,0 +1,299 @@
+//! The restricted neighbour view.
+//!
+//! A finite-state node with unbounded degree "cannot even count its
+//! neighbours" (Section 1). Everything it *can* learn about the neighbour
+//! multiset is captured by mod atoms and thresh atoms (Theorem 3.7), so
+//! this is exactly — and only — what [`NeighborView`] exposes. Protocols
+//! written against this API are SM functions of the neighbour multiset by
+//! construction.
+//!
+//! The engine itself holds the true multiplicity vector (it is a
+//! simulator, not a node), and an optional [`QueryRecorder`] notes the
+//! largest threshold and the lcm of moduli used per state — the data
+//! needed to compile the protocol into a mod-thresh program
+//! (see [`crate::compile`]).
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+
+use crate::protocol::StateSpace;
+
+/// Records which finite-state queries a protocol performs, per state id.
+#[derive(Clone, Debug)]
+pub struct QueryRecorder {
+    /// Per-state max `t` over all `μ >= t` / `μ < t` queries (at least 1).
+    pub thresholds: Vec<u64>,
+    /// Per-state lcm of all moduli queried (at least 1).
+    pub moduli: Vec<u64>,
+}
+
+impl QueryRecorder {
+    /// A fresh recorder for an alphabet of `s` states.
+    pub fn new(s: usize) -> Self {
+        Self { thresholds: vec![1; s], moduli: vec![1; s] }
+    }
+
+    fn record_thresh(&mut self, q: usize, t: u64) {
+        self.thresholds[q] = self.thresholds[q].max(t);
+    }
+
+    fn record_mod(&mut self, q: usize, m: u64) {
+        self.moduli[q] = fssga_core::modthresh::lcm(self.moduli[q], m);
+    }
+
+    /// Merges another recorder's observations into this one.
+    pub fn merge(&mut self, other: &QueryRecorder) {
+        for q in 0..self.thresholds.len() {
+            self.thresholds[q] = self.thresholds[q].max(other.thresholds[q]);
+            self.moduli[q] = fssga_core::modthresh::lcm(self.moduli[q], other.moduli[q]);
+        }
+    }
+}
+
+/// A symmetric, finite-state view of a neighbour multiset.
+///
+/// All methods are functions of the multiplicity vector only, and each is
+/// realizable by a finite boolean combination of mod/thresh atoms — the
+/// doc comment of every method names the realization.
+pub struct NeighborView<'a, S: StateSpace> {
+    counts: &'a [u32],
+    /// Indices with nonzero count, when the engine already knows them
+    /// (the activation tally's touched-list). Lets [`Self::present_states`]
+    /// run in O(distinct states) instead of O(|Q|) — essential for
+    /// product-state protocols with tens of thousands of states.
+    presence: Option<&'a [u32]>,
+    recorder: Option<&'a RefCell<QueryRecorder>>,
+    _ph: PhantomData<S>,
+}
+
+impl<'a, S: StateSpace> NeighborView<'a, S> {
+    /// Engine-internal constructor. `counts` has length `S::COUNT`;
+    /// `presence`, if given, lists exactly the indices with nonzero count.
+    pub(crate) fn new_with_presence(
+        counts: &'a [u32],
+        presence: Option<&'a [u32]>,
+        recorder: Option<&'a RefCell<QueryRecorder>>,
+    ) -> Self {
+        debug_assert_eq!(counts.len(), S::COUNT);
+        Self { counts, presence, recorder, _ph: PhantomData }
+    }
+
+    /// Engine-internal constructor. `counts` has length `S::COUNT`.
+    pub(crate) fn new(counts: &'a [u32], recorder: Option<&'a RefCell<QueryRecorder>>) -> Self {
+        Self::new_with_presence(counts, None, recorder)
+    }
+
+    /// Builds a view over an explicit multiplicity vector — useful in
+    /// protocol unit tests, which can then exercise a transition function
+    /// without a graph.
+    pub fn over(counts: &'a [u32]) -> Self {
+        assert_eq!(counts.len(), S::COUNT);
+        Self { counts, presence: None, recorder: None, _ph: PhantomData }
+    }
+
+    /// `μ_q >= t` — the negated thresh atom `¬(μ_q < t)`. `t >= 1`.
+    pub fn at_least(&self, q: S, t: u32) -> bool {
+        assert!(t >= 1, "thresh atoms need t >= 1");
+        if let Some(rec) = self.recorder {
+            rec.borrow_mut().record_thresh(q.index(), t as u64);
+        }
+        self.counts[q.index()] >= t
+    }
+
+    /// `μ_q < t` — a thresh atom. `t >= 1`.
+    pub fn fewer_than(&self, q: S, t: u32) -> bool {
+        !self.at_least(q, t)
+    }
+
+    /// Some neighbour is in state `q`: `μ_q >= 1`.
+    pub fn some(&self, q: S) -> bool {
+        self.at_least(q, 1)
+    }
+
+    /// No neighbour is in state `q`: `μ_q < 1`.
+    pub fn none(&self, q: S) -> bool {
+        !self.some(q)
+    }
+
+    /// Exactly one neighbour is in state `q`: `μ_q >= 1 ∧ ¬(μ_q >= 2)`.
+    pub fn exactly_one(&self, q: S) -> bool {
+        self.at_least(q, 1) && !self.at_least(q, 2)
+    }
+
+    /// `min(μ_q, cap)` — realizable from the thresh atoms `μ_q < t` for
+    /// `t = 1..=cap`.
+    pub fn count_capped(&self, q: S, cap: u32) -> u32 {
+        assert!(cap >= 1);
+        if let Some(rec) = self.recorder {
+            rec.borrow_mut().record_thresh(q.index(), cap as u64);
+        }
+        self.counts[q.index()].min(cap)
+    }
+
+    /// `μ_q mod m` — realizable from the mod atoms `μ_q ≡ r (mod m)`,
+    /// `r = 0..m`. `m >= 1`.
+    pub fn count_mod(&self, q: S, m: u32) -> u32 {
+        assert!(m >= 1, "mod atoms need m >= 1");
+        if let Some(rec) = self.recorder {
+            rec.borrow_mut().record_mod(q.index(), m as u64);
+        }
+        self.counts[q.index()] % m
+    }
+
+    /// `μ_q ≡ r (mod m)` — a mod atom.
+    pub fn congruent(&self, q: S, r: u32, m: u32) -> bool {
+        self.count_mod(q, m) == r
+    }
+
+    /// Whether the total degree is at least `t`. Realizable as a finite
+    /// disjunction over compositions: e.g. `deg >= 2` is
+    /// `∨_q (μ_q >= 2) ∨ ∨_{q<q'} (μ_q >= 1 ∧ μ_{q'} >= 1)`. Since the
+    /// realization touches every state, the recorder notes threshold `t`
+    /// on all of them.
+    pub fn degree_at_least(&self, t: u32) -> bool {
+        assert!(t >= 1);
+        if let Some(rec) = self.recorder {
+            let mut rec = rec.borrow_mut();
+            for q in 0..S::COUNT {
+                rec.record_thresh(q, t as u64);
+            }
+        }
+        let mut total = 0u64;
+        for &c in self.counts {
+            total += c as u64;
+            if total >= t as u64 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Iterates over the states that occur at least once among the
+    /// neighbours (a sequence of `μ_q >= 1` queries — still symmetric).
+    ///
+    /// The iteration order is an engine detail; protocols must treat the
+    /// result as an unordered set (aggregate with min/max/any, never
+    /// "first wins").
+    pub fn present_states(&self) -> impl Iterator<Item = S> + '_ {
+        if let Some(rec) = self.recorder {
+            let mut rec = rec.borrow_mut();
+            for q in 0..S::COUNT {
+                rec.record_thresh(q, 1);
+            }
+        }
+        let from_presence = self.presence.map(|p| p.iter().map(|&i| S::from_index(i as usize)));
+        let from_scan = if self.presence.is_none() {
+            Some(
+                self.counts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(i, _)| S::from_index(i)),
+            )
+        } else {
+            None
+        };
+        from_presence
+            .into_iter()
+            .flatten()
+            .chain(from_scan.into_iter().flatten())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impl_state_space;
+
+    #[derive(Copy, Clone, PartialEq, Eq, Debug)]
+    enum S3 {
+        X,
+        Y,
+        Z,
+    }
+    impl_state_space!(S3 { X, Y, Z });
+
+    #[test]
+    fn thresh_queries() {
+        let counts = [0u32, 2, 5];
+        let v: NeighborView<'_, S3> = NeighborView::over(&counts);
+        assert!(v.none(S3::X));
+        assert!(v.some(S3::Y));
+        assert!(!v.exactly_one(S3::Y));
+        assert!(v.at_least(S3::Z, 5));
+        assert!(!v.at_least(S3::Z, 6));
+        assert!(v.fewer_than(S3::X, 1));
+    }
+
+    #[test]
+    fn mod_queries() {
+        let counts = [0u32, 2, 5];
+        let v: NeighborView<'_, S3> = NeighborView::over(&counts);
+        assert_eq!(v.count_mod(S3::Z, 3), 2);
+        assert!(v.congruent(S3::Y, 0, 2));
+        assert!(v.congruent(S3::Z, 0, 5));
+        assert!(!v.congruent(S3::Z, 0, 4));
+        assert!(v.congruent(S3::Z, 0, 1));
+    }
+
+    #[test]
+    fn capped_count() {
+        let counts = [0u32, 2, 5];
+        let v: NeighborView<'_, S3> = NeighborView::over(&counts);
+        assert_eq!(v.count_capped(S3::Z, 3), 3);
+        assert_eq!(v.count_capped(S3::Y, 3), 2);
+        assert_eq!(v.count_capped(S3::X, 3), 0);
+    }
+
+    #[test]
+    fn degree_queries() {
+        let counts = [1u32, 0, 2];
+        let v: NeighborView<'_, S3> = NeighborView::over(&counts);
+        assert!(v.degree_at_least(1));
+        assert!(v.degree_at_least(3));
+        assert!(!v.degree_at_least(4));
+    }
+
+    #[test]
+    fn present_states_lists_nonzero() {
+        let counts = [1u32, 0, 2];
+        let v: NeighborView<'_, S3> = NeighborView::over(&counts);
+        let present: Vec<S3> = v.present_states().collect();
+        assert_eq!(present, vec![S3::X, S3::Z]);
+    }
+
+    #[test]
+    fn recorder_captures_queries() {
+        let counts = [1u32, 0, 2];
+        let rec = RefCell::new(QueryRecorder::new(3));
+        let v: NeighborView<'_, S3> = NeighborView::new(&counts, Some(&rec));
+        let _ = v.at_least(S3::Y, 4);
+        let _ = v.count_mod(S3::Z, 6);
+        let _ = v.count_mod(S3::Z, 4);
+        let _ = v.count_capped(S3::X, 2);
+        let r = rec.borrow();
+        assert_eq!(r.thresholds, vec![2, 4, 1]);
+        assert_eq!(r.moduli, vec![1, 1, 12]);
+    }
+
+    #[test]
+    fn recorder_merge() {
+        let mut a = QueryRecorder::new(2);
+        a.record_thresh(0, 3);
+        a.record_mod(1, 4);
+        let mut b = QueryRecorder::new(2);
+        b.record_thresh(0, 2);
+        b.record_mod(1, 6);
+        a.merge(&b);
+        assert_eq!(a.thresholds, vec![3, 1]);
+        assert_eq!(a.moduli, vec![1, 12]);
+    }
+
+    #[test]
+    #[should_panic(expected = "t >= 1")]
+    fn zero_threshold_rejected() {
+        let counts = [0u32, 0, 0];
+        let v: NeighborView<'_, S3> = NeighborView::over(&counts);
+        let _ = v.at_least(S3::X, 0);
+    }
+}

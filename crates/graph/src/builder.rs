@@ -1,0 +1,99 @@
+//! Incremental construction of [`Graph`]s.
+
+use std::collections::BTreeSet;
+
+use crate::{Edge, Graph, NodeId};
+
+/// A set-backed edge accumulator.
+///
+/// Generators that add edges opportunistically (random graphs, chord
+/// insertions) use this to get silent idempotence — [`Graph::from_edges`]
+/// itself rejects duplicates, because for an explicit edge list a duplicate
+/// is a bug, but for a generator it is often just a re-draw.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: BTreeSet<Edge>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self { n, edges: BTreeSet::new() }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct edges added so far.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{u, v}`. Returns `true` if it was new.
+    /// Self-loops are rejected with a panic.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        assert!(u != v, "self-loop ({u},{v}) not allowed");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range for n={}",
+            self.n
+        );
+        self.edges.insert((u.min(v), u.max(v)))
+    }
+
+    /// Whether `{u, v}` has been added.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edges.contains(&(u.min(v), u.max(v)))
+    }
+
+    /// Finalizes into a CSR [`Graph`].
+    pub fn build(self) -> Graph {
+        let edges: Vec<Edge> = self.edges.into_iter().collect();
+        Graph::from_edges(self.n, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_adds_are_idempotent() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge(0, 1));
+        assert!(!b.add_edge(1, 0));
+        assert_eq!(b.m(), 1);
+        let g = b.build();
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn has_edge_is_orientation_free() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(2, 1);
+        assert!(b.has_edge(1, 2));
+        assert!(!b.has_edge(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        GraphBuilder::new(2).add_edge(0, 0);
+    }
+
+    #[test]
+    fn build_preserves_counts() {
+        let mut b = GraphBuilder::new(5);
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 10);
+    }
+}

@@ -1,0 +1,260 @@
+//! Mutable graphs supporting *decreasing benign faults*.
+//!
+//! The paper's fault model (Section 1) only ever removes structure: "a node
+//! or edge may permanently be deleted from the graph because it
+//! malfunctions, but nodes and edges never join the network". [`DynGraph`]
+//! implements exactly that interface — deletion only — so the type system
+//! itself rules out the faults the model excludes.
+
+use crate::{Edge, Graph, NodeId};
+
+/// An undirected graph from which edges and nodes can be removed.
+///
+/// Adjacency is an unsorted `Vec` per node; removals use `swap_remove`, so
+/// deleting an edge costs O(deg(u) + deg(v)) and deleting a node costs the
+/// sum over its incident edges. Node deletion marks the node dead; dead
+/// nodes keep their id (ids are stable for the lifetime of the simulation)
+/// but have no neighbours and are skipped by schedulers.
+#[derive(Clone, Debug)]
+pub struct DynGraph {
+    adj: Vec<Vec<NodeId>>,
+    alive: Vec<bool>,
+    m: usize,
+    alive_count: usize,
+}
+
+impl DynGraph {
+    /// Starts from an immutable snapshot.
+    pub fn from_graph(g: &Graph) -> Self {
+        let adj = g.nodes().map(|v| g.neighbors(v).to_vec()).collect();
+        Self {
+            adj,
+            alive: vec![true; g.n()],
+            m: g.m(),
+            alive_count: g.n(),
+        }
+    }
+
+    /// Total node slots (alive or dead); ids range over `0..n_slots()`.
+    pub fn n_slots(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of alive nodes.
+    pub fn n_alive(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Number of remaining undirected edges.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Whether node `v` is still alive.
+    #[inline]
+    pub fn is_alive(&self, v: NodeId) -> bool {
+        self.alive[v as usize]
+    }
+
+    /// Current neighbours of `v` (unordered). Empty for dead nodes.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v as usize]
+    }
+
+    /// Current degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Whether `{u,v}` is currently an edge.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u as usize].contains(&v)
+    }
+
+    /// Iterates alive node ids.
+    pub fn alive_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n_slots() as NodeId).filter(move |&v| self.alive[v as usize])
+    }
+
+    /// Removes the edge `{u, v}`. Returns `true` if it existed.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let removed = Self::remove_from(&mut self.adj[u as usize], v);
+        if removed {
+            let also = Self::remove_from(&mut self.adj[v as usize], u);
+            debug_assert!(also, "adjacency lists out of sync");
+            self.m -= 1;
+        }
+        removed
+    }
+
+    /// Removes node `v` and all incident edges. Returns `true` if it was
+    /// alive.
+    pub fn remove_node(&mut self, v: NodeId) -> bool {
+        if !self.alive[v as usize] {
+            return false;
+        }
+        self.alive[v as usize] = false;
+        self.alive_count -= 1;
+        let nbrs = std::mem::take(&mut self.adj[v as usize]);
+        self.m -= nbrs.len();
+        for u in nbrs {
+            let removed = Self::remove_from(&mut self.adj[u as usize], v);
+            debug_assert!(removed, "adjacency lists out of sync");
+        }
+        true
+    }
+
+    fn remove_from(list: &mut Vec<NodeId>, x: NodeId) -> bool {
+        if let Some(i) = list.iter().position(|&y| y == x) {
+            list.swap_remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Snapshot of the *current* graph as a CSR [`Graph`] over all node
+    /// slots (dead nodes appear isolated). Useful for handing the exact
+    /// oracles a consistent view mid-fault-campaign.
+    pub fn snapshot(&self) -> Graph {
+        let edges: Vec<Edge> = self.edges().collect();
+        Graph::from_edges(self.n_slots(), &edges)
+    }
+
+    /// Iterates remaining undirected edges, each once with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.n_slots() as NodeId).flat_map(move |u| {
+            self.adj[u as usize]
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// The set of alive nodes reachable from `start` in the current graph
+    /// (`start` included, if alive).
+    pub fn component_of(&self, start: NodeId) -> Vec<NodeId> {
+        if !self.is_alive(start) {
+            return Vec::new();
+        }
+        let mut seen = vec![false; self.n_slots()];
+        let mut stack = vec![start];
+        let mut out = Vec::new();
+        seen[start as usize] = true;
+        while let Some(v) = stack.pop() {
+            out.push(v);
+            for &w in self.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether the alive part of the graph is connected (vacuously true if
+    /// fewer than two alive nodes remain).
+    pub fn is_connected(&self) -> bool {
+        let mut alive = self.alive_nodes();
+        match alive.next() {
+            None => true,
+            Some(v) => self.component_of(v).len() == self.n_alive(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn starts_equal_to_source() {
+        let g = generators::cycle(5);
+        let d = DynGraph::from_graph(&g);
+        assert_eq!(d.n_alive(), 5);
+        assert_eq!(d.m(), 5);
+        assert!(d.is_connected());
+        for v in g.nodes() {
+            let mut a = d.neighbors(v).to_vec();
+            a.sort_unstable();
+            assert_eq!(a, g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn edge_removal_updates_both_sides() {
+        let g = generators::cycle(4);
+        let mut d = DynGraph::from_graph(&g);
+        assert!(d.remove_edge(0, 1));
+        assert!(!d.has_edge(0, 1));
+        assert!(!d.has_edge(1, 0));
+        assert_eq!(d.m(), 3);
+        assert!(d.is_connected(), "cycle minus one edge is a path");
+        assert!(!d.remove_edge(0, 1), "double removal reports false");
+    }
+
+    #[test]
+    fn node_removal_clears_incident_edges() {
+        let g = generators::complete(4);
+        let mut d = DynGraph::from_graph(&g);
+        assert!(d.remove_node(2));
+        assert!(!d.is_alive(2));
+        assert_eq!(d.n_alive(), 3);
+        assert_eq!(d.m(), 3, "K4 minus a node is K3");
+        assert_eq!(d.degree(2), 0);
+        assert!(!d.remove_node(2));
+        for v in [0u32, 1, 3] {
+            assert!(!d.neighbors(v).contains(&2));
+        }
+    }
+
+    #[test]
+    fn disconnection_is_detected() {
+        let g = generators::path(4); // 0-1-2-3
+        let mut d = DynGraph::from_graph(&g);
+        d.remove_edge(1, 2);
+        assert!(!d.is_connected());
+        assert_eq!(d.component_of(0), vec![0, 1]);
+        assert_eq!(d.component_of(3), vec![2, 3]);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let g = generators::grid(3, 3);
+        let mut d = DynGraph::from_graph(&g);
+        d.remove_edge(0, 1);
+        d.remove_node(8);
+        let s = d.snapshot();
+        assert_eq!(s.n(), 9);
+        assert_eq!(s.m(), d.m());
+        assert!(!s.has_edge(0, 1));
+        assert_eq!(s.degree(8), 0);
+    }
+
+    #[test]
+    fn component_of_dead_node_is_empty() {
+        let g = generators::path(3);
+        let mut d = DynGraph::from_graph(&g);
+        d.remove_node(1);
+        assert!(d.component_of(1).is_empty());
+        assert!(!d.is_connected());
+    }
+
+    #[test]
+    fn fully_deleted_graph_is_trivially_connected() {
+        let g = generators::path(3);
+        let mut d = DynGraph::from_graph(&g);
+        for v in 0..3 {
+            d.remove_node(v);
+        }
+        assert_eq!(d.n_alive(), 0);
+        assert_eq!(d.m(), 0);
+        assert!(d.is_connected());
+    }
+}

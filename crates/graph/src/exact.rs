@@ -1,0 +1,502 @@
+//! Centralized reference algorithms.
+//!
+//! The distributed FSSGA protocols are validated against these classical
+//! implementations: BFS distances against the §4.3 protocol, Tarjan bridges
+//! against the §2.1 random-walk detector, bipartiteness against the §4.1
+//! 2-colouring, and so on. Everything here is deliberately simple,
+//! allocation-conscious, and iterative (no recursion — the experiment graphs
+//! include paths with 10^5 nodes, which would overflow a DFS stack).
+
+use std::collections::VecDeque;
+
+use crate::{Edge, Graph, NodeId};
+
+/// Distance (in hops) not reachable marker.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Multi-source BFS distances. `dist[v]` is the hop distance from `v` to
+/// the nearest source, or [`UNREACHABLE`].
+pub fn bfs_distances(g: &Graph, sources: &[NodeId]) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::with_capacity(sources.len());
+    for &s in sources {
+        if dist[s as usize] == UNREACHABLE {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components: returns `(count, comp)` where `comp[v]` is the
+/// 0-based component index of `v`.
+pub fn connected_components(g: &Graph) -> (usize, Vec<u32>) {
+    let mut comp = vec![u32::MAX; g.n()];
+    let mut count = 0u32;
+    let mut stack = Vec::new();
+    for s in g.nodes() {
+        if comp[s as usize] != u32::MAX {
+            continue;
+        }
+        comp[s as usize] = count;
+        stack.push(s);
+        while let Some(v) = stack.pop() {
+            for &w in g.neighbors(v) {
+                if comp[w as usize] == u32::MAX {
+                    comp[w as usize] = count;
+                    stack.push(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    (count as usize, comp)
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.n() == 0 || connected_components(g).0 == 1
+}
+
+/// Proper 2-colouring if one exists (graph bipartite), else `None`.
+/// Works per component; colours are 0/1.
+pub fn bipartition(g: &Graph) -> Option<Vec<u8>> {
+    let mut colour = vec![u8::MAX; g.n()];
+    let mut queue = VecDeque::new();
+    for s in g.nodes() {
+        if colour[s as usize] != u8::MAX {
+            continue;
+        }
+        colour[s as usize] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            let cv = colour[v as usize];
+            for &w in g.neighbors(v) {
+                if colour[w as usize] == u8::MAX {
+                    colour[w as usize] = 1 - cv;
+                    queue.push_back(w);
+                } else if colour[w as usize] == cv {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(colour)
+}
+
+/// All bridges, via an iterative Tarjan low-link DFS. Output edges are
+/// normalized `(min, max)` and sorted.
+pub fn bridges(g: &Graph) -> Vec<Edge> {
+    let n = g.n();
+    let mut disc = vec![0u32; n]; // 0 = unvisited; otherwise discovery time + 1
+    let mut low = vec![0u32; n];
+    let mut out = Vec::new();
+    let mut timer = 1u32;
+    // Explicit DFS stack: (node, parent, next-neighbour-index, skipped-one-parent-edge)
+    let mut stack: Vec<(NodeId, NodeId, usize, bool)> = Vec::new();
+    for root in g.nodes() {
+        if disc[root as usize] != 0 {
+            continue;
+        }
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+        stack.push((root, root, 0, true));
+        while let Some(&mut (v, parent, ref mut idx, ref mut parent_skipped)) = stack.last_mut() {
+            let nbrs = g.neighbors(v);
+            if *idx < nbrs.len() {
+                let w = nbrs[*idx];
+                *idx += 1;
+                if w == parent && !*parent_skipped {
+                    // Skip exactly one copy of the tree edge back to the
+                    // parent; parallel edges would be handled here, but the
+                    // Graph type forbids them anyway.
+                    *parent_skipped = true;
+                    continue;
+                }
+                if disc[w as usize] == 0 {
+                    disc[w as usize] = timer;
+                    low[w as usize] = timer;
+                    timer += 1;
+                    stack.push((w, v, 0, false));
+                } else {
+                    low[v as usize] = low[v as usize].min(disc[w as usize]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&mut (p, _, _, _)) = stack.last_mut() {
+                    low[p as usize] = low[p as usize].min(low[v as usize]);
+                    if low[v as usize] > disc[p as usize] {
+                        out.push((p.min(v), p.max(v)));
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// All articulation points (cut vertices), iterative Tarjan. Sorted.
+pub fn articulation_points(g: &Graph) -> Vec<NodeId> {
+    let n = g.n();
+    let mut disc = vec![0u32; n];
+    let mut low = vec![0u32; n];
+    let mut is_art = vec![false; n];
+    let mut timer = 1u32;
+    let mut stack: Vec<(NodeId, NodeId, usize, bool)> = Vec::new();
+    for root in g.nodes() {
+        if disc[root as usize] != 0 {
+            continue;
+        }
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+        stack.push((root, root, 0, true));
+        let mut root_children = 0usize;
+        while let Some(&mut (v, parent, ref mut idx, ref mut parent_skipped)) = stack.last_mut() {
+            let nbrs = g.neighbors(v);
+            if *idx < nbrs.len() {
+                let w = nbrs[*idx];
+                *idx += 1;
+                if w == parent && !*parent_skipped {
+                    *parent_skipped = true;
+                    continue;
+                }
+                if disc[w as usize] == 0 {
+                    if v == root {
+                        root_children += 1;
+                    }
+                    disc[w as usize] = timer;
+                    low[w as usize] = timer;
+                    timer += 1;
+                    stack.push((w, v, 0, false));
+                } else {
+                    low[v as usize] = low[v as usize].min(disc[w as usize]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&mut (p, _, _, _)) = stack.last_mut() {
+                    low[p as usize] = low[p as usize].min(low[v as usize]);
+                    if p != root && low[v as usize] >= disc[p as usize] {
+                        is_art[p as usize] = true;
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_art[root as usize] = true;
+        }
+    }
+    (0..n as NodeId).filter(|&v| is_art[v as usize]).collect()
+}
+
+/// Eccentricity of `v` (max BFS distance), or `None` if the graph is
+/// disconnected from `v`'s perspective.
+pub fn eccentricity(g: &Graph, v: NodeId) -> Option<u32> {
+    let dist = bfs_distances(g, &[v]);
+    let mut ecc = 0;
+    for &d in &dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        ecc = ecc.max(d);
+    }
+    Some(ecc)
+}
+
+/// Exact diameter via BFS from every node (O(nm)); `None` if disconnected.
+/// Fine for experiment-sized graphs; not intended for n in the millions.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    if g.n() == 0 {
+        return Some(0);
+    }
+    let mut best = 0;
+    for v in g.nodes() {
+        best = best.max(eccentricity(g, v)?);
+    }
+    Some(best)
+}
+
+/// A BFS spanning tree rooted at `root`: `parent[v]` is the BFS parent
+/// (`parent[root] = root`), or `UNREACHABLE` for unreachable nodes.
+pub fn bfs_tree(g: &Graph, root: NodeId) -> Vec<u32> {
+    let mut parent = vec![UNREACHABLE; g.n()];
+    parent[root as usize] = root;
+    let mut queue = VecDeque::new();
+    queue.push_back(root);
+    while let Some(v) = queue.pop_front() {
+        for &w in g.neighbors(v) {
+            if parent[w as usize] == UNREACHABLE {
+                parent[w as usize] = v;
+                queue.push_back(w);
+            }
+        }
+    }
+    parent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::*;
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn bfs_single_source_on_path() {
+        let g = path(5);
+        assert_eq!(bfs_distances(&g, &[0]), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, &[2]), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_multi_source() {
+        let g = path(7);
+        assert_eq!(bfs_distances(&g, &[0, 6]), vec![0, 1, 2, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn bfs_repeated_sources_ok() {
+        let g = path(3);
+        assert_eq!(bfs_distances(&g, &[0, 0]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let d = bfs_distances(&g, &[0]);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn components_counts() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let (k, comp) = connected_components(&g);
+        assert_eq!(k, 3);
+        assert_eq!(comp[0], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[5], comp[0]);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(is_connected(&cycle(5)));
+        assert!(!is_connected(&Graph::from_edges(3, &[(0, 1)])));
+        assert!(is_connected(&Graph::from_edges(0, &[])));
+        assert!(is_connected(&Graph::from_edges(1, &[])));
+    }
+
+    #[test]
+    fn bipartition_valid_colouring() {
+        let g = grid(4, 5);
+        let c = bipartition(&g).expect("grids are bipartite");
+        for (u, v) in g.edges() {
+            assert_ne!(c[u as usize], c[v as usize]);
+        }
+    }
+
+    #[test]
+    fn bipartition_rejects_odd_cycles() {
+        assert!(bipartition(&cycle(9)).is_none());
+        assert!(bipartition(&complete(3)).is_none());
+        assert!(bipartition(&cycle(10)).is_some());
+    }
+
+    #[test]
+    fn bridges_on_trees_are_all_edges() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let g = random_tree(50, &mut rng);
+        assert_eq!(bridges(&g).len(), 49);
+    }
+
+    #[test]
+    fn bridges_absent_in_2_edge_connected() {
+        assert!(bridges(&cycle(10)).is_empty());
+        assert!(bridges(&complete(5)).is_empty());
+        assert!(bridges(&torus(4, 4)).is_empty());
+    }
+
+    #[test]
+    fn bridges_mixed_case() {
+        // Two triangles joined by a single edge: that edge is the only bridge.
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        assert_eq!(bridges(&g), vec![(2, 3)]);
+    }
+
+    #[test]
+    fn bridges_match_bruteforce_on_random_graphs() {
+        let mut rng = Xoshiro256::seed_from_u64(77);
+        for trial in 0..20 {
+            let g = connected_gnp(24, 0.08, &mut rng);
+            let fast = bridges(&g);
+            // Brute force: an edge is a bridge iff removing it disconnects.
+            let mut slow = Vec::new();
+            let all: Vec<Edge> = g.edges().collect();
+            for &(u, v) in &all {
+                let rest: Vec<Edge> =
+                    all.iter().copied().filter(|&e| e != (u, v)).collect();
+                let h = Graph::from_edges(g.n(), &rest);
+                let (k, _) = connected_components(&h);
+                if k > 1 {
+                    slow.push((u, v));
+                }
+            }
+            slow.sort_unstable();
+            assert_eq!(fast, slow, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn articulation_points_match_bruteforce() {
+        let mut rng = Xoshiro256::seed_from_u64(88);
+        for trial in 0..20 {
+            let g = connected_gnp(20, 0.1, &mut rng);
+            let fast = articulation_points(&g);
+            let mut slow = Vec::new();
+            for v in g.nodes() {
+                // Remove v: does the rest disconnect?
+                let rest: Vec<Edge> = g
+                    .edges()
+                    .filter(|&(a, b)| a != v && b != v)
+                    .collect();
+                let h = Graph::from_edges(g.n(), &rest);
+                let (_, comp) = connected_components(&h);
+                let mut classes = std::collections::BTreeSet::new();
+                for u in g.nodes() {
+                    if u != v {
+                        classes.insert(comp[u as usize]);
+                    }
+                }
+                if classes.len() > 1 {
+                    slow.push(v);
+                }
+            }
+            assert_eq!(fast, slow, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn diameter_known_values() {
+        assert_eq!(diameter(&path(10)), Some(9));
+        assert_eq!(diameter(&cycle(10)), Some(5));
+        assert_eq!(diameter(&complete(7)), Some(1));
+        assert_eq!(diameter(&grid(3, 4)), Some(5));
+        assert_eq!(diameter(&petersen()), Some(2));
+        assert_eq!(diameter(&Graph::from_edges(2, &[])), None);
+    }
+
+    #[test]
+    fn eccentricity_path_ends() {
+        let g = path(9);
+        assert_eq!(eccentricity(&g, 0), Some(8));
+        assert_eq!(eccentricity(&g, 4), Some(4));
+    }
+
+    #[test]
+    fn bfs_tree_is_spanning_and_consistent() {
+        let g = grid(4, 4);
+        let parent = bfs_tree(&g, 0);
+        let dist = bfs_distances(&g, &[0]);
+        for v in g.nodes() {
+            assert_ne!(parent[v as usize], UNREACHABLE);
+            if v != 0 {
+                let p = parent[v as usize];
+                assert!(g.has_edge(v, p));
+                assert_eq!(dist[v as usize], dist[p as usize] + 1);
+            }
+        }
+    }
+}
+
+/// 2-edge-connected components: the components left after deleting every
+/// bridge. Returns `(count, comp)` with `comp[v]` the component index.
+/// Two nodes share a component iff they lie on a common cycle (or are
+/// equal) — the equivalence the §2.1 bridge-finding walk computes
+/// distributively.
+pub fn two_edge_connected_components(g: &Graph) -> (usize, Vec<u32>) {
+    let bridge_set: std::collections::HashSet<Edge> = bridges(g).into_iter().collect();
+    let mut comp = vec![u32::MAX; g.n()];
+    let mut count = 0u32;
+    let mut stack = Vec::new();
+    for s in g.nodes() {
+        if comp[s as usize] != u32::MAX {
+            continue;
+        }
+        comp[s as usize] = count;
+        stack.push(s);
+        while let Some(v) = stack.pop() {
+            for &w in g.neighbors(v) {
+                let e = (v.min(w), v.max(w));
+                if comp[w as usize] == u32::MAX && !bridge_set.contains(&e) {
+                    comp[w as usize] = count;
+                    stack.push(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    (count as usize, comp)
+}
+
+#[cfg(test)]
+mod twoecc_tests {
+    use super::*;
+    use crate::generators::*;
+
+    #[test]
+    fn cycles_are_one_component() {
+        let (k, comp) = two_edge_connected_components(&cycle(8));
+        assert_eq!(k, 1);
+        assert!(comp.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn trees_are_all_singletons() {
+        let g = binary_tree(15);
+        let (k, _) = two_edge_connected_components(&g);
+        assert_eq!(k, 15);
+    }
+
+    #[test]
+    fn barbell_has_three_components() {
+        // Two cliques + the path nodes between them.
+        let g = barbell(4, 3);
+        let (k, comp) = two_edge_connected_components(&g);
+        assert_eq!(k, 2 + 2); // two cliques + two interior path nodes
+        assert_eq!(comp[0], comp[1], "left clique is one class");
+        assert_ne!(comp[0], comp[g.n() - 1], "cliques are separate classes");
+    }
+
+    #[test]
+    fn matches_cycle_relation_bruteforce() {
+        // u ~ v iff some simple cycle contains both: check against the
+        // definition via bridge deletion on random graphs.
+        let mut rng = crate::rng::Xoshiro256::seed_from_u64(3);
+        for _ in 0..10 {
+            let g = connected_gnp(18, 0.12, &mut rng);
+            let (_, comp) = two_edge_connected_components(&g);
+            let bset: std::collections::HashSet<Edge> =
+                bridges(&g).into_iter().collect();
+            // Same component => connected without using bridges.
+            for (u, v) in g.edges() {
+                let same = comp[u as usize] == comp[v as usize];
+                let is_bridge = bset.contains(&(u.min(v), u.max(v)));
+                assert_eq!(same, !is_bridge, "edge ({u},{v})");
+            }
+        }
+    }
+}

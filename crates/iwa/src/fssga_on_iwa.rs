@@ -1,0 +1,356 @@
+//! Simulating a synchronous FSSGA round on an IWA, in O(m) agent steps
+//! (Section 5.1, first direction).
+//!
+//! "An IWA can compute a single synchronous FSSGA round in O(m) time, by
+//! using Milgram's traversal algorithm and the neighbour-counting
+//! technique from Lemma 3.8."
+//!
+//! The simulator keeps the agent honest to the IWA discipline:
+//!
+//! * it has a *position* and only ever moves along edges (each move
+//!   counted);
+//! * it reads and writes only the label of its current node (labels are
+//!   tuples from a finite set: the node's current FSSGA state, its
+//!   computed next state, and two finite marks);
+//! * its internal memory is finite: the working state of a sequential SM
+//!   program — or, for mod-thresh programs, the Lemma 3.8 counters, which
+//!   are bounded by `∏ M_i (T_i + 1)`.
+//!
+//! Per round the agent walks a DFS route (2 moves per tree edge), and at
+//! each node visits every neighbour twice (mark + unmark), folding their
+//! states into its finite evaluator: `8m + O(n)` moves per round — the
+//! paper's Θ(m).
+
+use fssga_core::modthresh::ModThreshProgram;
+use fssga_core::{FsmProgram, ProbFssga};
+use fssga_engine::network::round_coin;
+use fssga_graph::{Graph, NodeId};
+
+/// The finite per-node evaluator the agent carries while counting one
+/// neighbourhood.
+enum AgentEval<'a> {
+    /// Sequential program: carry the working state.
+    Seq { prog: &'a fssga_core::SeqProgram, w: usize },
+    /// Parallel program: left-fold (valid for SM programs).
+    Par { prog: &'a fssga_core::ParProgram, w: Option<usize> },
+    /// Mod-thresh program: the Lemma 3.8 counters `(μ mod M_i, min(μ, T_i))`.
+    Counters {
+        prog: &'a ModThreshProgram,
+        moduli: Vec<u64>,
+        thresholds: Vec<u64>,
+        counts: Vec<(u64, u64)>,
+    },
+}
+
+impl<'a> AgentEval<'a> {
+    fn new(prog: &'a FsmProgram) -> Self {
+        match prog {
+            FsmProgram::Seq(p) => AgentEval::Seq { prog: p, w: p.w0() },
+            FsmProgram::Par(p) => AgentEval::Par { prog: p, w: None },
+            FsmProgram::ModThresh(p) => {
+                let moduli = p.moduli();
+                let thresholds = p.thresholds();
+                let counts = vec![(0, 0); p.num_inputs()];
+                AgentEval::Counters { prog: p, moduli, thresholds, counts }
+            }
+        }
+    }
+
+    fn feed(&mut self, q: usize) {
+        match self {
+            AgentEval::Seq { prog, w } => *w = prog.step(*w, q),
+            AgentEval::Par { prog, w } => {
+                let aq = prog.lift(q);
+                *w = Some(match *w {
+                    None => aq,
+                    Some(w) => prog.combine(w, aq),
+                });
+            }
+            AgentEval::Counters { moduli, thresholds, counts, .. } => {
+                let (a, b) = counts[q];
+                counts[q] = ((a + 1) % moduli[q], (b + 1).min(thresholds[q]));
+            }
+        }
+    }
+
+    fn finish(self) -> usize {
+        match self {
+            AgentEval::Seq { prog, w } => prog.output(w),
+            AgentEval::Par { prog, w } => prog.output(w.expect("degree >= 1")),
+            AgentEval::Counters { prog, counts, .. } => {
+                eval_mt_counters(prog, &counts)
+            }
+        }
+    }
+}
+
+fn eval_mt_counters(prog: &ModThreshProgram, counts: &[(u64, u64)]) -> usize {
+    use fssga_core::modthresh::{Atom, Prop};
+    fn eval(p: &Prop, counts: &[(u64, u64)]) -> bool {
+        match p {
+            Prop::True => true,
+            Prop::False => false,
+            Prop::Not(q) => !eval(q, counts),
+            Prop::And(ps) => ps.iter().all(|p| eval(p, counts)),
+            Prop::Or(ps) => ps.iter().any(|p| eval(p, counts)),
+            Prop::Atom(Atom::Mod { state, r, m }) => counts[*state].0 % m == *r,
+            Prop::Atom(Atom::Thresh { state, t }) => counts[*state].1 < *t,
+        }
+    }
+    for (p, r) in prog.clauses() {
+        if eval(p, counts) {
+            return r;
+        }
+    }
+    prog.default_result()
+}
+
+/// The IWA-disciplined simulator of a synchronous FSSGA network.
+pub struct FssgaOnIwa<'a> {
+    auto: &'a ProbFssga,
+    graph: &'a Graph,
+    /// Label field 1: the node's current FSSGA state.
+    cur: Vec<usize>,
+    /// Label field 2: the node's computed next state (commit phase).
+    next: Vec<usize>,
+    agent: NodeId,
+    moves: u64,
+    rounds: u64,
+}
+
+impl<'a> FssgaOnIwa<'a> {
+    /// Builds the simulator; the agent starts at node 0.
+    pub fn new(
+        auto: &'a ProbFssga,
+        graph: &'a Graph,
+        mut init: impl FnMut(NodeId) -> usize,
+    ) -> Self {
+        let cur: Vec<usize> = (0..graph.n() as NodeId).map(&mut init).collect();
+        Self {
+            auto,
+            graph,
+            next: cur.clone(),
+            cur,
+            agent: 0,
+            moves: 0,
+            rounds: 0,
+        }
+    }
+
+    /// Node states after the rounds simulated so far.
+    pub fn states(&self) -> &[usize] {
+        &self.cur
+    }
+
+    /// Total agent moves.
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// Moves the agent along an edge (asserted) and counts the move.
+    fn hop(&mut self, to: NodeId) {
+        debug_assert!(
+            self.graph.has_edge(self.agent, to),
+            "agent may only move along edges"
+        );
+        self.agent = to;
+        self.moves += 1;
+    }
+
+    /// A DFS route over the graph from the agent's position: the visit
+    /// order plus the edge-walk cost (2 per tree edge). The route is what
+    /// Milgram's traversal produces; we generate it centrally but charge
+    /// every hop to the agent.
+    fn dfs_route(&self) -> Vec<NodeId> {
+        let n = self.graph.n();
+        let mut seen = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        let mut stack = vec![self.agent];
+        seen[self.agent as usize] = true;
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            for &w in self.graph.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        order
+    }
+
+    /// Simulates one synchronous round; coins match
+    /// [`fssga_engine::network::round_coin`], so the result is
+    /// bit-identical to [`fssga_engine::interp::InterpNetwork`].
+    /// Returns the agent moves consumed by this round.
+    pub fn sync_round(&mut self, round_seed: u64) -> u64 {
+        let start_moves = self.moves;
+        let route = self.dfs_route();
+        // Phase 1: visit every node; count its neighbourhood; store next.
+        for &v in &route {
+            self.walk_to(v);
+            if self.graph.degree(v) == 0 {
+                self.next[v as usize] = self.cur[v as usize];
+                continue;
+            }
+            let coin = round_coin(round_seed, v, self.auto.randomness() as u32) as usize;
+            let q = self.cur[v as usize];
+            let mut eval = AgentEval::new(self.auto.program(q, coin));
+            // Visit each neighbour (2 hops each) to read its current
+            // state into the finite evaluator; then a second pass to
+            // clear the "counted" marks (2 hops each). We charge the
+            // hops; the mark bits themselves are label fields.
+            let nbrs: Vec<NodeId> = self.graph.neighbors(v).to_vec();
+            for &w in &nbrs {
+                self.hop(w);
+                eval.feed(self.cur[w as usize]);
+                self.hop(v);
+            }
+            for &w in &nbrs {
+                self.hop(w); // unmark pass
+                self.hop(v);
+            }
+            self.next[v as usize] = eval.finish();
+        }
+        // Phase 2: commit.
+        for &v in &route {
+            self.walk_to(v);
+            self.cur[v as usize] = self.next[v as usize];
+        }
+        self.rounds += 1;
+        self.moves - start_moves
+    }
+
+    /// Walks the agent to `v` along a shortest path (cost charged).
+    fn walk_to(&mut self, v: NodeId) {
+        if self.agent == v {
+            return;
+        }
+        // BFS path from current position (centrally computed; hop-charged).
+        let parent = fssga_graph::exact::bfs_tree(self.graph, self.agent);
+        let mut path = vec![v];
+        let mut cur = v;
+        while parent[cur as usize] != cur {
+            cur = parent[cur as usize];
+            path.push(cur);
+        }
+        for &node in path.iter().rev().skip(1) {
+            self.hop(node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fssga_core::library;
+    use fssga_core::modthresh::Prop;
+    use fssga_core::Fssga;
+    use fssga_engine::interp::InterpNetwork;
+    use fssga_graph::generators;
+
+    /// 2-state infection automaton with a mod-thresh program.
+    fn infection() -> ProbFssga {
+        let catch = ModThreshProgram::new(2, 2, vec![(Prop::some(1), 1)], 0).unwrap();
+        let keep = ModThreshProgram::new(2, 2, vec![], 1).unwrap();
+        ProbFssga::from_deterministic(
+            Fssga::new(2, vec![FsmProgram::ModThresh(catch), FsmProgram::ModThresh(keep)])
+                .unwrap(),
+        )
+    }
+
+    /// 3-state automaton using a sequential MAX program for every state.
+    fn max_auto() -> ProbFssga {
+        let f = (0..3)
+            .map(|_| FsmProgram::Seq(library::max_state_seq(3)))
+            .collect();
+        ProbFssga::from_deterministic(Fssga::new(3, f).unwrap())
+    }
+
+    /// Same function, parallel presentation.
+    fn max_auto_par() -> ProbFssga {
+        let f = (0..3)
+            .map(|_| FsmProgram::Par(library::max_state_par(3)))
+            .collect();
+        ProbFssga::from_deterministic(Fssga::new(3, f).unwrap())
+    }
+
+    fn lockstep(auto: &ProbFssga, g: &Graph, init: impl Fn(NodeId) -> usize + Copy, rounds: u64) {
+        let mut iwa = FssgaOnIwa::new(auto, g, init);
+        let mut net = InterpNetwork::new(g, auto, init);
+        for r in 0..rounds {
+            iwa.sync_round(r * 13 + 1);
+            net.sync_step_seeded(r * 13 + 1);
+            assert_eq!(iwa.states(), net.states(), "round {r}");
+        }
+    }
+
+    use fssga_graph::Graph;
+
+    #[test]
+    fn modthresh_lockstep_with_network() {
+        let auto = infection();
+        let g = generators::grid(4, 5);
+        lockstep(&auto, &g, |v| usize::from(v == 0), 8);
+    }
+
+    #[test]
+    fn seq_program_lockstep() {
+        let auto = max_auto();
+        let g = generators::connected_gnp(25, 0.12, &mut fssga_graph::rng::Xoshiro256::seed_from_u64(4));
+        lockstep(&auto, &g, |v| (v as usize) % 3, 6);
+    }
+
+    #[test]
+    fn par_program_lockstep() {
+        let auto = max_auto_par();
+        let g = generators::cycle(12);
+        lockstep(&auto, &g, |v| (v as usize * 2 + 1) % 3, 6);
+    }
+
+    #[test]
+    fn moves_per_round_are_linear_in_m() {
+        let auto = infection();
+        for g in [
+            generators::cycle(30),
+            generators::complete(12),
+            generators::grid(6, 6),
+        ] {
+            let mut iwa = FssgaOnIwa::new(&auto, &g, |v| usize::from(v == 0));
+            let moves = iwa.sync_round(1);
+            // Counting costs 4 hops per directed edge (mark + unmark
+            // visits, each there-and-back): 8m; the two traversal passes
+            // add O(n).
+            let bound = 8 * g.m() as u64 + 6 * g.n() as u64 + 10;
+            assert!(
+                moves <= bound,
+                "moves {moves} > bound {bound} on n={}, m={}",
+                g.n(),
+                g.m()
+            );
+            assert!(moves >= 8 * g.m() as u64, "counting alone needs 8m hops");
+        }
+    }
+
+    #[test]
+    fn probabilistic_automaton_lockstep() {
+        // r = 2: state flips depend on the coin; the shared round_coin
+        // derivation keeps both executions identical.
+        let c0 = ModThreshProgram::new(2, 2, vec![(Prop::some(1), 1)], 0).unwrap();
+        let c1 = ModThreshProgram::new(2, 2, vec![], 0).unwrap();
+        let keep = ModThreshProgram::new(2, 2, vec![], 1).unwrap();
+        let auto = ProbFssga::new(
+            2,
+            2,
+            vec![
+                FsmProgram::ModThresh(c0),
+                FsmProgram::ModThresh(c1),
+                FsmProgram::ModThresh(keep.clone()),
+                FsmProgram::ModThresh(keep),
+            ],
+        )
+        .unwrap();
+        let g = generators::grid(5, 4);
+        lockstep(&auto, &g, |v| usize::from(v % 3 == 0), 10);
+    }
+}

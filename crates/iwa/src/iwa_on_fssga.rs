@@ -1,0 +1,493 @@
+//! Simulating an IWA on an FSSGA network with O(log Δ) expected delay per
+//! IWA step (Section 5.1, second direction).
+//!
+//! The agent is represented by a distinguished node state carrying the
+//! IWA agent state. Non-moving rules take one synchronous round. Moving
+//! rules need *local symmetry breaking* — the agent cannot name a
+//! neighbour — so the candidates (neighbours carrying the destination
+//! label) run the Section 4.4 coin-flip tournament: Θ(log d) expected
+//! rounds among `d` candidates, which is the paper's O(log Δ) delay.
+//!
+//! The node-state alphabet is finite per IWA program: labels `L`, agent
+//! states `S` and rules `R` are const generics, and the protocol stores
+//! the rule list as data. A node state is its label plus a role: idle,
+//! a tournament participant, or the agent (deciding, or mid-election on
+//! rule `r`).
+
+use fssga_engine::{NeighborView, Network, Protocol, StateSpace};
+use fssga_graph::rng::Xoshiro256;
+use fssga_graph::{Graph, NodeId};
+
+use crate::machine::{Guard, Iwa, IwaStep};
+
+/// Tournament role of a non-agent node.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Part {
+    /// Not participating.
+    Idle,
+    /// Flipped heads.
+    Heads,
+    /// Flipped tails.
+    Tails,
+    /// Eliminated this tournament.
+    Eliminated,
+}
+
+/// Phase of an agent mid-move.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum APhase {
+    /// Ask candidates to flip.
+    Flip,
+    /// Wait for flips.
+    Wait,
+    /// Nobody flipped tails: re-run.
+    NoTails,
+    /// Exactly one tails: hand over.
+    OneTails,
+}
+
+/// A node's role.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Role {
+    /// Ordinary node (possibly a tournament participant).
+    Node(Part),
+    /// The agent, about to pick its next rule.
+    AgentDecide {
+        /// Current IWA agent state.
+        state: u8,
+    },
+    /// The agent, electing a move target for rule `rule`.
+    AgentElect {
+        /// The rule being executed.
+        rule: u8,
+        /// Election phase.
+        phase: APhase,
+    },
+}
+
+/// Node state: label × role.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct IwaNode<const L: usize, const S: usize, const R: usize> {
+    /// The IWA node label.
+    pub label: u8,
+    /// The node's role.
+    pub role: Role,
+}
+
+impl<const L: usize, const S: usize, const R: usize> IwaNode<L, S, R> {
+    /// An idle node with the given label.
+    pub fn idle(label: u8) -> Self {
+        IwaNode { label, role: Role::Node(Part::Idle) }
+    }
+
+    /// The agent's starting state at its origin node.
+    pub fn agent(label: u8) -> Self {
+        IwaNode { label, role: Role::AgentDecide { state: 0 } }
+    }
+
+    /// Whether this node currently hosts the agent.
+    pub fn is_agent(self) -> bool {
+        matches!(self.role, Role::AgentDecide { .. } | Role::AgentElect { .. })
+    }
+}
+
+const fn role_count(s: usize, r: usize) -> usize {
+    4 + s + r * 4
+}
+
+impl<const L: usize, const S: usize, const R: usize> StateSpace for IwaNode<L, S, R> {
+    const COUNT: usize = L * role_count(S, R);
+
+    fn index(self) -> usize {
+        let role = match self.role {
+            Role::Node(p) => p as usize,
+            Role::AgentDecide { state } => 4 + state as usize,
+            Role::AgentElect { rule, phase } => 4 + S + (rule as usize) * 4 + phase as usize,
+        };
+        self.label as usize * role_count(S, R) + role
+    }
+
+    fn from_index(i: usize) -> Self {
+        assert!(i < Self::COUNT);
+        let label = (i / role_count(S, R)) as u8;
+        let r = i % role_count(S, R);
+        let role = if r < 4 {
+            Role::Node(match r {
+                0 => Part::Idle,
+                1 => Part::Heads,
+                2 => Part::Tails,
+                _ => Part::Eliminated,
+            })
+        } else if r < 4 + S {
+            Role::AgentDecide { state: (r - 4) as u8 }
+        } else {
+            let e = r - 4 - S;
+            Role::AgentElect {
+                rule: (e / 4) as u8,
+                phase: match e % 4 {
+                    0 => APhase::Flip,
+                    1 => APhase::Wait,
+                    2 => APhase::NoTails,
+                    _ => APhase::OneTails,
+                },
+            }
+        };
+        IwaNode { label, role }
+    }
+}
+
+/// The FSSGA protocol hosting an IWA program.
+pub struct IwaProtocol<const L: usize, const S: usize, const R: usize> {
+    iwa: Iwa,
+}
+
+impl<const L: usize, const S: usize, const R: usize> IwaProtocol<L, S, R> {
+    /// Wraps an IWA program; the const parameters must match its sizes.
+    pub fn new(iwa: Iwa) -> Self {
+        assert!(iwa.num_labels <= L && iwa.num_states <= S && iwa.rules.len() <= R);
+        assert!(L <= 64, "label digest is a fixed 64-slot array");
+        iwa.validate().expect("valid IWA program");
+        Self { iwa }
+    }
+
+    /// The wrapped program.
+    pub fn iwa(&self) -> &Iwa {
+        &self.iwa
+    }
+}
+
+impl<const L: usize, const S: usize, const R: usize> Protocol for IwaProtocol<L, S, R> {
+    type State = IwaNode<L, S, R>;
+    const RANDOMNESS: u32 = 2;
+
+    fn transition(
+        &self,
+        own: IwaNode<L, S, R>,
+        nbrs: &NeighborView<'_, IwaNode<L, S, R>>,
+        coin: u32,
+    ) -> IwaNode<L, S, R> {
+        // Neighbourhood digest.
+        let mut label_present = [false; 64];
+        let mut agent_elect: Option<(u8, APhase)> = None;
+        let mut tails = 0u32;
+        for ps in nbrs.present_states() {
+            label_present[ps.label as usize] = true;
+            match ps.role {
+                Role::AgentElect { rule, phase } => agent_elect = Some((rule, phase)),
+                Role::Node(Part::Tails) => {
+                    tails = (tails + nbrs.count_capped(ps, 2)).min(2);
+                }
+                _ => {}
+            }
+        }
+        let flip = |label: u8| IwaNode::<L, S, R> {
+            label,
+            role: Role::Node(if coin == 0 { Part::Heads } else { Part::Tails }),
+        };
+
+        match own.role {
+            Role::Node(part) => {
+                if let Some((rule_idx, phase)) = agent_elect {
+                    let rule = self.iwa.rules[rule_idx as usize];
+                    let want = rule.move_to.expect("election implies a moving rule");
+                    let participating = own.label == want as u8 || part != Part::Idle;
+                    if !participating {
+                        return own;
+                    }
+                    match (phase, part) {
+                        (APhase::Flip, Part::Heads) => IwaNode {
+                            label: own.label,
+                            role: Role::Node(Part::Eliminated),
+                        },
+                        (APhase::Flip, Part::Eliminated) => own,
+                        (APhase::Flip, _) => flip(own.label),
+                        (APhase::NoTails, Part::Heads) => flip(own.label),
+                        (APhase::OneTails, Part::Tails) => IwaNode {
+                            // Receive the agent in the rule's next state.
+                            label: own.label,
+                            role: Role::AgentDecide { state: rule.next_state as u8 },
+                        },
+                        (APhase::OneTails, _) => IwaNode {
+                            label: own.label,
+                            role: Role::Node(Part::Idle),
+                        },
+                        _ => own,
+                    }
+                } else if part != Part::Idle {
+                    // Orphaned participant (agent left): reset.
+                    IwaNode { label: own.label, role: Role::Node(Part::Idle) }
+                } else {
+                    own
+                }
+            }
+            Role::AgentDecide { state } => {
+                // Pick the first applicable rule (guard uses presence
+                // queries — exactly the IWA's own observational power).
+                for (i, r) in self.iwa.rules.iter().enumerate() {
+                    if r.state != state as u16 {
+                        continue;
+                    }
+                    let guard_ok = match r.guard {
+                        Guard::Always => true,
+                        Guard::Present(l) => label_present[l as usize],
+                        Guard::Absent(l) => !label_present[l as usize],
+                    };
+                    if !guard_ok {
+                        continue;
+                    }
+                    match r.move_to {
+                        None => {
+                            // Fire in place: relabel + state change.
+                            return IwaNode {
+                                label: r.relabel as u8,
+                                role: Role::AgentDecide { state: r.next_state as u8 },
+                            };
+                        }
+                        Some(l) => {
+                            if !label_present[l as usize] {
+                                continue; // no candidate: inapplicable
+                            }
+                            return IwaNode {
+                                label: own.label,
+                                role: Role::AgentElect { rule: i as u8, phase: APhase::Flip },
+                            };
+                        }
+                    }
+                }
+                own // halted
+            }
+            Role::AgentElect { rule, phase } => {
+                let r = self.iwa.rules[rule as usize];
+                match phase {
+                    APhase::Flip | APhase::NoTails => IwaNode {
+                        label: own.label,
+                        role: Role::AgentElect { rule, phase: APhase::Wait },
+                    },
+                    APhase::Wait => {
+                        let next_phase = match tails {
+                            0 => APhase::NoTails,
+                            1 => APhase::OneTails,
+                            _ => APhase::Flip,
+                        };
+                        IwaNode {
+                            label: own.label,
+                            role: Role::AgentElect { rule, phase: next_phase },
+                        }
+                    }
+                    APhase::OneTails => IwaNode {
+                        // The move completes: relabel the vacated node.
+                        label: r.relabel as u8,
+                        role: Role::Node(Part::Idle),
+                    },
+                }
+            }
+        }
+    }
+}
+
+/// Drives an [`IwaProtocol`] network and reconstructs the induced IWA
+/// step sequence for validation.
+pub struct IwaFssgaHarness<const L: usize, const S: usize, const R: usize> {
+    net: Network<IwaProtocol<L, S, R>>,
+    agent: NodeId,
+}
+
+impl<const L: usize, const S: usize, const R: usize> IwaFssgaHarness<L, S, R> {
+    /// Sets up the network with the agent at `start`.
+    pub fn new(iwa: Iwa, g: &Graph, start: NodeId, mut init_label: impl FnMut(NodeId) -> u16) -> Self {
+        let net = Network::new(g, IwaProtocol::<L, S, R>::new(iwa), |v| {
+            if v == start {
+                IwaNode::agent(init_label(v) as u8)
+            } else {
+                IwaNode::idle(init_label(v) as u8)
+            }
+        });
+        Self { net, agent: start }
+    }
+
+    /// Node labels as a `u16` vector (for comparison with [`crate::IwaMachine`]).
+    pub fn labels(&self) -> Vec<u16> {
+        self.net.states().iter().map(|s| u16::from(s.label)).collect()
+    }
+
+    /// The network, for inspection/faults.
+    pub fn network_mut(&mut self) -> &mut Network<IwaProtocol<L, S, R>> {
+        &mut self.net
+    }
+
+    /// Runs until `steps` IWA steps have been simulated (or the round
+    /// budget runs out). Returns the induced `(step, rounds_taken)` list.
+    pub fn run(
+        &mut self,
+        steps: usize,
+        max_rounds: u64,
+        rng: &mut Xoshiro256,
+    ) -> Vec<(IwaStep, u32)> {
+        let mut out = Vec::new();
+        let mut rounds_this = 0u32;
+        let mut last_states: Vec<IwaNode<L, S, R>> = self.net.states().to_vec();
+        for _ in 0..max_rounds {
+            if out.len() >= steps {
+                break;
+            }
+            self.net.sync_step(rng);
+            rounds_this += 1;
+            let states = self.net.states();
+            // Detect a completed step: either the agent fired in place
+            // (label/state changed while staying AgentDecide), or the
+            // agent moved (a new node became AgentDecide).
+            let agents: Vec<NodeId> = (0..self.net.n() as NodeId)
+                .filter(|&v| states[v as usize].is_agent())
+                .collect();
+            assert!(agents.len() <= 1, "one agent at most: {agents:?}");
+            if let Some(&a) = agents.first() {
+                let was = last_states[a as usize];
+                let now = states[a as usize];
+                let moved = a != self.agent
+                    && matches!(now.role, Role::AgentDecide { .. });
+                let fired_in_place = a == self.agent
+                    && matches!(was.role, Role::AgentDecide { .. })
+                    && matches!(now.role, Role::AgentDecide { .. })
+                    && (was.label != now.label || was.role != now.role);
+                if moved || fired_in_place {
+                    let step = IwaStep { rule: usize::MAX, at: self.agent, to: a };
+                    out.push((step, rounds_this));
+                    rounds_this = 0;
+                    self.agent = a;
+                }
+            }
+            last_states = states.to_vec();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{dfs_traversal_iwa, IwaMachine};
+    use fssga_graph::generators;
+
+    type DfsProto = IwaFssgaHarness<3, 1, 2>;
+
+    #[test]
+    fn state_space_roundtrip() {
+        for i in 0..IwaNode::<3, 2, 4>::COUNT {
+            assert_eq!(IwaNode::<3, 2, 4>::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn dfs_iwa_on_fssga_visits_everything() {
+        let mut rng = Xoshiro256::seed_from_u64(21);
+        for trial in 0..5 {
+            let g = generators::random_tree(12, &mut rng);
+            let mut h = DfsProto::new(dfs_traversal_iwa(), &g, 0, |_| 0);
+            h.run(4 * g.n(), 100_000, &mut rng);
+            let unvisited: Vec<usize> = (0..g.n())
+                .filter(|&v| h.labels()[v] == 0)
+                .collect();
+            assert!(unvisited.is_empty(), "trial {trial}: {unvisited:?}");
+        }
+    }
+
+    #[test]
+    fn induced_steps_are_legal_moves() {
+        let g = generators::binary_tree(12);
+        let mut rng = Xoshiro256::seed_from_u64(22);
+        let mut h = DfsProto::new(dfs_traversal_iwa(), &g, 0, |_| 0);
+        let steps = h.run(20, 100_000, &mut rng);
+        assert!(!steps.is_empty());
+        for (s, _) in &steps {
+            assert!(
+                s.at == s.to || g.has_edge(s.at, s.to),
+                "illegal agent move {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_moving_rules_take_one_round() {
+        // An IWA that only relabels in place: every step = 1 round.
+        let iwa = Iwa {
+            num_states: 2,
+            num_labels: 2,
+            rules: vec![
+                IwaRule {
+                    state: 0,
+                    guard: Guard::Always,
+                    relabel: 1,
+                    move_to: None,
+                    next_state: 1,
+                },
+                IwaRule {
+                    state: 1,
+                    guard: Guard::Always,
+                    relabel: 0,
+                    move_to: None,
+                    next_state: 0,
+                },
+            ],
+        };
+        use crate::machine::IwaRule;
+        let g = generators::path(4);
+        let mut rng = Xoshiro256::seed_from_u64(23);
+        let mut h = IwaFssgaHarness::<2, 2, 2>::new(iwa, &g, 1, |_| 0);
+        let steps = h.run(6, 1000, &mut rng);
+        assert_eq!(steps.len(), 6);
+        for (_, rounds) in &steps {
+            assert_eq!(*rounds, 1, "in-place rules are single-round");
+        }
+    }
+
+    #[test]
+    fn move_delay_grows_logarithmically_with_degree() {
+        // Agent at a star hub moving to a leaf: the tournament among d
+        // candidates takes Θ(log d) rounds; far sublinear growth.
+        let iwa = Iwa {
+            num_states: 1,
+            num_labels: 2,
+            rules: vec![crate::machine::IwaRule {
+                state: 0,
+                guard: Guard::Always,
+                relabel: 1,
+                move_to: Some(0),
+                next_state: 0,
+            }],
+        };
+        let mut rng = Xoshiro256::seed_from_u64(24);
+        let avg_rounds = |d: usize, rng: &mut Xoshiro256| -> f64 {
+            let g = generators::star(d + 1);
+            let mut total = 0u32;
+            let trials = 60;
+            for _ in 0..trials {
+                let mut h =
+                    IwaFssgaHarness::<2, 1, 1>::new(iwa.clone(), &g, 0, |_| 0);
+                let steps = h.run(1, 100_000, rng);
+                total += steps[0].1;
+            }
+            f64::from(total) / trials as f64
+        };
+        let a2 = avg_rounds(2, &mut rng);
+        let a64 = avg_rounds(64, &mut rng);
+        assert!(a64 > a2);
+        assert!(a64 < a2 * 12.0, "log growth expected: {a2} -> {a64}");
+    }
+
+    #[test]
+    fn fssga_simulation_matches_machine_reachability() {
+        // The same IWA on the same graph: both executions must visit the
+        // same label-reachable configuration class. For the DFS program:
+        // every node ends non-zero in both.
+        let g = generators::binary_tree(9);
+        let mut rng = Xoshiro256::seed_from_u64(25);
+        let mut machine = IwaMachine::new(dfs_traversal_iwa(), &g, 0, |_| 0);
+        machine.run(10_000, &mut rng);
+        let mut h = DfsProto::new(dfs_traversal_iwa(), &g, 0, |_| 0);
+        h.run(4 * g.n(), 100_000, &mut rng);
+        for v in 0..g.n() {
+            assert_ne!(machine.labels()[v], 0, "machine missed {v}");
+            assert_ne!(h.labels()[v], 0, "fssga sim missed {v}");
+        }
+    }
+}

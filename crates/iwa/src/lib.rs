@@ -1,0 +1,30 @@
+//! Section 5.1: isotonic web automata (IWA) and the mutual simulations
+//! with FSSGA.
+//!
+//! The IWA model (Milgram 1975) has a *single* finite-state agent walking
+//! a graph whose nodes carry finite labels. Each rule is conditional on
+//! the presence/absence of a label in the neighbourhood of the agent's
+//! position; firing a rule relabels the current node, optionally moves the
+//! agent to a neighbour carrying a specified label, and changes the agent
+//! state. The model "resembles ours in that the computation is symmetric
+//! and uses finitely many states. The main difference is that the IWA
+//! model has a single locus of action whereas our model has inherent
+//! parallelism."
+//!
+//! * [`machine`] — the IWA model itself: rules, guards, the sequential
+//!   machine.
+//! * [`fssga_on_iwa`] — an IWA-disciplined agent that computes synchronous
+//!   FSSGA rounds in O(m) agent steps per round (traversal + the
+//!   Lemma 3.8 neighbour-counting technique).
+//! * [`iwa_on_fssga`] — an FSSGA protocol that simulates an IWA with
+//!   O(log Δ) expected rounds per IWA step (the delay is the local
+//!   symmetry breaking needed to pick the agent's next destination, as in
+//!   Sections 4.4–4.6 of the paper).
+
+#![warn(missing_docs)]
+
+pub mod fssga_on_iwa;
+pub mod iwa_on_fssga;
+pub mod machine;
+
+pub use machine::{Guard, Iwa, IwaMachine, IwaRule};

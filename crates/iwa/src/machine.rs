@@ -1,0 +1,368 @@
+//! The isotonic web automaton model.
+
+use fssga_graph::rng::Xoshiro256;
+use fssga_graph::{DynGraph, Graph, NodeId};
+
+/// A rule guard: a condition on the labels present among the neighbours
+/// of the agent's position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Guard {
+    /// Fires unconditionally.
+    Always,
+    /// Some neighbour carries the label.
+    Present(u16),
+    /// No neighbour carries the label.
+    Absent(u16),
+}
+
+/// One IWA transition rule. Rules are tried in order; the first
+/// *applicable* rule fires (guard satisfied, and — if the rule moves —
+/// some neighbour carries the destination label).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IwaRule {
+    /// Agent state in which this rule applies.
+    pub state: u16,
+    /// Neighbourhood condition.
+    pub guard: Guard,
+    /// New label for the current position.
+    pub relabel: u16,
+    /// Label of the neighbour to step to (`None` = stay put). If several
+    /// neighbours carry it, the machine picks one uniformly at random —
+    /// the model allows "any neighbour having some specified label".
+    pub move_to: Option<u16>,
+    /// New agent state.
+    pub next_state: u16,
+}
+
+/// An IWA program: a finite agent-state set, a finite label set, and an
+/// ordered rule list.
+#[derive(Clone, Debug)]
+pub struct Iwa {
+    /// Number of agent states.
+    pub num_states: usize,
+    /// Number of node labels.
+    pub num_labels: usize,
+    /// The ordered rule list.
+    pub rules: Vec<IwaRule>,
+}
+
+impl Iwa {
+    /// Validates all rule components against the declared ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, r) in self.rules.iter().enumerate() {
+            if r.state as usize >= self.num_states || r.next_state as usize >= self.num_states {
+                return Err(format!("rule {i}: agent state out of range"));
+            }
+            if r.relabel as usize >= self.num_labels {
+                return Err(format!("rule {i}: relabel out of range"));
+            }
+            let lbl = match (r.guard, r.move_to) {
+                (Guard::Present(l), _) | (Guard::Absent(l), _) => Some(l),
+                (_, Some(l)) => Some(l),
+                _ => None,
+            };
+            if let Some(l) = lbl {
+                if l as usize >= self.num_labels {
+                    return Err(format!("rule {i}: label out of range"));
+                }
+            }
+            if let Some(l) = r.move_to {
+                if l as usize >= self.num_labels {
+                    return Err(format!("rule {i}: move label out of range"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A fired step, for tracing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IwaStep {
+    /// Index of the rule that fired.
+    pub rule: usize,
+    /// Node the agent was at.
+    pub at: NodeId,
+    /// Node the agent moved to (same as `at` for non-moving rules).
+    pub to: NodeId,
+}
+
+/// A running IWA machine: program + graph + labels + agent.
+pub struct IwaMachine {
+    iwa: Iwa,
+    graph: DynGraph,
+    labels: Vec<u16>,
+    agent: NodeId,
+    state: u16,
+    steps: u64,
+}
+
+impl IwaMachine {
+    /// Builds the machine; `init_label` gives each node's initial label.
+    pub fn new(
+        iwa: Iwa,
+        g: &Graph,
+        start: NodeId,
+        mut init_label: impl FnMut(NodeId) -> u16,
+    ) -> Self {
+        iwa.validate().expect("valid IWA program");
+        let labels = (0..g.n() as NodeId).map(&mut init_label).collect();
+        Self {
+            iwa,
+            graph: DynGraph::from_graph(g),
+            labels,
+            agent: start,
+            state: 0,
+            steps: 0,
+        }
+    }
+
+    /// Current agent position.
+    pub fn agent(&self) -> NodeId {
+        self.agent
+    }
+
+    /// Current agent state.
+    pub fn state(&self) -> u16 {
+        self.state
+    }
+
+    /// Node labels.
+    pub fn labels(&self) -> &[u16] {
+        &self.labels
+    }
+
+    /// Steps fired so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The live topology (fault injection).
+    pub fn graph_mut(&mut self) -> &mut DynGraph {
+        &mut self.graph
+    }
+
+    fn guard_holds(&self, g: Guard) -> bool {
+        match g {
+            Guard::Always => true,
+            Guard::Present(l) => self
+                .graph
+                .neighbors(self.agent)
+                .iter()
+                .any(|&w| self.labels[w as usize] == l),
+            Guard::Absent(l) => !self
+                .graph
+                .neighbors(self.agent)
+                .iter()
+                .any(|&w| self.labels[w as usize] == l),
+        }
+    }
+
+    /// Fires the first applicable rule. Returns the step, or `None` if the
+    /// machine has halted (no applicable rule).
+    pub fn step(&mut self, rng: &mut Xoshiro256) -> Option<IwaStep> {
+        for (i, r) in self.iwa.rules.iter().enumerate() {
+            if r.state != self.state || !self.guard_holds(r.guard) {
+                continue;
+            }
+            let to = match r.move_to {
+                None => self.agent,
+                Some(l) => {
+                    let candidates: Vec<NodeId> = self
+                        .graph
+                        .neighbors(self.agent)
+                        .iter()
+                        .copied()
+                        .filter(|&w| self.labels[w as usize] == l)
+                        .collect();
+                    if candidates.is_empty() {
+                        continue; // rule not applicable; try the next
+                    }
+                    candidates[rng.gen_index(candidates.len())]
+                }
+            };
+            let at = self.agent;
+            self.labels[at as usize] = r.relabel;
+            self.agent = to;
+            self.state = r.next_state;
+            self.steps += 1;
+            return Some(IwaStep { rule: i, at, to });
+        }
+        None
+    }
+
+    /// Runs up to `max_steps`; returns the number of steps fired.
+    pub fn run(&mut self, max_steps: u64, rng: &mut Xoshiro256) -> u64 {
+        let mut fired = 0;
+        for _ in 0..max_steps {
+            if self.step(rng).is_none() {
+                break;
+            }
+            fired += 1;
+        }
+        fired
+    }
+}
+
+/// A simple example: depth-first *tree* traversal as an IWA (labels:
+/// 0 = unvisited, 1 = on the agent's path, 2 = done). The agent marks its
+/// position, walks to unvisited neighbours while they exist, and
+/// backtracks along path labels otherwise.
+///
+/// On a tree the backtrack target is unique (finished children are
+/// relabelled 2), so every node is visited. On graphs with cycles,
+/// "move to any 1-labelled neighbour" can jump across a chord and strand
+/// part of the path — Milgram's full traversal program prevents this
+/// with by-arm marking (the same mechanism as the Section 4.5 FSSGA
+/// traversal in `fssga-protocols`); we keep the three-label demo simple
+/// and exercise it on trees.
+pub fn dfs_traversal_iwa() -> Iwa {
+    Iwa {
+        num_states: 1,
+        num_labels: 3,
+        rules: vec![
+            // Advance to an unvisited neighbour, leaving a path mark.
+            IwaRule {
+                state: 0,
+                guard: Guard::Present(0),
+                relabel: 1,
+                move_to: Some(0),
+                next_state: 0,
+            },
+            // No unvisited neighbour: finish this node, backtrack.
+            IwaRule {
+                state: 0,
+                guard: Guard::Absent(0),
+                relabel: 2,
+                move_to: Some(1),
+                next_state: 0,
+            },
+            // Nowhere to backtrack either (origin): finish and halt via
+            // inapplicability next time (relabel keeps the machine sane).
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fssga_graph::generators;
+
+    #[test]
+    fn validation_catches_bad_rules() {
+        let mut iwa = dfs_traversal_iwa();
+        assert!(iwa.validate().is_ok());
+        iwa.rules.push(IwaRule {
+            state: 5,
+            guard: Guard::Always,
+            relabel: 0,
+            move_to: None,
+            next_state: 0,
+        });
+        assert!(iwa.validate().is_err());
+    }
+
+    #[test]
+    fn dfs_traversal_visits_everything() {
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        for trial in 0..10 {
+            let g = generators::random_tree(20, &mut rng);
+            let mut m = IwaMachine::new(dfs_traversal_iwa(), &g, 0, |_| 0);
+            m.run(10_000, &mut rng);
+            // Every node should end labelled 2 (done), except possibly the
+            // agent's final position (labelled when it fired its last rule).
+            let unfinished: Vec<_> = (0..g.n())
+                .filter(|&v| m.labels()[v] == 0)
+                .collect();
+            assert!(unfinished.is_empty(), "trial {trial}: {unfinished:?}");
+        }
+    }
+
+    #[test]
+    fn dfs_step_count_is_linear_in_edges() {
+        // The DFS agent crosses each tree edge twice and inspects others
+        // locally: total steps <= 2n on any graph (it never re-enters a
+        // done node).
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        let g = generators::binary_tree(36);
+        let mut m = IwaMachine::new(dfs_traversal_iwa(), &g, 0, |_| 0);
+        let fired = m.run(100_000, &mut rng);
+        assert!(fired <= 2 * g.n() as u64, "fired = {fired}");
+    }
+
+    #[test]
+    fn halting_when_no_rule_applies() {
+        let g = generators::path(2);
+        let iwa = Iwa {
+            num_states: 1,
+            num_labels: 2,
+            rules: vec![IwaRule {
+                state: 0,
+                guard: Guard::Present(1),
+                relabel: 1,
+                move_to: None,
+                next_state: 0,
+            }],
+        };
+        // No node has label 1, so the guard never holds: immediate halt.
+        let mut m = IwaMachine::new(iwa, &g, 0, |_| 0);
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        assert!(m.step(&mut rng).is_none());
+        assert_eq!(m.steps(), 0);
+    }
+
+    #[test]
+    fn move_rule_skipped_without_candidates() {
+        let g = generators::path(3);
+        let iwa = Iwa {
+            num_states: 1,
+            num_labels: 3,
+            rules: vec![
+                // Wants to move to label 2, which nobody has: inapplicable.
+                IwaRule {
+                    state: 0,
+                    guard: Guard::Always,
+                    relabel: 1,
+                    move_to: Some(2),
+                    next_state: 0,
+                },
+                // Fallback: relabel in place.
+                IwaRule {
+                    state: 0,
+                    guard: Guard::Always,
+                    relabel: 1,
+                    move_to: None,
+                    next_state: 0,
+                },
+            ],
+        };
+        let mut m = IwaMachine::new(iwa, &g, 1, |_| 0);
+        let mut rng = Xoshiro256::seed_from_u64(10);
+        let step = m.step(&mut rng).unwrap();
+        assert_eq!(step.rule, 1, "the moving rule must be skipped");
+        assert_eq!(step.to, 1);
+        assert_eq!(m.labels()[1], 1);
+    }
+
+    #[test]
+    fn trace_records_moves() {
+        let g = generators::path(2);
+        let iwa = Iwa {
+            num_states: 1,
+            num_labels: 2,
+            rules: vec![IwaRule {
+                state: 0,
+                guard: Guard::Always,
+                relabel: 1,
+                move_to: Some(0),
+                next_state: 0,
+            }],
+        };
+        let mut m = IwaMachine::new(iwa, &g, 0, |_| 0);
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let s1 = m.step(&mut rng).unwrap();
+        assert_eq!((s1.at, s1.to), (0, 1));
+        // Node 0 now has label 1; no label-0 neighbour remains: halt.
+        assert!(m.step(&mut rng).is_none());
+    }
+}

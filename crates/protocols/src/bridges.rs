@@ -1,0 +1,365 @@
+//! Section 2.1: biconnectivity (bridge finding) via a random walk.
+//!
+//! Fix an orientation on every edge and keep an integer counter:
+//! traversing with the orientation adds 1, against subtracts 1. For a
+//! *bridge* the counter provably stays in `{-1, 0, 1}` (the walk must
+//! return across the bridge before re-crossing it the same way); for a
+//! non-bridge, a suitable cycle pumps the counter, and Claim 2.1 shows a
+//! random walk does so within `O(mn)` expected steps — proven by lifting
+//! the walk to the `3n + 1`-node counter-tracking graph built by
+//! [`lifted_graph`]. Edges whose counter ever hits `±2` are flagged
+//! non-bridges; after `O(c · mn · log n)` steps the unflagged edges are
+//! exactly the bridges with probability `1 - n^{1-c}`.
+//!
+//! This is a Section 2 *agent* algorithm (it predates the FSSGA
+//! formalism in the paper): the only critical node is the agent's
+//! position, so the algorithm is 1-sensitive.
+
+use std::collections::HashMap;
+
+use fssga_graph::rng::Xoshiro256;
+use fssga_graph::{DynGraph, Edge, Graph, NodeId};
+
+/// The bridge-finding walk state.
+pub struct BridgeWalk {
+    graph: DynGraph,
+    /// Counter per canonical edge `(min, max)`; traversing min→max is +1.
+    counters: HashMap<Edge, i32>,
+    /// Edges whose counter has ever left `{-1, 0, 1}`.
+    flagged: HashMap<Edge, bool>,
+    agent: NodeId,
+    steps: u64,
+}
+
+impl BridgeWalk {
+    /// Starts the agent at `start` with all counters zero.
+    pub fn new(g: &Graph, start: NodeId) -> Self {
+        let mut counters = HashMap::with_capacity(g.m());
+        let mut flagged = HashMap::with_capacity(g.m());
+        for e in g.edges() {
+            counters.insert(e, 0);
+            flagged.insert(e, false);
+        }
+        Self {
+            graph: DynGraph::from_graph(g),
+            counters,
+            flagged,
+            agent: start,
+            steps: 0,
+        }
+    }
+
+    /// The agent's position — the algorithm's critical set χ(σ).
+    pub fn agent(&self) -> NodeId {
+        self.agent
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The live topology (for fault injection).
+    pub fn graph_mut(&mut self) -> &mut DynGraph {
+        &mut self.graph
+    }
+
+    /// The counter of edge `{u, v}` (0 if the edge never existed).
+    pub fn counter(&self, u: NodeId, v: NodeId) -> i32 {
+        *self.counters.get(&(u.min(v), u.max(v))).unwrap_or(&0)
+    }
+
+    /// One random-walk step. Returns the edge traversed, or `None` if the
+    /// agent is stuck (isolated by faults).
+    pub fn step(&mut self, rng: &mut Xoshiro256) -> Option<Edge> {
+        let nbrs = self.graph.neighbors(self.agent);
+        if nbrs.is_empty() {
+            return None;
+        }
+        let next = nbrs[rng.gen_index(nbrs.len())];
+        let key = (self.agent.min(next), self.agent.max(next));
+        let delta = if self.agent == key.0 { 1 } else { -1 };
+        let c = self.counters.entry(key).or_insert(0);
+        *c += delta;
+        if c.abs() >= 2 {
+            self.flagged.insert(key, true);
+        }
+        self.agent = next;
+        self.steps += 1;
+        Some(key)
+    }
+
+    /// Runs `steps` random-walk steps (stops early if stuck).
+    pub fn run(&mut self, steps: u64, rng: &mut Xoshiro256) {
+        for _ in 0..steps {
+            if self.step(rng).is_none() {
+                return;
+            }
+        }
+    }
+
+    /// The number of steps recommended by the paper for confidence
+    /// `1 - n^{1-c}`: `c · m · n · ln n` (rounded up, floor 1).
+    pub fn recommended_steps(g: &Graph, c: f64) -> u64 {
+        let n = g.n() as f64;
+        let m = g.m() as f64;
+        (c * m * n * n.ln()).ceil().max(1.0) as u64
+    }
+
+    /// Edges never flagged — the bridge candidates (sorted).
+    pub fn candidate_bridges(&self) -> Vec<Edge> {
+        let mut out: Vec<Edge> = self
+            .flagged
+            .iter()
+            .filter(|&(_, &f)| !f)
+            .map(|(&e, _)| e)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Edges flagged as non-bridges (sorted).
+    pub fn flagged_non_bridges(&self) -> Vec<Edge> {
+        let mut out: Vec<Edge> = self
+            .flagged
+            .iter()
+            .filter(|&(_, &f)| f)
+            .map(|(&e, _)| e)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+impl BridgeWalk {
+    /// The biconnectivity readout: 2-edge-connected components implied by
+    /// the current flags (components of the graph after deleting the
+    /// candidate bridges). After `O(c·mn·log n)` steps this matches the
+    /// true decomposition with probability `1 - n^{1-c}` — the payoff the
+    /// section's title ("Biconnectivity via a Random Walk") promises.
+    pub fn two_edge_connected_estimate(&self, g: &Graph) -> (usize, Vec<u32>) {
+        let cand: std::collections::HashSet<Edge> =
+            self.candidate_bridges().into_iter().collect();
+        let mut comp = vec![u32::MAX; g.n()];
+        let mut count = 0u32;
+        let mut stack = Vec::new();
+        for s in g.nodes() {
+            if comp[s as usize] != u32::MAX {
+                continue;
+            }
+            comp[s as usize] = count;
+            stack.push(s);
+            while let Some(v) = stack.pop() {
+                for &w in g.neighbors(v) {
+                    let e = (v.min(w), v.max(w));
+                    if comp[w as usize] == u32::MAX && !cand.contains(&e) {
+                        comp[w as usize] = count;
+                        stack.push(w);
+                    }
+                }
+            }
+            count += 1;
+        }
+        (count as usize, comp)
+    }
+}
+
+/// The Claim 2.1 lifting: given `g` and a non-self-loop edge
+/// `e = (v1, v2)` (oriented toward `v2`), builds the `3n + 1`-node graph
+/// whose random walk tracks `(agent position, e's counter)`; node
+/// `EXCEEDED` (the last id, `3n`) corresponds to the counter hitting
+/// `±2`. Returns `(lifted graph, exceeded node id)`.
+///
+/// Layout: `v_i^r` has id `3 * i + (r + 1)` for `r ∈ {-1, 0, 1}`.
+pub fn lifted_graph(g: &Graph, e: Edge) -> (Graph, NodeId) {
+    let n = g.n();
+    let (v1, v2) = e;
+    assert!(g.has_edge(v1, v2), "e must be an edge of g");
+    let id = |i: NodeId, r: i32| -> NodeId { 3 * i + (r + 1) as NodeId };
+    let exceeded = (3 * n) as NodeId;
+    let mut edges: Vec<Edge> = Vec::with_capacity(3 * g.m() + 1);
+    for (a, b) in g.edges() {
+        if (a, b) == (v1.min(v2), v1.max(v2)) {
+            continue;
+        }
+        for r in -1..=1 {
+            edges.push((id(a, r), id(b, r)));
+        }
+    }
+    // Crossing e toward v2 increments the counter; backward decrements.
+    edges.push((id(v1, -1), id(v2, 0)));
+    edges.push((id(v1, 0), id(v2, 1)));
+    edges.push((id(v1, 1), exceeded));
+    edges.push((exceeded, id(v2, -1)));
+    (Graph::from_edges(3 * n + 1, &edges), exceeded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fssga_graph::{exact, generators};
+
+    #[test]
+    fn bridges_never_flagged_on_trees() {
+        let mut rng = Xoshiro256::seed_from_u64(51);
+        let g = generators::random_tree(30, &mut rng);
+        let mut walk = BridgeWalk::new(&g, 0);
+        walk.run(50_000, &mut rng);
+        assert!(walk.flagged_non_bridges().is_empty());
+        // Invariant from the paper: bridge counters stay in {-1, 0, 1}.
+        for (u, v) in g.edges() {
+            assert!(walk.counter(u, v).abs() <= 1, "bridge ({u},{v}) counter");
+        }
+        // And every edge is a candidate bridge.
+        assert_eq!(walk.candidate_bridges().len(), g.m());
+    }
+
+    #[test]
+    fn all_edges_flagged_on_bridgeless_graphs() {
+        let mut rng = Xoshiro256::seed_from_u64(52);
+        for g in [
+            generators::cycle(10),
+            generators::complete(6),
+            generators::petersen(),
+        ] {
+            let steps = BridgeWalk::recommended_steps(&g, 2.0);
+            let mut walk = BridgeWalk::new(&g, 0);
+            walk.run(steps, &mut rng);
+            assert!(
+                walk.candidate_bridges().is_empty(),
+                "bridgeless graph should have every edge flagged"
+            );
+        }
+    }
+
+    #[test]
+    fn detection_matches_tarjan_on_mixed_graphs() {
+        let mut rng = Xoshiro256::seed_from_u64(53);
+        for trial in 0..10 {
+            let g = generators::connected_gnp(16, 0.13, &mut rng);
+            let truth = exact::bridges(&g);
+            let steps = BridgeWalk::recommended_steps(&g, 2.0);
+            let mut walk = BridgeWalk::new(&g, 0);
+            walk.run(steps, &mut rng);
+            assert_eq!(walk.candidate_bridges(), truth, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn barbell_bridges_detected() {
+        let g = generators::barbell(5, 3);
+        let mut rng = Xoshiro256::seed_from_u64(54);
+        let mut walk = BridgeWalk::new(&g, 0);
+        walk.run(BridgeWalk::recommended_steps(&g, 2.0), &mut rng);
+        assert_eq!(walk.candidate_bridges(), exact::bridges(&g));
+    }
+
+    #[test]
+    fn lifted_graph_shape() {
+        let g = generators::cycle(5);
+        let (lifted, exceeded) = lifted_graph(&g, (0, 1));
+        assert_eq!(lifted.n(), 3 * 5 + 1);
+        assert_eq!(lifted.m(), 3 * 5 + 1, "3m + 1 undirected edges");
+        assert_eq!(exceeded, 15);
+        // e = (0,1) is not a bridge of C5, so the lifted graph is connected
+        // (the proof's key step).
+        assert!(exact::is_connected(&lifted));
+    }
+
+    #[test]
+    fn lifted_graph_disconnected_for_bridges() {
+        // For a bridge, EXCEEDED is unreachable from v1^0 — the lifted
+        // construction "proves" the counter invariant.
+        let g = generators::path(4);
+        let (lifted, exceeded) = lifted_graph(&g, (1, 2));
+        let dist = exact::bfs_distances(&lifted, &[3 + 1]); // v1^0
+        assert_eq!(dist[exceeded as usize], exact::UNREACHABLE);
+    }
+
+    #[test]
+    fn lifted_walk_couples_with_counter_process() {
+        // Drive the flat walk and replay its exact moves on the lifted
+        // graph: positions must track (agent, counter) until EXCEEDED.
+        let g = generators::cycle_with_chords(8, 2, &mut Xoshiro256::seed_from_u64(1));
+        let e = g.edges().next().unwrap();
+        let (lifted, exceeded) = lifted_graph(&g, e);
+        let mut rng = Xoshiro256::seed_from_u64(55);
+        let mut walk = BridgeWalk::new(&g, e.0);
+        let mut lifted_pos = 3 * e.0 + 1; // v1^0
+        for _ in 0..10_000 {
+            let before = walk.agent();
+            let crossed = walk.step(&mut rng).unwrap();
+            let after = walk.agent();
+            let c = walk.counter(e.0, e.1);
+            let _ = (before, crossed);
+            if c.abs() >= 2 {
+                // The lifted walk would now be at EXCEEDED.
+                assert!(lifted.has_edge(lifted_pos, exceeded));
+                break;
+            }
+            let expect = 3 * after + (c + 1) as NodeId;
+            assert!(
+                lifted.has_edge(lifted_pos, expect),
+                "lifted move {lifted_pos} -> {expect} must be an edge"
+            );
+            lifted_pos = expect;
+        }
+    }
+
+    #[test]
+    fn one_sensitivity_faults_off_the_agent_are_safe() {
+        // Kill nodes away from the agent mid-run; the flags accumulated
+        // are still only non-bridges of the graphs they were observed in.
+        let g = generators::two_cliques_shared_vertex(5);
+        let mut rng = Xoshiro256::seed_from_u64(56);
+        let mut walk = BridgeWalk::new(&g, 0);
+        walk.run(2_000, &mut rng);
+        // Remove a node from the far clique (agent may be anywhere; pick a
+        // node that is not the agent and not the cut vertex).
+        let victim = (0..g.n() as NodeId)
+            .find(|&v| v != walk.agent() && v != 4)
+            .unwrap();
+        walk.graph_mut().remove_node(victim);
+        walk.run(20_000, &mut rng);
+        // No flagged edge may be a bridge of the ORIGINAL graph (flags
+        // only ever fire on cycles that existed when walked).
+        let orig_bridges = exact::bridges(&g);
+        for e in walk.flagged_non_bridges() {
+            assert!(!orig_bridges.contains(&e));
+        }
+    }
+
+    #[test]
+    fn biconnectivity_readout_matches_oracle() {
+        let mut rng = Xoshiro256::seed_from_u64(58);
+        for trial in 0..8 {
+            let g = generators::connected_gnp(16, 0.14, &mut rng);
+            let mut walk = BridgeWalk::new(&g, 0);
+            walk.run(BridgeWalk::recommended_steps(&g, 2.0), &mut rng);
+            let (k, comp) = walk.two_edge_connected_estimate(&g);
+            let (k_true, comp_true) = exact::two_edge_connected_components(&g);
+            assert_eq!(k, k_true, "trial {trial}");
+            // Same partition (up to renaming): compare pairwise relations.
+            for u in 0..g.n() {
+                for v in (u + 1)..g.n() {
+                    assert_eq!(
+                        comp[u] == comp[v],
+                        comp_true[u] == comp_true[v],
+                        "trial {trial}: pair ({u},{v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_agent_stops_cleanly() {
+        let g = generators::star(4);
+        let mut rng = Xoshiro256::seed_from_u64(57);
+        let mut walk = BridgeWalk::new(&g, 1);
+        // Cut the leaf's only edge: the agent is stranded.
+        walk.graph_mut().remove_edge(0, 1);
+        assert!(walk.step(&mut rng).is_none());
+        assert_eq!(walk.steps(), 0);
+    }
+}

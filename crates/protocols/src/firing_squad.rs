@@ -1,0 +1,429 @@
+//! Section 5.2: the firing squad synchronization problem on path graphs.
+//!
+//! The paper lists FSSP as an open problem for general FSSGA networks:
+//! the usual non-path solution routes a virtual path through a spanning
+//! structure, which needs permanent neighbour identification — impossible
+//! in the model. On *paths*, however, the model suffices: the mod-3 BFS
+//! labels of Section 4.3 give every node a stable local orientation
+//! (the label-minus-one neighbour is "toward the general"), and on an
+//! oriented path the classic two-speed construction works.
+//!
+//! **The construction** (3n-time divide and conquer): the general emits a
+//! fast signal `A` (speed 1) and a slow signal `B` (speed 1/3). `A`
+//! reflects off the far wall and meets `B` near the midpoint. A same-cell
+//! meeting (odd segment) creates one new wall; a *crossing* between
+//! adjacent cells (even segment) creates two adjacent walls — either way
+//! the two sub-segments have **equal length**, so the recursion stays in
+//! lockstep everywhere, every cell becomes a wall at the same final round,
+//! and the local rule "a wall whose every neighbour is a wall fires"
+//! fires every node simultaneously. A cell walled between two walls is a
+//! length-1 base case and walls itself directly.
+//!
+//! The module has two layers: a pure oriented cellular automaton
+//! ([`fssp_step`], exhaustively validated for n = 2..120), and the FSSGA
+//! protocol [`FiringSquad`] that bootstraps orientation from labels and
+//! then runs the same rules through symmetric neighbour queries.
+
+use fssga_engine::{NeighborView, Network, Protocol, StateSpace};
+use fssga_graph::{Graph, NodeId};
+
+/// Wall status of a cell.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Wall {
+    /// Ordinary cell.
+    None,
+    /// Became a wall last round: emits fresh `A`/`B` both ways this round.
+    Fresh,
+    /// Settled wall.
+    Old,
+}
+
+/// One FSSP cell.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Cell {
+    /// Wall status.
+    pub wall: Wall,
+    /// Fired!
+    pub fire: bool,
+    /// Fast signal moving right / moving left.
+    pub a_r: bool,
+    /// Fast signal moving left.
+    pub a_l: bool,
+    /// Slow right-moving signal phase: 0 = absent, 1..=3 = present
+    /// (moves on phase 3).
+    pub b_r: u8,
+    /// Slow left-moving signal phase.
+    pub b_l: u8,
+}
+
+impl Cell {
+    /// A quiescent cell.
+    pub fn quiescent() -> Cell {
+        Cell { wall: Wall::None, fire: false, a_r: false, a_l: false, b_r: 0, b_l: 0 }
+    }
+
+    /// The initial general.
+    pub fn general() -> Cell {
+        Cell { wall: Wall::Fresh, ..Cell::quiescent() }
+    }
+
+    fn is_wall(&self) -> bool {
+        self.wall != Wall::None
+    }
+}
+
+/// One synchronous step of the oriented FSSP automaton. `cells[0]` is the
+/// left end; missing neighbours count as walls (the path ends are
+/// reflective, like the general's own back).
+pub fn fssp_step(cells: &[Cell]) -> Vec<Cell> {
+    let n = cells.len();
+    let get = |i: isize| -> Option<Cell> {
+        if i < 0 || i as usize >= n {
+            None
+        } else {
+            Some(cells[i as usize])
+        }
+    };
+    (0..n)
+        .map(|i| step_cell(cells[i], get(i as isize - 1), get(i as isize + 1)))
+        .collect()
+}
+
+/// The per-cell rule, written against (left, right) neighbours so the
+/// FSSGA wrapper can reuse it verbatim. `None` = path end (reflective).
+pub fn step_cell(cur: Cell, left: Option<Cell>, right: Option<Cell>) -> Cell {
+    let wallish = |c: Option<Cell>| c.map(|c| c.is_wall()).unwrap_or(true);
+
+    // Fire: a wall whose every (existing) neighbour is a wall.
+    if cur.is_wall() {
+        let fire = cur.fire || (wallish(left) && wallish(right));
+        return Cell { wall: Wall::Old, fire, ..Cell::quiescent() };
+    }
+
+    // Base case: a non-wall cell fenced in on both sides is a length-1
+    // segment; wall it.
+    if wallish(left) && wallish(right) {
+        return Cell { wall: Wall::Fresh, ..Cell::quiescent() };
+    }
+
+    // --- Incoming signals -------------------------------------------
+    let mut a_r = false;
+    let mut a_l = false;
+    let mut b_r = 0u8;
+    let mut b_l = 0u8;
+
+    if let Some(l) = left {
+        // Fast signal arriving from the left.
+        if l.a_r && !l.is_wall() {
+            a_r = true;
+        }
+        // Fresh wall on the left emits A and B rightward.
+        if l.wall == Wall::Fresh {
+            a_r = true;
+            b_r = 1;
+        }
+        // Slow right-mover steps in (phase 3 moves).
+        if l.b_r == 3 && !l.is_wall() {
+            b_r = 1;
+        }
+    }
+    if let Some(r) = right {
+        if r.a_l && !r.is_wall() {
+            a_l = true;
+        }
+        if r.wall == Wall::Fresh {
+            a_l = true;
+            b_l = 1;
+        }
+        if r.b_l == 3 && !r.is_wall() {
+            b_l = 1;
+        }
+    }
+
+    // Reflection: my own fast signal bounces if its next cell is a wall
+    // or the path end.
+    if cur.a_r && wallish(right) {
+        a_l = true;
+    }
+    if cur.a_l && wallish(left) {
+        a_r = true;
+    }
+
+    // Slow signals that stay put advance their phase.
+    if cur.b_r > 0 && cur.b_r < 3 {
+        b_r = cur.b_r + 1;
+    }
+    if cur.b_l > 0 && cur.b_l < 3 {
+        b_l = cur.b_l + 1;
+    }
+
+    // --- Meetings: a new wall is born --------------------------------
+    // Same-cell meeting: after movement, a fast signal shares my cell
+    // with an opposing slow signal (evaluate on the *new* occupancy).
+    let same_cell = (a_l && (b_r > 0 || cur.b_r > 0)) || (a_r && (b_l > 0 || cur.b_l > 0));
+    // Crossing: my slow signal moves out exactly as the opposing fast
+    // signal moves in past it (both cells wall; this is the even-length
+    // double midpoint).
+    let crossing_right = cur.b_r == 3 && right.map(|r| r.a_l && !r.is_wall()).unwrap_or(false);
+    let crossing_left = cur.b_l == 3 && left.map(|l| l.a_r && !l.is_wall()).unwrap_or(false);
+    // The partner cell of a crossing also walls: a fast signal moving out
+    // toward a slow signal that is moving in.
+    let partner_right =
+        cur.a_l && left.map(|l| l.b_r == 3 && !l.is_wall()).unwrap_or(false);
+    let partner_left =
+        cur.a_r && right.map(|r| r.b_l == 3 && !r.is_wall()).unwrap_or(false);
+
+    if same_cell || crossing_right || crossing_left || partner_right || partner_left {
+        return Cell { wall: Wall::Fresh, ..Cell::quiescent() };
+    }
+
+    Cell { wall: Wall::None, fire: false, a_r, a_l, b_r, b_l }
+}
+
+/// Runs the oriented CA until every cell fires (or `max_steps`); returns
+/// `Some(firing round)` iff all cells fire for the first time in the same
+/// round and no cell ever fires earlier.
+pub fn run_oriented(n: usize, max_steps: usize) -> Option<usize> {
+    let mut cells = vec![Cell::quiescent(); n];
+    cells[0] = Cell::general();
+    for t in 1..=max_steps {
+        cells = fssp_step(&cells);
+        let fired = cells.iter().filter(|c| c.fire).count();
+        if fired == n {
+            return Some(t);
+        }
+        if fired > 0 {
+            return None; // partial firing = synchronization failure
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// The FSSGA wrapper: orientation from mod-3 labels.
+// ---------------------------------------------------------------------
+
+/// FSSGA node state: an orientation label (⋆ until the wave arrives) plus
+/// the FSSP cell.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct FsspState {
+    /// Whether this node is the general (fixed role).
+    pub general: bool,
+    /// mod-3 distance label; 3 = ⋆ (unlabelled).
+    pub label: u8,
+    /// The FSSP cell contents.
+    pub cell: Cell,
+}
+
+impl FsspState {
+    /// Initial state. The general must be a path *endpoint*: the mod-3
+    /// labels orient every node away from it, which is only a consistent
+    /// left-to-right orientation when the label wave has a single
+    /// direction of travel ([`run_on_path`] places it at node 0).
+    pub fn init(general: bool) -> Self {
+        FsspState {
+            general,
+            label: if general { 0 } else { 3 },
+            cell: if general { Cell::general() } else { Cell::quiescent() },
+        }
+    }
+}
+
+fn cell_index(c: Cell) -> usize {
+    let w = match c.wall {
+        Wall::None => 0,
+        Wall::Fresh => 1,
+        Wall::Old => 2,
+    };
+    ((((w * 2 + usize::from(c.fire)) * 2 + usize::from(c.a_r)) * 2 + usize::from(c.a_l)) * 4
+        + c.b_r as usize)
+        * 4
+        + c.b_l as usize
+}
+
+fn cell_from_index(i: usize) -> Cell {
+    let b_l = (i % 4) as u8;
+    let i = i / 4;
+    let b_r = (i % 4) as u8;
+    let i = i / 4;
+    let a_l = i % 2 == 1;
+    let i = i / 2;
+    let a_r = i % 2 == 1;
+    let i = i / 2;
+    let fire = i % 2 == 1;
+    let w = i / 2;
+    Cell {
+        wall: match w {
+            0 => Wall::None,
+            1 => Wall::Fresh,
+            _ => Wall::Old,
+        },
+        fire,
+        a_r,
+        a_l,
+        b_r,
+        b_l,
+    }
+}
+
+const CELL_COUNT: usize = 3 * 2 * 2 * 2 * 4 * 4;
+
+impl StateSpace for FsspState {
+    const COUNT: usize = 2 * 4 * CELL_COUNT;
+
+    fn index(self) -> usize {
+        (usize::from(self.general) * 4 + self.label as usize) * CELL_COUNT
+            + cell_index(self.cell)
+    }
+
+    fn from_index(i: usize) -> Self {
+        assert!(i < Self::COUNT);
+        let cell = cell_from_index(i % CELL_COUNT);
+        let rest = i / CELL_COUNT;
+        FsspState { general: rest / 4 == 1, label: (rest % 4) as u8, cell }
+    }
+}
+
+/// The FSSGA firing-squad protocol for path graphs.
+pub struct FiringSquad;
+
+impl Protocol for FiringSquad {
+    type State = FsspState;
+
+    fn transition(
+        &self,
+        own: FsspState,
+        nbrs: &NeighborView<'_, FsspState>,
+        _coin: u32,
+    ) -> FsspState {
+        // Gather the (at most two, on a path) neighbour states by label.
+        let mut toward: Option<FsspState> = None; // label = mine - 1
+        let mut away: Option<FsspState> = None; // label = mine + 1
+        let mut any_labelled: Option<u8> = None;
+        for ps in nbrs.present_states() {
+            if ps.label < 3 {
+                any_labelled = Some(match any_labelled {
+                    None => ps.label,
+                    Some(x) => x.min(ps.label),
+                });
+                if own.label < 3 {
+                    if ps.label == (own.label + 2) % 3 {
+                        toward = Some(ps);
+                    } else if ps.label == (own.label + 1) % 3 {
+                        away = Some(ps);
+                    }
+                }
+            }
+        }
+        // Orientation bootstrap.
+        if own.label == 3 {
+            return match any_labelled {
+                Some(x) => FsspState { label: (x + 1) % 3, ..own },
+                None => own,
+            };
+        }
+        let unlabelled_nbr = nbrs.present_states().any(|ps| ps.label == 3);
+        // The general must not burn its one Fresh (emitting) round before
+        // its neighbour is labelled and able to receive the signals.
+        if own.general && own.cell.wall == Wall::Fresh && unlabelled_nbr {
+            return own;
+        }
+        // The cell rule needs both sides settled: an unlabelled "away"
+        // neighbour behaves as quiescent (the signal wave never outruns
+        // the label wave, so this is safe); a missing neighbour is a
+        // path end.
+        let left = toward.map(|s| s.cell);
+        let right = away.map(|s| s.cell);
+        // A node that has an unlabelled neighbour treats it as a
+        // quiescent (non-wall) cell so it does not look like a path end.
+        let right = match (right, unlabelled_nbr) {
+            (None, true) => Some(Cell::quiescent()),
+            (r, _) => r,
+        };
+        let left = if own.general { None } else { left };
+        let cell = step_cell(own.cell, left, right);
+        FsspState { cell, ..own }
+    }
+}
+
+/// Runs the firing squad on a path of `n` nodes with the general at node
+/// `0`; returns `Some(round)` iff every node fires for the first time in
+/// the same round, with no early firing.
+pub fn run_on_path(n: usize, max_rounds: usize) -> Option<usize> {
+    let g: Graph = fssga_graph::generators::path(n);
+    let mut net = Network::new(&g, FiringSquad, |v: NodeId| FsspState::init(v == 0));
+    let mut rng = fssga_graph::rng::Xoshiro256::seed_from_u64(0);
+    for t in 1..=max_rounds {
+        net.sync_step(&mut rng);
+        let fired = net.states().iter().filter(|s| s.cell.fire).count();
+        if fired == n {
+            return Some(t);
+        }
+        if fired > 0 {
+            return None;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oriented_ca_synchronizes_all_sizes() {
+        for n in 2..=120 {
+            let t = run_oriented(n, 20 * n + 40);
+            assert!(t.is_some(), "n = {n}: no simultaneous firing");
+            let t = t.unwrap();
+            assert!(
+                t <= 4 * n + 10,
+                "n = {n}: fired at {t}, want <= 4n + 10"
+            );
+        }
+    }
+
+    #[test]
+    fn oriented_ca_time_is_linear() {
+        let t40 = run_oriented(40, 1000).unwrap();
+        let t80 = run_oriented(80, 2000).unwrap();
+        let ratio = t80 as f64 / t40 as f64;
+        assert!(
+            (1.6..=2.4).contains(&ratio),
+            "doubling n should double the time: {t40} -> {t80}"
+        );
+    }
+
+    #[test]
+    fn cell_index_roundtrip() {
+        for i in 0..CELL_COUNT {
+            assert_eq!(cell_index(cell_from_index(i)), i);
+        }
+        for i in (0..FsspState::COUNT).step_by(7) {
+            assert_eq!(FsspState::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn fssga_wrapper_synchronizes_paths() {
+        for n in [2usize, 3, 5, 8, 13, 21, 34] {
+            let t = run_on_path(n, 30 * n + 60);
+            assert!(t.is_some(), "n = {n}: FSSGA firing squad failed");
+        }
+    }
+
+    #[test]
+    fn fssga_matches_oriented_ca_up_to_label_delay() {
+        // The label wave costs the wrapper a bounded extra delay; firing
+        // stays simultaneous and linear-time.
+        for n in [4usize, 9, 16, 30] {
+            let ca = run_oriented(n, 1000).unwrap();
+            let net = run_on_path(n, 2000).unwrap();
+            assert!(net >= ca, "labels cannot speed things up");
+            assert!(
+                net <= ca + 2 * n + 10,
+                "n = {n}: wrapper delay too large ({ca} vs {net})"
+            );
+        }
+    }
+}

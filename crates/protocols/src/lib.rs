@@ -1,0 +1,38 @@
+//! The algorithm portfolio of *Symmetric Network Computation* (Pritchard &
+//! Vempala, SPAA 2006).
+//!
+//! | Module | Paper section | Algorithm |
+//! |--------|---------------|-----------|
+//! | [`census`] | §1 | Flajolet–Martin probabilistic census (0-sensitive) |
+//! | [`bridges`] | §2.1 | Random-walk bridge finding via edge counters (1-sensitive) |
+//! | [`shortest_paths`] | §2.2 | Decentralized distance-to-sink labelling (0-sensitive) |
+//! | [`two_coloring`] | §4.1 | Bipartiteness test by 2-colouring |
+//! | [`synchronizer`] | §4.2 | The α synchronizer transform, plus a tree-based β baseline |
+//! | [`bfs`] | §4.3 | Breadth-first search with mod-3 labels (Algorithm 4.1) |
+//! | [`random_walk`] | §4.4 | Coin-flip-tournament random walk (Algorithm 4.2) |
+//! | [`traversal`] | §4.5 | Milgram's arm/hand graph traversal (Algorithm 4.3) |
+//! | [`greedy_tourist`] | §4.6 | The greedy tourist traversal (sensitivity 1) |
+//! | [`election`] | §4.7 | Randomized leader election in O(n log n) (Algorithm 4.4) |
+//!
+//! FSSGA algorithms (§4) are [`fssga_engine::Protocol`] implementations —
+//! they read neighbours only through the symmetric, finite
+//! [`fssga_engine::NeighborView`] API, so they satisfy the model's
+//! properties S0–S2 by construction, and the test suites compile several
+//! of them to formal mod-thresh automata via [`fssga_engine::compile`] as
+//! a witness. The §2 algorithms predate the formal model in the paper
+//! (agents and unbounded counters); they are implemented as dedicated
+//! simulations with the same fault interface.
+
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod bridges;
+pub mod census;
+pub mod election;
+pub mod firing_squad;
+pub mod greedy_tourist;
+pub mod random_walk;
+pub mod shortest_paths;
+pub mod synchronizer;
+pub mod traversal;
+pub mod two_coloring;

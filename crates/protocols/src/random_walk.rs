@@ -1,0 +1,338 @@
+//! Section 4.4: a random walk in the synchronous FSSGA model
+//! (Algorithm 4.2).
+//!
+//! A finite-state node cannot pick uniformly among an unbounded number of
+//! neighbours, so the walker runs a coin-flip *elimination tournament*:
+//! it asks its neighbours to flip; while two or more show tails, the
+//! heads are eliminated and the tails re-flip; if nobody shows tails the
+//! round is re-run (else no one would win); when exactly one tails
+//! remains, that neighbour receives the walker. At a degree-`d` node the
+//! expected number of flip rounds is Θ(log d), and the winner is uniform
+//! among the neighbours by symmetry.
+//!
+//! The network must contain exactly one walker (a node whose state lies
+//! in `Q_w = {Flip, Waiting, NoTails, OneTails}`) and walkers must never
+//! become adjacent — both invariants hold for the single-agent uses in
+//! the paper and are asserted by [`WalkHarness`].
+
+use fssga_engine::{impl_state_space, NeighborView, Network, Protocol};
+use fssga_graph::rng::Xoshiro256;
+use fssga_graph::{Graph, NodeId};
+
+/// Node states: the four walker states `Q_w` plus the four participant
+/// states (Equation (6) of the paper).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum WalkState {
+    /// Not involved.
+    Blank,
+    /// Flipped heads this round.
+    Heads,
+    /// Flipped tails this round.
+    Tails,
+    /// Eliminated from the current tournament.
+    Eliminated,
+    /// Walker: "flip!" — neighbours, flip your coins (heads from the
+    /// previous round are eliminated).
+    Flip,
+    /// Walker: waiting for the flips to land.
+    WaitingForFlips,
+    /// Walker: nobody showed tails — re-run the round.
+    NoTails,
+    /// Walker: exactly one tails — hand the walker over.
+    OneTails,
+}
+impl_state_space!(WalkState {
+    Blank,
+    Heads,
+    Tails,
+    Eliminated,
+    Flip,
+    WaitingForFlips,
+    NoTails,
+    OneTails
+});
+
+impl WalkState {
+    /// Whether this is a walker state (`Q_w`).
+    pub fn is_walker(self) -> bool {
+        matches!(
+            self,
+            WalkState::Flip | WalkState::WaitingForFlips | WalkState::NoTails | WalkState::OneTails
+        )
+    }
+}
+
+/// The synchronous random-walk protocol.
+pub struct RandomWalk;
+
+impl Protocol for RandomWalk {
+    type State = WalkState;
+    const RANDOMNESS: u32 = 2;
+
+    fn transition(
+        &self,
+        own: WalkState,
+        nbrs: &NeighborView<'_, WalkState>,
+        coin: u32,
+    ) -> WalkState {
+        let flip = || if coin == 0 { WalkState::Heads } else { WalkState::Tails };
+        // Which walker state (if any) is adjacent? With a single walker,
+        // at most one of these is present.
+        let walker_nbr = [
+            WalkState::Flip,
+            WalkState::WaitingForFlips,
+            WalkState::NoTails,
+            WalkState::OneTails,
+        ]
+        .into_iter()
+        .find(|&q| nbrs.some(q));
+
+        if let Some(qw) = walker_nbr {
+            match (qw, own) {
+                (WalkState::Flip, WalkState::Heads) => WalkState::Eliminated,
+                (WalkState::Flip, WalkState::Eliminated) => WalkState::Eliminated,
+                (WalkState::Flip, _) => flip(),
+                (WalkState::NoTails, WalkState::Heads) => flip(),
+                (WalkState::OneTails, WalkState::Tails) => WalkState::Flip, // receive walker
+                (WalkState::OneTails, s) if !s.is_walker() => WalkState::Blank,
+                _ => own, // WaitingForFlips pause, or own is itself a walker
+            }
+        } else {
+            match own {
+                WalkState::WaitingForFlips => {
+                    if nbrs.none(WalkState::Tails) {
+                        WalkState::NoTails
+                    } else if nbrs.exactly_one(WalkState::Tails) {
+                        WalkState::OneTails // send the walker
+                    } else {
+                        WalkState::Flip
+                    }
+                }
+                WalkState::Flip | WalkState::NoTails => WalkState::WaitingForFlips,
+                WalkState::OneTails => WalkState::Blank, // clear the walker's remains
+                other => other,
+            }
+        }
+    }
+}
+
+/// A recorded walk: the sequence of nodes visited and the number of
+/// synchronous rounds each move took.
+#[derive(Clone, Debug)]
+pub struct WalkRun {
+    /// Visited nodes, starting with the initial position.
+    pub positions: Vec<NodeId>,
+    /// Rounds consumed by each move (`positions.len() - 1` entries).
+    pub rounds_per_move: Vec<u32>,
+}
+
+/// Drives [`RandomWalk`] and tracks the walker.
+pub struct WalkHarness {
+    net: Network<RandomWalk>,
+    position: NodeId,
+}
+
+impl WalkHarness {
+    /// Places the walker at `start` (state `Flip`), everyone else blank.
+    pub fn new(g: &Graph, start: NodeId) -> Self {
+        let net = Network::new(g, RandomWalk, |v| {
+            if v == start {
+                WalkState::Flip
+            } else {
+                WalkState::Blank
+            }
+        });
+        Self { net, position: start }
+    }
+
+    /// Current walker position.
+    pub fn position(&self) -> NodeId {
+        self.position
+    }
+
+    /// Access to the underlying network (fault injection, inspection).
+    pub fn network_mut(&mut self) -> &mut Network<RandomWalk> {
+        &mut self.net
+    }
+
+    /// Asserts the single-walker invariant and returns the walker node.
+    pub fn find_walker(&self) -> NodeId {
+        let walkers: Vec<NodeId> = (0..self.net.n() as NodeId)
+            .filter(|&v| self.net.state(v).is_walker())
+            .collect();
+        assert_eq!(walkers.len(), 1, "exactly one walker expected: {walkers:?}");
+        walkers[0]
+    }
+
+    /// Runs until the walker has moved `moves` times or `max_rounds`
+    /// rounds elapse; returns the recorded walk.
+    pub fn run(&mut self, moves: usize, max_rounds: u32, rng: &mut Xoshiro256) -> WalkRun {
+        let mut run = WalkRun {
+            positions: vec![self.position],
+            rounds_per_move: Vec::new(),
+        };
+        let mut rounds_this_move = 0u32;
+        for _ in 0..max_rounds {
+            if run.rounds_per_move.len() >= moves {
+                break;
+            }
+            self.net.sync_step(rng);
+            rounds_this_move += 1;
+            let w = self.find_walker();
+            if w != self.position {
+                self.position = w;
+                run.positions.push(w);
+                run.rounds_per_move.push(rounds_this_move);
+                rounds_this_move = 0;
+            }
+        }
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fssga_graph::generators;
+
+    #[test]
+    fn walker_moves_and_stays_unique() {
+        let g = generators::cycle(8);
+        let mut h = WalkHarness::new(&g, 0);
+        let mut rng = Xoshiro256::seed_from_u64(31);
+        let run = h.run(20, 10_000, &mut rng);
+        assert_eq!(run.rounds_per_move.len(), 20, "walker must keep moving");
+        for w in run.positions.windows(2) {
+            assert!(g.has_edge(w[0], w[1]), "non-adjacent move {w:?}");
+        }
+    }
+
+    #[test]
+    fn degree_one_move_is_forced() {
+        let g = generators::path(2);
+        let mut h = WalkHarness::new(&g, 0);
+        let mut rng = Xoshiro256::seed_from_u64(32);
+        let run = h.run(4, 1000, &mut rng);
+        assert_eq!(run.positions, vec![0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn star_moves_are_roughly_uniform() {
+        // Walker at the hub of K_{1,8}: each leaf should win ~1/8 of the
+        // time, by the symmetry of the tournament.
+        let d = 8usize;
+        let g = generators::star(d + 1);
+        let mut rng = Xoshiro256::seed_from_u64(33);
+        let trials = 1600;
+        let mut wins = vec![0u32; d + 1];
+        for _ in 0..trials {
+            let mut h = WalkHarness::new(&g, 0);
+            let run = h.run(1, 10_000, &mut rng);
+            assert_eq!(run.positions.len(), 2);
+            wins[run.positions[1] as usize] += 1;
+        }
+        let expected = trials as f64 / d as f64;
+        for leaf in 1..=d {
+            let got = f64::from(wins[leaf]);
+            assert!(
+                (got - expected).abs() < 0.35 * expected,
+                "leaf {leaf}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn rounds_per_move_grow_slowly_with_degree() {
+        // Θ(log d): average rounds per move at a star hub should increase
+        // from d = 2 to d = 64 but stay far below linear growth.
+        let mut rng = Xoshiro256::seed_from_u64(34);
+        let avg = |d: usize, rng: &mut Xoshiro256| -> f64 {
+            let g = generators::star(d + 1);
+            let mut total = 0u32;
+            let trials = 120;
+            for _ in 0..trials {
+                let mut h = WalkHarness::new(&g, 0);
+                let run = h.run(1, 100_000, rng);
+                total += run.rounds_per_move[0];
+            }
+            f64::from(total) / trials as f64
+        };
+        let a2 = avg(2, &mut rng);
+        let a64 = avg(64, &mut rng);
+        assert!(a64 > a2, "more neighbours, more elimination rounds");
+        assert!(
+            a64 < a2 * 12.0,
+            "growth should be logarithmic, not linear: {a2} -> {a64}"
+        );
+    }
+
+    #[test]
+    fn visit_frequencies_approach_degree_stationary_distribution() {
+        // A long walk visits nodes proportionally to degree (the
+        // stationary distribution of a simple random walk).
+        let g = generators::lollipop(4, 2);
+        let mut h = WalkHarness::new(&g, 0);
+        let mut rng = Xoshiro256::seed_from_u64(35);
+        let run = h.run(4000, 1_000_000, &mut rng);
+        assert_eq!(run.rounds_per_move.len(), 4000);
+        let mut visits = vec![0u32; g.n()];
+        for &p in &run.positions {
+            visits[p as usize] += 1;
+        }
+        let total_deg: usize = g.nodes().map(|v| g.degree(v)).sum();
+        for v in g.nodes() {
+            let expected = run.positions.len() as f64 * g.degree(v) as f64 / total_deg as f64;
+            let got = f64::from(visits[v as usize]);
+            assert!(
+                (got - expected).abs() < 0.25 * expected + 15.0,
+                "node {v}: got {got}, expected {expected:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn tournament_states_clean_up_between_moves() {
+        // After each completed move, no node is stuck in Eliminated: the
+        // OneTails round resets the old neighbourhood to Blank.
+        let g = generators::complete(6);
+        let mut h = WalkHarness::new(&g, 0);
+        let mut rng = Xoshiro256::seed_from_u64(36);
+        for _ in 0..8 {
+            let before = h.position();
+            let run = h.run(1, 10_000, &mut rng);
+            let after = *run.positions.last().unwrap();
+            assert_ne!(before, after);
+            let stale = (0..h.net.n() as NodeId)
+                .filter(|&v| h.net.state(v) == WalkState::Eliminated)
+                .count();
+            assert_eq!(stale, 0, "eliminated nodes must be cleaned after a move");
+        }
+    }
+
+    #[test]
+    fn compiled_random_walk_matches_native() {
+        // 8 states with small thresholds: compilable. Lock-step the
+        // compiled tables against the native protocol, coins included.
+        let auto =
+            fssga_engine::compile::compile_protocol(&RandomWalk, 1 << 22).unwrap();
+        assert_eq!(auto.randomness(), 2);
+        let g = generators::complete(5);
+        use fssga_engine::StateSpace as _;
+        let init = |v: NodeId| {
+            if v == 0 {
+                WalkState::Flip
+            } else {
+                WalkState::Blank
+            }
+        };
+        let mut native = Network::new(&g, RandomWalk, init);
+        let mut interp =
+            fssga_engine::interp::InterpNetwork::new(&g, &auto, |v| init(v).index());
+        for round in 0..60 {
+            native.sync_step_seeded(round * 77 + 5);
+            interp.sync_step_seeded(round * 77 + 5);
+            let ids: Vec<usize> = native.states().iter().map(|s| s.index()).collect();
+            assert_eq!(&ids, interp.states(), "round {round}");
+        }
+    }
+}

@@ -1,0 +1,533 @@
+//! Section 4.5: Milgram's graph traversal (Algorithm 4.3).
+//!
+//! A single agent — a *hand* at the end of an *arm* — walks the graph.
+//! The arm `v_0, ..., v_k` starts at the originator, never touches or
+//! crosses itself (`v_i ~ v_j` iff `|i - j| = 1`), and unvisited nodes
+//! adjacent to it are marked `by-arm` so extension never creates a
+//! chord. The hand extends onto an elected *blank* neighbour when one
+//! exists, else retracts, marking its node visited. The arm traces a
+//! scan-first-search spanning tree: the hand moves `2(n-1)` times and,
+//! with the Θ(log Δ) elections, the traversal takes O(n log n) rounds.
+//!
+//! **Timing concretization.** The paper alternates even rounds
+//! (by-arm maintenance) and odd rounds (agent logic) and "calls" the
+//! Section 4.4 tournament as a subroutine. We flatten this into a single
+//! synchronous automaton: maintenance runs every round, and a
+//! freshly-created hand idles through two `Settle` rounds so the by-arm
+//! flags around the new arm tip are current before it reads them — the
+//! same hazard the paper's parity trick prevents. The election is the
+//! Algorithm 4.2 tournament restricted to blank neighbours.
+
+use fssga_engine::{NeighborView, Network, Protocol, StateSpace};
+use fssga_graph::rng::Xoshiro256;
+use fssga_graph::{Graph, NodeId};
+
+/// Election substate of a blank node.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Elect {
+    /// Not participating.
+    Idle,
+    /// Flipped heads.
+    Heads,
+    /// Flipped tails.
+    Tails,
+    /// Eliminated from the current tournament.
+    Eliminated,
+}
+
+/// Phase of the hand's decision cycle.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum HandPhase {
+    /// First settling round after becoming the hand.
+    Settle1,
+    /// Second settling round; decides extend-vs-retract next.
+    Settle2,
+    /// Asking blank neighbours to flip.
+    Flip,
+    /// Waiting for the flips to land.
+    Wait,
+    /// Nobody flipped tails: re-run.
+    NoTails,
+    /// Exactly one tails: hand over.
+    OneTails,
+}
+
+/// The traversal status of a node.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum TStatus {
+    /// Unvisited, not adjacent to the arm.
+    Blank(Elect),
+    /// Unvisited but adjacent to the arm (ineligible for extension).
+    ByArm,
+    /// Part of the arm path.
+    Arm,
+    /// The agent.
+    Hand(HandPhase),
+    /// Traversed and released.
+    Visited,
+}
+
+/// Full node state: the originator flag is part of the state because the
+/// originator's retraction rule differs (Algorithm 4.3).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct TravState {
+    /// Whether this node is the traversal originator `v_0`.
+    pub originator: bool,
+    /// Traversal status.
+    pub status: TStatus,
+}
+
+impl TravState {
+    /// Initial state: the originator starts as the hand.
+    pub fn init(originator: bool) -> Self {
+        TravState {
+            originator,
+            status: if originator {
+                TStatus::Hand(HandPhase::Settle1)
+            } else {
+                TStatus::Blank(Elect::Idle)
+            },
+        }
+    }
+
+    /// Whether the node currently holds the agent.
+    pub fn is_hand(self) -> bool {
+        matches!(self.status, TStatus::Hand(_))
+    }
+}
+
+const STATUS_COUNT: usize = 4 + 1 + 1 + 6 + 1; // Blank×4, ByArm, Arm, Hand×6, Visited
+
+fn status_index(s: TStatus) -> usize {
+    match s {
+        TStatus::Blank(e) => e as usize,
+        TStatus::ByArm => 4,
+        TStatus::Arm => 5,
+        TStatus::Hand(p) => 6 + p as usize,
+        TStatus::Visited => 12,
+    }
+}
+
+fn status_from_index(i: usize) -> TStatus {
+    match i {
+        0 => TStatus::Blank(Elect::Idle),
+        1 => TStatus::Blank(Elect::Heads),
+        2 => TStatus::Blank(Elect::Tails),
+        3 => TStatus::Blank(Elect::Eliminated),
+        4 => TStatus::ByArm,
+        5 => TStatus::Arm,
+        6 => TStatus::Hand(HandPhase::Settle1),
+        7 => TStatus::Hand(HandPhase::Settle2),
+        8 => TStatus::Hand(HandPhase::Flip),
+        9 => TStatus::Hand(HandPhase::Wait),
+        10 => TStatus::Hand(HandPhase::NoTails),
+        11 => TStatus::Hand(HandPhase::OneTails),
+        _ => TStatus::Visited,
+    }
+}
+
+impl StateSpace for TravState {
+    const COUNT: usize = 2 * STATUS_COUNT;
+
+    fn index(self) -> usize {
+        usize::from(self.originator) * STATUS_COUNT + status_index(self.status)
+    }
+
+    fn from_index(i: usize) -> Self {
+        assert!(i < Self::COUNT);
+        TravState {
+            originator: i / STATUS_COUNT == 1,
+            status: status_from_index(i % STATUS_COUNT),
+        }
+    }
+}
+
+/// Summary of the neighbourhood, gathered through present-state and
+/// capped-count queries only. Public so the leader election (Section 4.7)
+/// can reuse the agent as a sub-automaton over its product state.
+pub struct Hood {
+    /// Any neighbour with status `Arm`.
+    pub any_arm: bool,
+    /// Count of `Arm` + `Hand` neighbours, capped at 2.
+    pub arm_or_hand: u32,
+    /// Any neighbour with a `Blank` status.
+    pub any_blank: bool,
+    /// The phase of an adjacent hand, if one is present.
+    pub hand_phase: Option<HandPhase>,
+    /// Count of neighbours showing `Tails`, capped at 2.
+    pub tails: u32,
+}
+
+/// Gathers a [`Hood`] from a full neighbour view.
+pub fn scan(nbrs: &NeighborView<'_, TravState>) -> Hood {
+    let mut h = Hood {
+        any_arm: false,
+        arm_or_hand: 0,
+        any_blank: false,
+        hand_phase: None,
+        tails: 0,
+    };
+    for ps in nbrs.present_states() {
+        match ps.status {
+            TStatus::Arm => {
+                h.any_arm = true;
+                h.arm_or_hand = (h.arm_or_hand + nbrs.count_capped(ps, 2)).min(2);
+            }
+            TStatus::Hand(p) => {
+                h.hand_phase = Some(p);
+                h.arm_or_hand = (h.arm_or_hand + nbrs.count_capped(ps, 2)).min(2);
+            }
+            TStatus::Blank(e) => {
+                h.any_blank = true;
+                if e == Elect::Tails {
+                    h.tails = (h.tails + nbrs.count_capped(ps, 2)).min(2);
+                }
+            }
+            _ => {}
+        }
+    }
+    h
+}
+
+/// The synchronous traversal protocol.
+pub struct Traversal;
+
+impl Protocol for Traversal {
+    type State = TravState;
+    const RANDOMNESS: u32 = 2;
+
+    fn transition(
+        &self,
+        own: TravState,
+        nbrs: &NeighborView<'_, TravState>,
+        coin: u32,
+    ) -> TravState {
+        step(own, &scan(nbrs), coin)
+    }
+}
+
+/// The traversal transition as a pure function of `(own, hood, coin)` —
+/// reused verbatim by the election automaton.
+pub fn step(own: TravState, h: &Hood, coin: u32) -> TravState {
+    {
+        let with = |status: TStatus| TravState { originator: own.originator, status };
+        let flip = || {
+            if coin == 0 {
+                Elect::Heads
+            } else {
+                Elect::Tails
+            }
+        };
+        match own.status {
+            TStatus::Visited => own,
+            TStatus::ByArm => {
+                if h.any_arm {
+                    own
+                } else {
+                    with(TStatus::Blank(Elect::Idle))
+                }
+            }
+            TStatus::Blank(e) => {
+                // Arm adjacency dominates: an arm-adjacent node is
+                // ineligible and withdraws from any election.
+                if h.any_arm {
+                    return with(TStatus::ByArm);
+                }
+                match (h.hand_phase, e) {
+                    (Some(HandPhase::Flip), Elect::Heads) => {
+                        with(TStatus::Blank(Elect::Eliminated))
+                    }
+                    (Some(HandPhase::Flip), Elect::Eliminated) => own,
+                    (Some(HandPhase::Flip), _) => with(TStatus::Blank(flip())),
+                    (Some(HandPhase::NoTails), Elect::Heads) => {
+                        with(TStatus::Blank(flip()))
+                    }
+                    (Some(HandPhase::OneTails), Elect::Tails) => {
+                        with(TStatus::Hand(HandPhase::Settle1)) // receive the agent
+                    }
+                    (Some(HandPhase::OneTails), _) => with(TStatus::Blank(Elect::Idle)),
+                    (Some(_), _) => own, // hand settling or waiting: hold
+                    (None, Elect::Idle) => own,
+                    // Election orphaned (hand died to a fault): reset.
+                    (None, _) => with(TStatus::Blank(Elect::Idle)),
+                }
+            }
+            TStatus::Arm => {
+                let retract = if own.originator {
+                    h.arm_or_hand == 0
+                } else {
+                    h.arm_or_hand <= 1
+                };
+                if retract {
+                    with(TStatus::Hand(HandPhase::Settle1))
+                } else {
+                    own
+                }
+            }
+            TStatus::Hand(phase) => match phase {
+                HandPhase::Settle1 => with(TStatus::Hand(HandPhase::Settle2)),
+                HandPhase::Settle2 => {
+                    if h.any_blank {
+                        with(TStatus::Hand(HandPhase::Flip))
+                    } else {
+                        with(TStatus::Visited) // retract: the arm tip takes over
+                    }
+                }
+                HandPhase::Flip => with(TStatus::Hand(HandPhase::Wait)),
+                HandPhase::Wait => {
+                    if h.tails == 0 {
+                        with(TStatus::Hand(HandPhase::NoTails))
+                    } else if h.tails == 1 {
+                        with(TStatus::Hand(HandPhase::OneTails))
+                    } else {
+                        with(TStatus::Hand(HandPhase::Flip))
+                    }
+                }
+                HandPhase::NoTails => with(TStatus::Hand(HandPhase::Wait)),
+                HandPhase::OneTails => with(TStatus::Arm), // extension committed
+            },
+        }
+    }
+}
+
+/// A completed (or aborted) traversal record.
+#[derive(Clone, Debug)]
+pub struct TraversalRun {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Number of times the hand appeared at a node (agent moves).
+    pub hand_moves: u64,
+    /// Whether the originator finished (became `Visited`).
+    pub complete: bool,
+    /// Whether the single-hand invariant broke (this happens exactly when
+    /// a fault hits the arm — the Θ(n)-sensitivity failure mode: the
+    /// severed arm re-grows hands on both sides).
+    pub corrupted: bool,
+    /// Final per-node "was visited" flags.
+    pub visited: Vec<bool>,
+    /// The sequence of nodes the hand occupied.
+    pub hand_history: Vec<NodeId>,
+}
+
+/// Drives [`Traversal`] to completion (or a round budget).
+pub struct TraversalHarness {
+    net: Network<Traversal>,
+    origin: NodeId,
+}
+
+impl TraversalHarness {
+    /// Sets up the traversal from `origin`.
+    pub fn new(g: &Graph, origin: NodeId) -> Self {
+        let net = Network::new(g, Traversal, |v| TravState::init(v == origin));
+        Self { net, origin }
+    }
+
+    /// Access to the network (fault injection, inspection).
+    pub fn network_mut(&mut self) -> &mut Network<Traversal> {
+        &mut self.net
+    }
+
+    /// Nodes currently in the arm-or-hand path (for invariant checks).
+    pub fn arm_path_nodes(&self) -> Vec<NodeId> {
+        (0..self.net.n() as NodeId)
+            .filter(|&v| {
+                matches!(self.net.state(v).status, TStatus::Arm | TStatus::Hand(_))
+            })
+            .collect()
+    }
+
+    /// Runs until the originator is `Visited` or `max_rounds` pass.
+    /// `check_invariants` additionally asserts the arm-path property
+    /// every round (slow; for tests).
+    pub fn run(
+        &mut self,
+        max_rounds: u64,
+        rng: &mut Xoshiro256,
+        check_invariants: bool,
+    ) -> TraversalRun {
+        let mut hand_history = vec![self.origin];
+        let mut rounds = 0;
+        let mut complete = false;
+        let mut corrupted = false;
+        while rounds < max_rounds {
+            self.net.sync_step(rng);
+            rounds += 1;
+            let hands: Vec<NodeId> = (0..self.net.n() as NodeId)
+                .filter(|&v| self.net.state(v).is_hand())
+                .collect();
+            if hands.len() > 1 {
+                // A fault severed the arm; both fragments grew a hand.
+                // In a fault-free run this cannot happen.
+                if check_invariants {
+                    panic!("at most one hand in a fault-free run: {hands:?}");
+                }
+                corrupted = true;
+                break;
+            }
+            if let Some(&hp) = hands.first() {
+                if *hand_history.last().unwrap() != hp {
+                    hand_history.push(hp);
+                }
+            }
+            if check_invariants {
+                self.assert_arm_is_a_path();
+            }
+            if self.net.state(self.origin).status == TStatus::Visited {
+                complete = true;
+                break;
+            }
+        }
+        let visited = (0..self.net.n() as NodeId)
+            .map(|v| self.net.state(v).status == TStatus::Visited)
+            .collect();
+        TraversalRun {
+            rounds,
+            hand_moves: hand_history.len() as u64 - 1,
+            complete,
+            corrupted,
+            visited,
+            hand_history,
+        }
+    }
+
+    /// Asserts that the arm ∪ hand nodes induce a simple path anchored at
+    /// the originator (property 3 of Section 4.5).
+    fn assert_arm_is_a_path(&self) {
+        let nodes = self.arm_path_nodes();
+        if nodes.len() <= 1 {
+            return;
+        }
+        let set: std::collections::HashSet<NodeId> = nodes.iter().copied().collect();
+        let mut endpoints = 0;
+        for &v in &nodes {
+            let deg = self
+                .net
+                .graph()
+                .neighbors(v)
+                .iter()
+                .filter(|w| set.contains(w))
+                .count();
+            assert!(deg <= 2, "arm touches itself at node {v}");
+            assert!(deg >= 1, "arm disconnected at node {v}");
+            if deg == 1 {
+                endpoints += 1;
+            }
+        }
+        assert_eq!(endpoints, 2, "arm must be a simple path: {nodes:?}");
+        assert!(set.contains(&self.origin), "arm anchored at the originator");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fssga_graph::generators;
+
+    #[test]
+    fn state_space_roundtrip() {
+        for i in 0..TravState::COUNT {
+            assert_eq!(TravState::from_index(i).index(), i);
+        }
+    }
+
+    fn run_complete(g: &Graph, seed: u64) -> TraversalRun {
+        let mut h = TraversalHarness::new(g, 0);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let budget = 3000 * g.n() as u64 + 10_000;
+        let run = h.run(budget, &mut rng, true);
+        assert!(run.complete, "traversal must finish within {budget} rounds");
+        run
+    }
+
+    #[test]
+    fn visits_every_node_on_path_graph() {
+        let run = run_complete(&generators::path(10), 71);
+        assert!(run.visited.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn visits_every_node_on_cycle() {
+        let run = run_complete(&generators::cycle(9), 72);
+        assert!(run.visited.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn visits_every_node_on_grid_and_moves_2n_minus_2() {
+        let g = generators::grid(4, 5);
+        let run = run_complete(&g, 73);
+        assert!(run.visited.iter().all(|&v| v));
+        // The arm traces a spanning tree: the hand moves exactly twice
+        // per tree edge.
+        assert_eq!(run.hand_moves, 2 * (g.n() as u64 - 1));
+    }
+
+    #[test]
+    fn hand_moves_exactly_2n_minus_2_on_many_graphs() {
+        let mut rng = Xoshiro256::seed_from_u64(74);
+        for trial in 0..8u64 {
+            let g = generators::connected_gnp(14, 0.2, &mut rng);
+            let run = run_complete(&g, 740 + trial);
+            assert!(run.visited.iter().all(|&v| v), "trial {trial}");
+            assert_eq!(run.hand_moves, 2 * (g.n() as u64 - 1), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn traversal_on_star_from_hub_and_leaf() {
+        let g = generators::star(8);
+        for (origin, seed) in [(0u32, 75u64), (3, 76)] {
+            let mut h = TraversalHarness::new(&g, origin);
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            let run = h.run(200_000, &mut rng, true);
+            assert!(run.complete, "origin {origin}");
+            assert!(run.visited.iter().all(|&v| v));
+        }
+    }
+
+    #[test]
+    fn consecutive_hand_positions_are_adjacent() {
+        let g = generators::grid(3, 4);
+        let run = run_complete(&g, 77);
+        for w in run.hand_history.windows(2) {
+            assert!(g.has_edge(w[0], w[1]), "hand jumped {w:?}");
+        }
+    }
+
+    #[test]
+    fn hand_trace_is_a_tree_walk() {
+        // The union of hand edges is a spanning tree (scan-first search):
+        // distinct edges used = n - 1.
+        let g = generators::connected_gnp(12, 0.25, &mut Xoshiro256::seed_from_u64(8));
+        let run = run_complete(&g, 78);
+        let mut edges = std::collections::HashSet::new();
+        for w in run.hand_history.windows(2) {
+            edges.insert((w[0].min(w[1]), w[0].max(w[1])));
+        }
+        assert_eq!(edges.len(), g.n() - 1, "hand edges form a spanning tree");
+    }
+
+    #[test]
+    fn single_edge_graph() {
+        let run = run_complete(&generators::path(2), 79);
+        assert!(run.visited.iter().all(|&v| v));
+        assert_eq!(run.hand_moves, 2);
+    }
+
+    #[test]
+    fn rounds_scale_near_linearithmic() {
+        // O(n log n): rounds per node should grow slowly with n.
+        let mut per_node = Vec::new();
+        for (n, seed) in [(8usize, 80u64), (32, 81), (128, 82)] {
+            let g = generators::cycle(n);
+            let mut h = TraversalHarness::new(&g, 0);
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            let run = h.run(4000 * n as u64, &mut rng, false);
+            assert!(run.complete);
+            per_node.push(run.rounds as f64 / n as f64);
+        }
+        assert!(
+            per_node[2] < per_node[0] * 6.0,
+            "rounds/node should stay near-constant: {per_node:?}"
+        );
+    }
+}

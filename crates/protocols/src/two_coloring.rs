@@ -1,0 +1,336 @@
+//! Section 4.1: bipartiteness testing by 2-colouring.
+//!
+//! The paper's first and simplest FSSGA example, transcribed verbatim:
+//! states `{BLANK, RED, BLUE, FAILED}`, one node initially `RED`, the rest
+//! `BLANK`. Colours flood outward; a node that sees both colours (or any
+//! failure) turns `FAILED`, and `FAILED` itself floods. On a bipartite
+//! graph the network stabilizes on a proper 2-colouring; on an odd cycle
+//! the conflict meets itself and every node ends `FAILED`.
+//!
+//! **Deviation note.** The paper's printed clause list applies the same
+//! five clauses to every own-state, which makes colours *non-sticky*: a
+//! coloured node with only blank neighbours reverts to blank, and the
+//! synchronous execution then oscillates forever on, e.g., a 2-path
+//! (seed loses its colour in the very first round). We keep the paper's
+//! clauses for conflict detection and colour adoption but make
+//! already-assigned colours sticky, which is the evident intent
+//! ("Initially, one node is in the state RED" + steady-state
+//! convergence, property P3). The literal non-sticky clause list is
+//! available as [`fssga_core::library::two_coloring_blank_mt`] for
+//! side-by-side study.
+
+use fssga_engine::{impl_state_space, NeighborView, Protocol};
+
+/// The four node states of the Section 4.1 automaton.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Color {
+    /// Not yet coloured.
+    Blank,
+    /// Colour class 0.
+    Red,
+    /// Colour class 1.
+    Blue,
+    /// A 2-colouring conflict has been observed somewhere.
+    Failed,
+}
+impl_state_space!(Color { Blank, Red, Blue, Failed });
+
+/// The Section 4.1 two-colouring protocol (deterministic).
+pub struct TwoColoring;
+
+impl TwoColoring {
+    /// Initial state: the designated seed node is `RED`, everyone else
+    /// `BLANK`.
+    pub fn init(is_seed: bool) -> Color {
+        if is_seed {
+            Color::Red
+        } else {
+            Color::Blank
+        }
+    }
+}
+
+impl Protocol for TwoColoring {
+    type State = Color;
+
+    fn transition(&self, own: Color, nbrs: &NeighborView<'_, Color>, _coin: u32) -> Color {
+        // The paper's f[q] clause list (identical for every own state,
+        // except that coloured nodes keep their colour when no conflict is
+        // visible).
+        if nbrs.some(Color::Failed) {
+            return Color::Failed;
+        }
+        if nbrs.some(Color::Red) && nbrs.some(Color::Blue) {
+            return Color::Failed;
+        }
+        match own {
+            Color::Failed => Color::Failed,
+            Color::Red | Color::Blue => {
+                // A coloured node that sees its own colour adjacent has
+                // found an odd cycle.
+                let clash = match own {
+                    Color::Red => nbrs.some(Color::Red),
+                    Color::Blue => nbrs.some(Color::Blue),
+                    _ => unreachable!(),
+                };
+                if clash {
+                    Color::Failed
+                } else {
+                    own
+                }
+            }
+            Color::Blank => {
+                if nbrs.some(Color::Red) {
+                    Color::Blue
+                } else if nbrs.some(Color::Blue) {
+                    Color::Red
+                } else {
+                    Color::Blank
+                }
+            }
+        }
+    }
+}
+
+/// The outcome of a stabilized 2-colouring run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColoringOutcome {
+    /// Every node coloured, no conflicts: the graph (restricted to the
+    /// seed's component) is bipartite.
+    ProperColoring,
+    /// Some node failed: an odd cycle exists.
+    OddCycleDetected,
+    /// Some nodes still blank (disconnected from the seed, or not yet
+    /// converged).
+    Incomplete,
+}
+
+/// Classifies a network state vector.
+pub fn outcome(states: &[Color]) -> ColoringOutcome {
+    if states.contains(&Color::Failed) {
+        ColoringOutcome::OddCycleDetected
+    } else if states.contains(&Color::Blank) {
+        ColoringOutcome::Incomplete
+    } else {
+        ColoringOutcome::ProperColoring
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fssga_engine::scheduler::{AsyncPolicy, AsyncScheduler, SyncScheduler};
+    use fssga_engine::Network;
+    use fssga_graph::rng::Xoshiro256;
+    use fssga_graph::{exact, generators};
+
+    fn run_sync(g: &fssga_graph::Graph) -> (Vec<Color>, usize) {
+        let mut net = Network::new(g, TwoColoring, |v| TwoColoring::init(v == 0));
+        let rounds = SyncScheduler::run_to_fixpoint(&mut net, 4 * g.n() + 16)
+            .expect("2-colouring must stabilize");
+        (net.states().to_vec(), rounds)
+    }
+
+    #[test]
+    fn even_cycle_gets_proper_coloring() {
+        let (states, _) = run_sync(&generators::cycle(10));
+        assert_eq!(outcome(&states), ColoringOutcome::ProperColoring);
+        let g = generators::cycle(10);
+        for (u, v) in g.edges() {
+            assert_ne!(states[u as usize], states[v as usize]);
+        }
+    }
+
+    #[test]
+    fn odd_cycle_fails_everywhere() {
+        let (states, _) = run_sync(&generators::cycle(9));
+        assert!(states.iter().all(|&s| s == Color::Failed));
+    }
+
+    #[test]
+    fn triangle_fails() {
+        let (states, _) = run_sync(&generators::complete(3));
+        assert_eq!(outcome(&states), ColoringOutcome::OddCycleDetected);
+    }
+
+    #[test]
+    fn grid_is_bipartite() {
+        let (states, rounds) = run_sync(&generators::grid(6, 7));
+        assert_eq!(outcome(&states), ColoringOutcome::ProperColoring);
+        // Stabilizes in O(diameter) rounds: colour floods at speed 1.
+        let diam = exact::diameter(&generators::grid(6, 7)).unwrap() as usize;
+        assert!(rounds <= diam + 3, "rounds = {rounds}, diam = {diam}");
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graphs() {
+        let mut rng = Xoshiro256::seed_from_u64(41);
+        for trial in 0..30 {
+            let g = if trial % 2 == 0 {
+                generators::random_bipartite(6, 8, 0.25, &mut rng)
+            } else {
+                generators::connected_gnp(14, 0.2, &mut rng)
+            };
+            let truth = exact::bipartition(&g).is_some();
+            let (states, _) = run_sync(&g);
+            let got = outcome(&states);
+            if truth {
+                assert_eq!(got, ColoringOutcome::ProperColoring, "trial {trial}");
+            } else {
+                assert_eq!(got, ColoringOutcome::OddCycleDetected, "trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn async_execution_agrees_with_oracle() {
+        let mut rng = Xoshiro256::seed_from_u64(42);
+        for trial in 0..20 {
+            let g = generators::connected_gnp(12, 0.25, &mut rng);
+            let truth = exact::bipartition(&g).is_some();
+            let mut net = Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
+            AsyncScheduler::run_to_fixpoint(
+                &mut net,
+                &mut rng,
+                20 * g.n(),
+                AsyncPolicy::RandomPermutation,
+            )
+            .expect("stabilizes");
+            let got = outcome(net.states());
+            if truth {
+                assert_eq!(got, ColoringOutcome::ProperColoring, "trial {trial}");
+            } else {
+                assert_eq!(got, ColoringOutcome::OddCycleDetected, "trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn seedless_network_stays_blank() {
+        let g = generators::cycle(6);
+        let mut net = Network::new(&g, TwoColoring, |_| Color::Blank);
+        SyncScheduler::run_to_fixpoint(&mut net, 10).expect("immediately stable");
+        assert_eq!(outcome(net.states()), ColoringOutcome::Incomplete);
+    }
+
+    #[test]
+    fn compiles_to_formal_fssga() {
+        // Witness that TwoColoring is a bona fide FSSGA: extract mod-thresh
+        // tables and lock-step them against the native protocol.
+        let auto = fssga_engine::compile::compile_protocol(&TwoColoring, 1 << 16).unwrap();
+        assert_eq!(auto.num_states(), 4);
+        let g = generators::grid(4, 5);
+        let mut native = Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
+        use fssga_engine::StateSpace;
+        let mut interp = fssga_engine::interp::InterpNetwork::new(&g, &auto, |v| {
+            TwoColoring::init(v == 0).index()
+        });
+        for round in 0..30 {
+            native.sync_step_seeded(round);
+            interp.sync_step_seeded(round);
+            let ids: Vec<usize> = native.states().iter().map(|s| s.index()).collect();
+            assert_eq!(&ids, interp.states(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn fault_tolerance_edge_cut_leaves_components_consistent() {
+        // Cut an even cycle mid-run: both halves still stabilize without
+        // spurious failures (the algorithm is correct on whatever stays
+        // connected to the seed; the far side simply stays blank/partial).
+        let g = generators::cycle(12);
+        let mut net = Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
+        let mut rng = Xoshiro256::seed_from_u64(43);
+        net.sync_step(&mut rng);
+        net.remove_edge(3, 4);
+        net.remove_edge(9, 10);
+        SyncScheduler::run_to_fixpoint(&mut net, 100).expect("stabilizes");
+        assert!(
+            net.states().iter().all(|&s| s != Color::Failed),
+            "an even cycle minus edges is still bipartite: no node may fail"
+        );
+    }
+}
+
+/// The paper's *literal* §4.1 automaton: the same five-clause program for
+/// every own-state, with non-sticky colours. Exposed to make the
+/// deviation note above executable — see the `paper_literal_*` tests for
+/// the oscillation and the dead-end the sticky variant fixes.
+pub fn paper_literal_automaton() -> fssga_core::ProbFssga {
+    use fssga_core::{Fssga, FsmProgram};
+    let clause_list = fssga_core::library::two_coloring_blank_mt();
+    let f = (0..4)
+        .map(|_| FsmProgram::ModThresh(clause_list.clone()))
+        .collect();
+    fssga_core::ProbFssga::from_deterministic(Fssga::new(4, f).expect("well-formed"))
+}
+
+#[cfg(test)]
+mod paper_literal_tests {
+    use super::*;
+    use fssga_engine::interp::InterpNetwork;
+    use fssga_graph::generators;
+    use fssga_graph::rng::Xoshiro256;
+
+    #[test]
+    fn paper_literal_oscillates_synchronously() {
+        // On a 2-path the seed loses its colour in round 1 and the
+        // network blinks forever: no fixpoint within any budget.
+        let auto = paper_literal_automaton();
+        let g = generators::path(2);
+        let mut net = InterpNetwork::new(&g, &auto, |v| usize::from(v == 0)); // RED = 1
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        assert_eq!(net.run_to_fixpoint(&mut rng, 200), None, "must oscillate");
+        // And the orbit really is period-2 blinking, not chaos:
+        let s0 = net.states().to_vec();
+        net.sync_step(&mut rng);
+        let s1 = net.states().to_vec();
+        net.sync_step(&mut rng);
+        assert_eq!(net.states(), &s0[..]);
+        assert_ne!(s0, s1);
+    }
+
+    #[test]
+    fn paper_literal_can_lose_the_seed_asynchronously() {
+        // Activating the seed first erases the only colour in the
+        // network: every node is BLANK forever after.
+        let auto = paper_literal_automaton();
+        let g = generators::path(3);
+        let mut net = InterpNetwork::new(&g, &auto, |v| usize::from(v == 0));
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        net.activate(0, &mut rng); // seed sees only BLANK -> returns BLANK
+        assert!(net.states().iter().all(|&s| s == 0), "colour lost");
+        // From the all-blank state nothing can ever change again.
+        for _ in 0..20 {
+            assert_eq!(net.sync_step(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn sticky_variant_fixes_both_failure_modes() {
+        // Same graphs, our sticky protocol: converges synchronously and
+        // survives seed-first asynchronous activation.
+        let g = generators::path(2);
+        let mut net = fssga_engine::Network::new(&g, TwoColoring, |v| {
+            TwoColoring::init(v == 0)
+        });
+        assert!(fssga_engine::SyncScheduler::run_to_fixpoint(&mut net, 50).is_some());
+        assert_eq!(outcome(net.states()), ColoringOutcome::ProperColoring);
+
+        let g = generators::path(3);
+        let mut net = fssga_engine::Network::new(&g, TwoColoring, |v| {
+            TwoColoring::init(v == 0)
+        });
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        net.activate(0, &mut rng); // sticky: seed keeps RED
+        assert_eq!(net.state(0), Color::Red);
+        fssga_engine::scheduler::AsyncScheduler::run_to_fixpoint(
+            &mut net,
+            &mut rng,
+            100,
+            fssga_engine::scheduler::AsyncPolicy::RoundRobin,
+        )
+        .expect("stabilizes");
+        assert_eq!(outcome(net.states()), ColoringOutcome::ProperColoring);
+    }
+}

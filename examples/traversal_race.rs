@@ -1,0 +1,71 @@
+//! Milgram's traversal (Section 4.5) vs the greedy tourist (Section 4.6)
+//! under fault injection — the paper's sensitivity story in action.
+//!
+//! Both agents traverse the same graph. Then we kill one node that is
+//! *not* the agent: Milgram's arm is Θ(n) critical nodes, so the fault
+//! usually severs it; the tourist's only critical node is the agent, so
+//! it re-plans and finishes.
+//!
+//! ```text
+//! cargo run --release --example traversal_race
+//! ```
+
+use fssga::graph::rng::Xoshiro256;
+use fssga::graph::generators;
+use fssga::protocols::greedy_tourist::GreedyTourist;
+use fssga::protocols::traversal::TraversalHarness;
+
+fn main() {
+    let mut rng = Xoshiro256::seed_from_u64(0x7A6E);
+    let g = generators::grid(5, 6);
+    let n = g.n();
+
+    println!("== fault-free race on a 5x6 grid ==");
+    let mut milgram = TraversalHarness::new(&g, 0);
+    let run = milgram.run(200_000, &mut rng, false);
+    println!(
+        "Milgram: complete={} hand-moves={} (2n-2={}) rounds={}",
+        run.complete,
+        run.hand_moves,
+        2 * n - 2,
+        run.rounds
+    );
+    let mut tourist = GreedyTourist::new(&g, 0);
+    let run = tourist.run(10_000_000, &mut rng);
+    println!(
+        "tourist: complete={} agent-steps={} rounds={}",
+        run.complete, run.agent_steps, run.total_rounds
+    );
+
+    println!();
+    println!("== same race, one mid-run node fault (never the agent) ==");
+    // Milgram: let the arm grow, then kill its midpoint.
+    let mut milgram = TraversalHarness::new(&g, 0);
+    let _ = milgram.run(200, &mut rng, false);
+    let arm = milgram.arm_path_nodes();
+    if arm.len() >= 3 {
+        let victim = arm[arm.len() / 2];
+        println!("killing node {victim} (interior of Milgram's arm)...");
+        milgram.network_mut().remove_node(victim);
+    }
+    let run = milgram.run(500_000, &mut rng, false);
+    println!(
+        "Milgram: complete={} corrupted={} (the severed arm re-grows two hands)",
+        run.complete, run.corrupted
+    );
+
+    // Tourist: kill an unvisited node far from the agent.
+    let mut tourist = GreedyTourist::new(&g, 0);
+    let _ = tourist.run(60, &mut rng);
+    let victim = (0..n as u32)
+        .rev()
+        .find(|&v| v != tourist.agent() && !tourist.visited()[v as usize])
+        .unwrap();
+    println!("killing node {victim} (unvisited, not the tourist)...");
+    tourist.network_mut().remove_node(victim);
+    let run = tourist.run(10_000_000, &mut rng);
+    println!(
+        "tourist: complete={} — it relabels and visits everything still reachable",
+        run.complete
+    );
+}

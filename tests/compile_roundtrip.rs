@@ -1,0 +1,103 @@
+//! Property test for the protocol → mod-thresh compiler: random decision
+//! lists, wrapped as engine protocols, compile to tables whose network
+//! behaviour is bit-identical to the native execution.
+
+use fssga::core::modthresh::{ModThreshProgram, Prop};
+use fssga::engine::compile::compile_protocol;
+use fssga::engine::interp::InterpNetwork;
+use fssga::engine::{impl_state_space, Network, NeighborView, Protocol, StateSpace};
+use fssga::graph::rng::Xoshiro256;
+use fssga::graph::generators;
+use proptest::prelude::*;
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum S3 {
+    A,
+    B,
+    C,
+}
+impl_state_space!(S3 { A, B, C });
+
+/// A protocol whose transition interprets one mod-thresh program per own
+/// state, reading the view through exactly the queries the program's
+/// atoms name.
+struct MtProtocol {
+    programs: [ModThreshProgram; 3],
+}
+
+impl Protocol for MtProtocol {
+    type State = S3;
+
+    fn transition(&self, own: S3, nbrs: &NeighborView<'_, S3>, _coin: u32) -> S3 {
+        let prog = &self.programs[own.index()];
+        // Reconstruct counts through view queries within the program's own
+        // bounds: capped at T_j and mod M_j, then synthesize (the same
+        // trick the alpha synchronizer uses).
+        let t = prog.thresholds();
+        let m = prog.moduli();
+        let mut counts = [0u64; 3];
+        for (j, c) in counts.iter_mut().enumerate() {
+            let s = S3::from_index(j);
+            let capped = u64::from(nbrs.count_capped(s, t[j].max(1) as u32));
+            *c = if capped < t[j].max(1) {
+                capped
+            } else {
+                let residue = u64::from(nbrs.count_mod(s, m[j] as u32));
+                let tt = t[j].max(1);
+                tt + (residue + m[j] - tt % m[j]) % m[j]
+            };
+        }
+        S3::from_index(prog.eval_counts(&counts))
+    }
+}
+
+fn atom(s: usize) -> impl Strategy<Value = Prop> {
+    prop_oneof![
+        (0..s, 1u64..4).prop_map(|(q, t)| Prop::below(q, t)),
+        (0..s, 0u64..3, 2u64..4).prop_map(|(q, r, m)| Prop::mod_count(q, r % m, m)),
+        (0..s, 1u64..3).prop_map(|(q, t)| Prop::at_least(q, t)),
+    ]
+}
+
+fn program() -> impl Strategy<Value = ModThreshProgram> {
+    (
+        prop::collection::vec((prop::collection::vec(atom(3), 1..3), 0usize..3), 0..3),
+        0usize..3,
+    )
+        .prop_map(|(clauses, default)| {
+            let built: Vec<(Prop, usize)> = clauses
+                .into_iter()
+                .map(|(atoms, r)| {
+                    let mut it = atoms.into_iter();
+                    let first = it.next().unwrap();
+                    (it.fold(first, |acc, a| acc.and(a)), r)
+                })
+                .collect();
+            ModThreshProgram::new(3, 3, built, default).expect("valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_protocols_compile_to_lockstep_tables(
+        p0 in program(),
+        p1 in program(),
+        p2 in program(),
+        seed in 0u64..1000,
+    ) {
+        let proto = MtProtocol { programs: [p0, p1, p2] };
+        let auto = compile_protocol(&proto, 1 << 18).expect("small bounds");
+        let g = generators::connected_gnp(18, 0.18, &mut Xoshiro256::seed_from_u64(seed));
+        let init = |v: u32| S3::from_index((v as usize * 7 + 1) % 3);
+        let mut native = Network::new(&g, proto, init);
+        let mut interp = InterpNetwork::new(&g, &auto, |v| init(v).index());
+        for round in 0..12 {
+            native.sync_step_seeded(round);
+            interp.sync_step_seeded(round);
+            let ids: Vec<usize> = native.states().iter().map(|s| s.index()).collect();
+            prop_assert_eq!(&ids, interp.states(), "round {}", round);
+        }
+    }
+}

