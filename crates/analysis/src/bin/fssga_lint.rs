@@ -1,0 +1,43 @@
+//! `fssga-lint` — static analysis gate for the FSSGA workspace.
+//!
+//! Audits every built-in library program (dead code, totality, SM
+//! property) and every FSSGA protocol (query-signature compliance against
+//! declared bounds), prints the findings, and exits non-zero if any
+//! error-severity finding exists.
+//!
+//! Usage:
+//!     fssga-lint              # run the full lint pass
+//!     fssga-lint --blowup     # also print the conversion blow-up table (TSV)
+//!     fssga-lint --blowup-json  # ... as JSON
+
+use fssga_analysis::blowup;
+use fssga_analysis::lint;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for a in &args {
+        if a != "--blowup" && a != "--blowup-json" {
+            eprintln!("unknown flag {a}; usage: fssga-lint [--blowup | --blowup-json]");
+            std::process::exit(2);
+        }
+    }
+
+    println!("fssga-lint: auditing library programs...");
+    let mut report = lint::lint_library();
+    println!("fssga-lint: auditing protocols (compliance probes)...");
+    report.extend(lint::lint_protocols());
+
+    println!("{report}");
+
+    if args.iter().any(|a| a == "--blowup") {
+        println!("\nconversion blow-up accounting (Lemmas 3.5 / 3.8 / 3.9):");
+        print!("{}", blowup::to_tsv(&lint::blowup_table()));
+    }
+    if args.iter().any(|a| a == "--blowup-json") {
+        println!("{}", blowup::to_json(&lint::blowup_table()));
+    }
+
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
+}

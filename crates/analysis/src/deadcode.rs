@@ -1,0 +1,291 @@
+//! Dead-code analysis: unreachable working states and dead decision-list
+//! clauses.
+//!
+//! For sequential programs "dead" means a working state no input sequence
+//! reaches from `w0`; for parallel programs, a working value not obtainable
+//! as any tree combination of lifted inputs. For mod-thresh decision lists
+//! the analysis is semantic and *exact*: a clause is live iff it fires
+//! first on some input, and since each `μ_j` matters only through
+//! `(min(μ_j, T_j), μ_j mod M_j)` (the Lemma 3.8/3.9 count classes), it
+//! suffices to test one representative per class combination. Every
+//! verdict about a dead clause comes with either a shadowing proof (a
+//! witness multiset the guard accepts but an earlier clause captures) or
+//! an unsatisfiability verdict (no input satisfies the guard at all).
+
+use fssga_core::{Id, ModThreshProgram, ParProgram, SeqProgram, SmError};
+
+use crate::diag::{Diagnostic, Report};
+
+/// Verdict on one guarded clause of a decision list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClauseVerdict {
+    /// The clause fires first on the witness multiplicity vector.
+    Live {
+        /// A multiplicity vector on which this clause is the first to fire.
+        witness: Vec<u64>,
+    },
+    /// The guard is satisfiable, but every satisfying input is captured by
+    /// an earlier clause — the shadowing proof names the earliest one.
+    Shadowed {
+        /// Index of the earliest clause that fires on the witness.
+        by: usize,
+        /// A multiplicity vector satisfying this guard on which clause
+        /// `by` fires instead.
+        witness: Vec<u64>,
+    },
+    /// No nonempty input satisfies the guard at all.
+    Unsatisfiable,
+}
+
+/// Classifies every guarded clause of a mod-thresh program as live,
+/// shadowed, or unsatisfiable. Exact over the complete count-class space;
+/// errors with [`SmError::TooLarge`] if that space exceeds `limit`.
+pub fn clause_verdicts(mt: &ModThreshProgram, limit: u128) -> Result<Vec<ClauseVerdict>, SmError> {
+    let reps = mt.class_representatives(limit)?;
+    let clauses: Vec<_> = mt.clauses().collect();
+    // A clause may look shadowed on one representative yet fire first on
+    // another; liveness always wins, so collect both kinds of evidence and
+    // resolve at the end.
+    let mut live: Vec<Option<Vec<u64>>> = vec![None; clauses.len()];
+    let mut shadowed: Vec<Option<(usize, Vec<u64>)>> = vec![None; clauses.len()];
+    for counts in &reps {
+        let first = clauses.iter().position(|(p, _)| p.eval(counts));
+        let Some(j) = first else { continue };
+        if live[j].is_none() {
+            live[j] = Some(counts.clone());
+        }
+        for (i, (prop, _)) in clauses.iter().enumerate().skip(j + 1) {
+            if live[i].is_none() && shadowed[i].is_none() && prop.eval(counts) {
+                shadowed[i] = Some((j, counts.clone()));
+            }
+        }
+    }
+    Ok(live
+        .into_iter()
+        .zip(shadowed)
+        .map(|(l, s)| match (l, s) {
+            (Some(witness), _) => ClauseVerdict::Live { witness },
+            (None, Some((by, witness))) => ClauseVerdict::Shadowed { by, witness },
+            (None, None) => ClauseVerdict::Unsatisfiable,
+        })
+        .collect())
+}
+
+/// Indices of working states a sequential program can never enter.
+pub fn unreachable_states_seq(p: &SeqProgram) -> Vec<Id> {
+    p.reachable_states()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &r)| !r)
+        .map(|(w, _)| w)
+        .collect()
+}
+
+/// Indices of working values a parallel program can never obtain (not in
+/// the closure of `α(Q)` under the combine).
+pub fn unreachable_values_par(p: &ParProgram) -> Vec<Id> {
+    let obtainable = p.obtainable_values();
+    let mut mask = vec![false; p.num_working()];
+    for v in obtainable {
+        mask[v] = true;
+    }
+    mask.iter()
+        .enumerate()
+        .filter(|&(_, &m)| !m)
+        .map(|(w, _)| w)
+        .collect()
+}
+
+/// Dead-code report for a sequential program: unreachable working states
+/// are warnings (wasted table rows, and `check_sm` rightly ignores them).
+pub fn audit_seq(subject: &str, p: &SeqProgram) -> Report {
+    let mut report = Report::new();
+    let dead = unreachable_states_seq(p);
+    if !dead.is_empty() {
+        report.push(Diagnostic::warning(
+            "dead-code",
+            subject,
+            format!(
+                "{} of {} working states are unreachable from w0 = {}: {:?}",
+                dead.len(),
+                p.num_working(),
+                p.w0(),
+                dead
+            ),
+        ));
+    }
+    report
+}
+
+/// Dead-code report for a parallel program: unobtainable working values.
+pub fn audit_par(subject: &str, p: &ParProgram) -> Report {
+    let mut report = Report::new();
+    let dead = unreachable_values_par(p);
+    if !dead.is_empty() {
+        report.push(Diagnostic::warning(
+            "dead-code",
+            subject,
+            format!(
+                "{} of {} working values are not obtainable from any input combination: {:?}",
+                dead.len(),
+                p.num_working(),
+                dead
+            ),
+        ));
+    }
+    report
+}
+
+/// Dead-code report for a mod-thresh decision list. Dead clauses are
+/// errors: a clause that cannot fire is either a typo or a stale edit, and
+/// the paper's decision-list semantics makes its presence pure noise.
+pub fn audit_mt(subject: &str, mt: &ModThreshProgram, limit: u128) -> Report {
+    let mut report = Report::new();
+    match clause_verdicts(mt, limit) {
+        Ok(verdicts) => {
+            for (i, v) in verdicts.iter().enumerate() {
+                match v {
+                    ClauseVerdict::Live { .. } => {}
+                    ClauseVerdict::Shadowed { by, witness } => {
+                        report.push(
+                            Diagnostic::error(
+                                "dead-code",
+                                subject,
+                                format!("clause {i} is dead: every input it accepts is captured by clause {by}"),
+                            )
+                            .with_witness(format!(
+                                "counts {witness:?} satisfy clause {i}'s guard but clause {by} fires first"
+                            )),
+                        );
+                    }
+                    ClauseVerdict::Unsatisfiable => {
+                        report.push(Diagnostic::error(
+                            "dead-code",
+                            subject,
+                            format!("clause {i} is dead: its guard is unsatisfiable"),
+                        ));
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            report.push(Diagnostic::warning(
+                "dead-code",
+                subject,
+                format!("clause liveness not decided: {e}"),
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fssga_core::{library, Prop};
+
+    #[test]
+    fn paper_two_coloring_has_no_dead_clauses() {
+        let mt = library::two_coloring_blank_mt();
+        let verdicts = clause_verdicts(&mt, 1 << 16).unwrap();
+        for (i, v) in verdicts.iter().enumerate() {
+            assert!(matches!(v, ClauseVerdict::Live { .. }), "clause {i}: {v:?}");
+        }
+        assert!(audit_mt("two_coloring", &mt, 1 << 16).is_clean());
+    }
+
+    #[test]
+    fn live_witnesses_actually_fire_first() {
+        let mt = library::two_coloring_blank_mt();
+        for (i, v) in clause_verdicts(&mt, 1 << 16).unwrap().iter().enumerate() {
+            let ClauseVerdict::Live { witness } = v else {
+                panic!("clause {i} not live")
+            };
+            let clauses: Vec<_> = mt.clauses().collect();
+            let first = clauses.iter().position(|(p, _)| p.eval(witness));
+            assert_eq!(first, Some(i));
+        }
+    }
+
+    #[test]
+    fn shadowed_clause_detected_with_proof() {
+        // Clause 1 repeats clause 0's guard: fully shadowed.
+        let mt =
+            ModThreshProgram::new(2, 3, vec![(Prop::some(0), 1), (Prop::some(0), 2)], 0).unwrap();
+        let verdicts = clause_verdicts(&mt, 1 << 16).unwrap();
+        assert!(matches!(verdicts[0], ClauseVerdict::Live { .. }));
+        match &verdicts[1] {
+            ClauseVerdict::Shadowed { by, witness } => {
+                assert_eq!(*by, 0);
+                assert!(
+                    witness[0] >= 1,
+                    "witness must satisfy the guard: {witness:?}"
+                );
+            }
+            other => panic!("expected shadowed, got {other:?}"),
+        }
+        assert!(!audit_mt("shadowed", &mt, 1 << 16).is_clean());
+    }
+
+    #[test]
+    fn unsatisfiable_clause_detected() {
+        // μ_0 < 1 AND μ_0 >= 2 is a contradiction.
+        let mt = ModThreshProgram::new(2, 2, vec![(Prop::none(0).and(Prop::at_least(0, 2)), 1)], 0)
+            .unwrap();
+        let verdicts = clause_verdicts(&mt, 1 << 16).unwrap();
+        assert_eq!(verdicts, vec![ClauseVerdict::Unsatisfiable]);
+    }
+
+    #[test]
+    fn partial_shadowing_is_still_live() {
+        // Clause 1 overlaps clause 0 on μ_0 >= 1 ∧ μ_1 >= 1 but also fires
+        // alone on μ_1-only inputs: live.
+        let mt =
+            ModThreshProgram::new(2, 3, vec![(Prop::some(0), 1), (Prop::some(1), 2)], 0).unwrap();
+        let verdicts = clause_verdicts(&mt, 1 << 16).unwrap();
+        assert!(matches!(verdicts[0], ClauseVerdict::Live { .. }));
+        assert!(matches!(verdicts[1], ClauseVerdict::Live { .. }));
+    }
+
+    #[test]
+    fn unreachable_seq_states_found() {
+        // OR with three junk states.
+        let p = SeqProgram::from_fn(
+            2,
+            5,
+            2,
+            0,
+            |w, q| if w < 2 { w | q } else { 4 },
+            |w| usize::from(w == 1),
+        )
+        .unwrap();
+        assert_eq!(unreachable_states_seq(&p), vec![2, 3, 4]);
+        let report = audit_seq("junky_or", &p);
+        assert!(report.is_clean(), "unreachable states warn, not error");
+        assert_eq!(report.warning_count(), 1);
+    }
+
+    #[test]
+    fn fully_reachable_seq_is_silent() {
+        let p = library::parity_seq();
+        assert!(unreachable_states_seq(&p).is_empty());
+        assert!(audit_seq("parity", &p).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn unobtainable_par_values_found() {
+        // Combine never leaves {0,1}; value 2 is junk.
+        let p = ParProgram::from_fn(2, 3, 2, |q| q, |a, b| (a | b) & 1, |w| w & 1).unwrap();
+        assert_eq!(unreachable_values_par(&p), vec![2]);
+        assert_eq!(audit_par("padded_or", &p).warning_count(), 1);
+    }
+
+    #[test]
+    fn class_space_budget_respected() {
+        let mt = library::parity_mt(8, 0);
+        assert!(matches!(
+            clause_verdicts(&mt, 1),
+            Err(SmError::TooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,200 @@
+//! Diagnostics: the common currency of every analysis in this crate.
+//!
+//! Each analysis produces [`Diagnostic`]s tagged with the subject program
+//! or protocol, a severity, and — whenever the finding is semantic — a
+//! concrete witness the reader can replay by hand. A [`Report`] collects
+//! them and decides the lint exit status.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: a fact worth surfacing (e.g. a collapsible clause).
+    Note,
+    /// Suspicious but not wrong (e.g. an unreachable working state).
+    Warning,
+    /// A genuine defect: the program violates its definition or its
+    /// declared bounds. Errors make `fssga-lint` exit non-zero.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A single analysis finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which analysis produced this (e.g. `"dead-code"`, `"sm-audit"`).
+    pub analysis: &'static str,
+    /// The program or protocol under analysis (e.g. `"library::or_seq"`).
+    pub subject: String,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// A concrete witness (multiset, input sequence, or shadowing proof),
+    /// when the analysis can produce one.
+    pub witness: Option<String>,
+}
+
+impl Diagnostic {
+    /// Builds an error diagnostic.
+    pub fn error(
+        analysis: &'static str,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            analysis,
+            subject: subject.into(),
+            severity: Severity::Error,
+            message: message.into(),
+            witness: None,
+        }
+    }
+
+    /// Builds a warning diagnostic.
+    pub fn warning(
+        analysis: &'static str,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            analysis,
+            subject: subject.into(),
+            severity: Severity::Warning,
+            message: message.into(),
+            witness: None,
+        }
+    }
+
+    /// Builds a note diagnostic.
+    pub fn note(
+        analysis: &'static str,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            analysis,
+            subject: subject.into(),
+            severity: Severity::Note,
+            message: message.into(),
+            witness: None,
+        }
+    }
+
+    /// Attaches a witness.
+    pub fn with_witness(mut self, witness: impl Into<String>) -> Self {
+        self.witness = Some(witness.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.analysis, self.subject, self.message
+        )?;
+        if let Some(w) = &self.witness {
+            write!(f, "\n    witness: {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of diagnostics from one or more analyses.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// The findings, in analysis order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Appends another report's findings.
+    pub fn extend(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// True when no finding is an error (warnings and notes allowed).
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(
+            f,
+            "{} error(s), {} warning(s), {} finding(s) total",
+            self.error_count(),
+            self.warning_count(),
+            self.diagnostics.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn report_counts() {
+        let mut r = Report::new();
+        assert!(r.is_clean());
+        r.push(Diagnostic::note("x", "s", "n"));
+        r.push(Diagnostic::warning("x", "s", "w"));
+        assert!(r.is_clean());
+        r.push(Diagnostic::error("x", "s", "e").with_witness("[1, 2]"));
+        assert!(!r.is_clean());
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        let text = r.to_string();
+        assert!(text.contains("witness: [1, 2]"), "{text}");
+        assert!(text.contains("1 error(s)"), "{text}");
+    }
+}

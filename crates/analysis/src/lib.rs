@@ -1,0 +1,37 @@
+//! Static analysis for FSSGA programs and protocols.
+//!
+//! The paper's central artifact is a *program class* — sequential,
+//! parallel and mod-thresh programs (Theorem 3.7) — whose conversions blow
+//! up exponentially and whose SM property is a semantic side condition.
+//! The rest of the workspace checks these properties dynamically, at
+//! simulation time; this crate checks them *statically*, before a single
+//! round runs:
+//!
+//! * [`deadcode`] — unreachable working states (sequential), unobtainable
+//!   working values (parallel), and dead decision-list clauses with exact
+//!   shadowing proofs or unsatisfiability verdicts over the Lemma 3.8/3.9
+//!   count-class space.
+//! * [`totality`] — raw-table audits: missing or out-of-range transition
+//!   entries, decision lists with no default arm.
+//! * [`sm_audit`] — the Definition 3.2 / 3.4 symmetry conditions, with a
+//!   globally minimal replayable witness pair on failure.
+//! * [`compliance`] — abstract interpretation of protocols in the
+//!   query-signature domain: the per-state threshold/modulus signature
+//!   must reach a fixed point (finite-state realisability) within the
+//!   protocol's declared `MAX_THRESHOLD` / `MODULI_LCM` bounds.
+//! * [`blowup`] — machine-readable accounting of state-count growth
+//!   through the Theorem 3.7 conversion cycle per library program.
+//! * [`lint`] — the shipped pass over every library program and protocol;
+//!   the `fssga-lint` binary runs it and exits non-zero on violations.
+
+#![warn(missing_docs)]
+
+pub mod blowup;
+pub mod compliance;
+pub mod deadcode;
+pub mod diag;
+pub mod lint;
+pub mod sm_audit;
+pub mod totality;
+
+pub use diag::{Diagnostic, Report, Severity};

@@ -1,0 +1,358 @@
+//! SM-property audit with minimal violating witness extraction.
+//!
+//! `SeqProgram::check_sm` decides Definition 3.2 via the coarsest
+//! congruence and the swap test, but on failure reports only the violating
+//! *working state*. For a lint that a human acts on, that is not enough:
+//! this module reconstructs a complete, minimal witness — two input
+//! sequences that are permutations of each other yet produce different
+//! outputs. Minimality is global: over all violating `(w, a, b)` triples,
+//! we pick the one minimizing `|prefix| + 2 + |suffix|`, where the prefix
+//! is a shortest input word driving `w0` to `w` (BFS over states) and the
+//! suffix is a shortest word separating `p(p(w,a),b)` from `p(p(w,b),a)`
+//! (BFS over state pairs).
+
+use fssga_core::check::{coarsest_congruence, reachable};
+use fssga_core::{Id, ParProgram, SeqProgram, SmError};
+
+use crate::diag::{Diagnostic, Report};
+
+/// A complete, replayable violation of Definition 3.2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmWitness {
+    /// Shortest input word driving `w0` to the violating state.
+    pub prefix: Vec<Id>,
+    /// First swapped input.
+    pub a: Id,
+    /// Second swapped input.
+    pub b: Id,
+    /// Shortest input word separating the two orderings' states.
+    pub suffix: Vec<Id>,
+    /// Output of `prefix ++ [a, b] ++ suffix`.
+    pub out_ab: Id,
+    /// Output of `prefix ++ [b, a] ++ suffix`.
+    pub out_ba: Id,
+}
+
+impl SmWitness {
+    /// The first of the two permuted input sequences.
+    pub fn sequence_ab(&self) -> Vec<Id> {
+        let mut s = self.prefix.clone();
+        s.push(self.a);
+        s.push(self.b);
+        s.extend_from_slice(&self.suffix);
+        s
+    }
+
+    /// The second permuted sequence (the same multiset, swapped pair).
+    pub fn sequence_ba(&self) -> Vec<Id> {
+        let mut s = self.prefix.clone();
+        s.push(self.b);
+        s.push(self.a);
+        s.extend_from_slice(&self.suffix);
+        s
+    }
+
+    /// Total witness length.
+    pub fn len(&self) -> usize {
+        self.prefix.len() + 2 + self.suffix.len()
+    }
+
+    /// Witnesses are never empty (they contain the swapped pair).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl std::fmt::Display for SmWitness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "eval{:?} = {} but eval{:?} = {} (same multiset, swapped pair at position {})",
+            self.sequence_ab(),
+            self.out_ab,
+            self.sequence_ba(),
+            self.out_ba,
+            self.prefix.len()
+        )
+    }
+}
+
+/// BFS over working states: shortest input word from `w0` to every
+/// reachable state. Returns `(dist, parent)` where `parent[w]` is
+/// `Some((predecessor, input))` on a shortest path.
+fn bfs_states(p: &SeqProgram) -> (Vec<usize>, Vec<Option<(usize, Id)>>) {
+    let n = p.num_working();
+    let mut dist = vec![usize::MAX; n];
+    let mut parent: Vec<Option<(usize, Id)>> = vec![None; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[p.w0()] = 0;
+    queue.push_back(p.w0());
+    while let Some(w) = queue.pop_front() {
+        for q in 0..p.num_inputs() {
+            let w2 = p.step(w, q);
+            if dist[w2] == usize::MAX {
+                dist[w2] = dist[w] + 1;
+                parent[w2] = Some((w, q));
+                queue.push_back(w2);
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// Reconstructs the input word to `w` from the BFS parent map.
+fn word_to(parent: &[Option<(usize, Id)>], mut w: usize) -> Vec<Id> {
+    let mut rev = Vec::new();
+    while let Some((prev, q)) = parent[w] {
+        rev.push(q);
+        w = prev;
+    }
+    rev.reverse();
+    rev
+}
+
+/// Shortest word on which states `x` and `y` produce different outputs
+/// (BFS over the pair automaton). Exists exactly when `x` and `y` are
+/// behaviourally inequivalent.
+fn separating_suffix(p: &SeqProgram, x: usize, y: usize) -> Option<Vec<Id>> {
+    let n = p.num_working();
+    let idx = |a: usize, b: usize| a * n + b;
+    let mut parent: Vec<Option<(usize, Id)>> = vec![None; n * n];
+    let mut seen = vec![false; n * n];
+    let mut queue = std::collections::VecDeque::new();
+    seen[idx(x, y)] = true;
+    queue.push_back((x, y));
+    while let Some((a, b)) = queue.pop_front() {
+        if p.output(a) != p.output(b) {
+            // Rebuild the word back to the start pair.
+            let mut rev = Vec::new();
+            let mut cur = idx(a, b);
+            while let Some((prev, q)) = parent[cur] {
+                rev.push(q);
+                cur = prev;
+            }
+            rev.reverse();
+            return Some(rev);
+        }
+        for q in 0..p.num_inputs() {
+            let (a2, b2) = (p.step(a, q), p.step(b, q));
+            if !seen[idx(a2, b2)] {
+                seen[idx(a2, b2)] = true;
+                parent[idx(a2, b2)] = Some((idx(a, b), q));
+                queue.push_back((a2, b2));
+            }
+        }
+    }
+    None
+}
+
+/// Decides the SM property of a sequential program; on failure returns the
+/// globally minimal [`SmWitness`].
+pub fn check_seq_sm(p: &SeqProgram) -> Result<(), SmWitness> {
+    let tables = p.input_tables();
+    let refs: Vec<&[u32]> = tables.iter().map(|t| t.as_slice()).collect();
+    let classes = coarsest_congruence(p.num_working(), &beta_table(p), &refs);
+    let reach = reachable(p.num_working(), &[p.w0()], &refs);
+    let (dist, parent) = bfs_states(p);
+    let mut best: Option<SmWitness> = None;
+    for (w, _) in reach.iter().enumerate().filter(|&(_, &r)| r) {
+        for a in 0..p.num_inputs() {
+            let wa = p.step(w, a);
+            for b in (a + 1)..p.num_inputs() {
+                let wab = p.step(wa, b);
+                let wba = p.step(p.step(w, b), a);
+                if classes[wab] == classes[wba] {
+                    continue;
+                }
+                let suffix = separating_suffix(p, wab, wba)
+                    .expect("inequivalent classes have a separating word");
+                let total = dist[w] + 2 + suffix.len();
+                if best.as_ref().is_none_or(|bst| total < bst.len()) {
+                    let prefix = word_to(&parent, w);
+                    let seq_ab: Vec<Id> = prefix
+                        .iter()
+                        .copied()
+                        .chain([a, b])
+                        .chain(suffix.iter().copied())
+                        .collect();
+                    let seq_ba: Vec<Id> = prefix
+                        .iter()
+                        .copied()
+                        .chain([b, a])
+                        .chain(suffix.iter().copied())
+                        .collect();
+                    best = Some(SmWitness {
+                        prefix,
+                        a,
+                        b,
+                        out_ab: p.eval_seq(&seq_ab),
+                        out_ba: p.eval_seq(&seq_ba),
+                        suffix,
+                    });
+                }
+            }
+        }
+    }
+    match best {
+        None => Ok(()),
+        Some(w) => Err(w),
+    }
+}
+
+fn beta_table(p: &SeqProgram) -> Vec<u32> {
+    (0..p.num_working()).map(|w| p.output(w) as u32).collect()
+}
+
+/// Lint entry point: audits a sequential program's SM property. A
+/// violation is an error carrying the replayable witness pair.
+pub fn audit_seq(subject: &str, p: &SeqProgram) -> Report {
+    let mut report = Report::new();
+    if let Err(w) = check_seq_sm(p) {
+        report.push(
+            Diagnostic::error(
+                "sm-audit",
+                subject,
+                format!(
+                    "not an SM function: order of inputs changes the output \
+                     (minimal witness has length {})",
+                    w.len()
+                ),
+            )
+            .with_witness(w.to_string()),
+        );
+    }
+    report
+}
+
+/// Lint entry point for parallel programs: delegates to the congruence
+/// check of Definition 3.4 (the counterexample there is a pair of working
+/// values, already named in the error).
+pub fn audit_par(subject: &str, p: &ParProgram) -> Report {
+    let mut report = Report::new();
+    match p.check_sm() {
+        Ok(()) => {}
+        Err(SmError::NotSymmetric(why)) => {
+            report.push(
+                Diagnostic::error("sm-audit", subject, "not an SM function").with_witness(why),
+            );
+        }
+        Err(e) => {
+            report.push(Diagnostic::warning(
+                "sm-audit",
+                subject,
+                format!("SM property not decided: {e}"),
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fssga_core::library;
+
+    #[test]
+    fn sm_programs_pass() {
+        for p in [
+            library::or_seq(),
+            library::and_seq(),
+            library::parity_seq(),
+            library::count_ones_mod_seq(4),
+            library::max_state_seq(3),
+            library::all_equal_seq(3),
+        ] {
+            assert!(check_seq_sm(&p).is_ok());
+        }
+    }
+
+    #[test]
+    fn last_input_witness_is_minimal_and_replays() {
+        // "Last input": the canonical non-SM program. The minimal witness
+        // is the bare swapped pair — length 2.
+        let p = SeqProgram::from_fn(2, 3, 2, 2, |_, q| q, |w| if w == 2 { 0 } else { w }).unwrap();
+        let w = check_seq_sm(&p).unwrap_err();
+        assert_eq!(w.len(), 2, "witness {w}");
+        assert_eq!(p.eval_seq(&w.sequence_ab()), w.out_ab);
+        assert_eq!(p.eval_seq(&w.sequence_ba()), w.out_ba);
+        assert_ne!(w.out_ab, w.out_ba);
+        // The two sequences are permutations of each other.
+        let (mut x, mut y) = (w.sequence_ab(), w.sequence_ba());
+        x.sort_unstable();
+        y.sort_unstable();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn witness_needing_a_suffix() {
+        // "First input wins, revealed only at length >= 3": every sequence
+        // of length <= 2 outputs 0, so the swapped pair alone never
+        // disagrees — the minimal witness must carry a flush suffix.
+        // States: 0 = start; 1,2 = (first input, len 1); 3,4 = (first
+        // input, len 2); 5,6 = (first input, len >= 3, revealed).
+        let p = SeqProgram::from_fn(
+            2,
+            7,
+            2,
+            0,
+            |w, q| match w {
+                0 => 1 + q,
+                1 | 2 => w + 2,
+                3 | 4 => w + 2,
+                _ => w,
+            },
+            |w| usize::from(w == 6),
+        )
+        .unwrap();
+        let w = check_seq_sm(&p).unwrap_err();
+        assert!(!w.suffix.is_empty(), "needs a flush suffix: {w}");
+        assert_eq!(w.len(), 3, "minimal witness is pair + one flush: {w}");
+        assert_ne!(p.eval_seq(&w.sequence_ab()), p.eval_seq(&w.sequence_ba()));
+    }
+
+    #[test]
+    fn audit_reports_error_with_witness() {
+        let p = SeqProgram::from_fn(2, 3, 2, 2, |_, q| q, |w| if w == 2 { 0 } else { w }).unwrap();
+        let report = audit_seq("last_input", &p);
+        assert_eq!(report.error_count(), 1);
+        assert!(report.diagnostics[0].witness.is_some());
+    }
+
+    #[test]
+    fn par_audit_passes_library() {
+        for p in [
+            library::or_par(),
+            library::sum_mod_par(3),
+            library::max_state_par(4),
+        ] {
+            assert!(audit_par("lib", &p).is_clean());
+        }
+    }
+
+    #[test]
+    fn par_audit_rejects_noncommutative() {
+        // "Left projection" combine: p(a, b) = a. Tree order matters.
+        let p = ParProgram::from_fn(2, 2, 2, |q| q, |a, _| a, |w| w).unwrap();
+        let report = audit_par("left_proj", &p);
+        assert_eq!(report.error_count(), 1);
+        assert!(report.diagnostics[0].witness.is_some());
+    }
+
+    #[test]
+    fn unreachable_order_sensitivity_is_ignored() {
+        // Order-sensitive only from an unreachable state: still SM.
+        let p = SeqProgram::from_fn(
+            2,
+            4,
+            2,
+            0,
+            |w, q| match (w, q) {
+                (3, q) => q,
+                (w, q) => (w | q) & 1,
+            },
+            |w| w & 1,
+        )
+        .unwrap();
+        assert!(check_seq_sm(&p).is_ok());
+    }
+}

@@ -229,7 +229,10 @@ pub fn seq_to_mt(seq: &SeqProgram, limit: u128) -> Result<ModThreshProgram, SmEr
     let tails_periods: Vec<(u64, u64)> = (0..s).map(|j| seq.orbit_tail_period(j)).collect();
     let num_combos = seq_to_mt_cost(seq);
     if num_combos > limit {
-        return Err(SmError::TooLarge { needed: num_combos, limit });
+        return Err(SmError::TooLarge {
+            needed: num_combos,
+            limit,
+        });
     }
 
     // Enumerate class combinations in mixed radix, where class index
@@ -404,7 +407,12 @@ mod tests {
         let mt = ModThreshProgram::new(
             3,
             2,
-            vec![(Prop::mod_count(0, 0, 97).and(Prop::below(1, 50)).and(Prop::below(2, 50)), 1)],
+            vec![(
+                Prop::mod_count(0, 0, 97)
+                    .and(Prop::below(1, 50))
+                    .and(Prop::below(2, 50)),
+                1,
+            )],
             0,
         )
         .unwrap();
@@ -455,8 +463,8 @@ mod tests {
 
     #[test]
     fn lemma_3_9_rejects_non_sm() {
-        let seq = SeqProgram::from_fn(2, 3, 2, 2, |_, q| q, |w| if w == 2 { 0 } else { w })
-            .unwrap();
+        let seq =
+            SeqProgram::from_fn(2, 3, 2, 2, |_, q| q, |w| if w == 2 { 0 } else { w }).unwrap();
         assert!(matches!(
             seq_to_mt(&seq, DEFAULT_LIMIT),
             Err(SmError::NotSymmetric(_))

@@ -76,11 +76,7 @@ impl SmEval for FsmProgram {
 /// Exhaustively compares two evaluators on every nonempty multiset of
 /// total multiplicity at most `max_total`. Returns the first
 /// counterexample, if any. Sound but (on its own) not complete.
-pub fn first_disagreement(
-    a: &dyn SmEval,
-    b: &dyn SmEval,
-    max_total: u64,
-) -> Option<Multiset> {
+pub fn first_disagreement(a: &dyn SmEval, b: &dyn SmEval, max_total: u64) -> Option<Multiset> {
     assert_eq!(a.num_inputs(), b.num_inputs(), "alphabet mismatch");
     Multiset::enumerate_up_to(a.num_inputs(), max_total)
         .into_iter()
@@ -116,7 +112,10 @@ pub fn decide_equiv_seq(
         .collect();
     let total: u128 = bounds.iter().map(|&b| b as u128 + 1).product();
     if total > limit {
-        return Err(SmError::TooLarge { needed: total, limit });
+        return Err(SmError::TooLarge {
+            needed: total,
+            limit,
+        });
     }
     // Enumerate all vectors with mu_j in 0..=bounds[j].
     let mut counts = vec![0u64; s];
@@ -185,8 +184,8 @@ mod tests {
     fn mod6_vs_mod2_and_mod3_composite() {
         // (n mod 6 == 0) equals (n mod 2 == 0 && n mod 3 == 0): build both
         // as seq programs and decide equivalence.
-        let a = SeqProgram::from_fn(2, 6, 2, 0, |w, q| (w + q) % 6, |w| usize::from(w == 0))
-            .unwrap();
+        let a =
+            SeqProgram::from_fn(2, 6, 2, 0, |w, q| (w + q) % 6, |w| usize::from(w == 0)).unwrap();
         let b = SeqProgram::from_fn(
             2,
             6,
@@ -235,8 +234,8 @@ mod tests {
 
     #[test]
     fn non_sm_input_rejected() {
-        let bad = SeqProgram::from_fn(2, 3, 2, 2, |_, q| q, |w| if w == 2 { 0 } else { w })
-            .unwrap();
+        let bad =
+            SeqProgram::from_fn(2, 3, 2, 2, |_, q| q, |w| if w == 2 { 0 } else { w }).unwrap();
         let good = library::or_seq();
         assert!(matches!(
             decide_equiv_seq(&bad, &good, 1 << 20),

@@ -122,9 +122,8 @@ impl Fssga {
     /// Verifies every per-state program satisfies its SM condition.
     pub fn check_sm(&self) -> Result<(), SmError> {
         for (q, prog) in self.f.iter().enumerate() {
-            prog.check_sm().map_err(|e| {
-                SmError::NotSymmetric(format!("program for state {q}: {e}"))
-            })?;
+            prog.check_sm()
+                .map_err(|e| SmError::NotSymmetric(format!("program for state {q}: {e}")))?;
         }
         Ok(())
     }
@@ -165,7 +164,11 @@ impl ProbFssga {
 
     /// Wraps a deterministic automaton as the trivial `r = 1` case.
     pub fn from_deterministic(auto: Fssga) -> Self {
-        Self { num_states: auto.num_states, r: 1, f: auto.f }
+        Self {
+            num_states: auto.num_states,
+            r: 1,
+            f: auto.f,
+        }
     }
 
     /// `|Q|`.
@@ -199,12 +202,14 @@ mod tests {
     /// A 2-state "infection" FSSGA: state 1 spreads to any node with an
     /// infected neighbour (iterated OR — the Flajolet-Martin core).
     fn infection() -> Fssga {
-        let stay_infected =
-            ModThreshProgram::new(2, 2, vec![(Prop::True, 1)], 1).unwrap();
+        let stay_infected = ModThreshProgram::new(2, 2, vec![(Prop::True, 1)], 1).unwrap();
         let catch = ModThreshProgram::new(2, 2, vec![(Prop::some(1), 1)], 0).unwrap();
         Fssga::new(
             2,
-            vec![FsmProgram::ModThresh(catch), FsmProgram::ModThresh(stay_infected)],
+            vec![
+                FsmProgram::ModThresh(catch),
+                FsmProgram::ModThresh(stay_infected),
+            ],
         )
         .unwrap()
     }
@@ -248,8 +253,8 @@ mod tests {
 
     #[test]
     fn check_sm_flags_bad_component() {
-        let bad = SeqProgram::from_fn(2, 3, 2, 2, |_, q| q, |w| if w == 2 { 0 } else { w })
-            .unwrap();
+        let bad =
+            SeqProgram::from_fn(2, 3, 2, 2, |_, q| q, |w| if w == 2 { 0 } else { w }).unwrap();
         let auto = Fssga::new(
             2,
             vec![FsmProgram::Seq(library::or_seq()), FsmProgram::Seq(bad)],
@@ -270,12 +275,8 @@ mod tests {
     #[test]
     fn probabilistic_coin_selects_program() {
         // r = 2: coin 0 -> constant 0, coin 1 -> constant 1.
-        let c0 = FsmProgram::ModThresh(
-            ModThreshProgram::new(2, 2, vec![], 0).unwrap(),
-        );
-        let c1 = FsmProgram::ModThresh(
-            ModThreshProgram::new(2, 2, vec![], 1).unwrap(),
-        );
+        let c0 = FsmProgram::ModThresh(ModThreshProgram::new(2, 2, vec![], 0).unwrap());
+        let c1 = FsmProgram::ModThresh(ModThreshProgram::new(2, 2, vec![], 1).unwrap());
         let auto = ProbFssga::new(2, 2, vec![c0.clone(), c1.clone(), c0, c1]).unwrap();
         let ms = Multiset::from_seq(2, &[0]);
         assert_eq!(auto.transition(0, 0, &ms), 0);

@@ -45,7 +45,7 @@ pub mod seq;
 pub mod tape;
 pub mod tree;
 
-pub use fssga::{Fssga, FsmProgram, ProbFssga};
+pub use fssga::{FsmProgram, Fssga, ProbFssga};
 pub use modthresh::{Atom, ModThreshProgram, Prop};
 pub use multiset::Multiset;
 pub use par::ParProgram;
@@ -83,7 +83,10 @@ impl std::fmt::Display for SmError {
         match self {
             SmError::NotSymmetric(why) => write!(f, "program is not an SM function: {why}"),
             SmError::TooLarge { needed, limit } => {
-                write!(f, "construction needs {needed} table entries, limit is {limit}")
+                write!(
+                    f,
+                    "construction needs {needed} table entries, limit is {limit}"
+                )
             }
             SmError::Malformed(why) => write!(f, "malformed program: {why}"),
         }

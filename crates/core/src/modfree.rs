@@ -14,8 +14,8 @@
 //! (uniformly over the other counts, which the class product enumerates),
 //! the decision list built from threshold classes alone computes it.
 
-use crate::multiset::Multiset;
 use crate::modthresh::{ModThreshProgram, Prop};
+use crate::multiset::Multiset;
 use crate::seq::SeqProgram;
 use crate::{Id, SmError};
 
@@ -36,17 +36,17 @@ pub struct ModWitness {
 /// program. Returns `Ok(None)` if it does (mod atoms removable),
 /// `Ok(Some(witness))` if mod atoms are essential, and an error if the
 /// program is not SM or the class product exceeds `limit`.
-pub fn mod_atoms_essential(
-    seq: &SeqProgram,
-    limit: u128,
-) -> Result<Option<ModWitness>, SmError> {
+pub fn mod_atoms_essential(seq: &SeqProgram, limit: u128) -> Result<Option<ModWitness>, SmError> {
     seq.check_sm()?;
     let s = seq.num_inputs();
     let tp: Vec<(u64, u64)> = (0..s).map(|j| seq.orbit_tail_period(j)).collect();
     let class_counts: Vec<u64> = tp.iter().map(|&(t, m)| t + m).collect();
     let total: u128 = class_counts.iter().map(|&c| c as u128).product();
     if total > limit {
-        return Err(SmError::TooLarge { needed: total, limit });
+        return Err(SmError::TooLarge {
+            needed: total,
+            limit,
+        });
     }
     // Enumerate class combinations; within each, compare the output when
     // one periodic state's count is shifted by one period.
@@ -57,7 +57,11 @@ pub fn mod_atoms_essential(
         for j in 0..s {
             let (t, m) = tp[j];
             let c = combo[j];
-            counts[j] = if c < t { c } else { t + (c - t + m - t % m) % m };
+            counts[j] = if c < t {
+                c
+            } else {
+                t + (c - t + m - t % m) % m
+            };
         }
         if counts.iter().any(|&c| c > 0) {
             let base = Multiset::from_counts(counts.clone());
@@ -101,10 +105,7 @@ pub fn mod_atoms_essential(
 /// Builds the threshold-only program for a function whose mod atoms are
 /// removable ([`mod_atoms_essential`] returned `None`): one clause per
 /// threshold class combination.
-pub fn to_threshold_only(
-    seq: &SeqProgram,
-    limit: u128,
-) -> Result<ModThreshProgram, SmError> {
+pub fn to_threshold_only(seq: &SeqProgram, limit: u128) -> Result<ModThreshProgram, SmError> {
     if let Some(w) = mod_atoms_essential(seq, limit)? {
         return Err(SmError::NotSymmetric(format!(
             "mod atoms are essential: outputs differ on {:?} vs {:?} (state {})",
@@ -119,7 +120,10 @@ pub fn to_threshold_only(
     let class_counts: Vec<u64> = tp.iter().map(|&(t, _)| t + 1).collect();
     let total: u128 = class_counts.iter().map(|&c| c as u128).product();
     if total > limit {
-        return Err(SmError::TooLarge { needed: total, limit });
+        return Err(SmError::TooLarge {
+            needed: total,
+            limit,
+        });
     }
     let mut clauses: Vec<(Prop, Id)> = Vec::new();
     let mut combo = vec![0u64; s];
@@ -199,9 +203,11 @@ mod tests {
     #[test]
     fn count_mod_k_needs_mod_atoms() {
         for k in [2usize, 3, 5] {
-            assert!(mod_atoms_essential(&library::count_ones_mod_seq(k), 1 << 20)
-                .unwrap()
-                .is_some());
+            assert!(
+                mod_atoms_essential(&library::count_ones_mod_seq(k), 1 << 20)
+                    .unwrap()
+                    .is_some()
+            );
         }
     }
 

@@ -47,7 +47,9 @@ impl Atom {
         match *self {
             Atom::Mod { state, r, m } => {
                 if state >= num_inputs {
-                    return Err(SmError::Malformed(format!("atom state {state} out of range")));
+                    return Err(SmError::Malformed(format!(
+                        "atom state {state} out of range"
+                    )));
                 }
                 if m == 0 || r >= m {
                     return Err(SmError::Malformed(format!(
@@ -57,7 +59,9 @@ impl Atom {
             }
             Atom::Thresh { state, t } => {
                 if state >= num_inputs {
-                    return Err(SmError::Malformed(format!("atom state {state} out of range")));
+                    return Err(SmError::Malformed(format!(
+                        "atom state {state} out of range"
+                    )));
                 }
                 if t == 0 {
                     return Err(SmError::Malformed("thresh atom needs t >= 1".into()));
@@ -180,9 +184,7 @@ impl Prop {
             Prop::True | Prop::False => Ok(()),
             Prop::Atom(a) => a.validate(num_inputs),
             Prop::Not(p) => p.validate(num_inputs),
-            Prop::And(ps) | Prop::Or(ps) => {
-                ps.iter().try_for_each(|p| p.validate(num_inputs))
-            }
+            Prop::And(ps) | Prop::Or(ps) => ps.iter().try_for_each(|p| p.validate(num_inputs)),
         }
     }
 
@@ -290,17 +292,26 @@ impl ModThreshProgram {
             return Err(SmError::Malformed("empty alphabet not allowed".into()));
         }
         if default >= num_outputs {
-            return Err(SmError::Malformed(format!("default result {default} out of range")));
+            return Err(SmError::Malformed(format!(
+                "default result {default} out of range"
+            )));
         }
         let mut checked = Vec::with_capacity(clauses.len());
         for (prop, r) in clauses {
             prop.validate(num_inputs)?;
             if r >= num_outputs {
-                return Err(SmError::Malformed(format!("clause result {r} out of range")));
+                return Err(SmError::Malformed(format!(
+                    "clause result {r} out of range"
+                )));
             }
             checked.push((prop, r as u32));
         }
-        Ok(Self { num_inputs, num_outputs, clauses: checked, default: default as u32 })
+        Ok(Self {
+            num_inputs,
+            num_outputs,
+            clauses: checked,
+            default: default as u32,
+        })
     }
 
     /// `|Q|`.
@@ -353,7 +364,10 @@ impl ModThreshProgram {
         let mut m = vec![1u64; self.num_inputs];
         for (prop, _) in &self.clauses {
             prop.visit_atoms(&mut |a| {
-                if let Atom::Mod { state, m: modulus, .. } = *a {
+                if let Atom::Mod {
+                    state, m: modulus, ..
+                } = *a
+                {
                     m[state] = lcm(m[state], modulus);
                 }
             });
@@ -408,10 +422,10 @@ mod tests {
             4,
             4,
             vec![
-                (Prop::some(3), 3),                      // a FAILED neighbour
-                (Prop::some(1).and(Prop::some(2)), 3),   // both colours adjacent
-                (Prop::some(1), 2),                      // red neighbour -> become blue
-                (Prop::some(2), 1),                      // blue neighbour -> become red
+                (Prop::some(3), 3),                    // a FAILED neighbour
+                (Prop::some(1).and(Prop::some(2)), 3), // both colours adjacent
+                (Prop::some(1), 2),                    // red neighbour -> become blue
+                (Prop::some(2), 1),                    // blue neighbour -> become red
             ],
             0, // stay blank
         )
@@ -421,9 +435,24 @@ mod tests {
     #[test]
     fn atoms_evaluate() {
         let counts = [3u64, 0, 7];
-        assert!(Atom::Mod { state: 0, r: 1, m: 2 }.eval(&counts));
-        assert!(Atom::Mod { state: 2, r: 0, m: 7 }.eval(&counts));
-        assert!(!Atom::Mod { state: 2, r: 1, m: 7 }.eval(&counts));
+        assert!(Atom::Mod {
+            state: 0,
+            r: 1,
+            m: 2
+        }
+        .eval(&counts));
+        assert!(Atom::Mod {
+            state: 2,
+            r: 0,
+            m: 7
+        }
+        .eval(&counts));
+        assert!(!Atom::Mod {
+            state: 2,
+            r: 1,
+            m: 7
+        }
+        .eval(&counts));
         assert!(Atom::Thresh { state: 1, t: 1 }.eval(&counts));
         assert!(!Atom::Thresh { state: 0, t: 3 }.eval(&counts));
     }
@@ -511,13 +540,8 @@ mod tests {
 
     #[test]
     fn decision_list_order_matters() {
-        let p = ModThreshProgram::new(
-            2,
-            3,
-            vec![(Prop::some(0), 1), (Prop::some(1), 2)],
-            0,
-        )
-        .unwrap();
+        let p =
+            ModThreshProgram::new(2, 3, vec![(Prop::some(0), 1), (Prop::some(1), 2)], 0).unwrap();
         // Both clauses true: the first wins.
         assert_eq!(p.eval_counts(&[1, 1]), 1);
         assert_eq!(p.eval_counts(&[0, 1]), 2);
@@ -550,15 +574,19 @@ impl ModThreshProgram {
     /// each `μ_i` matters only through `(min(μ_i, T_i), μ_i mod M_i)`, so
     /// enumerating one representative per class combination covers every
     /// behaviourally distinct input. Returns the class representatives'
-    /// count vectors (nonempty inputs only).
-    fn class_representatives(&self, limit: u128) -> Result<Vec<Vec<u64>>, SmError> {
+    /// count vectors (nonempty inputs only). Public so `fssga-analysis`
+    /// can decide clause liveness exactly over the same class space.
+    pub fn class_representatives(&self, limit: u128) -> Result<Vec<Vec<u64>>, SmError> {
         let s = self.num_inputs;
         let moduli = self.moduli();
         let thresholds = self.thresholds();
         let class_counts: Vec<u64> = (0..s).map(|j| thresholds[j] + moduli[j]).collect();
         let total: u128 = class_counts.iter().map(|&c| c as u128).product();
         if total > limit {
-            return Err(SmError::TooLarge { needed: total, limit });
+            return Err(SmError::TooLarge {
+                needed: total,
+                limit,
+            });
         }
         let mut out = Vec::with_capacity(total as usize);
         let mut combo = vec![0u64; s];
@@ -567,7 +595,11 @@ impl ModThreshProgram {
             for j in 0..s {
                 let (t, m) = (thresholds[j], moduli[j]);
                 let c = combo[j];
-                counts[j] = if c < t { c } else { t + (c - t + m - t % m) % m };
+                counts[j] = if c < t {
+                    c
+                } else {
+                    t + (c - t + m - t % m) % m
+                };
             }
             if counts.iter().all(|&c| c == 0) {
                 if let Some(j) = (0..s).find(|&j| combo[j] >= thresholds[j]) {
@@ -625,7 +657,12 @@ impl ModThreshProgram {
                 break;
             }
         }
-        ModThreshProgram::new(self.num_inputs, self.num_outputs, clauses, self.default as Id)
+        ModThreshProgram::new(
+            self.num_inputs,
+            self.num_outputs,
+            clauses,
+            self.default as Id,
+        )
     }
 }
 
@@ -662,13 +699,8 @@ mod simplify_tests {
 
     #[test]
     fn trailing_default_clauses_collapse() {
-        let p = ModThreshProgram::new(
-            2,
-            2,
-            vec![(Prop::some(1), 1), (Prop::some(0), 0)],
-            0,
-        )
-        .unwrap();
+        let p =
+            ModThreshProgram::new(2, 2, vec![(Prop::some(1), 1), (Prop::some(0), 0)], 0).unwrap();
         let q = p.simplified(1 << 16).unwrap();
         assert_eq!(q.num_clauses(), 2);
         agree(&p, &q, 6);
@@ -700,7 +732,10 @@ mod simplify_tests {
             .and(Prop::some(1))
             .and(Prop::True);
         assert_eq!(p.normalized().to_string(), "!(mu_1 < 1)");
-        assert_eq!(Prop::some(0).not().not().normalized(), Prop::some(0).normalized().not().not().normalized());
+        assert_eq!(
+            Prop::some(0).not().not().normalized(),
+            Prop::some(0).normalized().not().not().normalized()
+        );
         assert_eq!(
             Prop::False.or(Prop::below(0, 2)).normalized().to_string(),
             "mu_0 < 2"
@@ -781,7 +816,12 @@ mod display_tests {
     #[test]
     fn atoms_render() {
         assert_eq!(
-            Atom::Mod { state: 2, r: 1, m: 3 }.to_string(),
+            Atom::Mod {
+                state: 2,
+                r: 1,
+                m: 3
+            }
+            .to_string(),
             "mu_2 = 1 (mod 3)"
         );
         assert_eq!(Atom::Thresh { state: 0, t: 4 }.to_string(), "mu_0 < 4");

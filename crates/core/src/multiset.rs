@@ -86,7 +86,13 @@ impl Multiset {
     pub fn enumerate_up_to(s: usize, max_total: u64) -> Vec<Multiset> {
         let mut out = Vec::new();
         let mut current = vec![0u64; s];
-        fn rec(s: usize, i: usize, remaining: u64, current: &mut Vec<u64>, out: &mut Vec<Multiset>) {
+        fn rec(
+            s: usize,
+            i: usize,
+            remaining: u64,
+            current: &mut Vec<u64>,
+            out: &mut Vec<Multiset>,
+        ) {
             if i == s {
                 out.push(Multiset::from_counts(current.clone()));
                 return;

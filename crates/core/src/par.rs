@@ -62,13 +62,26 @@ impl ParProgram {
         if beta.len() != num_working {
             return Err(SmError::Malformed("beta table has wrong length".into()));
         }
-        if let Some(&bad) = alpha.iter().chain(p.iter()).find(|&&w| w as usize >= num_working) {
-            return Err(SmError::Malformed(format!("table entry {bad} out of range")));
+        if let Some(&bad) = alpha
+            .iter()
+            .chain(p.iter())
+            .find(|&&w| w as usize >= num_working)
+        {
+            return Err(SmError::Malformed(format!(
+                "table entry {bad} out of range"
+            )));
         }
         if let Some(&bad) = beta.iter().find(|&&r| r as usize >= num_outputs) {
             return Err(SmError::Malformed(format!("beta entry {bad} out of range")));
         }
-        Ok(Self { num_inputs, num_working, num_outputs, alpha, p, beta })
+        Ok(Self {
+            num_inputs,
+            num_working,
+            num_outputs,
+            alpha,
+            p,
+            beta,
+        })
     }
 
     /// Convenience constructor from closures.
@@ -184,7 +197,11 @@ impl ParProgram {
             if seen[cur] >= 0 {
                 let tail = seen[cur] as u64;
                 let cycle = path.len() as u64 - tail;
-                let idx = if reps < tail { reps } else { tail + (reps - tail) % cycle };
+                let idx = if reps < tail {
+                    reps
+                } else {
+                    tail + (reps - tail) % cycle
+                };
                 return path[idx as usize];
             }
             seen[cur] = path.len() as i64;
@@ -245,13 +262,24 @@ impl ParProgram {
         let values = self.obtainable_values();
         let v = values.len() as u128;
         if v * v * v > max_checks {
-            return Err(SmError::TooLarge { needed: v * v * v, limit: max_checks });
+            return Err(SmError::TooLarge {
+                needed: v * v * v,
+                limit: max_checks,
+            });
         }
         // Context maps: for each obtainable v, w -> p(v, w) and w -> p(w, v).
         let mut fns: Vec<Vec<u32>> = Vec::with_capacity(2 * values.len());
         for &val in &values {
-            fns.push((0..self.num_working).map(|w| self.p[val * self.num_working + w]).collect());
-            fns.push((0..self.num_working).map(|w| self.p[w * self.num_working + val]).collect());
+            fns.push(
+                (0..self.num_working)
+                    .map(|w| self.p[val * self.num_working + w])
+                    .collect(),
+            );
+            fns.push(
+                (0..self.num_working)
+                    .map(|w| self.p[w * self.num_working + val])
+                    .collect(),
+            );
         }
         let refs: Vec<&[u32]> = fns.iter().map(|t| t.as_slice()).collect();
         let classes = coarsest_congruence(self.num_working, &self.beta, &refs);

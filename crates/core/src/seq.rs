@@ -69,7 +69,14 @@ impl SeqProgram {
         if let Some(&bad) = beta.iter().find(|&&r| r as usize >= num_outputs) {
             return Err(SmError::Malformed(format!("beta entry {bad} out of range")));
         }
-        Ok(Self { num_inputs, num_working, num_outputs, w0: w0 as u32, p, beta })
+        Ok(Self {
+            num_inputs,
+            num_working,
+            num_outputs,
+            w0: w0 as u32,
+            p,
+            beta,
+        })
     }
 
     /// Convenience constructor from closures.
@@ -184,8 +191,10 @@ impl SeqProgram {
         self.output(w)
     }
 
-    /// Per-input transition tables `g_q`, as columns of `p`.
-    fn input_tables(&self) -> Vec<Vec<u32>> {
+    /// Per-input transition tables `g_q`, as columns of `p`. Public so
+    /// external analyses (reachability, congruence-based audits in
+    /// `fssga-analysis`) can reuse the table layout without re-deriving it.
+    pub fn input_tables(&self) -> Vec<Vec<u32>> {
         (0..self.num_inputs)
             .map(|q| {
                 (0..self.num_working)
@@ -445,7 +454,12 @@ impl SeqProgram {
         let dense_beta: Vec<u32> = reach_ids.iter().map(|&w| self.beta[w]).collect();
         let dense_refs: Vec<&[u32]> = dense_tabs.iter().map(|t| t.as_slice()).collect();
         let classes = coarsest_congruence(reach_ids.len(), &dense_beta, &dense_refs);
-        let num_classes = classes.iter().copied().max().map(|c| c as usize + 1).unwrap_or(0);
+        let num_classes = classes
+            .iter()
+            .copied()
+            .max()
+            .map(|c| c as usize + 1)
+            .unwrap_or(0);
         // Representative per class.
         let mut rep = vec![usize::MAX; num_classes];
         for (d, &c) in classes.iter().enumerate() {
@@ -476,7 +490,11 @@ mod minimize_tests {
 
     #[test]
     fn already_minimal_programs_stay_put() {
-        for p in [library::or_seq(), library::parity_seq(), library::count_ones_mod_seq(5)] {
+        for p in [
+            library::or_seq(),
+            library::parity_seq(),
+            library::count_ones_mod_seq(5),
+        ] {
             let m = p.minimized();
             assert_eq!(m.num_working(), p.num_working());
             assert_eq!(decide_equiv_seq(&p, &m, 1 << 20).unwrap(), None);
@@ -511,9 +529,14 @@ mod minimize_tests {
     #[test]
     fn unreachable_states_are_dropped() {
         // 5 working states, only 2 reachable (OR with junk states).
-        let p = SeqProgram::from_fn(2, 5, 2, 0, |w, q| if w < 2 { w | q } else { 4 }, |w| {
-            usize::from(w == 1)
-        })
+        let p = SeqProgram::from_fn(
+            2,
+            5,
+            2,
+            0,
+            |w, q| if w < 2 { w | q } else { 4 },
+            |w| usize::from(w == 1),
+        )
         .unwrap();
         let m = p.minimized();
         assert_eq!(m.num_working(), 2);
@@ -523,8 +546,11 @@ mod minimize_tests {
     #[test]
     fn minimization_is_idempotent() {
         let p = par_to_seq(
-            &mt_to_par(&seq_to_mt(&library::all_equal_seq(3), DEFAULT_LIMIT).unwrap(), DEFAULT_LIMIT)
-                .unwrap(),
+            &mt_to_par(
+                &seq_to_mt(&library::all_equal_seq(3), DEFAULT_LIMIT).unwrap(),
+                DEFAULT_LIMIT,
+            )
+            .unwrap(),
         );
         let once = p.minimized();
         let twice = once.minimized();

@@ -37,12 +37,16 @@ pub struct SeqFamily {
 impl SeqFamily {
     /// Working bits `w(N) = ceil(log2 |W_N|)` of the sequential member.
     pub fn seq_bits(&self, n: usize) -> u32 {
-        ((self.make)(n).num_working() as u64).next_power_of_two().trailing_zeros()
+        ((self.make)(n).num_working() as u64)
+            .next_power_of_two()
+            .trailing_zeros()
     }
 
     /// Input bits `q(N) = ceil(log2 |Q_N|)`.
     pub fn input_bits(&self, n: usize) -> u32 {
-        ((self.make)(n).num_inputs() as u64).next_power_of_two().trailing_zeros()
+        ((self.make)(n).num_inputs() as u64)
+            .next_power_of_two()
+            .trailing_zeros()
     }
 
     /// Converts the member for `N` into a parallel program (via
@@ -52,7 +56,9 @@ impl SeqFamily {
         let seq = (self.make)(n);
         let mt = seq_to_mt(&seq, limit)?;
         let par = mt_to_par(&mt, limit)?;
-        let bits = (par.num_working() as u64).next_power_of_two().trailing_zeros();
+        let bits = (par.num_working() as u64)
+            .next_power_of_two()
+            .trailing_zeros();
         Ok((par, bits))
     }
 
@@ -66,7 +72,9 @@ impl SeqFamily {
     /// Working bits of the best-known parallel member, if one is defined.
     pub fn best_par_bits(&self, n: usize) -> Option<u32> {
         self.best_par.as_ref().map(|mk| {
-            (mk(n).num_working() as u64).next_power_of_two().trailing_zeros()
+            (mk(n).num_working() as u64)
+                .next_power_of_two()
+                .trailing_zeros()
         })
     }
 }
@@ -111,8 +119,8 @@ pub fn example_families() -> Vec<SeqFamily> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::equiv::decide_equiv_seq;
     use crate::convert::par_to_seq;
+    use crate::equiv::decide_equiv_seq;
 
     #[test]
     fn members_convert_and_stay_equivalent() {

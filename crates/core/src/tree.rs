@@ -357,7 +357,9 @@ mod tests {
     fn random_trees_have_right_leaves() {
         let mut x = 12345usize;
         let mut rand = move |b: usize| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 33) % b
         };
         for k in 1..=20 {

@@ -98,7 +98,10 @@ fn build_program<P: Protocol>(
     let class_counts: Vec<u64> = (0..s).map(|j| thresholds[j] + moduli[j]).collect();
     let total: u128 = class_counts.iter().map(|&c| c as u128).product();
     if total > clause_limit {
-        return Err(SmError::TooLarge { needed: total, limit: clause_limit });
+        return Err(SmError::TooLarge {
+            needed: total,
+            limit: clause_limit,
+        });
     }
     let mut clauses: Vec<(Prop, usize)> = Vec::with_capacity(total as usize);
     let mut combo = vec![0u64; s];
@@ -199,9 +202,7 @@ mod tests {
             for ms in Multiset::enumerate_up_to(3, 6) {
                 let counts: Vec<u32> = ms.counts().iter().map(|&c| c as u32).collect();
                 let view: NeighborView<'_, Tri> = NeighborView::over(&counts);
-                let native = Mixed
-                    .transition(Tri::from_index(own), &view, 0)
-                    .index();
+                let native = Mixed.transition(Tri::from_index(own), &view, 0).index();
                 let compiled = auto.transition(own, 0, &ms);
                 assert_eq!(native, compiled, "own={own}, ms={:?}", ms.counts());
             }
@@ -218,8 +219,7 @@ mod tests {
         for round in 0..20 {
             native.sync_step_seeded(round);
             interp.sync_step_seeded(round);
-            let native_ids: Vec<usize> =
-                native.states().iter().map(|s| s.index()).collect();
+            let native_ids: Vec<usize> = native.states().iter().map(|s| s.index()).collect();
             assert_eq!(native_ids, interp.states(), "round {round}");
         }
     }
@@ -249,8 +249,7 @@ mod tests {
         for round in 0..30 {
             native.sync_step_seeded(round * 31 + 7);
             interp.sync_step_seeded(round * 31 + 7);
-            let native_ids: Vec<usize> =
-                native.states().iter().map(|s| s.index()).collect();
+            let native_ids: Vec<usize> = native.states().iter().map(|s| s.index()).collect();
             assert_eq!(native_ids, interp.states(), "round {round}");
         }
     }
@@ -262,7 +261,8 @@ mod tests {
             type State = Tri;
             fn transition(&self, own: Tri, nbrs: &NeighborView<'_, Tri>, _c: u32) -> Tri {
                 // Thresholds of 50 on every state: 51^3 clause classes.
-                if nbrs.at_least(Tri::A, 50) && nbrs.at_least(Tri::B, 50)
+                if nbrs.at_least(Tri::A, 50)
+                    && nbrs.at_least(Tri::B, 50)
                     && nbrs.at_least(Tri::C, 50)
                 {
                     Tri::A

@@ -141,8 +141,14 @@ mod tests {
         let g = generators::path(5);
         let mut n = net(&g);
         let mut plan = FaultPlan::new(vec![
-            FaultEvent { time: 5, kind: FaultKind::Edge(1, 2) },
-            FaultEvent { time: 2, kind: FaultKind::Node(4) },
+            FaultEvent {
+                time: 5,
+                kind: FaultKind::Edge(1, 2),
+            },
+            FaultEvent {
+                time: 2,
+                kind: FaultKind::Node(4),
+            },
         ]);
         assert_eq!(plan.remaining(), 2);
         assert_eq!(plan.apply_due(&mut n, 1), 0);
@@ -159,9 +165,18 @@ mod tests {
         let g = generators::path(3);
         let mut n = net(&g);
         let mut plan = FaultPlan::new(vec![
-            FaultEvent { time: 0, kind: FaultKind::Node(1) },
-            FaultEvent { time: 1, kind: FaultKind::Edge(0, 1) },
-            FaultEvent { time: 2, kind: FaultKind::Node(1) },
+            FaultEvent {
+                time: 0,
+                kind: FaultKind::Node(1),
+            },
+            FaultEvent {
+                time: 1,
+                kind: FaultKind::Edge(0, 1),
+            },
+            FaultEvent {
+                time: 2,
+                kind: FaultKind::Node(1),
+            },
         ]);
         assert_eq!(plan.apply_due(&mut n, 100), 3);
         assert_eq!(n.graph().n_alive(), 2);
@@ -173,8 +188,7 @@ mod tests {
         let base = net(&g);
         let mut rng = Xoshiro256::seed_from_u64(7);
         for _ in 0..20 {
-            let plan =
-                FaultPlan::random(base.graph(), 10, 50, 0.0, &[0, 1], &mut rng);
+            let plan = FaultPlan::random(base.graph(), 10, 50, 0.0, &[0, 1], &mut rng);
             for e in plan.events() {
                 if let FaultKind::Node(v) = e.kind {
                     assert!(v != 0 && v != 1, "protected node scheduled to die");

@@ -24,11 +24,7 @@ pub struct InterpNetwork<'a> {
 
 impl<'a> InterpNetwork<'a> {
     /// Builds the network; `init` gives each node's initial state id.
-    pub fn new(
-        graph: &Graph,
-        auto: &'a ProbFssga,
-        mut init: impl FnMut(NodeId) -> usize,
-    ) -> Self {
+    pub fn new(graph: &Graph, auto: &'a ProbFssga, mut init: impl FnMut(NodeId) -> usize) -> Self {
         let states: Vec<usize> = (0..graph.n() as NodeId)
             .map(|v| {
                 let s = init(v);
@@ -115,7 +111,11 @@ impl<'a> InterpNetwork<'a> {
     /// One synchronous round, drawing the round seed from `rng` exactly as
     /// the typed engine does.
     pub fn sync_step(&mut self, rng: &mut Xoshiro256) -> usize {
-        let round_seed = if self.auto.randomness() > 1 { rng.next_u64() } else { 0 };
+        let round_seed = if self.auto.randomness() > 1 {
+            rng.next_u64()
+        } else {
+            0
+        };
         self.sync_step_seeded(round_seed)
     }
 
@@ -129,17 +129,19 @@ impl<'a> InterpNetwork<'a> {
 mod tests {
     use super::*;
     use fssga_core::modthresh::{ModThreshProgram, Prop};
-    use fssga_core::{Fssga, FsmProgram};
+    use fssga_core::{FsmProgram, Fssga};
     use fssga_graph::generators;
 
     /// 2-state infection automaton as tables.
     fn infection() -> ProbFssga {
-        let catch =
-            ModThreshProgram::new(2, 2, vec![(Prop::some(1), 1)], 0).unwrap();
+        let catch = ModThreshProgram::new(2, 2, vec![(Prop::some(1), 1)], 0).unwrap();
         let keep = ModThreshProgram::new(2, 2, vec![], 1).unwrap();
         ProbFssga::from_deterministic(
-            Fssga::new(2, vec![FsmProgram::ModThresh(catch), FsmProgram::ModThresh(keep)])
-                .unwrap(),
+            Fssga::new(
+                2,
+                vec![FsmProgram::ModThresh(catch), FsmProgram::ModThresh(keep)],
+            )
+            .unwrap(),
         )
     }
 

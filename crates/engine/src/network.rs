@@ -289,12 +289,7 @@ mod tests {
     struct Spread;
     impl Protocol for Spread {
         type State = Infect;
-        fn transition(
-            &self,
-            own: Infect,
-            nbrs: &NeighborView<'_, Infect>,
-            _coin: u32,
-        ) -> Infect {
+        fn transition(&self, own: Infect, nbrs: &NeighborView<'_, Infect>, _coin: u32) -> Infect {
             if own == Infect::Infected || nbrs.some(Infect::Infected) {
                 Infect::Infected
             } else {
@@ -437,12 +432,7 @@ mod tests {
         impl Protocol for Coiny {
             type State = Infect;
             const RANDOMNESS: u32 = 8;
-            fn transition(
-                &self,
-                _own: Infect,
-                _n: &NeighborView<'_, Infect>,
-                coin: u32,
-            ) -> Infect {
+            fn transition(&self, _own: Infect, _n: &NeighborView<'_, Infect>, coin: u32) -> Infect {
                 if coin.is_multiple_of(2) {
                     Infect::Healthy
                 } else {
@@ -454,8 +444,9 @@ mod tests {
         let b = Network::<Coiny>::coin_for(42, 7);
         assert_eq!(a, b);
         assert!(a < 8);
-        let coins: std::collections::HashSet<u32> =
-            (0..100u32).map(|v| Network::<Coiny>::coin_for(42, v)).collect();
+        let coins: std::collections::HashSet<u32> = (0..100u32)
+            .map(|v| Network::<Coiny>::coin_for(42, v))
+            .collect();
         assert!(coins.len() > 1, "different nodes get different coins");
     }
 }

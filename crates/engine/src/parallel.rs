@@ -25,11 +25,7 @@ use crate::view::NeighborView;
 ///
 /// Panics if query recording is enabled (the recorder is intentionally
 /// not shared across threads; record on the sequential path instead).
-pub fn sync_step_parallel<P>(
-    net: &mut Network<P>,
-    rng: &mut Xoshiro256,
-    threads: usize,
-) -> usize
+pub fn sync_step_parallel<P>(net: &mut Network<P>, rng: &mut Xoshiro256, threads: usize) -> usize
 where
     P: Protocol + Sync,
     P::State: Send + Sync,
@@ -129,7 +125,8 @@ mod tests {
     impl Protocol for Rotate {
         type State = Mod3;
         fn transition(&self, own: Mod3, nbrs: &NeighborView<'_, Mod3>, _c: u32) -> Mod3 {
-            let s = (nbrs.count_mod(Mod3::One, 3) + 2 * nbrs.count_mod(Mod3::Two, 3)
+            let s = (nbrs.count_mod(Mod3::One, 3)
+                + 2 * nbrs.count_mod(Mod3::Two, 3)
                 + own.index() as u32)
                 % 3;
             Mod3::from_index(s as usize)

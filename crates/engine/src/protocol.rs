@@ -91,7 +91,8 @@ macro_rules! impl_state_space {
             const COUNT: usize = $crate::impl_state_space!(@count $($variant),+);
 
             fn index(self) -> usize {
-                #[allow(unused_assignments)]
+                // Irrefutable on single-variant enums, which are legal here.
+                #[allow(unused_assignments, irrefutable_let_patterns)]
                 {
                     let mut i = 0;
                     $(

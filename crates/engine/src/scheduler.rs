@@ -15,10 +15,7 @@ impl SyncScheduler {
     /// if it was not reached. Deterministic protocols need no entropy;
     /// probabilistic ones get a fixed-seed stream (use
     /// [`Self::run_to_fixpoint_with_rng`] to control it).
-    pub fn run_to_fixpoint<P: Protocol>(
-        net: &mut Network<P>,
-        max_rounds: usize,
-    ) -> Option<usize> {
+    pub fn run_to_fixpoint<P: Protocol>(net: &mut Network<P>, max_rounds: usize) -> Option<usize> {
         let mut rng = Xoshiro256::seed_from_u64(0);
         Self::run_to_fixpoint_with_rng(net, &mut rng, max_rounds)
     }
@@ -170,12 +167,7 @@ mod tests {
     struct Spread;
     impl Protocol for Spread {
         type State = Infect;
-        fn transition(
-            &self,
-            own: Infect,
-            nbrs: &NeighborView<'_, Infect>,
-            _c: u32,
-        ) -> Infect {
+        fn transition(&self, own: Infect, nbrs: &NeighborView<'_, Infect>, _c: u32) -> Infect {
             if own == Infect::Infected || nbrs.some(Infect::Infected) {
                 Infect::Infected
             } else {
@@ -253,8 +245,7 @@ mod tests {
         let g = generators::path(3);
         let mut net = infected_net(&g);
         let mut rng = Xoshiro256::seed_from_u64(12);
-        let _ =
-            AsyncScheduler::run_to_fixpoint(&mut net, &mut rng, 10, AsyncPolicy::UniformRandom);
+        let _ = AsyncScheduler::run_to_fixpoint(&mut net, &mut rng, 10, AsyncPolicy::UniformRandom);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::marker::PhantomData;
 use crate::protocol::StateSpace;
 
 /// Records which finite-state queries a protocol performs, per state id.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QueryRecorder {
     /// Per-state max `t` over all `μ >= t` / `μ < t` queries (at least 1).
     pub thresholds: Vec<u64>,
@@ -30,7 +30,10 @@ pub struct QueryRecorder {
 impl QueryRecorder {
     /// A fresh recorder for an alphabet of `s` states.
     pub fn new(s: usize) -> Self {
-        Self { thresholds: vec![1; s], moduli: vec![1; s] }
+        Self {
+            thresholds: vec![1; s],
+            moduli: vec![1; s],
+        }
     }
 
     fn record_thresh(&mut self, q: usize, t: u64) {
@@ -47,6 +50,18 @@ impl QueryRecorder {
             self.thresholds[q] = self.thresholds[q].max(other.thresholds[q]);
             self.moduli[q] = fssga_core::modthresh::lcm(self.moduli[q], other.moduli[q]);
         }
+    }
+
+    /// Whether this recorder's observations are all covered by `other`:
+    /// every threshold is no larger and every modulus divides. This is the
+    /// fixed-point test abstract interpreters need ("did this probe learn
+    /// anything new?").
+    pub fn subsumed_by(&self, other: &QueryRecorder) -> bool {
+        self.thresholds.len() == other.thresholds.len()
+            && (0..self.thresholds.len()).all(|q| {
+                self.thresholds[q] <= other.thresholds[q]
+                    && other.moduli[q].is_multiple_of(self.moduli[q])
+            })
     }
 }
 
@@ -75,7 +90,12 @@ impl<'a, S: StateSpace> NeighborView<'a, S> {
         recorder: Option<&'a RefCell<QueryRecorder>>,
     ) -> Self {
         debug_assert_eq!(counts.len(), S::COUNT);
-        Self { counts, presence, recorder, _ph: PhantomData }
+        Self {
+            counts,
+            presence,
+            recorder,
+            _ph: PhantomData,
+        }
     }
 
     /// Engine-internal constructor. `counts` has length `S::COUNT`.
@@ -88,7 +108,27 @@ impl<'a, S: StateSpace> NeighborView<'a, S> {
     /// without a graph.
     pub fn over(counts: &'a [u32]) -> Self {
         assert_eq!(counts.len(), S::COUNT);
-        Self { counts, presence: None, recorder: None, _ph: PhantomData }
+        Self {
+            counts,
+            presence: None,
+            recorder: None,
+            _ph: PhantomData,
+        }
+    }
+
+    /// Like [`Self::over`], but with an attached [`QueryRecorder`] —
+    /// the hook external analyses (`fssga-analysis`) use to observe which
+    /// mod/thresh atoms a transition function touches on a given
+    /// multiplicity vector, without driving a whole network.
+    pub fn over_recorded(counts: &'a [u32], recorder: &'a RefCell<QueryRecorder>) -> Self {
+        assert_eq!(counts.len(), S::COUNT);
+        assert_eq!(recorder.borrow().thresholds.len(), S::COUNT);
+        Self {
+            counts,
+            presence: None,
+            recorder: Some(recorder),
+            _ph: PhantomData,
+        }
     }
 
     /// `μ_q >= t` — the negated thresh atom `¬(μ_q < t)`. `t >= 1`.
@@ -181,7 +221,9 @@ impl<'a, S: StateSpace> NeighborView<'a, S> {
                 rec.record_thresh(q, 1);
             }
         }
-        let from_presence = self.presence.map(|p| p.iter().map(|&i| S::from_index(i as usize)));
+        let from_presence = self
+            .presence
+            .map(|p| p.iter().map(|&i| S::from_index(i as usize)));
         let from_scan = if self.presence.is_none() {
             Some(
                 self.counts

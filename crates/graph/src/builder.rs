@@ -19,7 +19,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph on `n` nodes.
     pub fn new(n: usize) -> Self {
-        Self { n, edges: BTreeSet::new() }
+        Self {
+            n,
+            edges: BTreeSet::new(),
+        }
     }
 
     /// Number of nodes.

@@ -24,7 +24,10 @@ impl Graph {
         let mut deg = vec![0u32; n];
         for &(u, v) in edges {
             assert!(u != v, "self-loop ({u},{v}) not allowed");
-            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of range"
+            );
             deg[u as usize] += 1;
             deg[v as usize] += 1;
         }

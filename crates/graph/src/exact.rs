@@ -330,10 +330,7 @@ mod tests {
     #[test]
     fn bridges_mixed_case() {
         // Two triangles joined by a single edge: that edge is the only bridge.
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         assert_eq!(bridges(&g), vec![(2, 3)]);
     }
 
@@ -347,8 +344,7 @@ mod tests {
             let mut slow = Vec::new();
             let all: Vec<Edge> = g.edges().collect();
             for &(u, v) in &all {
-                let rest: Vec<Edge> =
-                    all.iter().copied().filter(|&e| e != (u, v)).collect();
+                let rest: Vec<Edge> = all.iter().copied().filter(|&e| e != (u, v)).collect();
                 let h = Graph::from_edges(g.n(), &rest);
                 let (k, _) = connected_components(&h);
                 if k > 1 {
@@ -369,10 +365,7 @@ mod tests {
             let mut slow = Vec::new();
             for v in g.nodes() {
                 // Remove v: does the rest disconnect?
-                let rest: Vec<Edge> = g
-                    .edges()
-                    .filter(|&(a, b)| a != v && b != v)
-                    .collect();
+                let rest: Vec<Edge> = g.edges().filter(|&(a, b)| a != v && b != v).collect();
                 let h = Graph::from_edges(g.n(), &rest);
                 let (_, comp) = connected_components(&h);
                 let mut classes = std::collections::BTreeSet::new();
@@ -489,8 +482,7 @@ mod twoecc_tests {
         for _ in 0..10 {
             let g = connected_gnp(18, 0.12, &mut rng);
             let (_, comp) = two_edge_connected_components(&g);
-            let bset: std::collections::HashSet<Edge> =
-                bridges(&g).into_iter().collect();
+            let bset: std::collections::HashSet<Edge> = bridges(&g).into_iter().collect();
             // Same component => connected without using bridges.
             for (u, v) in g.edges() {
                 let same = comp[u as usize] == comp[v as usize];

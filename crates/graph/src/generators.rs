@@ -502,7 +502,11 @@ mod tests {
         let g = barbell(5, 3);
         assert!(exact::is_connected(&g));
         let bridges = exact::bridges(&g);
-        assert_eq!(bridges.len(), 3, "the 3 path edges are bridges: {bridges:?}");
+        assert_eq!(
+            bridges.len(),
+            3,
+            "the 3 path edges are bridges: {bridges:?}"
+        );
     }
 
     #[test]

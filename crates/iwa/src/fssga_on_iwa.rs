@@ -30,9 +30,15 @@ use fssga_graph::{Graph, NodeId};
 /// neighbourhood.
 enum AgentEval<'a> {
     /// Sequential program: carry the working state.
-    Seq { prog: &'a fssga_core::SeqProgram, w: usize },
+    Seq {
+        prog: &'a fssga_core::SeqProgram,
+        w: usize,
+    },
     /// Parallel program: left-fold (valid for SM programs).
-    Par { prog: &'a fssga_core::ParProgram, w: Option<usize> },
+    Par {
+        prog: &'a fssga_core::ParProgram,
+        w: Option<usize>,
+    },
     /// Mod-thresh program: the Lemma 3.8 counters `(μ mod M_i, min(μ, T_i))`.
     Counters {
         prog: &'a ModThreshProgram,
@@ -51,7 +57,12 @@ impl<'a> AgentEval<'a> {
                 let moduli = p.moduli();
                 let thresholds = p.thresholds();
                 let counts = vec![(0, 0); p.num_inputs()];
-                AgentEval::Counters { prog: p, moduli, thresholds, counts }
+                AgentEval::Counters {
+                    prog: p,
+                    moduli,
+                    thresholds,
+                    counts,
+                }
             }
         }
     }
@@ -66,7 +77,12 @@ impl<'a> AgentEval<'a> {
                     Some(w) => prog.combine(w, aq),
                 });
             }
-            AgentEval::Counters { moduli, thresholds, counts, .. } => {
+            AgentEval::Counters {
+                moduli,
+                thresholds,
+                counts,
+                ..
+            } => {
                 let (a, b) = counts[q];
                 counts[q] = ((a + 1) % moduli[q], (b + 1).min(thresholds[q]));
             }
@@ -77,9 +93,7 @@ impl<'a> AgentEval<'a> {
         match self {
             AgentEval::Seq { prog, w } => prog.output(w),
             AgentEval::Par { prog, w } => prog.output(w.expect("degree >= 1")),
-            AgentEval::Counters { prog, counts, .. } => {
-                eval_mt_counters(prog, &counts)
-            }
+            AgentEval::Counters { prog, counts, .. } => eval_mt_counters(prog, &counts),
         }
     }
 }
@@ -254,8 +268,11 @@ mod tests {
         let catch = ModThreshProgram::new(2, 2, vec![(Prop::some(1), 1)], 0).unwrap();
         let keep = ModThreshProgram::new(2, 2, vec![], 1).unwrap();
         ProbFssga::from_deterministic(
-            Fssga::new(2, vec![FsmProgram::ModThresh(catch), FsmProgram::ModThresh(keep)])
-                .unwrap(),
+            Fssga::new(
+                2,
+                vec![FsmProgram::ModThresh(catch), FsmProgram::ModThresh(keep)],
+            )
+            .unwrap(),
         )
     }
 
@@ -297,7 +314,11 @@ mod tests {
     #[test]
     fn seq_program_lockstep() {
         let auto = max_auto();
-        let g = generators::connected_gnp(25, 0.12, &mut fssga_graph::rng::Xoshiro256::seed_from_u64(4));
+        let g = generators::connected_gnp(
+            25,
+            0.12,
+            &mut fssga_graph::rng::Xoshiro256::seed_from_u64(4),
+        );
         lockstep(&auto, &g, |v| (v as usize) % 3, 6);
     }
 

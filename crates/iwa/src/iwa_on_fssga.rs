@@ -77,17 +77,26 @@ pub struct IwaNode<const L: usize, const S: usize, const R: usize> {
 impl<const L: usize, const S: usize, const R: usize> IwaNode<L, S, R> {
     /// An idle node with the given label.
     pub fn idle(label: u8) -> Self {
-        IwaNode { label, role: Role::Node(Part::Idle) }
+        IwaNode {
+            label,
+            role: Role::Node(Part::Idle),
+        }
     }
 
     /// The agent's starting state at its origin node.
     pub fn agent(label: u8) -> Self {
-        IwaNode { label, role: Role::AgentDecide { state: 0 } }
+        IwaNode {
+            label,
+            role: Role::AgentDecide { state: 0 },
+        }
     }
 
     /// Whether this node currently hosts the agent.
     pub fn is_agent(self) -> bool {
-        matches!(self.role, Role::AgentDecide { .. } | Role::AgentElect { .. })
+        matches!(
+            self.role,
+            Role::AgentDecide { .. } | Role::AgentElect { .. }
+        )
     }
 }
 
@@ -119,7 +128,9 @@ impl<const L: usize, const S: usize, const R: usize> StateSpace for IwaNode<L, S
                 _ => Part::Eliminated,
             })
         } else if r < 4 + S {
-            Role::AgentDecide { state: (r - 4) as u8 }
+            Role::AgentDecide {
+                state: (r - 4) as u8,
+            }
         } else {
             let e = r - 4 - S;
             Role::AgentElect {
@@ -205,7 +216,9 @@ impl<const L: usize, const S: usize, const R: usize> Protocol for IwaProtocol<L,
                         (APhase::OneTails, Part::Tails) => IwaNode {
                             // Receive the agent in the rule's next state.
                             label: own.label,
-                            role: Role::AgentDecide { state: rule.next_state as u8 },
+                            role: Role::AgentDecide {
+                                state: rule.next_state as u8,
+                            },
                         },
                         (APhase::OneTails, _) => IwaNode {
                             label: own.label,
@@ -215,7 +228,10 @@ impl<const L: usize, const S: usize, const R: usize> Protocol for IwaProtocol<L,
                     }
                 } else if part != Part::Idle {
                     // Orphaned participant (agent left): reset.
-                    IwaNode { label: own.label, role: Role::Node(Part::Idle) }
+                    IwaNode {
+                        label: own.label,
+                        role: Role::Node(Part::Idle),
+                    }
                 } else {
                     own
                 }
@@ -240,7 +256,9 @@ impl<const L: usize, const S: usize, const R: usize> Protocol for IwaProtocol<L,
                             // Fire in place: relabel + state change.
                             return IwaNode {
                                 label: r.relabel as u8,
-                                role: Role::AgentDecide { state: r.next_state as u8 },
+                                role: Role::AgentDecide {
+                                    state: r.next_state as u8,
+                                },
                             };
                         }
                         Some(l) => {
@@ -249,7 +267,10 @@ impl<const L: usize, const S: usize, const R: usize> Protocol for IwaProtocol<L,
                             }
                             return IwaNode {
                                 label: own.label,
-                                role: Role::AgentElect { rule: i as u8, phase: APhase::Flip },
+                                role: Role::AgentElect {
+                                    rule: i as u8,
+                                    phase: APhase::Flip,
+                                },
                             };
                         }
                     }
@@ -261,7 +282,10 @@ impl<const L: usize, const S: usize, const R: usize> Protocol for IwaProtocol<L,
                 match phase {
                     APhase::Flip | APhase::NoTails => IwaNode {
                         label: own.label,
-                        role: Role::AgentElect { rule, phase: APhase::Wait },
+                        role: Role::AgentElect {
+                            rule,
+                            phase: APhase::Wait,
+                        },
                     },
                     APhase::Wait => {
                         let next_phase = match tails {
@@ -271,7 +295,10 @@ impl<const L: usize, const S: usize, const R: usize> Protocol for IwaProtocol<L,
                         };
                         IwaNode {
                             label: own.label,
-                            role: Role::AgentElect { rule, phase: next_phase },
+                            role: Role::AgentElect {
+                                rule,
+                                phase: next_phase,
+                            },
                         }
                     }
                     APhase::OneTails => IwaNode {
@@ -294,7 +321,12 @@ pub struct IwaFssgaHarness<const L: usize, const S: usize, const R: usize> {
 
 impl<const L: usize, const S: usize, const R: usize> IwaFssgaHarness<L, S, R> {
     /// Sets up the network with the agent at `start`.
-    pub fn new(iwa: Iwa, g: &Graph, start: NodeId, mut init_label: impl FnMut(NodeId) -> u16) -> Self {
+    pub fn new(
+        iwa: Iwa,
+        g: &Graph,
+        start: NodeId,
+        mut init_label: impl FnMut(NodeId) -> u16,
+    ) -> Self {
         let net = Network::new(g, IwaProtocol::<L, S, R>::new(iwa), |v| {
             if v == start {
                 IwaNode::agent(init_label(v) as u8)
@@ -307,7 +339,11 @@ impl<const L: usize, const S: usize, const R: usize> IwaFssgaHarness<L, S, R> {
 
     /// Node labels as a `u16` vector (for comparison with [`crate::IwaMachine`]).
     pub fn labels(&self) -> Vec<u16> {
-        self.net.states().iter().map(|s| u16::from(s.label)).collect()
+        self.net
+            .states()
+            .iter()
+            .map(|s| u16::from(s.label))
+            .collect()
     }
 
     /// The network, for inspection/faults.
@@ -343,14 +379,17 @@ impl<const L: usize, const S: usize, const R: usize> IwaFssgaHarness<L, S, R> {
             if let Some(&a) = agents.first() {
                 let was = last_states[a as usize];
                 let now = states[a as usize];
-                let moved = a != self.agent
-                    && matches!(now.role, Role::AgentDecide { .. });
+                let moved = a != self.agent && matches!(now.role, Role::AgentDecide { .. });
                 let fired_in_place = a == self.agent
                     && matches!(was.role, Role::AgentDecide { .. })
                     && matches!(now.role, Role::AgentDecide { .. })
                     && (was.label != now.label || was.role != now.role);
                 if moved || fired_in_place {
-                    let step = IwaStep { rule: usize::MAX, at: self.agent, to: a };
+                    let step = IwaStep {
+                        rule: usize::MAX,
+                        at: self.agent,
+                        to: a,
+                    };
                     out.push((step, rounds_this));
                     rounds_this = 0;
                     self.agent = a;
@@ -384,9 +423,7 @@ mod tests {
             let g = generators::random_tree(12, &mut rng);
             let mut h = DfsProto::new(dfs_traversal_iwa(), &g, 0, |_| 0);
             h.run(4 * g.n(), 100_000, &mut rng);
-            let unvisited: Vec<usize> = (0..g.n())
-                .filter(|&v| h.labels()[v] == 0)
-                .collect();
+            let unvisited: Vec<usize> = (0..g.n()).filter(|&v| h.labels()[v] == 0).collect();
             assert!(unvisited.is_empty(), "trial {trial}: {unvisited:?}");
         }
     }
@@ -461,8 +498,7 @@ mod tests {
             let mut total = 0u32;
             let trials = 60;
             for _ in 0..trials {
-                let mut h =
-                    IwaFssgaHarness::<2, 1, 1>::new(iwa.clone(), &g, 0, |_| 0);
+                let mut h = IwaFssgaHarness::<2, 1, 1>::new(iwa.clone(), &g, 0, |_| 0);
                 let steps = h.run(1, 100_000, rng);
                 total += steps[0].1;
             }

@@ -271,9 +271,7 @@ mod tests {
             m.run(10_000, &mut rng);
             // Every node should end labelled 2 (done), except possibly the
             // agent's final position (labelled when it fired its last rule).
-            let unfinished: Vec<_> = (0..g.n())
-                .filter(|&v| m.labels()[v] == 0)
-                .collect();
+            let unfinished: Vec<_> = (0..g.n()).filter(|&v| m.labels()[v] == 0).collect();
             assert!(unfinished.is_empty(), "trial {trial}: {unfinished:?}");
         }
     }

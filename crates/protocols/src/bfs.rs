@@ -87,7 +87,12 @@ pub struct BfsState {
 impl BfsState {
     /// Initial state for a node with the given roles.
     pub fn init(originator: bool, target: bool) -> Self {
-        BfsState { originator, target, label: Label::Star, status: Status::Waiting }
+        BfsState {
+            originator,
+            target,
+            label: Label::Star,
+            status: Status::Waiting,
+        }
     }
 }
 
@@ -139,12 +144,7 @@ pub struct Bfs;
 impl Protocol for Bfs {
     type State = BfsState;
 
-    fn transition(
-        &self,
-        own: BfsState,
-        nbrs: &NeighborView<'_, BfsState>,
-        _coin: u32,
-    ) -> BfsState {
+    fn transition(&self, own: BfsState, nbrs: &NeighborView<'_, BfsState>, _coin: u32) -> BfsState {
         let mut s = own;
         // Aggregate what the neighbourhood looks like, via present-state
         // queries only.
@@ -235,7 +235,7 @@ pub fn run_bfs(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fssga_engine::{Network, StateSpace as _, SyncScheduler};
+    use fssga_engine::{Network, SyncScheduler};
     use fssga_graph::rng::Xoshiro256;
     use fssga_graph::{exact, generators};
 
@@ -307,9 +307,7 @@ mod tests {
             let g = generators::connected_gnp(30, 0.1, &mut rng);
             let target = 29u32;
             let d = exact::bfs_distances(&g, &[0])[29] as usize;
-            let mut net = Network::new(&g, Bfs, |v| {
-                BfsState::init(v == 0, v == target)
-            });
+            let mut net = Network::new(&g, Bfs, |v| BfsState::init(v == 0, v == target));
             let mut found_at = None;
             for round in 1..=4 * d + 8 {
                 net.sync_step(&mut Xoshiro256::seed_from_u64(0));

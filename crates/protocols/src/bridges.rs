@@ -138,8 +138,7 @@ impl BridgeWalk {
     /// true decomposition with probability `1 - n^{1-c}` — the payoff the
     /// section's title ("Biconnectivity via a Random Walk") promises.
     pub fn two_edge_connected_estimate(&self, g: &Graph) -> (usize, Vec<u32>) {
-        let cand: std::collections::HashSet<Edge> =
-            self.candidate_bridges().into_iter().collect();
+        let cand: std::collections::HashSet<Edge> = self.candidate_bridges().into_iter().collect();
         let mut comp = vec![u32::MAX; g.n()];
         let mut count = 0u32;
         let mut stack = Vec::new();

@@ -145,9 +145,9 @@ mod tests {
             }
         }
         // Bit i (0-indexed) should appear with probability 2^-(i+1).
-        for i in 0..5 {
+        for (i, &count) in counts.iter().enumerate().take(5) {
             let expected = trials as f64 * 0.5f64.powi(i as i32 + 1);
-            let got = counts[i] as f64;
+            let got = count as f64;
             assert!(
                 (got - expected).abs() < 0.05 * expected + 50.0,
                 "bit {i}: got {got}, expected {expected}"
@@ -191,8 +191,9 @@ mod tests {
     fn diffusion_converges_to_union_in_diameter_rounds() {
         let g = generators::grid(6, 6);
         let mut rng = Xoshiro256::seed_from_u64(4);
-        let sketches: Vec<FmSketch<8>> =
-            (0..g.n()).map(|_| FmSketch::random_init(&mut rng)).collect();
+        let sketches: Vec<FmSketch<8>> = (0..g.n())
+            .map(|_| FmSketch::random_init(&mut rng))
+            .collect();
         let expected = sketches
             .iter()
             .fold(FmSketch::<8>::empty(), |a, &b| a.union(b));
@@ -211,8 +212,9 @@ mod tests {
         // "reasonably correct" window.
         let g = generators::path(20);
         let mut rng = Xoshiro256::seed_from_u64(5);
-        let sketches: Vec<FmSketch<8>> =
-            (0..g.n()).map(|_| FmSketch::random_init(&mut rng)).collect();
+        let sketches: Vec<FmSketch<8>> = (0..g.n())
+            .map(|_| FmSketch::random_init(&mut rng))
+            .collect();
         let mut net = Network::new(&g, Census::<8>, |v| sketches[v as usize]);
         net.sync_step(&mut rng);
         net.remove_edge(9, 10);
@@ -240,12 +242,12 @@ mod tests {
         let auto = fssga_engine::compile::compile_protocol(&Census::<3>, 1 << 20).unwrap();
         let g = generators::cycle(8);
         let mut rng = Xoshiro256::seed_from_u64(6);
-        let sketches: Vec<FmSketch<3>> =
-            (0..g.n()).map(|_| FmSketch::random_init(&mut rng)).collect();
+        let sketches: Vec<FmSketch<3>> = (0..g.n())
+            .map(|_| FmSketch::random_init(&mut rng))
+            .collect();
         let mut native = Network::new(&g, Census::<3>, |v| sketches[v as usize]);
-        let mut interp = fssga_engine::interp::InterpNetwork::new(&g, &auto, |v| {
-            sketches[v as usize].index()
-        });
+        let mut interp =
+            fssga_engine::interp::InterpNetwork::new(&g, &auto, |v| sketches[v as usize].index());
         for round in 0..10 {
             native.sync_step_seeded(round);
             interp.sync_step_seeded(round);
@@ -268,7 +270,10 @@ mod tests {
 pub fn averaged_estimate<const K: usize>(sketches: &[FmSketch<K>]) -> f64 {
     assert!(!sketches.is_empty());
     const PHI: f64 = 0.77351;
-    let mean_l: f64 = sketches.iter().map(|s| f64::from(s.lowest_zero())).sum::<f64>()
+    let mean_l: f64 = sketches
+        .iter()
+        .map(|s| f64::from(s.lowest_zero()))
+        .sum::<f64>()
         / sketches.len() as f64;
     2f64.powf(mean_l - 1.0) / PHI
 }
@@ -283,8 +288,7 @@ pub fn run_averaged_census<const K: usize>(
     use fssga_engine::{Network, SyncScheduler};
     let mut finals = Vec::with_capacity(r);
     for _ in 0..r {
-        let sketches: Vec<FmSketch<K>> =
-            (0..g.n()).map(|_| FmSketch::random_init(rng)).collect();
+        let sketches: Vec<FmSketch<K>> = (0..g.n()).map(|_| FmSketch::random_init(rng)).collect();
         let mut net = Network::new(g, Census::<K>, |v| sketches[v as usize]);
         SyncScheduler::run_to_fixpoint(&mut net, 10 * g.n() + 20).expect("converges");
         finals.push(net.state(0));
@@ -341,8 +345,6 @@ mod averaging_tests {
         let hi = FmSketch::<8>(0b0001_0111);
         assert!(averaged_estimate(&[hi]) > averaged_estimate(&[lo]));
         // Identical sketches: the average equals the single-family value.
-        assert!(
-            (averaged_estimate(&[hi, hi, hi]) - averaged_estimate(&[hi])).abs() < 1e-9
-        );
+        assert!((averaged_estimate(&[hi, hi, hi]) - averaged_estimate(&[hi])).abs() < 1e-9);
     }
 }

@@ -44,8 +44,8 @@ use fssga_engine::{NeighborView, Network, Protocol, StateSpace};
 use fssga_graph::rng::Xoshiro256;
 use fssga_graph::{Graph, NodeId};
 
-use crate::traversal::{self, HandPhase, Hood, TStatus, TravState};
 use crate::traversal::Elect as TravElect;
+use crate::traversal::{self, HandPhase, Hood, TStatus, TravState};
 
 /// `NP_i` broadcast state.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -134,7 +134,10 @@ impl ElectState {
             np: Np::Np0,
             leader: false,
             member: Member::Out,
-            trav: TravState { originator: false, status: TStatus::Blank(TravElect::Idle) },
+            trav: TravState {
+                originator: false,
+                status: TStatus::Blank(TravElect::Idle),
+            },
         }
     }
 }
@@ -144,7 +147,13 @@ const MEMBER_COUNT: usize = 1 + 2 * 3 * 2 * 3 * 2; // Out + clabel×dist×status
 fn member_index(m: Member) -> usize {
     match m {
         Member::Out => 0,
-        Member::In { clabel, dist, status, colour, fresh } => {
+        Member::In {
+            clabel,
+            dist,
+            status,
+            colour,
+            fresh,
+        } => {
             let s = match status {
                 BStat::Waiting => 0,
                 BStat::Failed => 1,
@@ -154,8 +163,7 @@ fn member_index(m: Member) -> usize {
                 Colour::C0 => 1,
                 Colour::C1 => 2,
             };
-            1 + (((clabel as usize * 3 + dist as usize) * 2 + s) * 3 + c) * 2
-                + usize::from(fresh)
+            1 + (((clabel as usize * 3 + dist as usize) * 2 + s) * 3 + c) * 2 + usize::from(fresh)
         }
     }
 }
@@ -173,7 +181,11 @@ fn member_from_index(i: usize) -> Member {
         _ => Colour::C1,
     };
     let rest = i / 3;
-    let status = if rest.is_multiple_of(2) { BStat::Waiting } else { BStat::Failed };
+    let status = if rest.is_multiple_of(2) {
+        BStat::Waiting
+    } else {
+        BStat::Failed
+    };
     let rest = rest / 2;
     Member::In {
         clabel: (rest / 3) as u8,
@@ -222,7 +234,15 @@ impl StateSpace for ElectState {
         let i = i / 2;
         let remain = i % 2 == 1;
         let phase = (i / 2) as u8;
-        ElectState { phase, remain, label, np, leader, member, trav }
+        ElectState {
+            phase,
+            remain,
+            label,
+            np,
+            leader,
+            member,
+            trav,
+        }
     }
 }
 
@@ -293,7 +313,13 @@ fn scan(own: &ElectState, nbrs: &NeighborView<'_, ElectState>) -> Scan {
         }
         match ps.member {
             Member::Out => s.any_out = true,
-            Member::In { clabel, dist, status, colour, fresh } => {
+            Member::In {
+                clabel,
+                dist,
+                status,
+                colour,
+                fresh,
+            } => {
                 let cl = clabel as usize;
                 s.clabels[cl] = true;
                 if clabel == 1 {
@@ -393,9 +419,8 @@ impl Protocol for Election {
 
         // 3. Conflict detection / NP join.
         let mut conflict = false;
-        let mut np_label1 = s.np_seen == Np::Np1
-            || (own.remain && own.label == 1)
-            || s.label1_known;
+        let mut np_label1 =
+            s.np_seen == Np::Np1 || (own.remain && own.label == 1) || s.label1_known;
         if let Member::In { clabel, .. } = own.member {
             // Another cluster label adjacent to mine.
             if s.clabels[1 - clabel as usize] {
@@ -420,7 +445,13 @@ impl Protocol for Election {
                 }
             }
         }
-        if let Member::In { clabel, dist, colour, .. } = own.member {
+        if let Member::In {
+            clabel,
+            dist,
+            colour,
+            ..
+        } = own.member
+        {
             let cl = clabel as usize;
             let pred = ((dist + 2) % 3) as usize;
             // Predecessor colours disagree.
@@ -472,12 +503,22 @@ impl Protocol for Election {
                     }
                 }
             }
-            Member::In { clabel, dist, status, colour, .. } => {
+            Member::In {
+                clabel,
+                dist,
+                status,
+                colour,
+                ..
+            } => {
                 let cl = clabel as usize;
                 // Recolouring.
                 let new_colour = if own.remain {
                     // Roots recolour randomly every round.
-                    if coin_b == 0 { Colour::C0 } else { Colour::C1 }
+                    if coin_b == 0 {
+                        Colour::C0
+                    } else {
+                        Colour::C1
+                    }
                 } else {
                     let pred = ((dist + 2) % 3) as usize;
                     match (s.colours[cl][pred][0], s.colours[cl][pred][1]) {
@@ -488,10 +529,7 @@ impl Protocol for Election {
                 };
                 // Completion wave.
                 let succ = ((dist + 1) % 3) as usize;
-                let new_status = if status == BStat::Waiting
-                    && !s.any_out
-                    && !s.waiting[cl][succ]
-                {
+                let new_status = if status == BStat::Waiting && !s.any_out && !s.waiting[cl][succ] {
                     BStat::Failed
                 } else {
                     status
@@ -573,7 +611,10 @@ impl ElectionHarness {
     pub fn new(g: &Graph) -> Self {
         let net = Network::new(g, Election, |_| ElectState::init());
         let n = g.n();
-        Self { net, phase_advances: vec![0; n] }
+        Self {
+            net,
+            phase_advances: vec![0; n],
+        }
     }
 
     /// Access to the network.
@@ -664,7 +705,13 @@ pub fn find_conflicts(net: &Network<Election>) -> Vec<(NodeId, String)> {
             if ns.np != Np::None {
                 np_seen = true;
             }
-            if let Member::In { clabel, dist, colour, .. } = ns.member {
+            if let Member::In {
+                clabel,
+                dist,
+                colour,
+                ..
+            } = ns.member
+            {
                 clabels[clabel as usize] = true;
                 match colour {
                     Colour::C0 => colours[clabel as usize][dist as usize][0] = true,
@@ -680,7 +727,12 @@ pub fn find_conflicts(net: &Network<Election>) -> Vec<(NodeId, String)> {
             out.push((v, "np-neighbor".into()));
         }
         match own.member {
-            Member::In { clabel, dist, colour, .. } => {
+            Member::In {
+                clabel,
+                dist,
+                colour,
+                ..
+            } => {
                 if clabels[1 - clabel as usize] {
                     out.push((v, "label-mismatch".into()));
                 }

@@ -59,12 +59,22 @@ pub struct Cell {
 impl Cell {
     /// A quiescent cell.
     pub fn quiescent() -> Cell {
-        Cell { wall: Wall::None, fire: false, a_r: false, a_l: false, b_r: 0, b_l: 0 }
+        Cell {
+            wall: Wall::None,
+            fire: false,
+            a_r: false,
+            a_l: false,
+            b_r: 0,
+            b_l: 0,
+        }
     }
 
     /// The initial general.
     pub fn general() -> Cell {
-        Cell { wall: Wall::Fresh, ..Cell::quiescent() }
+        Cell {
+            wall: Wall::Fresh,
+            ..Cell::quiescent()
+        }
     }
 
     fn is_wall(&self) -> bool {
@@ -97,13 +107,20 @@ pub fn step_cell(cur: Cell, left: Option<Cell>, right: Option<Cell>) -> Cell {
     // Fire: a wall whose every (existing) neighbour is a wall.
     if cur.is_wall() {
         let fire = cur.fire || (wallish(left) && wallish(right));
-        return Cell { wall: Wall::Old, fire, ..Cell::quiescent() };
+        return Cell {
+            wall: Wall::Old,
+            fire,
+            ..Cell::quiescent()
+        };
     }
 
     // Base case: a non-wall cell fenced in on both sides is a length-1
     // segment; wall it.
     if wallish(left) && wallish(right) {
-        return Cell { wall: Wall::Fresh, ..Cell::quiescent() };
+        return Cell {
+            wall: Wall::Fresh,
+            ..Cell::quiescent()
+        };
     }
 
     // --- Incoming signals -------------------------------------------
@@ -168,16 +185,24 @@ pub fn step_cell(cur: Cell, left: Option<Cell>, right: Option<Cell>) -> Cell {
     let crossing_left = cur.b_l == 3 && left.map(|l| l.a_r && !l.is_wall()).unwrap_or(false);
     // The partner cell of a crossing also walls: a fast signal moving out
     // toward a slow signal that is moving in.
-    let partner_right =
-        cur.a_l && left.map(|l| l.b_r == 3 && !l.is_wall()).unwrap_or(false);
-    let partner_left =
-        cur.a_r && right.map(|r| r.b_l == 3 && !r.is_wall()).unwrap_or(false);
+    let partner_right = cur.a_l && left.map(|l| l.b_r == 3 && !l.is_wall()).unwrap_or(false);
+    let partner_left = cur.a_r && right.map(|r| r.b_l == 3 && !r.is_wall()).unwrap_or(false);
 
     if same_cell || crossing_right || crossing_left || partner_right || partner_left {
-        return Cell { wall: Wall::Fresh, ..Cell::quiescent() };
+        return Cell {
+            wall: Wall::Fresh,
+            ..Cell::quiescent()
+        };
     }
 
-    Cell { wall: Wall::None, fire: false, a_r, a_l, b_r, b_l }
+    Cell {
+        wall: Wall::None,
+        fire: false,
+        a_r,
+        a_l,
+        b_r,
+        b_l,
+    }
 }
 
 /// Runs the oriented CA until every cell fires (or `max_steps`); returns
@@ -224,7 +249,11 @@ impl FsspState {
         FsspState {
             general,
             label: if general { 0 } else { 3 },
-            cell: if general { Cell::general() } else { Cell::quiescent() },
+            cell: if general {
+                Cell::general()
+            } else {
+                Cell::quiescent()
+            },
         }
     }
 }
@@ -272,15 +301,18 @@ impl StateSpace for FsspState {
     const COUNT: usize = 2 * 4 * CELL_COUNT;
 
     fn index(self) -> usize {
-        (usize::from(self.general) * 4 + self.label as usize) * CELL_COUNT
-            + cell_index(self.cell)
+        (usize::from(self.general) * 4 + self.label as usize) * CELL_COUNT + cell_index(self.cell)
     }
 
     fn from_index(i: usize) -> Self {
         assert!(i < Self::COUNT);
         let cell = cell_from_index(i % CELL_COUNT);
         let rest = i / CELL_COUNT;
-        FsspState { general: rest / 4 == 1, label: (rest % 4) as u8, cell }
+        FsspState {
+            general: rest / 4 == 1,
+            label: (rest % 4) as u8,
+            cell,
+        }
     }
 }
 
@@ -318,7 +350,10 @@ impl Protocol for FiringSquad {
         // Orientation bootstrap.
         if own.label == 3 {
             return match any_labelled {
-                Some(x) => FsspState { label: (x + 1) % 3, ..own },
+                Some(x) => FsspState {
+                    label: (x + 1) % 3,
+                    ..own
+                },
                 None => own,
             };
         }
@@ -376,10 +411,7 @@ mod tests {
             let t = run_oriented(n, 20 * n + 40);
             assert!(t.is_some(), "n = {n}: no simultaneous firing");
             let t = t.unwrap();
-            assert!(
-                t <= 4 * n + 10,
-                "n = {n}: fired at {t}, want <= 4n + 10"
-            );
+            assert!(t <= 4 * n + 10, "n = {n}: fired at {t}, want <= 4n + 10");
         }
     }
 

@@ -39,7 +39,13 @@ pub enum TourLabel {
     /// Distance ≡ 2 (mod 3).
     L2,
 }
-impl_state_space!(TourLabel { Target, Star, L0, L1, L2 });
+impl_state_space!(TourLabel {
+    Target,
+    Star,
+    L0,
+    L1,
+    L2
+});
 
 impl TourLabel {
     /// The mod-3 residue this label carries (None for `Star`).
@@ -120,7 +126,11 @@ impl GreedyTourist {
     /// Starts the tourist at `origin` with every node unvisited.
     pub fn new(g: &Graph, origin: NodeId) -> Self {
         let net = Network::new(g, TouristBfs, |_| TourLabel::Target);
-        let mut s = Self { net, visited: vec![false; g.n()], agent: origin };
+        let mut s = Self {
+            net,
+            visited: vec![false; g.n()],
+            agent: origin,
+        };
         s.visit(origin);
         s
     }
@@ -164,11 +174,7 @@ impl GreedyTourist {
         let mut rounds = 0;
         while active.len() > 1 {
             rounds += 2; // flip! round + decision round
-            let tails: Vec<usize> = active
-                .iter()
-                .copied()
-                .filter(|_| rng.coin())
-                .collect();
+            let tails: Vec<usize> = active.iter().copied().filter(|_| rng.coin()).collect();
             match tails.len() {
                 0 => {} // notails: re-run with the same set
                 1 => return (rounds, tails[0]),
@@ -192,7 +198,7 @@ impl GreedyTourist {
             // Epoch: relabel from the current unvisited set.
             self.reset_labels();
             run.total_rounds += 1; // the reset broadcast
-            // Flood labels until the agent's node is labelled.
+                                   // Flood labels until the agent's node is labelled.
             while self.net.state(self.agent).residue().is_none() {
                 if run.total_rounds >= max_rounds {
                     break 'epochs;
@@ -275,8 +281,7 @@ mod tests {
         let g = generators::grid(5, 5);
         let run = run_tourist(&g, 92);
         assert_eq!(run.visit_order.len(), g.n());
-        let set: std::collections::HashSet<NodeId> =
-            run.visit_order.iter().copied().collect();
+        let set: std::collections::HashSet<NodeId> = run.visit_order.iter().copied().collect();
         assert_eq!(set.len(), g.n(), "no node visited twice in the order");
     }
 
@@ -302,8 +307,7 @@ mod tests {
             let dist = fssga_graph::exact::bfs_distances(&g, &targets);
             // The recorded next visit must be at the agent's nearest-
             // target distance.
-            let d_next =
-                fssga_graph::exact::bfs_distances(&g, &[next])[cur as usize];
+            let d_next = fssga_graph::exact::bfs_distances(&g, &[next])[cur as usize];
             assert_eq!(
                 d_next, dist[cur as usize],
                 "visit of {next} was not a nearest target from {cur}"

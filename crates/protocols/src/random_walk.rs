@@ -75,7 +75,13 @@ impl Protocol for RandomWalk {
         nbrs: &NeighborView<'_, WalkState>,
         coin: u32,
     ) -> WalkState {
-        let flip = || if coin == 0 { WalkState::Heads } else { WalkState::Tails };
+        let flip = || {
+            if coin == 0 {
+                WalkState::Heads
+            } else {
+                WalkState::Tails
+            }
+        };
         // Which walker state (if any) is adjacent? With a single walker,
         // at most one of these is present.
         let walker_nbr = [
@@ -142,7 +148,10 @@ impl WalkHarness {
                 WalkState::Blank
             }
         });
-        Self { net, position: start }
+        Self {
+            net,
+            position: start,
+        }
     }
 
     /// Current walker position.
@@ -232,8 +241,8 @@ mod tests {
             wins[run.positions[1] as usize] += 1;
         }
         let expected = trials as f64 / d as f64;
-        for leaf in 1..=d {
-            let got = f64::from(wins[leaf]);
+        for (leaf, &win) in wins.iter().enumerate().skip(1) {
+            let got = f64::from(win);
             assert!(
                 (got - expected).abs() < 0.35 * expected,
                 "leaf {leaf}: got {got}, expected {expected}"
@@ -313,8 +322,7 @@ mod tests {
     fn compiled_random_walk_matches_native() {
         // 8 states with small thresholds: compilable. Lock-step the
         // compiled tables against the native protocol, coins included.
-        let auto =
-            fssga_engine::compile::compile_protocol(&RandomWalk, 1 << 22).unwrap();
+        let auto = fssga_engine::compile::compile_protocol(&RandomWalk, 1 << 22).unwrap();
         assert_eq!(auto.randomness(), 2);
         let g = generators::complete(5);
         use fssga_engine::StateSpace as _;
@@ -326,8 +334,7 @@ mod tests {
             }
         };
         let mut native = Network::new(&g, RandomWalk, init);
-        let mut interp =
-            fssga_engine::interp::InterpNetwork::new(&g, &auto, |v| init(v).index());
+        let mut interp = fssga_engine::interp::InterpNetwork::new(&g, &auto, |v| init(v).index());
         for round in 0..60 {
             native.sync_step_seeded(round * 77 + 5);
             interp.sync_step_seeded(round * 77 + 5);

@@ -155,8 +155,7 @@ mod tests {
         let mut net = Network::new(g, ShortestPaths::<C>, |v| {
             ShortestPaths::<C>::init(sinks.contains(&v))
         });
-        let rounds =
-            SyncScheduler::run_to_fixpoint(&mut net, 10 * C + 10).expect("must converge");
+        let rounds = SyncScheduler::run_to_fixpoint(&mut net, 10 * C + 10).expect("must converge");
         (net, rounds)
     }
 
@@ -196,9 +195,7 @@ mod tests {
     #[test]
     fn cap_applies_in_sinkless_component() {
         let g = generators::path(6);
-        let mut net = Network::new(&g, ShortestPaths::<8>, |v| {
-            ShortestPaths::<8>::init(v == 0)
-        });
+        let mut net = Network::new(&g, ShortestPaths::<8>, |v| ShortestPaths::<8>::init(v == 0));
         net.remove_edge(2, 3); // nodes 3..5 lose their sink
         SyncScheduler::run_to_fixpoint(&mut net, 100).unwrap();
         let d = labels_as_distances(net.states());
@@ -239,8 +236,8 @@ mod tests {
         let _rng = Xoshiro256::seed_from_u64(9);
         SyncScheduler::run_to_fixpoint(&mut net, 1000).unwrap();
         net.remove_edge(0, 1); // distances through node 6 now longer
-        // ...but note: after deletion some labels must INCREASE, and the
-        // 1+min rule only creeps up by one per round — still converges.
+                               // ...but note: after deletion some labels must INCREASE, and the
+                               // 1+min rule only creeps up by one per round — still converges.
         SyncScheduler::run_to_fixpoint(&mut net, 10 * CAP).expect("re-converges");
         let snapshot = net.graph().snapshot();
         assert_eq!(
@@ -274,12 +271,9 @@ mod tests {
     #[test]
     fn compiled_protocol_matches_native() {
         // Small cap keeps the compiled alphabet tiny (CAP=3 -> 5 states).
-        let auto =
-            fssga_engine::compile::compile_protocol(&ShortestPaths::<3>, 1 << 20).unwrap();
+        let auto = fssga_engine::compile::compile_protocol(&ShortestPaths::<3>, 1 << 20).unwrap();
         let g = generators::path(5);
-        let mut native = Network::new(&g, ShortestPaths::<3>, |v| {
-            ShortestPaths::<3>::init(v == 0)
-        });
+        let mut native = Network::new(&g, ShortestPaths::<3>, |v| ShortestPaths::<3>::init(v == 0));
         let mut interp = fssga_engine::interp::InterpNetwork::new(&g, &auto, |v| {
             ShortestPaths::<3>::init(v == 0).index()
         });

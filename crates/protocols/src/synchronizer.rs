@@ -40,7 +40,11 @@ pub struct AlphaState<S> {
 impl<S: StateSpace> AlphaState<S> {
     /// The initial wrapper state around `P`'s initial state.
     pub fn init(inner: S) -> Self {
-        AlphaState { cur: inner, prev: inner, clock: 0 }
+        AlphaState {
+            cur: inner,
+            prev: inner,
+            clock: 0,
+        }
     }
 }
 
@@ -115,7 +119,11 @@ impl<P: Protocol> Protocol for Alpha<P> {
         }
         let inner_view: NeighborView<'_, P::State> = NeighborView::over(&eff);
         let new_cur = self.0.transition(own.cur, &inner_view, coin);
-        AlphaState { cur: new_cur, prev: own.cur, clock: (i + 1) % 3 }
+        AlphaState {
+            cur: new_cur,
+            prev: own.cur,
+            clock: (i + 1) % 3,
+        }
     }
 }
 
@@ -145,7 +153,11 @@ pub struct BetaSynchronizer {
 impl BetaSynchronizer {
     /// Builds the spanning tree over the initial topology.
     pub fn new(g: &Graph, root: NodeId) -> Self {
-        Self { parent: exact::bfs_tree(g, root), root, pulses: 0 }
+        Self {
+            parent: exact::bfs_tree(g, root),
+            root,
+            pulses: 0,
+        }
     }
 
     /// The critical set: every interior (non-leaf) tree node — Θ(n) of
@@ -311,8 +323,7 @@ mod tests {
             if sweep % 2 == 1 {
                 order.reverse(); // stress different orders
             }
-            for idx in 0..order.len() {
-                let v = order[idx];
+            for &v in &order {
                 let before = net.state(v).clock;
                 net.activate(v, &mut rng);
                 if net.state(v).clock != before {
@@ -337,10 +348,7 @@ mod tests {
         });
         AsyncScheduler::run_steps(&mut net, &mut rng, 200 * g.n(), AsyncPolicy::UniformRandom);
         let labels: Vec<SpState<64>> = net.states().iter().map(|s| s.cur).collect();
-        assert_eq!(
-            labels_as_distances(&labels),
-            exact::bfs_distances(&g, &[0])
-        );
+        assert_eq!(labels_as_distances(&labels), exact::bfs_distances(&g, &[0]));
     }
 
     #[test]
@@ -351,7 +359,11 @@ mod tests {
         // interior nodes (all but the far leaf and... root is interior too
         // since it has a child).
         let crit = beta.critical_set();
-        assert!(crit.len() >= g.n() - 2, "Θ(n) critical nodes: {}", crit.len());
+        assert!(
+            crit.len() >= g.n() - 2,
+            "Θ(n) critical nodes: {}",
+            crit.len()
+        );
     }
 
     #[test]

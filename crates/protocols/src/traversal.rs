@@ -210,7 +210,10 @@ impl Protocol for Traversal {
 /// reused verbatim by the election automaton.
 pub fn step(own: TravState, h: &Hood, coin: u32) -> TravState {
     {
-        let with = |status: TStatus| TravState { originator: own.originator, status };
+        let with = |status: TStatus| TravState {
+            originator: own.originator,
+            status,
+        };
         let flip = || {
             if coin == 0 {
                 Elect::Heads
@@ -239,9 +242,7 @@ pub fn step(own: TravState, h: &Hood, coin: u32) -> TravState {
                     }
                     (Some(HandPhase::Flip), Elect::Eliminated) => own,
                     (Some(HandPhase::Flip), _) => with(TStatus::Blank(flip())),
-                    (Some(HandPhase::NoTails), Elect::Heads) => {
-                        with(TStatus::Blank(flip()))
-                    }
+                    (Some(HandPhase::NoTails), Elect::Heads) => with(TStatus::Blank(flip())),
                     (Some(HandPhase::OneTails), Elect::Tails) => {
                         with(TStatus::Hand(HandPhase::Settle1)) // receive the agent
                     }
@@ -330,9 +331,7 @@ impl TraversalHarness {
     /// Nodes currently in the arm-or-hand path (for invariant checks).
     pub fn arm_path_nodes(&self) -> Vec<NodeId> {
         (0..self.net.n() as NodeId)
-            .filter(|&v| {
-                matches!(self.net.state(v).status, TStatus::Arm | TStatus::Hand(_))
-            })
+            .filter(|&v| matches!(self.net.state(v).status, TStatus::Arm | TStatus::Hand(_)))
             .collect()
     }
 

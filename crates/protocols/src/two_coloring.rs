@@ -33,7 +33,12 @@ pub enum Color {
     /// A 2-colouring conflict has been observed somewhere.
     Failed,
 }
-impl_state_space!(Color { Blank, Red, Blue, Failed });
+impl_state_space!(Color {
+    Blank,
+    Red,
+    Blue,
+    Failed
+});
 
 /// The Section 4.1 two-colouring protocol (deterministic).
 pub struct TwoColoring;
@@ -257,7 +262,7 @@ mod tests {
 /// deviation note above executable — see the `paper_literal_*` tests for
 /// the oscillation and the dead-end the sticky variant fixes.
 pub fn paper_literal_automaton() -> fssga_core::ProbFssga {
-    use fssga_core::{Fssga, FsmProgram};
+    use fssga_core::{FsmProgram, Fssga};
     let clause_list = fssga_core::library::two_coloring_blank_mt();
     let f = (0..4)
         .map(|_| FsmProgram::ModThresh(clause_list.clone()))
@@ -311,16 +316,12 @@ mod paper_literal_tests {
         // Same graphs, our sticky protocol: converges synchronously and
         // survives seed-first asynchronous activation.
         let g = generators::path(2);
-        let mut net = fssga_engine::Network::new(&g, TwoColoring, |v| {
-            TwoColoring::init(v == 0)
-        });
+        let mut net = fssga_engine::Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
         assert!(fssga_engine::SyncScheduler::run_to_fixpoint(&mut net, 50).is_some());
         assert_eq!(outcome(net.states()), ColoringOutcome::ProperColoring);
 
         let g = generators::path(3);
-        let mut net = fssga_engine::Network::new(&g, TwoColoring, |v| {
-            TwoColoring::init(v == 0)
-        });
+        let mut net = fssga_engine::Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
         let mut rng = Xoshiro256::seed_from_u64(3);
         net.activate(0, &mut rng); // sticky: seed keeps RED
         assert_eq!(net.state(0), Color::Red);

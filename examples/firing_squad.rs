@@ -48,7 +48,10 @@ fn main() {
     println!("and as a full FSSGA protocol (mod-3 label orientation bootstrap):");
     for n in [8usize, 16, 32, 64] {
         match run_on_path(n, 40 * n + 80) {
-            Some(t) => println!("  path n={n:3}: all nodes fired in round {t} (~{:.2}n)", t as f64 / n as f64),
+            Some(t) => println!(
+                "  path n={n:3}: all nodes fired in round {t} (~{:.2}n)",
+                t as f64 / n as f64
+            ),
             None => println!("  path n={n:3}: FAILED"),
         }
     }

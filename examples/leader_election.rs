@@ -9,8 +9,8 @@
 //! cargo run --release --example leader_election
 //! ```
 
-use fssga::graph::rng::Xoshiro256;
 use fssga::graph::generators;
+use fssga::graph::rng::Xoshiro256;
 use fssga::protocols::election::ElectionHarness;
 
 fn main() {
@@ -29,13 +29,8 @@ fn main() {
         println!("== {name} (n = {}) ==", g.n());
         println!("  leader: node {leader}");
         println!("  rounds: {}   phases: {}", run.rounds, run.phases);
-        println!(
-            "  candidates per phase: {:?}",
-            run.remaining_per_phase
-        );
-        println!(
-            "  (paper: O(n log n) rounds, Θ(log n) phases, elimination rate >= 1/4)"
-        );
+        println!("  candidates per phase: {:?}", run.remaining_per_phase);
+        println!("  (paper: O(n log n) rounds, Θ(log n) phases, elimination rate >= 1/4)");
         println!();
     }
 }

@@ -19,10 +19,7 @@ fn main() {
     let mt = ModThreshProgram::new(
         3,
         2,
-        vec![(
-            Prop::at_least(1, 2).and(Prop::mod_count(2, 1, 2)),
-            1,
-        )],
+        vec![(Prop::at_least(1, 2).and(Prop::mod_count(2, 1, 2)), 1)],
         0,
     )
     .unwrap();
@@ -46,7 +43,10 @@ fn main() {
     )
     .unwrap();
 
-    println!("hand-written sequential program is SM: {:?}", seq.check_sm());
+    println!(
+        "hand-written sequential program is SM: {:?}",
+        seq.check_sm()
+    );
 
     // Theorem 3.7 round trip: seq -> mod-thresh -> parallel -> seq.
     let mt2 = seq_to_mt(&seq, DEFAULT_LIMIT).unwrap();

@@ -9,8 +9,8 @@
 //!    and keeps working after we cut the network in half.
 
 use fssga::engine::{Network, SyncScheduler};
-use fssga::graph::rng::Xoshiro256;
 use fssga::graph::generators;
+use fssga::graph::rng::Xoshiro256;
 use fssga::protocols::census::{Census, FmSketch};
 use fssga::protocols::two_coloring::{outcome, TwoColoring};
 
@@ -36,8 +36,7 @@ fn main() {
     let mut rng = Xoshiro256::seed_from_u64(2006);
     let n = 400;
     let g = generators::connected_gnp(n, 0.02, &mut rng);
-    let sketches: Vec<FmSketch<16>> =
-        (0..n).map(|_| FmSketch::random_init(&mut rng)).collect();
+    let sketches: Vec<FmSketch<16>> = (0..n).map(|_| FmSketch::random_init(&mut rng)).collect();
     let mut net = Network::new(&g, Census::<16>, |v| sketches[v as usize]);
     {
         let mut probe = Network::new(&g, Census::<16>, |v| sketches[v as usize]);

@@ -10,8 +10,8 @@
 //! cargo run --release --example traversal_race
 //! ```
 
-use fssga::graph::rng::Xoshiro256;
 use fssga::graph::generators;
+use fssga::graph::rng::Xoshiro256;
 use fssga::protocols::greedy_tourist::GreedyTourist;
 use fssga::protocols::traversal::TraversalHarness;
 

@@ -42,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub use fssga_analysis as analysis;
 pub use fssga_core as core;
 pub use fssga_engine as engine;
 pub use fssga_graph as graph;

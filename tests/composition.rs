@@ -9,8 +9,8 @@ use fssga::graph::rng::Xoshiro256;
 use fssga::graph::{exact, generators};
 use fssga::protocols::election::ElectionHarness;
 use fssga::protocols::shortest_paths::{labels_as_distances, ShortestPaths};
-use fssga::protocols::two_coloring::{outcome, ColoringOutcome, TwoColoring};
 use fssga::protocols::traversal::TraversalHarness;
+use fssga::protocols::two_coloring::{outcome, ColoringOutcome, TwoColoring};
 
 #[test]
 fn elect_then_two_color_from_uniform_start() {
@@ -133,8 +133,5 @@ fn alpha_synchronizer_survives_adversarial_fair_schedules() {
     assert!(advances.iter().all(|&a| a >= sweeps));
     // And the simulated protocol still computes the right answer.
     let labels: Vec<_> = net.states().iter().map(|s| s.cur).collect();
-    assert_eq!(
-        labels_as_distances(&labels),
-        exact::bfs_distances(&g, &[0])
-    );
+    assert_eq!(labels_as_distances(&labels), exact::bfs_distances(&g, &[0]));
 }

@@ -4,8 +4,8 @@
 //! a miscompilation. The recorder makes the check mechanical.
 
 use fssga::engine::{Network, Protocol, SyncScheduler};
-use fssga::graph::rng::Xoshiro256;
 use fssga::graph::generators;
+use fssga::graph::rng::Xoshiro256;
 
 fn assert_honest<P: Protocol>(protocol: P, init: impl Fn(u32) -> P::State, rounds: usize) {
     let mut rng = Xoshiro256::seed_from_u64(0xB0B);
@@ -41,18 +41,24 @@ fn all_protocol_declarations_are_honest() {
     use fssga::protocols::two_coloring::TwoColoring;
 
     assert_honest(TwoColoring, |v| TwoColoring::init(v == 0), 50);
-    assert_honest(Census::<6>, |v| {
-        FmSketch::<6>((v % 13) as u16 & 0x3F)
-    }, 50);
-    assert_honest(ShortestPaths::<64>, |v| ShortestPaths::<64>::init(v == 0), 200);
+    assert_honest(Census::<6>, |v| FmSketch::<6>((v % 13) as u16 & 0x3F), 50);
+    assert_honest(
+        ShortestPaths::<64>,
+        |v| ShortestPaths::<64>::init(v == 0),
+        200,
+    );
     assert_honest(Bfs, |v| BfsState::init(v == 0, v == 9), 100);
-    assert_honest(RandomWalk, |v| {
-        if v == 0 {
-            WalkState::Flip
-        } else {
-            WalkState::Blank
-        }
-    }, 150);
+    assert_honest(
+        RandomWalk,
+        |v| {
+            if v == 0 {
+                WalkState::Flip
+            } else {
+                WalkState::Blank
+            }
+        },
+        150,
+    );
     assert_honest(Traversal, |v| TravState::init(v == 0), 300);
     assert_honest(Election, |_| ElectState::init(), 300);
 }

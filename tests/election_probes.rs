@@ -4,8 +4,8 @@
 //! behaviour of our implementation at the boundary (loose assertions:
 //! liveness of the machinery, not claims the paper doesn't make).
 
-use fssga::graph::rng::Xoshiro256;
 use fssga::graph::generators;
+use fssga::graph::rng::Xoshiro256;
 use fssga::protocols::election::{ElectState, ElectionHarness};
 
 #[test]

@@ -1,0 +1,103 @@
+//! Tier-1 engine determinism suite: parallel synchronous stepping must be
+//! bit-identical to sequential stepping.
+//!
+//! This is the promoted form of the old proptest-only
+//! `parallel_equals_sequential` property — it runs in every offline
+//! tier-1 build, with no optional features, over a fixed grid of seeds,
+//! graph sizes, and thread counts.
+
+use fssga::engine::parallel::sync_step_parallel;
+use fssga::engine::{NeighborView, Network, Protocol, StateSpace};
+use fssga::graph::generators;
+use fssga::graph::rng::Xoshiro256;
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum S4 {
+    A,
+    B,
+    C,
+    D,
+}
+fssga::engine::impl_state_space!(S4 { A, B, C, D });
+
+/// A protocol whose transition hashes the visible mod/thresh statistics —
+/// a worst case for determinism testing (every count and coin matters).
+#[derive(Copy, Clone)]
+struct Mixer;
+impl Protocol for Mixer {
+    type State = S4;
+    const RANDOMNESS: u32 = 4;
+    fn transition(&self, own: S4, nbrs: &NeighborView<'_, S4>, coin: u32) -> S4 {
+        let mut acc = own.index() as u32 + coin;
+        for (i, s) in [S4::A, S4::B, S4::C, S4::D].into_iter().enumerate() {
+            acc = acc
+                .wrapping_mul(31)
+                .wrapping_add(nbrs.count_mod(s, 5) + 7 * nbrs.count_capped(s, 3) + i as u32);
+        }
+        S4::from_index((acc % 4) as usize)
+    }
+}
+
+fn assert_lockstep<P, F>(
+    protocol: P,
+    init: F,
+    n: usize,
+    p: f64,
+    gseed: u64,
+    threads: usize,
+    rounds: u32,
+) where
+    P: Protocol + Copy + Sync,
+    P::State: PartialEq + std::fmt::Debug + Send + Sync,
+    F: Fn(u32) -> P::State + Copy,
+{
+    let g = generators::connected_gnp(n, p, &mut Xoshiro256::seed_from_u64(gseed));
+    let mut seq_net = Network::new(&g, protocol, init);
+    let mut par_net = Network::new(&g, protocol, init);
+    let mut r1 = Xoshiro256::seed_from_u64(gseed ^ 0xABCD);
+    let mut r2 = Xoshiro256::seed_from_u64(gseed ^ 0xABCD);
+    for round in 0..rounds {
+        seq_net.sync_step(&mut r1);
+        sync_step_parallel(&mut par_net, &mut r2, threads);
+        assert_eq!(
+            seq_net.states(),
+            par_net.states(),
+            "n={n} gseed={gseed} threads={threads} round={round}"
+        );
+    }
+}
+
+/// Grid of seeds × sizes × thread counts on the count-hashing Mixer.
+#[test]
+fn parallel_equals_sequential_mixer() {
+    let init = |v: u32| S4::from_index((v as usize * 13 + 5) % 4);
+    for (gseed, n, threads) in [
+        (1u64, 300usize, 2usize),
+        (2, 333, 3),
+        (3, 366, 4),
+        (5, 400, 5),
+        (8, 433, 6),
+        (13, 466, 7),
+        (21, 499, 8),
+    ] {
+        assert_lockstep(Mixer, init, n, 0.02, gseed, threads, 4);
+    }
+}
+
+/// Same grid on the randomized-coin path with odd thread counts that do
+/// not divide the node count (stresses chunk-boundary handling).
+#[test]
+fn parallel_equals_sequential_ragged_chunks() {
+    let init = |v: u32| S4::from_index(v as usize % 4);
+    for threads in [2usize, 3, 5, 7, 11] {
+        assert_lockstep(
+            Mixer,
+            init,
+            101,
+            0.06,
+            0xC0FFEE ^ threads as u64,
+            threads,
+            5,
+        );
+    }
+}

@@ -14,13 +14,23 @@ use fssga::protocols::shortest_paths::{labels_as_distances, ShortestPaths};
 fn timed_fault_plan_drives_a_census_run() {
     let mut rng = Xoshiro256::seed_from_u64(2001);
     let g = generators::grid(6, 6);
-    let sketches: Vec<FmSketch<16>> =
-        (0..g.n()).map(|_| FmSketch::random_init(&mut rng)).collect();
+    let sketches: Vec<FmSketch<16>> = (0..g.n())
+        .map(|_| FmSketch::random_init(&mut rng))
+        .collect();
     let mut net = Network::new(&g, Census::<16>, |v| sketches[v as usize]);
     let mut plan = FaultPlan::new(vec![
-        FaultEvent { time: 2, kind: FaultKind::Edge(0, 1) },
-        FaultEvent { time: 3, kind: FaultKind::Node(35) },
-        FaultEvent { time: 5, kind: FaultKind::Edge(10, 16) },
+        FaultEvent {
+            time: 2,
+            kind: FaultKind::Edge(0, 1),
+        },
+        FaultEvent {
+            time: 3,
+            kind: FaultKind::Node(35),
+        },
+        FaultEvent {
+            time: 5,
+            kind: FaultKind::Edge(10, 16),
+        },
     ]);
     for round in 0..40u64 {
         plan.apply_due(&mut net, round);
@@ -100,8 +110,9 @@ fn node_faults_never_resurrect() {
     for _ in 0..10 {
         net.sync_step(&mut rng);
         assert!(!net.graph().is_alive(3));
-        assert!(net.graph().alive_nodes().all(|v| {
-            !net.graph().neighbors(v).contains(&3)
-        }));
+        assert!(net
+            .graph()
+            .alive_nodes()
+            .all(|v| { !net.graph().neighbors(v).contains(&3) }));
     }
 }

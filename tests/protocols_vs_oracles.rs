@@ -27,12 +27,16 @@ fn the_whole_portfolio_on_one_shared_graph() {
     let g = generators::connected_gnp(36, 0.12, &mut rng);
 
     // 1. Census.
-    let sketches: Vec<FmSketch<16>> =
-        (0..g.n()).map(|_| FmSketch::random_init(&mut rng)).collect();
+    let sketches: Vec<FmSketch<16>> = (0..g.n())
+        .map(|_| FmSketch::random_init(&mut rng))
+        .collect();
     let mut census = Network::new(&g, Census::<16>, |v| sketches[v as usize]);
     SyncScheduler::run_to_fixpoint(&mut census, 10 * g.n()).unwrap();
     let est = census.state(0).estimate();
-    assert!((4.0..=600.0).contains(&est), "estimate {est} wildly off for n=36");
+    assert!(
+        (4.0..=600.0).contains(&est),
+        "estimate {est} wildly off for n=36"
+    );
 
     // 2. Two-colouring agrees with the oracle.
     let mut col = Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
@@ -88,8 +92,9 @@ fn alpha_synchronizer_composes_with_census() {
     // asynchronous uniform-random schedule, still converges to the union.
     let mut rng = Xoshiro256::seed_from_u64(1002);
     let g = generators::grid(6, 6);
-    let sketches: Vec<FmSketch<8>> =
-        (0..g.n()).map(|_| FmSketch::random_init(&mut rng)).collect();
+    let sketches: Vec<FmSketch<8>> = (0..g.n())
+        .map(|_| FmSketch::random_init(&mut rng))
+        .collect();
     let expected = sketches
         .iter()
         .fold(FmSketch::<8>::empty(), |a, &b| a.union(b));

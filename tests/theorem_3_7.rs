@@ -2,6 +2,10 @@
 //! are converted through all three presentations and checked for
 //! extensional equality, and the symmetry decision procedures are
 //! validated against brute force.
+//!
+//! The deterministic suites below always run (tier-1, offline); the
+//! original `proptest` strategies are kept behind the `proptest` feature
+//! (see the root `Cargo.toml` for how to re-enable them).
 
 use fssga::core::convert::{mt_to_par, mt_to_seq, par_to_seq, seq_to_mt};
 use fssga::core::equiv::{decide_equiv_seq, first_disagreement};
@@ -9,91 +13,138 @@ use fssga::core::modthresh::{ModThreshProgram, Prop};
 use fssga::core::multiset::Multiset;
 use fssga::core::tree::permutations;
 use fssga::core::CombTree;
-use proptest::prelude::*;
+use fssga::graph::rng::Xoshiro256;
 
-/// Strategy: a random atom over `s` states with small parameters.
-fn atom(s: usize) -> impl Strategy<Value = Prop> {
-    prop_oneof![
-        (0..s, 1u64..4).prop_map(|(q, t)| Prop::below(q, t)),
-        (0..s, 0u64..3, 2u64..4).prop_map(|(q, r, m)| Prop::mod_count(q, r % m, m)),
-    ]
+/// Deterministic random atom over `s` states with small parameters
+/// (mirrors the proptest strategy below).
+fn rand_atom(rng: &mut Xoshiro256, s: usize) -> Prop {
+    let q = rng.gen_index(s);
+    if rng.coin() {
+        Prop::below(q, 1 + rng.gen_range(3))
+    } else {
+        let m = 2 + rng.gen_range(2);
+        Prop::mod_count(q, rng.gen_range(m), m)
+    }
 }
 
-/// Strategy: a random proposition of depth <= 2.
-fn prop_tree(s: usize) -> impl Strategy<Value = Prop> {
-    let leaf = atom(s);
-    leaf.prop_recursive(2, 8, 3, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 1..3).prop_map(Prop::And),
-            prop::collection::vec(inner.clone(), 1..3).prop_map(Prop::Or),
-            inner.prop_map(|p| Prop::Not(Box::new(p))),
-        ]
-    })
+/// Deterministic random proposition of depth <= `depth`.
+fn rand_prop(rng: &mut Xoshiro256, s: usize, depth: u32) -> Prop {
+    if depth == 0 || rng.gen_range(3) == 0 {
+        return rand_atom(rng, s);
+    }
+    match rng.gen_range(3) {
+        0 => {
+            let kids = (0..1 + rng.gen_index(2))
+                .map(|_| rand_prop(rng, s, depth - 1))
+                .collect();
+            Prop::And(kids)
+        }
+        1 => {
+            let kids = (0..1 + rng.gen_index(2))
+                .map(|_| rand_prop(rng, s, depth - 1))
+                .collect();
+            Prop::Or(kids)
+        }
+        _ => Prop::Not(Box::new(rand_prop(rng, s, depth - 1))),
+    }
 }
 
-/// Strategy: a random mod-thresh program over 2 states, 2 outputs.
-fn mt_program() -> impl Strategy<Value = ModThreshProgram> {
-    (
-        prop::collection::vec((prop_tree(2), 0usize..2), 0..3),
-        0usize..2,
-    )
-        .prop_map(|(clauses, default)| {
-            ModThreshProgram::new(2, 2, clauses, default).expect("valid by construction")
-        })
+/// Deterministic random mod-thresh program over 2 states, 2 outputs.
+fn rand_mt(rng: &mut Xoshiro256) -> ModThreshProgram {
+    let clauses: Vec<(Prop, usize)> = (0..rng.gen_index(3))
+        .map(|_| (rand_prop(rng, 2, 2), rng.gen_index(2)))
+        .collect();
+    let default = rng.gen_index(2);
+    ModThreshProgram::new(2, 2, clauses, default).expect("valid by construction")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// mt -> par -> seq -> mt' round trips preserve the function.
-    #[test]
-    fn conversions_preserve_function(mt in mt_program()) {
+/// mt -> par -> seq -> mt' round trips preserve the function.
+#[test]
+fn conversions_preserve_function_deterministic() {
+    let mut rng = Xoshiro256::seed_from_u64(0x37_2006);
+    for trial in 0..32 {
+        let mt = rand_mt(&mut rng);
         let par = mt_to_par(&mt, 1 << 22).expect("small parameters fit");
         let seq = par_to_seq(&par);
-        prop_assert!(seq.is_sm(), "converted sequential program must be SM");
+        assert!(
+            seq.is_sm(),
+            "trial {trial}: converted seq program must be SM"
+        );
         let mt2 = seq_to_mt(&seq, 1 << 22).expect("fits");
         // Exhaustive comparison over a range that covers all periods (<= 4)
-        // and thresholds (<= 4) in play: counts up to 8 per state.
+        // and thresholds (<= 4) in play: counts up to 12 total.
         for ms in Multiset::enumerate_up_to(2, 12) {
-            prop_assert_eq!(mt.eval_multiset(&ms), par.eval_multiset(&ms));
-            prop_assert_eq!(mt.eval_multiset(&ms), seq.eval_multiset(&ms));
-            prop_assert_eq!(mt.eval_multiset(&ms), mt2.eval_multiset(&ms));
+            assert_eq!(
+                mt.eval_multiset(&ms),
+                par.eval_multiset(&ms),
+                "trial {trial}"
+            );
+            assert_eq!(
+                mt.eval_multiset(&ms),
+                seq.eval_multiset(&ms),
+                "trial {trial}"
+            );
+            assert_eq!(
+                mt.eval_multiset(&ms),
+                mt2.eval_multiset(&ms),
+                "trial {trial}"
+            );
         }
     }
+}
 
-    /// The complete sequential-equivalence decision agrees with exhaustive
-    /// search on converted programs.
-    #[test]
-    fn equivalence_decision_sound(mt in mt_program()) {
+/// The complete sequential-equivalence decision agrees with exhaustive
+/// search on converted programs.
+#[test]
+fn equivalence_decision_sound_deterministic() {
+    let mut rng = Xoshiro256::seed_from_u64(0xE0_1234);
+    for trial in 0..24 {
+        let mt = rand_mt(&mut rng);
         let seq_a = mt_to_seq(&mt, 1 << 22).expect("fits");
         let seq_b = par_to_seq(&mt_to_par(&mt, 1 << 22).unwrap());
         let verdict = decide_equiv_seq(&seq_a, &seq_b, 1 << 22).expect("decidable");
-        prop_assert!(verdict.is_none(), "same function must be decided equal");
-        prop_assert!(first_disagreement(&seq_a, &seq_b, 10).is_none());
+        assert!(
+            verdict.is_none(),
+            "trial {trial}: same function must be decided equal"
+        );
+        assert!(
+            first_disagreement(&seq_a, &seq_b, 10).is_none(),
+            "trial {trial}"
+        );
     }
+}
 
-    /// Parallel programs from Lemma 3.8 are tree- and order-invariant
-    /// (Definition 3.4), tested by direct enumeration.
-    #[test]
-    fn parallel_invariance(mt in mt_program(), inputs in prop::collection::vec(0usize..2, 1..6)) {
+/// Parallel programs from Lemma 3.8 are tree- and order-invariant
+/// (Definition 3.4), tested by direct enumeration.
+#[test]
+fn parallel_invariance_deterministic() {
+    let mut rng = Xoshiro256::seed_from_u64(0x138);
+    for trial in 0..16 {
+        let mt = rand_mt(&mut rng);
         let par = mt_to_par(&mt, 1 << 22).unwrap();
-        let k = inputs.len();
+        let k = 1 + rng.gen_index(5);
+        let inputs: Vec<usize> = (0..k).map(|_| rng.gen_index(2)).collect();
         let expected = par.eval_seq(&inputs);
         for tree in CombTree::enumerate_all(k) {
             for perm in permutations(k) {
                 let permuted: Vec<usize> = perm.iter().map(|&i| inputs[i]).collect();
-                prop_assert_eq!(par.eval_with_tree(&tree, &permuted), expected);
+                assert_eq!(
+                    par.eval_with_tree(&tree, &permuted),
+                    expected,
+                    "trial {trial}"
+                );
             }
         }
     }
+}
 
-    /// check_sm accepts exactly the order-invariant random table programs
-    /// (cross-validation on tiny alphabets).
-    #[test]
-    fn seq_check_sm_complete(
-        ptab in prop::collection::vec(0u32..3, 6),
-        beta in prop::collection::vec(0u32..2, 3),
-    ) {
+/// check_sm agrees with brute force on random tiny table programs.
+#[test]
+fn seq_check_sm_complete_deterministic() {
+    let mut rng = Xoshiro256::seed_from_u64(0x5E9_C4ECC);
+    for trial in 0..200 {
+        let ptab: Vec<u32> = (0..6).map(|_| rng.gen_range(3) as u32).collect();
+        let beta: Vec<u32> = (0..3).map(|_| rng.gen_range(2) as u32).collect();
         let seq = fssga::core::SeqProgram::new(2, 3, 2, 0, ptab, beta).unwrap();
         let verdict = seq.is_sm();
         // Brute force over all sequences of length <= 6.
@@ -111,11 +162,11 @@ proptest! {
         }
         // check_sm is complete: accept => brute-force can find no witness.
         if verdict {
-            prop_assert!(brute);
+            assert!(brute, "trial {trial}");
         }
         // And sound at this depth: a brute-force witness => rejection.
         if !brute {
-            prop_assert!(!verdict);
+            assert!(!verdict, "trial {trial}");
         }
     }
 }
@@ -132,4 +183,115 @@ fn bounded_degree_embedding_note() {
     assert!(view.some(Color::Blank));
     assert!(view.some(Color::Red));
     assert!(view.none(Color::Failed));
+}
+
+/// Randomized originals, kept for `--features proptest` runs.
+#[cfg(feature = "proptest")]
+mod proptest_suite {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy: a random atom over `s` states with small parameters.
+    fn atom(s: usize) -> impl Strategy<Value = Prop> {
+        prop_oneof![
+            (0..s, 1u64..4).prop_map(|(q, t)| Prop::below(q, t)),
+            (0..s, 0u64..3, 2u64..4).prop_map(|(q, r, m)| Prop::mod_count(q, r % m, m)),
+        ]
+    }
+
+    /// Strategy: a random proposition of depth <= 2.
+    fn prop_tree(s: usize) -> impl Strategy<Value = Prop> {
+        let leaf = atom(s);
+        leaf.prop_recursive(2, 8, 3, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 1..3).prop_map(Prop::And),
+                prop::collection::vec(inner.clone(), 1..3).prop_map(Prop::Or),
+                inner.prop_map(|p| Prop::Not(Box::new(p))),
+            ]
+        })
+    }
+
+    /// Strategy: a random mod-thresh program over 2 states, 2 outputs.
+    fn mt_program() -> impl Strategy<Value = ModThreshProgram> {
+        (
+            prop::collection::vec((prop_tree(2), 0usize..2), 0..3),
+            0usize..2,
+        )
+            .prop_map(|(clauses, default)| {
+                ModThreshProgram::new(2, 2, clauses, default).expect("valid by construction")
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// mt -> par -> seq -> mt' round trips preserve the function.
+        #[test]
+        fn conversions_preserve_function(mt in mt_program()) {
+            let par = mt_to_par(&mt, 1 << 22).expect("small parameters fit");
+            let seq = par_to_seq(&par);
+            prop_assert!(seq.is_sm(), "converted sequential program must be SM");
+            let mt2 = seq_to_mt(&seq, 1 << 22).expect("fits");
+            for ms in Multiset::enumerate_up_to(2, 12) {
+                prop_assert_eq!(mt.eval_multiset(&ms), par.eval_multiset(&ms));
+                prop_assert_eq!(mt.eval_multiset(&ms), seq.eval_multiset(&ms));
+                prop_assert_eq!(mt.eval_multiset(&ms), mt2.eval_multiset(&ms));
+            }
+        }
+
+        /// The complete sequential-equivalence decision agrees with
+        /// exhaustive search on converted programs.
+        #[test]
+        fn equivalence_decision_sound(mt in mt_program()) {
+            let seq_a = mt_to_seq(&mt, 1 << 22).expect("fits");
+            let seq_b = par_to_seq(&mt_to_par(&mt, 1 << 22).unwrap());
+            let verdict = decide_equiv_seq(&seq_a, &seq_b, 1 << 22).expect("decidable");
+            prop_assert!(verdict.is_none(), "same function must be decided equal");
+            prop_assert!(first_disagreement(&seq_a, &seq_b, 10).is_none());
+        }
+
+        /// Parallel programs from Lemma 3.8 are tree- and order-invariant
+        /// (Definition 3.4), tested by direct enumeration.
+        #[test]
+        fn parallel_invariance(mt in mt_program(), inputs in prop::collection::vec(0usize..2, 1..6)) {
+            let par = mt_to_par(&mt, 1 << 22).unwrap();
+            let k = inputs.len();
+            let expected = par.eval_seq(&inputs);
+            for tree in CombTree::enumerate_all(k) {
+                for perm in permutations(k) {
+                    let permuted: Vec<usize> = perm.iter().map(|&i| inputs[i]).collect();
+                    prop_assert_eq!(par.eval_with_tree(&tree, &permuted), expected);
+                }
+            }
+        }
+
+        /// check_sm accepts exactly the order-invariant random table
+        /// programs (cross-validation on tiny alphabets).
+        #[test]
+        fn seq_check_sm_complete(
+            ptab in prop::collection::vec(0u32..3, 6),
+            beta in prop::collection::vec(0u32..2, 3),
+        ) {
+            let seq = fssga::core::SeqProgram::new(2, 3, 2, 0, ptab, beta).unwrap();
+            let verdict = seq.is_sm();
+            let mut brute = true;
+            'outer: for len in 1..=6usize {
+                for bits in 0..(1u32 << len) {
+                    let s: Vec<usize> = (0..len).map(|i| ((bits >> i) & 1) as usize).collect();
+                    let mut sorted = s.clone();
+                    sorted.sort_unstable();
+                    if seq.eval_seq(&s) != seq.eval_seq(&sorted) {
+                        brute = false;
+                        break 'outer;
+                    }
+                }
+            }
+            if verdict {
+                prop_assert!(brute);
+            }
+            if !brute {
+                prop_assert!(!verdict);
+            }
+        }
+    }
 }
