@@ -80,6 +80,13 @@ impl FaultPlan {
     /// (else a node fault), drawn from the *initial* topology. Nodes in
     /// `protected` are never killed directly (their edges may still be) —
     /// this is how sensitivity experiments spare the critical set.
+    ///
+    /// Always realizes exactly `count` events as long as at least one
+    /// candidate pool (edges, or unprotected alive nodes) is non-empty:
+    /// when the biased coin asks for a fault kind whose pool is empty, the
+    /// event is drawn from the other pool instead of being dropped. If
+    /// both pools are empty the plan is empty — callers can detect that
+    /// via `events().len()`.
     pub fn random(
         graph: &DynGraph,
         count: usize,
@@ -93,13 +100,14 @@ impl FaultPlan {
             .alive_nodes()
             .filter(|v| !protected.contains(v))
             .collect();
+        if edges.is_empty() && nodes.is_empty() {
+            return Self::none();
+        }
         let mut events = Vec::with_capacity(count);
         for _ in 0..count {
             let time = rng.gen_range(horizon.max(1));
-            let kind = if (rng.gen_bool(edge_bias) && !edges.is_empty()) || nodes.is_empty() {
-                if edges.is_empty() {
-                    continue;
-                }
+            let want_edge = (rng.gen_bool(edge_bias) && !edges.is_empty()) || nodes.is_empty();
+            let kind = if want_edge {
                 let &(u, v) = rng.choose(&edges);
                 FaultKind::Edge(u, v)
             } else {
@@ -196,6 +204,37 @@ mod tests {
                 assert!(e.time < 50);
             }
         }
+    }
+
+    #[test]
+    fn random_plan_realizes_exact_count() {
+        // Regression: node faults requested (edge_bias = 0) while every
+        // node is protected used to silently drop events via `continue`;
+        // now the events fall back to the edge pool.
+        let g = generators::cycle(6);
+        let base = net(&g);
+        let mut rng = Xoshiro256::seed_from_u64(17);
+        let all: Vec<NodeId> = (0..6).collect();
+        for count in [1usize, 5, 12] {
+            let plan = FaultPlan::random(base.graph(), count, 30, 0.0, &all, &mut rng);
+            assert_eq!(plan.events().len(), count, "count = {count}");
+            assert!(plan
+                .events()
+                .iter()
+                .all(|e| matches!(e.kind, FaultKind::Edge(_, _))));
+        }
+    }
+
+    #[test]
+    fn random_plan_empty_pools_yield_empty_plan() {
+        let g = generators::path(3);
+        let mut n = net(&g);
+        for v in 0..3 {
+            n.remove_node(v);
+        }
+        let mut rng = Xoshiro256::seed_from_u64(18);
+        let plan = FaultPlan::random(n.graph(), 10, 20, 0.5, &[], &mut rng);
+        assert!(plan.events().is_empty());
     }
 
     #[test]

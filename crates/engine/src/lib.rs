@@ -26,13 +26,19 @@
 //!   `(round seed, node id)`, not from thread interleaving).
 //! * [`faults`] — timed decreasing-benign fault plans (Section 1).
 //! * [`sensitivity`] — the Section 2 k-sensitivity harness: critical sets,
-//!   fault campaigns that avoid or target them, and "reasonably correct"
-//!   verdicts.
+//!   the [`Sensitive`] trait, the empirical single-fault sweep, and
+//!   "reasonably correct" verdicts.
+//! * [`campaign`] — the deterministic fault-campaign engine: declarative
+//!   [`Campaign`]s, replayable [`CampaignTrace`]s, automatic snapshot
+//!   chains.
+//! * [`shrink`] — delta-debugging minimization of failing fault schedules
+//!   to 1-minimal counterexamples.
 //! * [`interp`] — run a table-level [`fssga_core::ProbFssga`] directly.
 //! * [`compile`] — protocol → mod-thresh FSSGA extraction.
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod compile;
 pub mod faults;
 pub mod history;
@@ -42,6 +48,7 @@ pub mod parallel;
 pub mod protocol;
 pub mod scheduler;
 pub mod sensitivity;
+pub mod shrink;
 pub mod view;
 
 /// Deterministic RNG, re-exported from the graph substrate so that the
@@ -50,7 +57,14 @@ pub mod rng {
     pub use fssga_graph::rng::{SplitMix64, Xoshiro256};
 }
 
+pub use campaign::{Campaign, CampaignOutcome, CampaignTrace, RunPolicy};
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use network::Network;
 pub use protocol::{Protocol, StateSpace};
 pub use scheduler::{AsyncPolicy, AsyncScheduler, SyncScheduler};
+pub use sensitivity::{
+    reasonably_correct, sweep_single_faults, FaultInjector, Sensitive, SensitiveProtocol,
+    SensitivityClass, SensitivityReport, Verdict,
+};
+pub use shrink::{shrink_schedule, ShrinkResult};
 pub use view::NeighborView;

@@ -60,21 +60,28 @@ pub struct AsyncScheduler;
 impl AsyncScheduler {
     /// Performs `steps` single activations under `policy`. Returns the
     /// number of state changes.
+    ///
+    /// Activations are drawn from the *alive* nodes only. Iterating raw id
+    /// slots would silently spend steps on dead nodes after faults,
+    /// diluting step budgets and breaking the fairness assumption for the
+    /// survivors (a dead slot "activation" is a no-op). The topology
+    /// cannot change during this call, so the alive set is computed once.
     pub fn run_steps<P: Protocol>(
         net: &mut Network<P>,
         rng: &mut Xoshiro256,
         steps: usize,
         policy: AsyncPolicy,
     ) -> usize {
-        let n = net.n();
-        if n == 0 {
+        let alive: Vec<NodeId> = net.graph().alive_nodes().collect();
+        if alive.is_empty() {
             return 0;
         }
+        let n = alive.len();
         let mut changes = 0;
         match policy {
             AsyncPolicy::UniformRandom => {
                 for _ in 0..steps {
-                    let v = rng.gen_index(n) as NodeId;
+                    let v = alive[rng.gen_index(n)];
                     if net.activate(v, rng) {
                         changes += 1;
                     }
@@ -82,14 +89,14 @@ impl AsyncScheduler {
             }
             AsyncPolicy::RoundRobin => {
                 for i in 0..steps {
-                    let v = (i % n) as NodeId;
+                    let v = alive[i % n];
                     if net.activate(v, rng) {
                         changes += 1;
                     }
                 }
             }
             AsyncPolicy::RandomPermutation => {
-                let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+                let mut order = alive;
                 let mut idx = order.len(); // force reshuffle on first step
                 for _ in 0..steps {
                     if idx == order.len() {
@@ -120,8 +127,12 @@ impl AsyncScheduler {
             policy != AsyncPolicy::UniformRandom,
             "fixpoint detection needs sweep-based policies"
         );
-        let n = net.n();
-        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        // Sweeps cover alive nodes only (dead slots cannot activate and
+        // must not count toward sweep fairness).
+        let mut order: Vec<NodeId> = net.graph().alive_nodes().collect();
+        if order.is_empty() {
+            return Some(1);
+        }
         for sweep in 1..=max_sweeps {
             if policy == AsyncPolicy::RandomPermutation {
                 rng.shuffle(&mut order);
@@ -246,6 +257,51 @@ mod tests {
         let mut net = infected_net(&g);
         let mut rng = Xoshiro256::seed_from_u64(12);
         let _ = AsyncScheduler::run_to_fixpoint(&mut net, &mut rng, 10, AsyncPolicy::UniformRandom);
+    }
+
+    #[test]
+    fn dead_nodes_do_not_dilute_step_budgets() {
+        // Kill an interior node: a 5-step round-robin budget must perform
+        // 5 real activations over the 5 survivors, not 4 + a wasted slot.
+        let g = generators::path(6);
+        let mut net = infected_net(&g);
+        net.remove_node(3);
+        let mut rng = Xoshiro256::seed_from_u64(20);
+        AsyncScheduler::run_steps(&mut net, &mut rng, 5, AsyncPolicy::RoundRobin);
+        assert_eq!(net.metrics.activations, 5, "every step hits an alive node");
+        // Same for the random policies: budgets land on alive nodes only.
+        for policy in [AsyncPolicy::UniformRandom, AsyncPolicy::RandomPermutation] {
+            let mut net = infected_net(&g);
+            net.remove_node(3);
+            AsyncScheduler::run_steps(&mut net, &mut rng, 50, policy);
+            assert_eq!(net.metrics.activations, 50, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn fixpoint_sweeps_skip_dead_nodes() {
+        let g = generators::path(8);
+        let mut net = infected_net(&g);
+        net.remove_node(7); // leaf: the rest still converges
+        let mut rng = Xoshiro256::seed_from_u64(21);
+        AsyncScheduler::run_to_fixpoint(&mut net, &mut rng, 100, AsyncPolicy::RoundRobin)
+            .expect("converges");
+        let infected = net
+            .states()
+            .iter()
+            .take(7)
+            .filter(|&&s| s == Infect::Infected)
+            .count();
+        assert_eq!(infected, 7);
+        // A sweep over an all-dead graph terminates immediately.
+        let mut net = infected_net(&g);
+        for v in 0..8 {
+            net.remove_node(v);
+        }
+        assert_eq!(
+            AsyncScheduler::run_to_fixpoint(&mut net, &mut rng, 10, AsyncPolicy::RoundRobin),
+            Some(1)
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use std::collections::HashMap;
 
+use fssga_engine::{Sensitive, SensitivityClass};
 use fssga_graph::rng::Xoshiro256;
 use fssga_graph::{DynGraph, Edge, Graph, NodeId};
 
@@ -160,6 +161,24 @@ impl BridgeWalk {
             count += 1;
         }
         (count as usize, comp)
+    }
+}
+
+/// Like every agent algorithm of Section 2, the bridge walk carries its
+/// entire computation in one token: kill the agent's node and the walk is
+/// gone, kill anything else and the walk keeps mixing on what survives —
+/// `χ(σ)` is the agent's position, `|χ| = 1`.
+impl Sensitive for BridgeWalk {
+    fn algorithm(&self) -> &'static str {
+        "bridge-walk"
+    }
+
+    fn sensitivity_class(&self) -> SensitivityClass {
+        SensitivityClass::Constant(1)
+    }
+
+    fn critical_set(&self) -> Vec<NodeId> {
+        vec![self.agent]
     }
 }
 

@@ -8,7 +8,7 @@
 //! sketches. After stabilization every node estimates
 //! `n ≈ 1.3 · 2^ℓ`, where `ℓ` is the least index of a 0 bit.
 
-use fssga_engine::{NeighborView, Protocol, StateSpace};
+use fssga_engine::{NeighborView, Protocol, SensitiveProtocol, SensitivityClass, StateSpace};
 use fssga_graph::rng::Xoshiro256;
 
 /// A `K`-bit Flajolet–Martin sketch (`K <= 16`). Bit `i-1` of the word
@@ -88,6 +88,20 @@ impl<const K: usize> Protocol for Census<K> {
             acc = acc.union(s);
         }
         acc
+    }
+}
+
+/// Census is the paper's flagship 0-sensitive algorithm: an iterated
+/// semi-lattice (OR) diffusion has an empty critical set — any benign
+/// fault leaves each surviving component converging to the union of its
+/// own sketches, which is the fault-free answer on that component.
+impl<const K: usize> SensitiveProtocol for Census<K> {
+    fn algorithm_name() -> &'static str {
+        "census"
+    }
+
+    fn declared_class() -> SensitivityClass {
+        SensitivityClass::Zero
     }
 }
 

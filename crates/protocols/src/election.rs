@@ -40,7 +40,7 @@
 //!    nodes will likely enter the leader state prematurely") are demoted
 //!    when the next `NP` wave advances their phase.
 
-use fssga_engine::{NeighborView, Network, Protocol, StateSpace};
+use fssga_engine::{NeighborView, Network, Protocol, Sensitive, SensitivityClass, StateSpace};
 use fssga_graph::rng::Xoshiro256;
 use fssga_graph::{Graph, NodeId};
 
@@ -677,6 +677,29 @@ impl ElectionHarness {
             phases: self.phase_advances[0],
             phase_durations,
         }
+    }
+}
+
+/// Election composes phases, clustering and agent traversals; losing any
+/// remaining candidate (or a declared leader, or a node currently holding
+/// a Milgram agent) can change the elected outcome, and early on *every*
+/// node is a remaining candidate — a Θ(n) critical set.
+impl Sensitive for ElectionHarness {
+    fn algorithm(&self) -> &'static str {
+        "leader-election"
+    }
+
+    fn sensitivity_class(&self) -> SensitivityClass {
+        SensitivityClass::Linear
+    }
+
+    fn critical_set(&self) -> Vec<NodeId> {
+        (0..self.net.n() as NodeId)
+            .filter(|&v| {
+                let s = self.net.state(v);
+                s.remain || s.leader || s.trav.is_hand()
+            })
+            .collect()
     }
 }
 

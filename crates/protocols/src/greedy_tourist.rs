@@ -20,7 +20,9 @@
 //! a bona fide FSSGA protocol; election costs are accounted by simulating
 //! the Algorithm 4.2 tournament round by round.
 
-use fssga_engine::{impl_state_space, NeighborView, Network, Protocol};
+use fssga_engine::{
+    impl_state_space, NeighborView, Network, Protocol, Sensitive, SensitivityClass,
+};
 use fssga_graph::rng::Xoshiro256;
 use fssga_graph::{Graph, NodeId};
 
@@ -150,6 +152,11 @@ impl GreedyTourist {
         &mut self.net
     }
 
+    /// Read-only network access (inspection, sensitivity estimation).
+    pub fn network(&self) -> &Network<TouristBfs> {
+        &self.net
+    }
+
     fn visit(&mut self, v: NodeId) {
         self.visited[v as usize] = true;
     }
@@ -252,6 +259,22 @@ impl GreedyTourist {
             run.complete = reachable.iter().all(|&v| self.visited[v as usize]);
         }
         run
+    }
+}
+
+/// The tourist is the paper's canonical 1-sensitive algorithm: the lone
+/// agent *is* the computation, so `χ(σ)` is exactly its current position.
+impl Sensitive for GreedyTourist {
+    fn algorithm(&self) -> &'static str {
+        "greedy-tourist"
+    }
+
+    fn sensitivity_class(&self) -> SensitivityClass {
+        SensitivityClass::Constant(1)
+    }
+
+    fn critical_set(&self) -> Vec<NodeId> {
+        vec![self.agent]
     }
 }
 

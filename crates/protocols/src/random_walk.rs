@@ -15,7 +15,9 @@
 //! become adjacent — both invariants hold for the single-agent uses in
 //! the paper and are asserted by [`WalkHarness`].
 
-use fssga_engine::{impl_state_space, NeighborView, Network, Protocol};
+use fssga_engine::{
+    impl_state_space, NeighborView, Network, Protocol, Sensitive, SensitivityClass,
+};
 use fssga_graph::rng::Xoshiro256;
 use fssga_graph::{Graph, NodeId};
 
@@ -196,6 +198,37 @@ impl WalkHarness {
             }
         }
         run
+    }
+}
+
+/// The tournament walker is 1-sensitive *almost* everywhere: the token
+/// lives in one node's walker state. During a hand-over round the unique
+/// `Tails` neighbour is about to receive the token, so `χ(σ)` transiently
+/// contains two nodes — hence the declared bound of 2.
+impl Sensitive for WalkHarness {
+    fn algorithm(&self) -> &'static str {
+        "random-walk"
+    }
+
+    fn sensitivity_class(&self) -> SensitivityClass {
+        SensitivityClass::Constant(2)
+    }
+
+    fn critical_set(&self) -> Vec<NodeId> {
+        let mut crit: Vec<NodeId> = (0..self.net.n() as NodeId)
+            .filter(|&v| self.net.state(v).is_walker())
+            .collect();
+        if crit
+            .iter()
+            .any(|&v| self.net.state(v) == WalkState::OneTails)
+        {
+            crit.extend(
+                (0..self.net.n() as NodeId).filter(|&v| self.net.state(v) == WalkState::Tails),
+            );
+        }
+        crit.sort_unstable();
+        crit.dedup();
+        crit
     }
 }
 

@@ -12,7 +12,7 @@
 //! paper's Section 2 algorithms allow integer state; in the FSSGA model
 //! the same idea reappears mod 3 as the Section 4.3 BFS).
 
-use fssga_engine::{NeighborView, Protocol, StateSpace};
+use fssga_engine::{NeighborView, Protocol, SensitiveProtocol, SensitivityClass, StateSpace};
 use fssga_graph::exact::UNREACHABLE;
 use fssga_graph::{Graph, NodeId};
 
@@ -92,6 +92,21 @@ impl<const CAP: usize> Protocol for ShortestPaths<CAP> {
                 SpState::Label((best + 1).min(CAP as u16))
             }
         }
+    }
+}
+
+/// The relaxation recomputes every label from the *current* neighbour
+/// minimum on each activation (it is self-stabilizing, not merely
+/// monotone), so like census it is 0-sensitive: after any benign fault the
+/// surviving component's labels re-converge to that component's true
+/// distances.
+impl<const CAP: usize> SensitiveProtocol for ShortestPaths<CAP> {
+    fn algorithm_name() -> &'static str {
+        "shortest-paths"
+    }
+
+    fn declared_class() -> SensitivityClass {
+        SensitivityClass::Zero
     }
 }
 

@@ -21,7 +21,9 @@
 //! into per-inner-state pseudo-counts that answer every query `P` is
 //! declared to make with the exact same result as the true counts.
 
-use fssga_engine::{NeighborView, Network, Protocol, StateSpace};
+use fssga_engine::{
+    NeighborView, Network, Protocol, Sensitive, SensitiveProtocol, SensitivityClass, StateSpace,
+};
 use fssga_graph::exact;
 use fssga_graph::{DynGraph, Graph, NodeId};
 
@@ -137,6 +139,20 @@ pub fn alpha_network<P: Protocol>(
     Network::new(g, Alpha(protocol), |v| AlphaState::init(init(v)))
 }
 
+/// The α synchronizer keeps no global structure — each node compares
+/// clocks with whoever happens to still be its neighbour — so, like the
+/// diffusions it wraps, its critical set is empty: faults merely shrink
+/// the neighbourhood being waited on.
+impl<P: Protocol> SensitiveProtocol for Alpha<P> {
+    fn algorithm_name() -> &'static str {
+        "alpha-synchronizer"
+    }
+
+    fn declared_class() -> SensitivityClass {
+        SensitivityClass::Zero
+    }
+}
+
 /// The tree-based β synchronizer baseline.
 ///
 /// Pulses are driven over a BFS spanning tree: pulse `k` completes for a
@@ -214,6 +230,22 @@ impl BetaSynchronizer {
     /// Pulses attempted so far.
     pub fn pulses(&self) -> u64 {
         self.pulses
+    }
+}
+
+/// The paper's Θ(n)-sensitive cautionary tale: every interior node of the
+/// spanning tree is load-bearing, and the tree is never repaired.
+impl Sensitive for BetaSynchronizer {
+    fn algorithm(&self) -> &'static str {
+        "beta-synchronizer"
+    }
+
+    fn sensitivity_class(&self) -> SensitivityClass {
+        SensitivityClass::Linear
+    }
+
+    fn critical_set(&self) -> Vec<NodeId> {
+        BetaSynchronizer::critical_set(self)
     }
 }
 
