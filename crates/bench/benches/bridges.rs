@@ -1,34 +1,22 @@
-//! Criterion benches for E2: random-walk step throughput vs the Tarjan
-//! oracle.
+//! Benches for E2: random-walk step throughput vs the Tarjan oracle.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fssga_bench::harness::harness_from_args;
 use fssga_graph::{exact, generators, rng::Xoshiro256};
 use fssga_protocols::bridges::BridgeWalk;
 
-fn bench_walk_steps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bridges/1000-walk-steps");
+fn main() {
+    let mut h = harness_from_args();
     for n in [32usize, 128, 512] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut rng = Xoshiro256::seed_from_u64(3);
-            let g = generators::cycle_with_chords(n, n / 4, &mut rng);
-            let mut walk = BridgeWalk::new(&g, 0);
-            b.iter(|| walk.run(1000, &mut rng));
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let g = generators::cycle_with_chords(n, n / 4, &mut rng);
+        let mut walk = BridgeWalk::new(&g, 0);
+        h.bench(&format!("bridges/1000-walk-steps/{n}"), || {
+            walk.run(1000, &mut rng)
         });
     }
-    group.finish();
-}
-
-fn bench_tarjan_oracle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bridges/tarjan");
     for n in [128usize, 1024, 8192] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut rng = Xoshiro256::seed_from_u64(4);
-            let g = generators::connected_gnp(n, 8.0 / n as f64, &mut rng);
-            b.iter(|| exact::bridges(&g));
-        });
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let g = generators::connected_gnp(n, 8.0 / n as f64, &mut rng);
+        h.bench(&format!("bridges/tarjan/{n}"), || exact::bridges(&g));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_walk_steps, bench_tarjan_oracle);
-criterion_main!(benches);

@@ -1,39 +1,28 @@
-//! Criterion benches for E1: sketch unions and OR-diffusion rounds.
+//! Benches for E1: sketch unions and OR-diffusion rounds.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fssga_bench::harness::harness_from_args;
 use fssga_engine::Network;
 use fssga_graph::{generators, rng::Xoshiro256};
 use fssga_protocols::census::{union_of_fresh_sketches, Census, FmSketch};
 
-fn bench_union(c: &mut Criterion) {
-    let mut group = c.benchmark_group("census/union-of-sketches");
+fn main() {
+    let mut h = harness_from_args();
     for n in [256usize, 1024, 4096] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut rng = Xoshiro256::seed_from_u64(1);
-            b.iter(|| union_of_fresh_sketches::<16>(n, &mut rng).estimate());
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        h.bench(&format!("census/union-of-sketches/{n}"), || {
+            union_of_fresh_sketches::<16>(n, &mut rng).estimate()
         });
     }
-    group.finish();
-}
-
-fn bench_diffusion_round(c: &mut Criterion) {
-    let mut group = c.benchmark_group("census/diffusion-round");
     for side in [16usize, 32] {
-        group.bench_with_input(
-            BenchmarkId::new("grid", side * side),
-            &side,
-            |b, &side| {
-                let g = generators::grid(side, side);
-                let mut rng = Xoshiro256::seed_from_u64(2);
-                let sketches: Vec<FmSketch<8>> =
-                    (0..g.n()).map(|_| FmSketch::random_init(&mut rng)).collect();
-                let mut net = Network::new(&g, Census::<8>, |v| sketches[v as usize]);
-                b.iter(|| net.sync_step(&mut rng));
-            },
+        let g = generators::grid(side, side);
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let sketches: Vec<FmSketch<8>> = (0..g.n())
+            .map(|_| FmSketch::random_init(&mut rng))
+            .collect();
+        let mut net = Network::new(&g, Census::<8>, |v| sketches[v as usize]);
+        h.bench(
+            &format!("census/diffusion-round/grid/{}", side * side),
+            || net.sync_step(&mut rng),
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_union, bench_diffusion_round);
-criterion_main!(benches);

@@ -1,45 +1,36 @@
-//! Criterion benches for E4: Theorem 3.7 conversion costs and the
-//! relative evaluation cost of the three program representations.
+//! Benches for E4: Theorem 3.7 conversion costs and the relative
+//! evaluation cost of the three program representations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fssga_bench::harness::harness_from_args;
 use fssga_core::convert::{mt_to_par, par_to_seq, seq_to_mt, DEFAULT_LIMIT};
-use fssga_core::multiset::Multiset;
 use fssga_core::library;
+use fssga_core::multiset::Multiset;
 
-fn bench_conversions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("convert/seq-to-mt");
+fn main() {
+    let mut h = harness_from_args();
     for k in [4usize, 16, 64] {
-        group.bench_with_input(BenchmarkId::new("count-mod", k), &k, |b, &k| {
-            let seq = library::count_ones_mod_seq(k);
-            b.iter(|| seq_to_mt(&seq, DEFAULT_LIMIT).unwrap());
+        let seq = library::count_ones_mod_seq(k);
+        h.bench(&format!("convert/seq-to-mt/count-mod/{k}"), || {
+            seq_to_mt(&seq, DEFAULT_LIMIT).unwrap()
         });
     }
-    group.finish();
-
-    let mut group = c.benchmark_group("convert/mt-to-par");
     for k in [2usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("count-mod", k), &k, |b, &k| {
-            let mt = seq_to_mt(&library::count_ones_mod_seq(k), DEFAULT_LIMIT).unwrap();
-            b.iter(|| mt_to_par(&mt, DEFAULT_LIMIT).unwrap());
+        let mt = seq_to_mt(&library::count_ones_mod_seq(k), DEFAULT_LIMIT).unwrap();
+        h.bench(&format!("convert/mt-to-par/count-mod/{k}"), || {
+            mt_to_par(&mt, DEFAULT_LIMIT).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_representations(c: &mut Criterion) {
     // Ablation: the same SM function evaluated as seq / par / mod-thresh.
     let seq = library::count_ones_mod_seq(8);
     let mt = seq_to_mt(&seq, DEFAULT_LIMIT).unwrap();
     let par = mt_to_par(&mt, DEFAULT_LIMIT).unwrap();
     let back = par_to_seq(&par);
     let ms = Multiset::from_counts(vec![1_000_003, 999_983]);
-    let mut group = c.benchmark_group("eval/representations");
-    group.bench_function("sequential", |b| b.iter(|| seq.eval_multiset(&ms)));
-    group.bench_function("mod-thresh", |b| b.iter(|| mt.eval_multiset(&ms)));
-    group.bench_function("parallel", |b| b.iter(|| par.eval_multiset(&ms)));
-    group.bench_function("par-to-seq", |b| b.iter(|| back.eval_multiset(&ms)));
-    group.finish();
+    h.bench("eval/representations/sequential", || seq.eval_multiset(&ms));
+    h.bench("eval/representations/mod-thresh", || mt.eval_multiset(&ms));
+    h.bench("eval/representations/parallel", || par.eval_multiset(&ms));
+    h.bench("eval/representations/par-to-seq", || {
+        back.eval_multiset(&ms)
+    });
 }
-
-criterion_group!(benches, bench_conversions, bench_representations);
-criterion_main!(benches);

@@ -1,26 +1,19 @@
-//! Criterion benches for E11: full leader elections by size.
+//! Benches for E11: full leader elections by size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fssga_bench::harness::harness_from_args;
 use fssga_graph::{generators, rng::Xoshiro256};
 use fssga_protocols::election::ElectionHarness;
 
-fn bench_election(c: &mut Criterion) {
-    let mut group = c.benchmark_group("election/full");
-    group.sample_size(10);
+fn main() {
+    let mut h = harness_from_args();
     for n in [8usize, 16, 32] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut rng = Xoshiro256::seed_from_u64(9);
-            let g = generators::connected_gnp(n, (2.2 * (n as f64).ln()) / n as f64, &mut rng);
-            b.iter(|| {
-                let mut h = ElectionHarness::new(&g);
-                let run = h.run(1_000_000, &mut rng);
-                assert!(run.leader.is_some());
-                run.rounds
-            });
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let g = generators::connected_gnp(n, (2.2 * (n as f64).ln()) / n as f64, &mut rng);
+        h.bench(&format!("election/full/{n}"), || {
+            let mut harness = ElectionHarness::new(&g);
+            let run = harness.run(1_000_000, &mut rng);
+            assert!(run.leader.is_some());
+            run.rounds
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_election);
-criterion_main!(benches);

@@ -1,60 +1,67 @@
 //! Ablation benches for the engine design decisions called out in
-//! DESIGN.md: sequential vs multi-threaded synchronous rounds, and
-//! interpreted mod-thresh tables vs native Rust transitions.
+//! DESIGN.md: sequential vs multi-threaded synchronous rounds,
+//! interpreted mod-thresh tables vs native Rust transitions, and the
+//! compiled kernel vs the interpreter (see `fssga-bench engine` for the
+//! recorded large-n baseline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fssga_bench::harness::harness_from_args;
 use fssga_engine::compile::compile_protocol;
 use fssga_engine::interp::InterpNetwork;
 use fssga_engine::parallel::sync_step_parallel;
-use fssga_engine::{Network, StateSpace};
+use fssga_engine::{Budget, Engine, Network, Runner, StateSpace};
 use fssga_graph::{generators, rng::Xoshiro256};
 use fssga_protocols::two_coloring::TwoColoring;
 
-fn bench_parallel_rounds(c: &mut Criterion) {
+fn main() {
+    let mut h = harness_from_args();
+
     let g = generators::grid(128, 128);
-    let mut group = c.benchmark_group("engine/sync-round-16k-nodes");
-    group.bench_function("sequential", |b| {
-        let mut net = Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
-        let mut rng = Xoshiro256::seed_from_u64(10);
-        b.iter(|| net.sync_step(&mut rng));
+    let mut net = Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
+    let mut rng = Xoshiro256::seed_from_u64(10);
+    h.bench("engine/sync-round-16k-nodes/sequential", || {
+        net.sync_step(&mut rng)
     });
     for threads in [2usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("threads", threads),
-            &threads,
-            |b, &threads| {
-                let mut net = Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
-                let mut rng = Xoshiro256::seed_from_u64(10);
-                b.iter(|| sync_step_parallel(&mut net, &mut rng, threads));
-            },
+        let mut net = Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
+        let mut rng = Xoshiro256::seed_from_u64(10);
+        h.bench(
+            &format!("engine/sync-round-16k-nodes/threads/{threads}"),
+            || sync_step_parallel(&mut net, &mut rng, threads),
         );
     }
-    group.finish();
-}
 
-fn bench_interp_vs_native(c: &mut Criterion) {
     let g = generators::grid(32, 32);
     let auto = compile_protocol(&TwoColoring, 1 << 16).unwrap();
-    let mut group = c.benchmark_group("engine/native-vs-interpreted");
-    group.bench_function("native-protocol", |b| {
-        let mut net = Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
-        let mut seed = 0u64;
-        b.iter(|| {
+    let mut net = Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
+    let mut seed = 0u64;
+    h.bench("engine/native-vs-interpreted/native-protocol", || {
+        seed += 1;
+        net.sync_step_seeded(seed)
+    });
+    let mut net = InterpNetwork::new(&g, &auto, |v| TwoColoring::init(v == 0).index());
+    let mut seed = 0u64;
+    h.bench(
+        "engine/native-vs-interpreted/compiled-mod-thresh-tables",
+        || {
             seed += 1;
             net.sync_step_seeded(seed)
-        });
-    });
-    group.bench_function("compiled-mod-thresh-tables", |b| {
-        let mut net =
-            InterpNetwork::new(&g, &auto, |v| TwoColoring::init(v == 0).index());
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            net.sync_step_seeded(seed)
-        });
-    });
-    group.finish();
-}
+        },
+    );
 
-criterion_group!(benches, bench_parallel_rounds, bench_interp_vs_native);
-criterion_main!(benches);
+    // Kernel vs interpreter, full fixpoint from a fresh network each time.
+    let g = generators::grid(64, 64);
+    for (label, engine) in [
+        ("interpreter", Engine::Interpreter),
+        ("kernel", Engine::Kernel),
+    ] {
+        h.bench(&format!("engine/coloring-fixpoint-4k/{label}"), || {
+            let mut net = Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
+            Runner::new(&mut net)
+                .engine(engine)
+                .budget(Budget::Fixpoint(10 * 64 * 64))
+                .run()
+                .fixpoint
+                .expect("stabilizes")
+        });
+    }
+}

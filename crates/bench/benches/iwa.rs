@@ -1,9 +1,9 @@
-//! Criterion benches for E12: the cost of the IWA simulation vs the
-//! native synchronous engine.
+//! Benches for E12: the cost of the IWA simulation vs the native
+//! synchronous engine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fssga_bench::harness::harness_from_args;
 use fssga_core::modthresh::{ModThreshProgram, Prop};
-use fssga_core::{Fssga, FsmProgram, ProbFssga};
+use fssga_core::{FsmProgram, Fssga, ProbFssga};
 use fssga_engine::interp::InterpNetwork;
 use fssga_graph::generators;
 use fssga_iwa::fssga_on_iwa::FssgaOnIwa;
@@ -12,32 +12,30 @@ fn infection() -> ProbFssga {
     let catch = ModThreshProgram::new(2, 2, vec![(Prop::some(1), 1)], 0).unwrap();
     let keep = ModThreshProgram::new(2, 2, vec![], 1).unwrap();
     ProbFssga::from_deterministic(
-        Fssga::new(2, vec![FsmProgram::ModThresh(catch), FsmProgram::ModThresh(keep)]).unwrap(),
+        Fssga::new(
+            2,
+            vec![FsmProgram::ModThresh(catch), FsmProgram::ModThresh(keep)],
+        )
+        .unwrap(),
     )
 }
 
-fn bench_round_cost(c: &mut Criterion) {
+fn main() {
+    let mut h = harness_from_args();
     let auto = infection();
     let g = generators::grid(16, 16);
-    let mut group = c.benchmark_group("iwa/one-fssga-round");
-    group.bench_function("native-interp", |b| {
-        let mut net = InterpNetwork::new(&g, &auto, |v| usize::from(v == 0));
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            net.sync_step_seeded(seed)
-        });
-    });
-    group.bench_function("iwa-agent-simulation", |b| {
-        let mut sim = FssgaOnIwa::new(&auto, &g, |v| usize::from(v == 0));
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            sim.sync_round(seed)
-        });
-    });
-    group.finish();
-}
 
-criterion_group!(benches, bench_round_cost);
-criterion_main!(benches);
+    let mut net = InterpNetwork::new(&g, &auto, |v| usize::from(v == 0));
+    let mut seed = 0u64;
+    h.bench("iwa/one-fssga-round/native-interp", || {
+        seed += 1;
+        net.sync_step_seeded(seed)
+    });
+
+    let mut sim = FssgaOnIwa::new(&auto, &g, |v| usize::from(v == 0));
+    let mut seed = 0u64;
+    h.bench("iwa/one-fssga-round/iwa-agent-simulation", || {
+        seed += 1;
+        sim.sync_round(seed)
+    });
+}

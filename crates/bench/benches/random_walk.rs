@@ -1,24 +1,17 @@
-//! Criterion benches for E8: tournament-walk move latency by degree.
+//! Benches for E8: tournament-walk move latency by degree.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fssga_bench::harness::harness_from_args;
 use fssga_graph::{generators, rng::Xoshiro256};
 use fssga_protocols::random_walk::WalkHarness;
 
-fn bench_move_latency(c: &mut Criterion) {
-    let mut group = c.benchmark_group("random-walk/one-move");
-    group.sample_size(20);
+fn main() {
+    let mut h = harness_from_args();
     for d in [4usize, 32, 256] {
-        group.bench_with_input(BenchmarkId::new("star-degree", d), &d, |b, &d| {
-            let g = generators::star(d + 1);
-            let mut rng = Xoshiro256::seed_from_u64(6);
-            b.iter(|| {
-                let mut h = WalkHarness::new(&g, 0);
-                h.run(1, 1_000_000, &mut rng)
-            });
+        let g = generators::star(d + 1);
+        let mut rng = Xoshiro256::seed_from_u64(6);
+        h.bench(&format!("random-walk/one-move/star-degree/{d}"), || {
+            let mut harness = WalkHarness::new(&g, 0);
+            harness.run(1, 1_000_000, &mut rng)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_move_latency);
-criterion_main!(benches);

@@ -1,34 +1,31 @@
-//! Criterion benches for E6: the cost of the alpha-synchronizer wrapper.
+//! Benches for E6: the cost of the alpha-synchronizer wrapper.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fssga_bench::harness::harness_from_args;
 use fssga_engine::Network;
 use fssga_graph::{generators, rng::Xoshiro256, NodeId};
 use fssga_protocols::shortest_paths::ShortestPaths;
 use fssga_protocols::synchronizer::alpha_network;
 
-fn bench_wrapper_overhead(c: &mut Criterion) {
+fn main() {
+    let mut h = harness_from_args();
     let g = generators::grid(24, 24);
-    let mut group = c.benchmark_group("synchronizer/one-sweep");
-    group.bench_function("raw-sync-round", |b| {
-        let mut net =
-            Network::new(&g, ShortestPaths::<256>, |v| ShortestPaths::<256>::init(v == 0));
-        let mut rng = Xoshiro256::seed_from_u64(5);
-        b.iter(|| net.sync_step(&mut rng));
-    });
-    group.bench_function("alpha-wrapped-sweep", |b| {
-        let mut net = alpha_network(&g, ShortestPaths::<256>, |v| {
-            ShortestPaths::<256>::init(v == 0)
-        });
-        let mut rng = Xoshiro256::seed_from_u64(5);
-        let order: Vec<NodeId> = (0..g.n() as NodeId).collect();
-        b.iter(|| {
-            for &v in &order {
-                net.activate(v, &mut rng);
-            }
-        });
-    });
-    group.finish();
-}
 
-criterion_group!(benches, bench_wrapper_overhead);
-criterion_main!(benches);
+    let mut net = Network::new(&g, ShortestPaths::<256>, |v| {
+        ShortestPaths::<256>::init(v == 0)
+    });
+    let mut rng = Xoshiro256::seed_from_u64(5);
+    h.bench("synchronizer/one-sweep/raw-sync-round", || {
+        net.sync_step(&mut rng)
+    });
+
+    let mut net = alpha_network(&g, ShortestPaths::<256>, |v| {
+        ShortestPaths::<256>::init(v == 0)
+    });
+    let mut rng = Xoshiro256::seed_from_u64(5);
+    let order: Vec<NodeId> = (0..g.n() as NodeId).collect();
+    h.bench("synchronizer/one-sweep/alpha-wrapped-sweep", || {
+        for &v in &order {
+            net.activate(v, &mut rng);
+        }
+    });
+}

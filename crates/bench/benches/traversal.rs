@@ -1,41 +1,26 @@
-//! Criterion benches for E9/E10: full traversals by size.
+//! Benches for E9/E10: full traversals by size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fssga_bench::harness::harness_from_args;
 use fssga_graph::{generators, rng::Xoshiro256};
 use fssga_protocols::greedy_tourist::GreedyTourist;
 use fssga_protocols::traversal::TraversalHarness;
 
-fn bench_milgram(c: &mut Criterion) {
-    let mut group = c.benchmark_group("traversal/milgram-full");
-    group.sample_size(10);
+fn main() {
+    let mut h = harness_from_args();
     for n in [16usize, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut rng = Xoshiro256::seed_from_u64(7);
-            let g = generators::connected_gnp(n, (2.2 * (n as f64).ln()) / n as f64, &mut rng);
-            b.iter(|| {
-                let mut h = TraversalHarness::new(&g, 0);
-                h.run(50_000 * n as u64, &mut rng, false)
-            });
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let g = generators::connected_gnp(n, (2.2 * (n as f64).ln()) / n as f64, &mut rng);
+        h.bench(&format!("traversal/milgram-full/{n}"), || {
+            let mut t = TraversalHarness::new(&g, 0);
+            t.run(50_000 * n as u64, &mut rng, false)
         });
     }
-    group.finish();
-}
-
-fn bench_tourist(c: &mut Criterion) {
-    let mut group = c.benchmark_group("traversal/greedy-tourist-full");
-    group.sample_size(10);
     for n in [16usize, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut rng = Xoshiro256::seed_from_u64(8);
-            let g = generators::connected_gnp(n, (2.2 * (n as f64).ln()) / n as f64, &mut rng);
-            b.iter(|| {
-                let mut t = GreedyTourist::new(&g, 0);
-                t.run(50_000_000, &mut rng)
-            });
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        let g = generators::connected_gnp(n, (2.2 * (n as f64).ln()) / n as f64, &mut rng);
+        h.bench(&format!("traversal/greedy-tourist-full/{n}"), || {
+            let mut t = GreedyTourist::new(&g, 0);
+            t.run(50_000_000, &mut rng)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_milgram, bench_tourist);
-criterion_main!(benches);

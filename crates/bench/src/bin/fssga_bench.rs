@@ -1,0 +1,208 @@
+//! `fssga-bench` — the recorded performance baselines.
+//!
+//! ```text
+//! fssga-bench engine                  # full baseline, writes BENCH_engine.json
+//! fssga-bench engine --smoke          # tiny workloads, CI sanity only
+//! fssga-bench engine --out path.json
+//! ```
+//!
+//! The `engine` baseline races the interpreter against the compiled
+//! kernel ([`fssga_engine::CompiledKernel`]) on synchronous fixpoint
+//! runs at n ≥ 50 000 — census OR-diffusion and shortest-paths
+//! relaxation on a torus — and records median wall times plus the
+//! speedup. Both engines are bit-identical in trajectory (asserted here
+//! on final states), so the speedup is a pure execution-path comparison.
+
+use std::time::Instant;
+
+use fssga_bench::harness::fmt_ns;
+use fssga_bench::DEFAULT_SEED;
+use fssga_engine::{Budget, Engine, Network, Runner};
+use fssga_graph::rng::Xoshiro256;
+use fssga_graph::Graph;
+use fssga_protocols::census::{Census, FmSketch};
+use fssga_protocols::shortest_paths::ShortestPaths;
+
+/// Wall times (ns) and the fixpoint round for one engine on one workload.
+struct Timing {
+    times_ns: Vec<f64>,
+    rounds: usize,
+}
+
+impl Timing {
+    fn median_ns(&self) -> f64 {
+        let mut t = self.times_ns.clone();
+        t.sort_by(|a, b| a.total_cmp(b));
+        t[t.len() / 2]
+    }
+}
+
+/// One interpreter-vs-kernel comparison.
+struct Row {
+    name: String,
+    n: usize,
+    interp: Timing,
+    kernel: Timing,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.interp.median_ns() / self.kernel.median_ns()
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"n\":{},\"rounds\":{},\
+             \"interpreter_median_ns\":{:.0},\"kernel_median_ns\":{:.0},\
+             \"reps\":{},\"speedup\":{:.2}}}",
+            self.name,
+            self.n,
+            self.interp.rounds,
+            self.interp.median_ns(),
+            self.kernel.median_ns(),
+            self.interp.times_ns.len(),
+            self.speedup()
+        )
+    }
+}
+
+/// Times `reps` fixpoint runs of `engine`, returning wall times and the
+/// (engine-independent) fixpoint round. `run` must build a fresh network
+/// per call; it returns (fixpoint round, final states fingerprint).
+fn time_engine(
+    reps: usize,
+    engine: Engine,
+    mut run: impl FnMut(Engine) -> (usize, u64),
+) -> (Timing, u64) {
+    let mut times_ns = Vec::with_capacity(reps);
+    let mut rounds = 0;
+    let mut fingerprint = 0;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let (r, f) = run(engine);
+        times_ns.push(t.elapsed().as_nanos() as f64);
+        rounds = r;
+        fingerprint = f;
+    }
+    (Timing { times_ns, rounds }, fingerprint)
+}
+
+/// FNV-1a over state indices: cheap cross-engine equality witness.
+fn fingerprint(indices: impl Iterator<Item = usize>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for i in indices {
+        h ^= i as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn census_row(g: &Graph, name: &str, reps: usize) -> Row {
+    use fssga_engine::StateSpace;
+    let mut rng = Xoshiro256::seed_from_u64(DEFAULT_SEED);
+    let sketches: Vec<FmSketch<16>> = (0..g.n())
+        .map(|_| FmSketch::random_init(&mut rng))
+        .collect();
+    let run = |engine: Engine| {
+        let mut net = Network::new(g, Census::<16>, |v| sketches[v as usize]);
+        let report = Runner::new(&mut net)
+            .engine(engine)
+            .budget(Budget::Fixpoint(10 * g.n()))
+            .run();
+        (
+            report.fixpoint.expect("census converges"),
+            fingerprint(net.states().iter().map(|s| s.index())),
+        )
+    };
+    let (interp, fi) = time_engine(reps, Engine::Interpreter, run);
+    let (kernel, fk) = time_engine(reps, Engine::Kernel, run);
+    assert_eq!(fi, fk, "engines must agree on final states");
+    assert_eq!(interp.rounds, kernel.rounds, "engines must agree on rounds");
+    Row {
+        name: name.to_string(),
+        n: g.n(),
+        interp,
+        kernel,
+    }
+}
+
+fn shortest_paths_row(g: &Graph, name: &str, reps: usize) -> Row {
+    use fssga_engine::StateSpace;
+    const CAP: usize = 256;
+    let run = |engine: Engine| {
+        let mut net = Network::new(g, ShortestPaths::<CAP>, |v| {
+            ShortestPaths::<CAP>::init(v == 0)
+        });
+        let report = Runner::new(&mut net)
+            .engine(engine)
+            .budget(Budget::Fixpoint(8 * CAP))
+            .run();
+        (
+            report.fixpoint.expect("relaxation converges"),
+            fingerprint(net.states().iter().map(|s| s.index())),
+        )
+    };
+    let (interp, fi) = time_engine(reps, Engine::Interpreter, run);
+    let (kernel, fk) = time_engine(reps, Engine::Kernel, run);
+    assert_eq!(fi, fk, "engines must agree on final states");
+    assert_eq!(interp.rounds, kernel.rounds, "engines must agree on rounds");
+    Row {
+        name: name.to_string(),
+        n: g.n(),
+        interp,
+        kernel,
+    }
+}
+
+fn engine_baseline(smoke: bool, out: &str) {
+    use fssga_graph::generators;
+    // Torus keeps every degree at 4 while the diameter (≈ side) sets the
+    // number of rounds; side 224 puts n just past the 50k floor.
+    let (side, reps) = if smoke { (32, 1) } else { (224, 5) };
+    let g = generators::torus(side, side);
+    println!(
+        "engine baseline: torus {side}x{side} (n = {}), {reps} rep(s) per engine",
+        g.n()
+    );
+    let rows = [
+        census_row(&g, &format!("census/torus-{side}x{side}"), reps),
+        shortest_paths_row(&g, &format!("shortest-paths/torus-{side}x{side}"), reps),
+    ];
+    for row in &rows {
+        println!(
+            "{:<36} n={:<6} rounds={:<4} interp {:>12} kernel {:>12} speedup {:>6.2}x",
+            row.name,
+            row.n,
+            row.interp.rounds,
+            fmt_ns(row.interp.median_ns()),
+            fmt_ns(row.kernel.median_ns()),
+            row.speedup()
+        );
+    }
+    let body: Vec<String> = rows.iter().map(Row::to_json).collect();
+    let json = format!(
+        "{{\"bench\":\"engine\",\"smoke\":{},\"workloads\":[{}]}}\n",
+        smoke,
+        body.join(",")
+    );
+    std::fs::write(out, json).expect("write baseline json");
+    println!("wrote {out}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    match args.first().map(String::as_str) {
+        Some("engine") => engine_baseline(smoke, &out),
+        other => {
+            eprintln!("usage: fssga-bench engine [--smoke] [--out PATH]  (got {other:?})");
+            std::process::exit(2);
+        }
+    }
+}

@@ -56,7 +56,14 @@ pub fn e2_bridge_detection(seed: u64, quick: bool) -> Vec<Table> {
     // E2b: end-to-end detection at the recommended step budget.
     let mut det = Table::new(
         "E2b: detection after c*m*n*ln(n) steps (c = 2)",
-        &["graph", "n", "true-bridges", "found", "false-pos", "false-neg"],
+        &[
+            "graph",
+            "n",
+            "true-bridges",
+            "found",
+            "false-pos",
+            "false-neg",
+        ],
     );
     let mut cases: Vec<(String, Graph)> = vec![
         ("barbell(5,3)".into(), generators::barbell(5, 3)),
@@ -93,13 +100,19 @@ pub fn e2_bridge_detection(seed: u64, quick: bool) -> Vec<Table> {
     // E2c: the lifted-graph construction itself.
     let mut lift = Table::new(
         "E2c: Claim 2.1 lifted graph (3n+1 nodes, 3m+1 edges)",
-        &["base", "edge-kind", "lifted-n", "lifted-m", "EXCEEDED reachable"],
+        &[
+            "base",
+            "edge-kind",
+            "lifted-n",
+            "lifted-m",
+            "EXCEEDED reachable",
+        ],
     );
     let g = generators::cycle_with_chords(10, 2, &mut rng);
     let non_bridge = g.edges().next().unwrap();
     let (lg, ex) = lifted_graph(&g, non_bridge);
-    let reach = exact::bfs_distances(&lg, &[3 * non_bridge.0 + 1])[ex as usize]
-        != exact::UNREACHABLE;
+    let reach =
+        exact::bfs_distances(&lg, &[3 * non_bridge.0 + 1])[ex as usize] != exact::UNREACHABLE;
     lift.row(vec![
         "cycle+chords".into(),
         "non-bridge".into(),
@@ -129,7 +142,11 @@ pub fn e2_bridge_detection(seed: u64, quick: bool) -> Vec<Table> {
         &["base n", "lifted n", "mean-steps", "2(3m+1)(3n)", "ratio"],
     );
     let trials_l = if quick { 10 } else { 30 };
-    for &n in if quick { &[8usize, 16][..] } else { &[8usize, 16, 32][..] } {
+    for &n in if quick {
+        &[8usize, 16][..]
+    } else {
+        &[8usize, 16, 32][..]
+    } {
         let g = generators::cycle_with_chords(n, 2, &mut rng);
         let e = g.edges().next().unwrap();
         let (lg, ex) = lifted_graph(&g, e);

@@ -5,7 +5,7 @@
 //! non-critical faults each surviving component's estimate lies between
 //! `½|G'|` and `2^{O(1)}·|G₀|` ("reasonably correct", 0-sensitivity).
 
-use fssga_engine::{Network, SyncScheduler};
+use fssga_engine::{Budget, Network, Runner};
 use fssga_graph::rng::Xoshiro256;
 use fssga_graph::{exact, generators};
 use fssga_protocols::census::{averaged_estimate, union_of_fresh_sketches, Census, FmSketch};
@@ -93,10 +93,15 @@ pub fn e1_census(seed: u64, quick: bool) -> Vec<Table> {
         ("gnp 64", generators::connected_gnp(64, 0.08, &mut rng)),
     ];
     for (name, g) in graphs {
-        let sketches: Vec<FmSketch<8>> =
-            (0..g.n()).map(|_| FmSketch::random_init(&mut rng)).collect();
+        let sketches: Vec<FmSketch<8>> = (0..g.n())
+            .map(|_| FmSketch::random_init(&mut rng))
+            .collect();
         let mut net = Network::new(&g, Census::<8>, |v| sketches[v as usize]);
-        let rounds = SyncScheduler::run_to_fixpoint(&mut net, 10 * g.n()).unwrap();
+        let rounds = Runner::new(&mut net)
+            .budget(Budget::Fixpoint(10 * g.n()))
+            .run()
+            .fixpoint
+            .unwrap();
         let diam = exact::diameter(&g).unwrap() as usize;
         diff.row(vec![
             name.into(),
@@ -114,13 +119,16 @@ pub fn e1_census(seed: u64, quick: bool) -> Vec<Table> {
     );
     let n = 64usize;
     let g = generators::path(n);
-    let sketches: Vec<FmSketch<16>> =
-        (0..n).map(|_| FmSketch::random_init(&mut rng)).collect();
+    let sketches: Vec<FmSketch<16>> = (0..n).map(|_| FmSketch::random_init(&mut rng)).collect();
     let mut net = Network::new(&g, Census::<16>, |v| sketches[v as usize]);
     let mut r2 = rng.fork();
     net.sync_step(&mut r2);
     net.remove_edge((n / 2 - 1) as u32, (n / 2) as u32);
-    SyncScheduler::run_to_fixpoint(&mut net, 10 * n).unwrap();
+    Runner::new(&mut net)
+        .budget(Budget::Fixpoint(10 * n))
+        .run()
+        .fixpoint
+        .unwrap();
     for (name, range) in [("left", 0..n / 2), ("right", n / 2..n)] {
         let est = net.states()[range.start].estimate();
         let sz = range.len();

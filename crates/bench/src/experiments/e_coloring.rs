@@ -1,6 +1,6 @@
 //! E5 — 2-colouring / bipartiteness (paper §4.1).
 
-use fssga_engine::{Network, SyncScheduler};
+use fssga_engine::{Budget, Network, Runner};
 use fssga_graph::rng::Xoshiro256;
 use fssga_graph::{exact, generators};
 use fssga_protocols::two_coloring::{outcome, ColoringOutcome, TwoColoring};
@@ -19,9 +19,7 @@ pub fn e5_two_coloring(seed: u64, quick: bool) -> Vec<Table> {
     let families: Vec<(&str, Gen)> = vec![
         (
             "bipartite gnp",
-            Box::new(|r: &mut Xoshiro256| {
-                (generators::random_bipartite(8, 10, 0.25, r), true)
-            }),
+            Box::new(|r: &mut Xoshiro256| (generators::random_bipartite(8, 10, 0.25, r), true)),
         ),
         (
             "odd-cycle planted",
@@ -46,7 +44,10 @@ pub fn e5_two_coloring(seed: u64, quick: bool) -> Vec<Table> {
         (
             "grids",
             Box::new(|r: &mut Xoshiro256| {
-                (generators::grid(3 + r.gen_index(4), 3 + r.gen_index(4)), true)
+                (
+                    generators::grid(3 + r.gen_index(4), 3 + r.gen_index(4)),
+                    true,
+                )
             }),
         ),
     ];
@@ -58,8 +59,11 @@ pub fn e5_two_coloring(seed: u64, quick: bool) -> Vec<Table> {
             let (g, expect_bipartite) = gen(&mut rng);
             debug_assert_eq!(exact::bipartition(&g).is_some(), expect_bipartite);
             let mut net = Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
-            let rounds =
-                SyncScheduler::run_to_fixpoint(&mut net, 8 * g.n() + 20).expect("stabilizes");
+            let rounds = Runner::new(&mut net)
+                .budget(Budget::Fixpoint(8 * g.n() + 20))
+                .run()
+                .fixpoint
+                .expect("stabilizes");
             let got = outcome(net.states());
             let ok = if expect_bipartite {
                 got == ColoringOutcome::ProperColoring

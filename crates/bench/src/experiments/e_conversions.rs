@@ -14,7 +14,15 @@ use crate::report::Table;
 pub fn e4_conversion_blowup(_seed: u64, quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "E4a: Theorem 3.7 conversion sizes (seq -> mod-thresh -> parallel)",
-        &["program", "|Q|", "|W|seq", "mt-clauses", "mt-atoms", "|W|par", "equiv-verified"],
+        &[
+            "program",
+            "|Q|",
+            "|W|seq",
+            "mt-clauses",
+            "mt-atoms",
+            "|W|par",
+            "equiv-verified",
+        ],
     );
     let programs: Vec<(String, SeqProgram)> = vec![
         ("OR".into(), library::or_seq()),
@@ -53,7 +61,11 @@ pub fn e4_conversion_blowup(_seed: u64, quick: bool) -> Vec<Table> {
         "E4b: conversion cost growth for count-ones mod k",
         &["k", "|W|seq", "seq->mt clauses", "mt->par |W|"],
     );
-    let ks: &[usize] = if quick { &[2, 4, 8] } else { &[2, 4, 8, 16, 32, 64] };
+    let ks: &[usize] = if quick {
+        &[2, 4, 8]
+    } else {
+        &[2, 4, 8, 16, 32, 64]
+    };
     for &k in ks {
         let seq = library::count_ones_mod_seq(k);
         let clauses = seq_to_mt_cost(&seq);
@@ -73,7 +85,13 @@ pub fn e4_conversion_blowup(_seed: u64, quick: bool) -> Vec<Table> {
     // clause simplification recover compact programs from blown-up ones.
     let mut shrink = Table::new(
         "E4c (extension): minimization undoes the conversion blow-up",
-        &["program", "|W| blown up", "|W| minimized", "mt clauses", "simplified"],
+        &[
+            "program",
+            "|W| blown up",
+            "|W| minimized",
+            "mt clauses",
+            "simplified",
+        ],
     );
     for (name, seq) in &programs {
         let mt = seq_to_mt(seq, DEFAULT_LIMIT).unwrap();
@@ -100,12 +118,17 @@ pub fn e4_conversion_blowup(_seed: u64, quick: bool) -> Vec<Table> {
 pub fn e14_tree_combination(_seed: u64, quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "E14: tree-combination invariance (Definition 3.4 / Figure 1)",
-        &["k", "trees", "perms", "all-agree(sum mod 3)", "non-SM counterexample"],
+        &[
+            "k",
+            "trees",
+            "perms",
+            "all-agree(sum mod 3)",
+            "non-SM counterexample",
+        ],
     );
     let par = library::sum_mod_par(3);
     // A non-SM combine (subtraction-like) for contrast.
-    let keep_left =
-        fssga_core::ParProgram::from_fn(3, 3, 3, |q| q, |a, _| a, |w| w).unwrap();
+    let keep_left = fssga_core::ParProgram::from_fn(3, 3, 3, |q| q, |a, _| a, |w| w).unwrap();
     let kmax = if quick { 5 } else { 7 };
     for k in 2..=kmax {
         let trees = CombTree::enumerate_all(k);
@@ -132,7 +155,10 @@ pub fn e14_tree_combination(_seed: u64, quick: bool) -> Vec<Table> {
     t.note("for an SM program the output is invariant over all trees x permutations");
 
     // The rendered figure itself.
-    let mut fig = Table::new("E14b: Figure 1 rendering (sum mod 3 over 5 inputs)", &["tree"]);
+    let mut fig = Table::new(
+        "E14b: Figure 1 rendering (sum mod 3 over 5 inputs)",
+        &["tree"],
+    );
     let tree = CombTree::balanced(5);
     let alpha = [1usize, 2, 0, 1, 2];
     let mut p = |a: usize, b: usize| (a + b) % 3;

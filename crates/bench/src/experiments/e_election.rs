@@ -1,7 +1,7 @@
 //! E11 — randomized leader election (paper §4.7, Claims 4.1 and 4.2).
 
-use fssga_graph::rng::Xoshiro256;
 use fssga_graph::generators;
+use fssga_graph::rng::Xoshiro256;
 use fssga_protocols::election::ElectionHarness;
 
 use crate::fit::{mean, power_law_exponent};
@@ -12,9 +12,21 @@ use crate::report::{f, Table};
 pub fn e11_election(seed: u64, quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "E11a: leader election scaling",
-        &["n", "trials", "unique-leader", "mean-rounds", "mean-phases", "log2(n)", "rounds/phase/n"],
+        &[
+            "n",
+            "trials",
+            "unique-leader",
+            "mean-rounds",
+            "mean-phases",
+            "log2(n)",
+            "rounds/phase/n",
+        ],
     );
-    let sizes: &[usize] = if quick { &[8, 16, 32] } else { &[8, 16, 32, 64, 128, 256] };
+    let sizes: &[usize] = if quick {
+        &[8, 16, 32]
+    } else {
+        &[8, 16, 32, 64, 128, 256]
+    };
     let trials = if quick { 4 } else { 10 };
     let mut xs = Vec::new();
     let mut ys = Vec::new();
@@ -26,11 +38,7 @@ pub fn e11_election(seed: u64, quick: bool) -> Vec<Table> {
         let mut phase_len = Vec::new();
         for i in 0..trials {
             let mut rng = Xoshiro256::seed_from_u64(seed + (n as u64) * 1000 + i as u64);
-            let g = generators::connected_gnp(
-                n,
-                (2.2 * (n as f64).ln()) / n as f64,
-                &mut rng,
-            );
+            let g = generators::connected_gnp(n, (2.2 * (n as f64).ln()) / n as f64, &mut rng);
             let mut h = ElectionHarness::new(&g);
             let run = h.run(20_000 * n as u64 + 200_000, &mut rng);
             if run.leader.is_some() {
@@ -81,7 +89,12 @@ pub fn e11_election(seed: u64, quick: bool) -> Vec<Table> {
     // elimination rate across observed phase transitions.
     let mut c41 = Table::new(
         "E11b: Claim 4.1 — per-phase elimination rate among non-unique candidates",
-        &["phase-transitions", "candidates-at-risk", "eliminated", "rate"],
+        &[
+            "phase-transitions",
+            "candidates-at-risk",
+            "eliminated",
+            "rate",
+        ],
     );
     let transitions = elim_obs.len();
     let at_risk: usize = elim_obs.iter().map(|&(b, _)| b).sum();

@@ -17,9 +17,19 @@ use crate::report::Table;
 pub fn e15_extensions(_seed: u64, quick: bool) -> Vec<Table> {
     let mut fs = Table::new(
         "E15a: firing squad on paths (open problem §5.2, path case solved in-model)",
-        &["n", "oriented-CA fires at", "FSSGA fires at", "time/n", "simultaneous"],
+        &[
+            "n",
+            "oriented-CA fires at",
+            "FSSGA fires at",
+            "time/n",
+            "simultaneous",
+        ],
     );
-    let sizes: &[usize] = if quick { &[4, 8, 16, 32] } else { &[4, 8, 16, 32, 64, 128] };
+    let sizes: &[usize] = if quick {
+        &[4, 8, 16, 32]
+    } else {
+        &[4, 8, 16, 32, 64, 128]
+    };
     for &n in sizes {
         let ca = run_oriented(n, 30 * n + 60);
         let net = run_on_path(n, 40 * n + 80);
@@ -28,7 +38,8 @@ pub fn e15_extensions(_seed: u64, quick: bool) -> Vec<Table> {
             n.to_string(),
             ca.map(|t| t.to_string()).unwrap_or_else(|| "FAIL".into()),
             net.map(|t| t.to_string()).unwrap_or_else(|| "FAIL".into()),
-            net.map(|t| format!("{:.2}", t as f64 / n as f64)).unwrap_or_default(),
+            net.map(|t| format!("{:.2}", t as f64 / n as f64))
+                .unwrap_or_default(),
             simultaneous.to_string(),
         ]);
     }
@@ -57,7 +68,13 @@ pub fn e15_extensions(_seed: u64, quick: bool) -> Vec<Table> {
 
     let mut tp = Table::new(
         "E15c: tape families — sequential vs parallel working bits (§5 question)",
-        &["family", "N", "w(N) seq bits", "generic par bound", "best par bits"],
+        &[
+            "family",
+            "N",
+            "w(N) seq bits",
+            "generic par bound",
+            "best par bits",
+        ],
     );
     for fam in example_families() {
         for &n in &[4usize, 8, 16] {
@@ -66,7 +83,9 @@ pub fn e15_extensions(_seed: u64, quick: bool) -> Vec<Table> {
                 n.to_string(),
                 fam.seq_bits(n).to_string(),
                 fam.generic_bound_bits(n).to_string(),
-                fam.best_par_bits(n).map(|b| b.to_string()).unwrap_or_default(),
+                fam.best_par_bits(n)
+                    .map(|b| b.to_string())
+                    .unwrap_or_default(),
             ]);
         }
     }
@@ -88,14 +107,7 @@ mod tests {
             assert_eq!(row[4], "true", "firing must be simultaneous: {row:?}");
         }
         // Parity needs mod atoms; OR does not.
-        let find = |name: &str| {
-            tables[1]
-                .rows
-                .iter()
-                .find(|r| r[0] == name)
-                .unwrap()[1]
-                .clone()
-        };
+        let find = |name: &str| tables[1].rows.iter().find(|r| r[0] == name).unwrap()[1].clone();
         assert_eq!(find("parity"), "true");
         assert_eq!(find("OR"), "false");
         // Best parallel bits never exceed 2x sequential bits + 2.

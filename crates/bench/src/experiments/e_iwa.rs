@@ -1,9 +1,9 @@
 //! E12 — the FSSGA ↔ IWA simulations (paper §5.1).
 
 use fssga_core::modthresh::{ModThreshProgram, Prop};
-use fssga_core::{Fssga, FsmProgram, ProbFssga};
-use fssga_graph::rng::Xoshiro256;
+use fssga_core::{FsmProgram, Fssga, ProbFssga};
 use fssga_graph::generators;
+use fssga_graph::rng::Xoshiro256;
 use fssga_iwa::fssga_on_iwa::FssgaOnIwa;
 use fssga_iwa::iwa_on_fssga::IwaFssgaHarness;
 use fssga_iwa::machine::{Guard, Iwa, IwaRule};
@@ -15,7 +15,11 @@ fn infection() -> ProbFssga {
     let catch = ModThreshProgram::new(2, 2, vec![(Prop::some(1), 1)], 0).unwrap();
     let keep = ModThreshProgram::new(2, 2, vec![], 1).unwrap();
     ProbFssga::from_deterministic(
-        Fssga::new(2, vec![FsmProgram::ModThresh(catch), FsmProgram::ModThresh(keep)]).unwrap(),
+        Fssga::new(
+            2,
+            vec![FsmProgram::ModThresh(catch), FsmProgram::ModThresh(keep)],
+        )
+        .unwrap(),
     )
 }
 
@@ -38,7 +42,10 @@ pub fn e12_iwa_simulations(seed: u64, quick: bool) -> Vec<Table> {
             ("cycle 40".into(), generators::cycle(40)),
             ("grid 8x8".into(), generators::grid(8, 8)),
             ("complete 16".into(), generators::complete(16)),
-            ("gnp 60".into(), generators::connected_gnp(60, 0.08, &mut rng)),
+            (
+                "gnp 60".into(),
+                generators::connected_gnp(60, 0.08, &mut rng),
+            ),
             ("star 60".into(), generators::star(60)),
         ]
     };
@@ -83,7 +90,11 @@ pub fn e12_iwa_simulations(seed: u64, quick: bool) -> Vec<Table> {
             next_state: 0,
         }],
     };
-    let degrees: &[usize] = if quick { &[2, 16] } else { &[2, 4, 16, 64, 256] };
+    let degrees: &[usize] = if quick {
+        &[2, 16]
+    } else {
+        &[2, 4, 16, 64, 256]
+    };
     let trials = if quick { 30 } else { 100 };
     for &d in degrees {
         let g = generators::star(d + 1);

@@ -1,7 +1,7 @@
 //! E3 — decentralized shortest paths (paper §2.2) and
 //! E7 — breadth-first search (paper §4.3).
 
-use fssga_engine::{Network, SyncScheduler};
+use fssga_engine::{Budget, Network, Runner};
 use fssga_graph::rng::Xoshiro256;
 use fssga_graph::{exact, generators};
 use fssga_protocols::bfs::{run_bfs, Status};
@@ -14,7 +14,14 @@ pub fn e3_shortest_paths(seed: u64, quick: bool) -> Vec<Table> {
     let mut rng = Xoshiro256::seed_from_u64(seed);
     let mut t = Table::new(
         "E3: shortest-path labelling (cap 256)",
-        &["graph", "n", "max-dist", "rounds", "rounds<=d+1", "labels-exact"],
+        &[
+            "graph",
+            "n",
+            "max-dist",
+            "rounds",
+            "rounds<=d+1",
+            "labels-exact",
+        ],
     );
     const CAP: usize = 256;
     let mut cases: Vec<(String, fssga_graph::Graph, Vec<u32>)> = vec![
@@ -39,7 +46,11 @@ pub fn e3_shortest_paths(seed: u64, quick: bool) -> Vec<Table> {
         let mut net = Network::new(&g, ShortestPaths::<CAP>, |v| {
             ShortestPaths::<CAP>::init(sinks.contains(&v))
         });
-        let rounds = SyncScheduler::run_to_fixpoint(&mut net, 4 * CAP).unwrap();
+        let rounds = Runner::new(&mut net)
+            .budget(Budget::Fixpoint(4 * CAP))
+            .run()
+            .fixpoint
+            .unwrap();
         let truth = exact::bfs_distances(&g, &sinks);
         let maxd = *truth.iter().max().unwrap() as usize;
         let exactness = labels_as_distances(net.states()) == truth;
@@ -59,8 +70,14 @@ pub fn e3_shortest_paths(seed: u64, quick: bool) -> Vec<Table> {
         &["faults", "re-rounds", "labels-exact-after"],
     );
     let g = generators::grid(8, 8);
-    let mut net = Network::new(&g, ShortestPaths::<CAP>, |v| ShortestPaths::<CAP>::init(v == 0));
-    SyncScheduler::run_to_fixpoint(&mut net, 4 * CAP).unwrap();
+    let mut net = Network::new(&g, ShortestPaths::<CAP>, |v| {
+        ShortestPaths::<CAP>::init(v == 0)
+    });
+    Runner::new(&mut net)
+        .budget(Budget::Fixpoint(4 * CAP))
+        .run()
+        .fixpoint
+        .unwrap();
     for wave in 1..=3 {
         for _ in 0..3 {
             let edges: Vec<_> = net.graph().edges().collect();
@@ -72,7 +89,11 @@ pub fn e3_shortest_paths(seed: u64, quick: bool) -> Vec<Table> {
                 net.remove_edge(u, v);
             }
         }
-        let rounds = SyncScheduler::run_to_fixpoint(&mut net, 8 * CAP).unwrap();
+        let rounds = Runner::new(&mut net)
+            .budget(Budget::Fixpoint(8 * CAP))
+            .run()
+            .fixpoint
+            .unwrap();
         let snapshot = net.graph().snapshot();
         let truth = exact::bfs_distances(&snapshot, &[0]);
         rec.row(vec![
@@ -91,19 +112,25 @@ pub fn e7_bfs(seed: u64, quick: bool) -> Vec<Table> {
     let mut rng = Xoshiro256::seed_from_u64(seed);
     let mut t = Table::new(
         "E7: FSSGA breadth-first search (Algorithm 4.1)",
-        &["graph", "n", "dist(org,target)", "verdict", "rounds", "labels=dist%3"],
+        &[
+            "graph",
+            "n",
+            "dist(org,target)",
+            "verdict",
+            "rounds",
+            "labels=dist%3",
+        ],
     );
     let trials = if quick { 4 } else { 12 };
     for i in 0..trials {
         let g = generators::connected_gnp(40, 0.07, &mut rng);
         let target = (g.n() - 1) as u32;
         let d = exact::bfs_distances(&g, &[0])[target as usize];
-        let (status, rounds, states) =
-            run_bfs(&g, 0, &[target], 20 * g.n()).expect("stabilizes");
+        let (status, rounds, states) = run_bfs(&g, 0, &[target], 20 * g.n()).expect("stabilizes");
         let truth = exact::bfs_distances(&g, &[0]);
-        let labels_ok = g.nodes().all(|v| {
-            states[v as usize].label.residue() == Some(truth[v as usize] % 3)
-        });
+        let labels_ok = g
+            .nodes()
+            .all(|v| states[v as usize].label.residue() == Some(truth[v as usize] % 3));
         t.row(vec![
             format!("gnp-{i}"),
             g.n().to_string(),

@@ -7,7 +7,7 @@
 //! sensitivity 0 or 1 survive; algorithms whose critical set is Θ(n)
 //! (the Milgram arm, the β synchronizer's tree interior) break.
 
-use fssga_engine::{Network, SyncScheduler};
+use fssga_engine::{Budget, Network, Runner};
 use fssga_graph::rng::Xoshiro256;
 use fssga_graph::{exact, generators, DynGraph, Graph, NodeId};
 use fssga_protocols::bridges::BridgeWalk;
@@ -42,13 +42,16 @@ fn pick_victims(
 pub fn e13_sensitivity_ranking(seed: u64, quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "E13: sensitivity ranking — survival under 2 random node faults",
-        &["algorithm", "claimed sensitivity", "trials", "reasonably-correct"],
+        &[
+            "algorithm",
+            "claimed sensitivity",
+            "trials",
+            "reasonably-correct",
+        ],
     );
     let trials = if quick { 8 } else { 30 };
     let faults = 2usize;
-    let mk_graph = |rng: &mut Xoshiro256| -> Graph {
-        generators::connected_gnp(24, 0.16, rng)
-    };
+    let mk_graph = |rng: &mut Xoshiro256| -> Graph { generators::connected_gnp(24, 0.16, rng) };
 
     // --- Flajolet-Martin census (0-sensitive).
     let mut census_ok = 0;
@@ -63,7 +66,11 @@ pub fn e13_sensitivity_ranking(seed: u64, quick: bool) -> Vec<Table> {
         for v in pick_victims(net.graph(), faults, &[], &mut rng) {
             net.remove_node(v);
         }
-        SyncScheduler::run_to_fixpoint(&mut net, 10 * n0).unwrap();
+        Runner::new(&mut net)
+            .budget(Budget::Fixpoint(10 * n0))
+            .run()
+            .fixpoint
+            .unwrap();
         // Every alive node's estimate must be within the paper's window
         // for its component.
         let ok = net.graph().alive_nodes().all(|v| {
@@ -90,13 +97,22 @@ pub fn e13_sensitivity_ranking(seed: u64, quick: bool) -> Vec<Table> {
     for i in 0..trials {
         let mut rng = Xoshiro256::seed_from_u64(seed + 20_000 + i as u64);
         let g = mk_graph(&mut rng);
-        let mut net =
-            Network::new(&g, ShortestPaths::<256>, |v| ShortestPaths::<256>::init(v == 0));
-        SyncScheduler::run_to_fixpoint(&mut net, 1024).unwrap();
+        let mut net = Network::new(&g, ShortestPaths::<256>, |v| {
+            ShortestPaths::<256>::init(v == 0)
+        });
+        Runner::new(&mut net)
+            .budget(Budget::Fixpoint(1024))
+            .run()
+            .fixpoint
+            .unwrap();
         for v in pick_victims(net.graph(), faults, &[0], &mut rng) {
             net.remove_node(v);
         }
-        SyncScheduler::run_to_fixpoint(&mut net, 2048).unwrap();
+        Runner::new(&mut net)
+            .budget(Budget::Fixpoint(2048))
+            .run()
+            .fixpoint
+            .unwrap();
         let snapshot = net.graph().snapshot();
         let truth = exact::bfs_distances(&snapshot, &[0]);
         if labels_as_distances(net.states())
@@ -288,9 +304,8 @@ mod tests {
     fn e13_shape() {
         let tables = e13_sensitivity_ranking(31, true);
         let rows = &tables[0].rows;
-        let get = |name: &str| -> f64 {
-            frac(&rows.iter().find(|r| r[0].starts_with(name)).unwrap()[3])
-        };
+        let get =
+            |name: &str| -> f64 { frac(&rows.iter().find(|r| r[0].starts_with(name)).unwrap()[3]) };
         // Low-sensitivity algorithms survive essentially always.
         assert!(get("FM census") >= 0.9);
         assert!(get("shortest paths") >= 0.9);

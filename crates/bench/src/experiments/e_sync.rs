@@ -57,8 +57,13 @@ pub fn e6_synchronizer(seed: u64, quick: bool) -> Vec<Table> {
         ("star 40", generators::star(40)),
     ];
     for (name, g) in &graphs {
-        let (min_adv, violations) =
-            sweep_alpha(g, TwoColoring, |v| TwoColoring::init(v == 0), sweeps, &mut rng);
+        let (min_adv, violations) = sweep_alpha(
+            g,
+            TwoColoring,
+            |v| TwoColoring::init(v == 0),
+            sweeps,
+            &mut rng,
+        );
         t.row(vec![
             (*name).into(),
             g.n().to_string(),
@@ -97,7 +102,13 @@ pub fn e6_synchronizer(seed: u64, quick: bool) -> Vec<Table> {
 
     let mut frag = Table::new(
         "E6c: alpha (sensitivity 0) vs beta synchronizer (sensitivity Θ(n))",
-        &["graph", "killed", "beta-survivors", "alpha-survivors", "alive-nodes"],
+        &[
+            "graph",
+            "killed",
+            "beta-survivors",
+            "alpha-survivors",
+            "alive-nodes",
+        ],
     );
     for (name, g) in &graphs {
         let victim = (g.n() / 2) as NodeId;

@@ -1,8 +1,8 @@
 //! E9 — Milgram's traversal (paper §4.5) and
 //! E10 — the greedy tourist (paper §4.6).
 
-use fssga_graph::rng::Xoshiro256;
 use fssga_graph::generators;
+use fssga_graph::rng::Xoshiro256;
 use fssga_protocols::greedy_tourist::GreedyTourist;
 use fssga_protocols::traversal::TraversalHarness;
 
@@ -14,9 +14,20 @@ pub fn e9_milgram_traversal(seed: u64, quick: bool) -> Vec<Table> {
     let mut rng = Xoshiro256::seed_from_u64(seed);
     let mut t = Table::new(
         "E9: Milgram traversal — hand moves and round scaling",
-        &["graph", "n", "hand-moves", "2n-2", "rounds", "rounds/(n log2 n)"],
+        &[
+            "graph",
+            "n",
+            "hand-moves",
+            "2n-2",
+            "rounds",
+            "rounds/(n log2 n)",
+        ],
     );
-    let sizes: &[usize] = if quick { &[8, 16, 32] } else { &[8, 16, 32, 64, 128, 256] };
+    let sizes: &[usize] = if quick {
+        &[8, 16, 32]
+    } else {
+        &[8, 16, 32, 64, 128, 256]
+    };
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for &n in sizes {
@@ -50,9 +61,20 @@ pub fn e10_greedy_tourist(seed: u64, quick: bool) -> Vec<Table> {
     let mut rng = Xoshiro256::seed_from_u64(seed);
     let mut t = Table::new(
         "E10a: greedy tourist — agent steps and rounds",
-        &["graph", "n", "agent-steps", "n log2 n", "rounds", "rounds/(n log2^2 n)"],
+        &[
+            "graph",
+            "n",
+            "agent-steps",
+            "n log2 n",
+            "rounds",
+            "rounds/(n log2^2 n)",
+        ],
     );
-    let sizes: &[usize] = if quick { &[16, 32] } else { &[16, 32, 64, 128, 256] };
+    let sizes: &[usize] = if quick {
+        &[16, 32]
+    } else {
+        &[16, 32, 64, 128, 256]
+    };
     for &n in sizes {
         let g = generators::connected_gnp(n, (2.2 * (n as f64).ln()) / n as f64, &mut rng);
         let mut tour = GreedyTourist::new(&g, 0);
@@ -95,9 +117,7 @@ pub fn e10_greedy_tourist(seed: u64, quick: bool) -> Vec<Table> {
         let run = h.run(2_000_000, &mut r, false);
         let visited_all_alive = !run.corrupted
             && run.complete
-            && (0..g.n()).all(|v| {
-                !h.network_mut().graph().is_alive(v as u32) || run.visited[v]
-            });
+            && (0..g.n()).all(|v| !h.network_mut().graph().is_alive(v as u32) || run.visited[v]);
         if visited_all_alive {
             milgram_ok += 1;
         }

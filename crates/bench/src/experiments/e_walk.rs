@@ -1,7 +1,7 @@
 //! E8 — the FSSGA random walk (paper §4.4, Algorithm 4.2).
 
-use fssga_graph::rng::Xoshiro256;
 use fssga_graph::generators;
+use fssga_graph::rng::Xoshiro256;
 use fssga_protocols::random_walk::WalkHarness;
 
 use crate::fit::{chi_square, linear_fit, mean};
@@ -45,7 +45,12 @@ pub fn e8_random_walk(seed: u64, quick: bool) -> Vec<Table> {
 
     let mut st = Table::new(
         "E8b: long-walk visit frequencies vs the degree-proportional stationary law",
-        &["graph", "moves", "max |freq - deg/2m| / (deg/2m)", "chi2/df"],
+        &[
+            "graph",
+            "moves",
+            "max |freq - deg/2m| / (deg/2m)",
+            "chi2/df",
+        ],
     );
     let moves = if quick { 2000 } else { 20_000 };
     for (name, g) in [

@@ -45,7 +45,12 @@ impl Table {
             .unwrap_or_else(|| panic!("no column {name:?}"));
         self.rows
             .iter()
-            .map(|r| r[idx].trim_end_matches('%').parse::<f64>().unwrap_or(f64::NAN))
+            .map(|r| {
+                r[idx]
+                    .trim_end_matches('%')
+                    .parse::<f64>()
+                    .unwrap_or(f64::NAN)
+            })
             .collect()
     }
 
@@ -156,8 +161,8 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(f(0.0), "0");
-        assert_eq!(f(3.14159), "3.142");
-        assert_eq!(f(31.4159), "31.4");
-        assert_eq!(f(31415.9), "31416");
+        assert_eq!(f(4.56789), "4.568");
+        assert_eq!(f(45.6789), "45.7");
+        assert_eq!(f(45678.9), "45679");
     }
 }

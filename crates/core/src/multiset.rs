@@ -70,6 +70,14 @@ impl Multiset {
         self.counts[e] += 1;
     }
 
+    /// Resets the multiplicity of `e` to zero. Buffer-reuse fast path for
+    /// interpreters that keep one accumulator alive and clear only the
+    /// indices they touched, instead of reallocating per activation.
+    #[inline]
+    pub fn zero(&mut self, e: Id) {
+        self.counts[e] = 0;
+    }
+
     /// Iterates the elements in canonical (sorted) order, expanding
     /// multiplicities. Intended for small multisets (tests, conversions).
     pub fn iter_elems(&self) -> impl Iterator<Item = Id> + '_ {

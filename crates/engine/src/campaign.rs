@@ -19,6 +19,7 @@ use fssga_graph::{Graph, NodeId};
 use crate::faults::{FaultEvent, FaultKind, FaultPlan};
 use crate::network::Network;
 use crate::protocol::Protocol;
+use crate::runner::{Budget, Engine, Policy, Runner};
 use crate::scheduler::AsyncPolicy;
 use crate::sensitivity::{reasonably_correct, Verdict};
 use crate::shrink::{shrink_schedule, ShrinkResult};
@@ -225,6 +226,7 @@ pub struct Campaign<'a, P: Protocol, A: PartialEq> {
     horizon: u64,
     seed: u64,
     plan: FaultPlan,
+    engine: Engine,
 }
 
 impl<'a, P: Protocol, A: PartialEq> Campaign<'a, P, A> {
@@ -247,7 +249,17 @@ impl<'a, P: Protocol, A: PartialEq> Campaign<'a, P, A> {
             horizon: 100,
             seed: 0,
             plan: FaultPlan::none(),
+            engine: Engine::Auto,
         }
+    }
+
+    /// Selects the execution engine for synchronous ticks (the compiled
+    /// kernel's fault hooks keep its dirty-set bookkeeping consistent
+    /// across mid-run topology changes, so trajectories are identical
+    /// either way).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Sets the scheduling policy.
@@ -327,9 +339,18 @@ impl<'a, P: Protocol, A: PartialEq> Campaign<'a, P, A> {
             }
             match self.policy {
                 RunPolicy::Sync => {
-                    net.sync_step(&mut rng);
+                    Runner::new(&mut net)
+                        .engine(self.engine)
+                        .budget(Budget::Rounds(1))
+                        .rng(&mut rng)
+                        .run();
                 }
                 RunPolicy::Async(policy) => {
+                    // The order is materialized here (not inside the
+                    // runner) because the trace records it — and because
+                    // order-building must consume the RNG *before* the
+                    // activations draw their coins, exactly as the
+                    // pre-`Runner` code did.
                     let alive: Vec<NodeId> = net.graph().alive_nodes().collect();
                     if alive.is_empty() {
                         continue;
@@ -345,10 +366,12 @@ impl<'a, P: Protocol, A: PartialEq> Campaign<'a, P, A> {
                             order
                         }
                     };
-                    for &v in &order {
-                        net.activate(v, &mut rng);
-                        trace.activations.push(v);
-                    }
+                    Runner::new(&mut net)
+                        .policy(Policy::Order(&order))
+                        .budget(Budget::Steps(order.len()))
+                        .rng(&mut rng)
+                        .run();
+                    trace.activations.extend_from_slice(&order);
                 }
             }
         }

@@ -20,6 +20,11 @@ pub struct InterpNetwork<'a> {
     graph: DynGraph,
     states: Vec<usize>,
     next: Vec<usize>,
+    /// Reusable neighbour-multiset accumulator plus the indices touched
+    /// while filling it — cleared sparsely after every activation so the
+    /// hot loop never allocates.
+    ms: Multiset,
+    touched: Vec<usize>,
 }
 
 impl<'a> InterpNetwork<'a> {
@@ -37,6 +42,8 @@ impl<'a> InterpNetwork<'a> {
             graph: DynGraph::from_graph(graph),
             next: states.clone(),
             states,
+            ms: Multiset::empty(auto.num_states()),
+            touched: Vec::with_capacity(64),
         }
     }
 
@@ -60,12 +67,23 @@ impl<'a> InterpNetwork<'a> {
         self.graph.remove_node(v)
     }
 
-    fn neighbor_multiset(&self, v: NodeId) -> Multiset {
-        let mut ms = Multiset::empty(self.auto.num_states());
+    /// Fills the reusable accumulator with `v`'s neighbour multiset.
+    /// Pair every call with [`Self::clear_multiset`].
+    fn fill_multiset(&mut self, v: NodeId) {
         for &w in self.graph.neighbors(v) {
-            ms.push(self.states[w as usize]);
+            let s = self.states[w as usize];
+            if self.ms.mu(s) == 0 {
+                self.touched.push(s);
+            }
+            self.ms.push(s);
         }
-        ms
+    }
+
+    fn clear_multiset(&mut self) {
+        for &s in &self.touched {
+            self.ms.zero(s);
+        }
+        self.touched.clear();
     }
 
     /// Asynchronous activation of `v`; returns whether the state changed.
@@ -78,8 +96,11 @@ impl<'a> InterpNetwork<'a> {
         } else {
             0
         };
-        let ms = self.neighbor_multiset(v);
-        let new = self.auto.transition(self.states[v as usize], coin, &ms);
+        self.fill_multiset(v);
+        let new = self
+            .auto
+            .transition(self.states[v as usize], coin, &self.ms);
+        self.clear_multiset();
         let changed = new != self.states[v as usize];
         self.states[v as usize] = new;
         changed
@@ -97,8 +118,9 @@ impl<'a> InterpNetwork<'a> {
                 continue;
             }
             let coin = round_coin(round_seed, v, self.auto.randomness() as u32) as usize;
-            let ms = self.neighbor_multiset(v);
-            let new = self.auto.transition(old, coin, &ms);
+            self.fill_multiset(v);
+            let new = self.auto.transition(old, coin, &self.ms);
+            self.clear_multiset();
             self.next[v as usize] = new;
             if new != old {
                 changed += 1;

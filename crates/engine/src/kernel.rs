@@ -1,0 +1,861 @@
+//! The compiled execution path: dense transition/fold tables + CSR
+//! adjacency + a dirty-set synchronous scheduler.
+//!
+//! The interpreter path ([`crate::network`]) re-tallies every
+//! neighbourhood into a scratch multiplicity vector and calls the
+//! protocol's `transition` closure per activation. Theorem 3.7 says that
+//! closure is an SM function over a *finite* abstraction of the
+//! multiset — each state's count only matters up to a threshold bound `B`
+//! and modulo a period `M`. [`CompiledKernel`] exploits this twice:
+//!
+//! 1. **Tabular plan** — when the abstract count space is small
+//!    (`(B + M)^|Q|` within budget), the whole round becomes table
+//!    lookups: a `fold` table maps `(accumulator, neighbour state) →
+//!    accumulator` and a `trans` table maps `(own state, coin,
+//!    accumulator) → new state`. One pass over the CSR row per node, no
+//!    branches, no protocol code on the hot path. This is the
+//!    divide-and-conquer table trick for symmetric FSAs, specialized to
+//!    a left fold.
+//! 2. **Direct plan** — when the state space is too large to tabulate
+//!    (census sketches, distance labels), the kernel still wins by
+//!    tallying over a flat CSR mirror into a reusable scratch vector and
+//!    handing the protocol a lean [`NeighborView`] — no per-activation
+//!    allocation, no `DynGraph` pointer chasing.
+//!
+//! On top of either plan sits a **dirty-set scheduler** (deterministic
+//! protocols only): a node is re-evaluated in round `t + 1` only if its
+//! own state or a neighbour's state changed in round `t`, or a fault
+//! touched its neighbourhood. The invariant is that every *clean* node is
+//! at a local fixpoint — `transition(σ(v), μ(v), 0) == σ(v)` — which is
+//! preserved because any event that could break it (a neighbour change, an
+//! edge/node removal, an out-of-band state write) marks the node dirty.
+//! Skipped nodes would not have changed, so per-round *change* counts are
+//! bit-identical to the interpreter; per-round *activation* counts are
+//! not (that is the point) and [`crate::network::Metrics`] documents the
+//! difference.
+//!
+//! A feature-gated parallel round (`parallel`) fans the worklist out over
+//! scoped threads in contiguous chunks and applies the per-chunk updates
+//! in chunk order, so results are bit-identical to the sequential kernel
+//! for any thread count — coins come from
+//! [`round_coin`]`(round_seed, v, r)`, never from thread interleaving.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+
+use fssga_graph::NodeId;
+
+use crate::network::{round_coin, Metrics, Network};
+use crate::protocol::{Protocol, StateSpace};
+use crate::view::{NeighborView, QueryRecorder};
+
+/// Largest abstract-count space `(B + M)^|Q|` the tabular plan will
+/// enumerate. Beyond this the kernel falls back to the direct plan.
+const ACC_BUDGET: u64 = 1 << 12;
+
+/// Largest total table size (fold + trans entries) the tabular plan will
+/// materialize.
+const ENTRY_BUDGET: u64 = 1 << 22;
+
+/// How many times table construction re-runs bound discovery before
+/// giving up on the tabular plan.
+const DISCOVERY_ROUNDS: usize = 8;
+
+/// Which evaluation plan a [`CompiledKernel`] ended up with.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum KernelPlan {
+    /// Dense fold/trans tables over the abstract count space.
+    Tabular,
+    /// CSR tally into a reusable scratch vector + native `transition`.
+    Direct,
+}
+
+/// Dense tables for the tabular plan.
+///
+/// Counts per state are abstracted to *classes* `0..B+M`: class `c < B`
+/// means "exactly `c` neighbours", class `c >= B` means "at least `B`
+/// neighbours, congruent to `c - B` modulo `M` (offset from `B`)". An
+/// accumulator is the base-`B+M` number whose digit `j` is state `j`'s
+/// class; folding one neighbour increments one digit with saturation into
+/// the modular tail. Both increments and queries (`μ >= t` for `t <= B`,
+/// `μ mod m` for `m | M`) are well-defined on classes, which is exactly
+/// what the recorder-driven bound discovery certifies.
+struct Tables {
+    /// Number of accumulator values `C^|Q|`, `C = B + M` (exact-count
+    /// bound `B` = max threshold queried; period `M` = lcm of moduli).
+    acc_count: usize,
+    /// `fold[acc * |Q| + s]` — accumulator after one more neighbour in
+    /// state `s`.
+    fold: Vec<u32>,
+    /// `trans[(own * R + coin) * acc_count + acc]` — new state index.
+    trans: Vec<u32>,
+    /// Coin range `R = max(1, RANDOMNESS)`.
+    randomness: usize,
+}
+
+enum Plan {
+    Tabular(Tables),
+    Direct {
+        scratch: Vec<u32>,
+        touched: Vec<u32>,
+    },
+}
+
+/// Read-only slice view of the plan, shareable across worker threads.
+enum PlanRef<'a> {
+    Tabular(&'a Tables),
+    /// Workers bring their own scratch.
+    Direct,
+}
+
+/// The compiled execution engine for one [`Network`].
+///
+/// Holds a flat CSR mirror of the network's topology (kept in sync with
+/// fault injection via [`Network::remove_edge`] / [`Network::remove_node`])
+/// plus the evaluation plan and dirty-set bookkeeping. Constructed lazily
+/// by [`Network::ensure_kernel`] or eagerly by [`Network::new_compiled`];
+/// driven by [`crate::Runner`].
+pub struct CompiledKernel<P: Protocol> {
+    /// Fixed row starts (slack layout: rows never grow, only shrink).
+    offsets: Vec<u32>,
+    /// Live length of each row (`<=` allocated row width).
+    row_len: Vec<u32>,
+    /// Mutable neighbour targets; removal swap-removes within the row.
+    targets: Vec<NodeId>,
+    /// Alive mirror.
+    alive: Vec<bool>,
+    /// Whether the dirty-set scheduler is sound (deterministic protocol).
+    use_dirty: bool,
+    dirty: Vec<bool>,
+    /// Exactly the nodes with `dirty[v]` set, between steps.
+    worklist: Vec<NodeId>,
+    /// Two-phase commit buffer: `(node, new state)` for this round's
+    /// changes only, so sparse late rounds do O(changes), not O(n).
+    pending: Vec<(NodeId, P::State)>,
+    plan: Plan,
+    _protocol: PhantomData<fn() -> P>,
+}
+
+impl<P: Protocol> CompiledKernel<P> {
+    /// Compiles a kernel for the network's current topology and protocol.
+    pub fn new(net: &Network<P>) -> Self {
+        let g = net.graph();
+        let n = g.n_slots();
+        let (full_offsets, targets) = g.csr_arrays();
+        let row_len: Vec<u32> = (0..n)
+            .map(|v| full_offsets[v + 1] - full_offsets[v])
+            .collect();
+        let mut offsets = full_offsets;
+        offsets.truncate(n);
+        let alive: Vec<bool> = (0..n as NodeId).map(|v| g.is_alive(v)).collect();
+        let plan = match build_tables::<P>(net.protocol()) {
+            Some(t) => Plan::Tabular(t),
+            None => Plan::Direct {
+                scratch: vec![0; P::State::COUNT],
+                touched: Vec::with_capacity(64),
+            },
+        };
+        Self {
+            offsets,
+            row_len,
+            targets,
+            alive,
+            use_dirty: P::RANDOMNESS <= 1,
+            dirty: vec![true; n],
+            worklist: (0..n as NodeId).collect(),
+            pending: Vec::new(),
+            plan,
+            _protocol: PhantomData,
+        }
+    }
+
+    /// Which plan compilation selected.
+    pub fn plan(&self) -> KernelPlan {
+        match self.plan {
+            Plan::Tabular(_) => KernelPlan::Tabular,
+            Plan::Direct { .. } => KernelPlan::Direct,
+        }
+    }
+
+    /// Whether the dirty-set scheduler is active (deterministic protocols
+    /// only; probabilistic ones re-draw coins every round, so every node
+    /// must be re-evaluated).
+    pub fn uses_dirty_set(&self) -> bool {
+        self.use_dirty
+    }
+
+    /// Nodes currently scheduled for re-evaluation (everything, for
+    /// probabilistic protocols).
+    pub fn dirty_count(&self) -> usize {
+        if self.use_dirty {
+            self.worklist.len()
+        } else {
+            self.alive.iter().filter(|&&a| a).count()
+        }
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, v: NodeId) {
+        if self.use_dirty && !self.dirty[v as usize] {
+            self.dirty[v as usize] = true;
+            self.worklist.push(v);
+        }
+    }
+
+    /// Re-schedules every node (out-of-band state writes, interpreter
+    /// interleaving, recompilation).
+    pub(crate) fn mark_all_dirty(&mut self) {
+        if !self.use_dirty {
+            return;
+        }
+        self.dirty.iter_mut().for_each(|d| *d = true);
+        self.worklist.clear();
+        self.worklist.extend(0..self.dirty.len() as NodeId);
+    }
+
+    fn remove_from_row(&mut self, v: NodeId, target: NodeId) {
+        let start = self.offsets[v as usize] as usize;
+        let len = self.row_len[v as usize] as usize;
+        let row = &mut self.targets[start..start + len];
+        if let Some(i) = row.iter().position(|&w| w == target) {
+            row.swap(i, len - 1);
+            self.row_len[v as usize] -= 1;
+        }
+    }
+
+    /// Fault hook: edge `{u, v}` was removed from the live topology. Both
+    /// endpoints must be re-evaluated — their neighbour multisets changed
+    /// even though no *state* did, which is exactly the case the dirty-set
+    /// invariant cannot see on its own.
+    pub(crate) fn on_edge_removed(&mut self, u: NodeId, v: NodeId) {
+        self.remove_from_row(u, v);
+        self.remove_from_row(v, u);
+        self.mark_dirty(u);
+        self.mark_dirty(v);
+    }
+
+    /// Fault hook: node `v` was removed; `former_neighbors` are its
+    /// neighbours *before* removal. Every former neighbour lost a
+    /// multiset entry and must be re-evaluated.
+    pub(crate) fn on_node_removed(&mut self, v: NodeId, former_neighbors: &[NodeId]) {
+        for &w in former_neighbors {
+            self.remove_from_row(w, v);
+            self.mark_dirty(w);
+        }
+        self.row_len[v as usize] = 0;
+        self.alive[v as usize] = false;
+    }
+
+    /// One synchronous round over `states`. Returns the number of nodes
+    /// whose state changed; updates `metrics` (one round, `evaluated`
+    /// activations, `changed` changes).
+    pub fn step(
+        &mut self,
+        protocol: &P,
+        states: &mut [P::State],
+        metrics: &mut Metrics,
+        round_seed: u64,
+    ) -> usize {
+        self.pending.clear();
+        let evaluated = if self.use_dirty {
+            let mut work = std::mem::take(&mut self.worklist);
+            work.sort_unstable();
+            for &v in &work {
+                self.dirty[v as usize] = false;
+            }
+            let e = self.eval_nodes(protocol, states, work.iter().copied(), round_seed);
+            work.clear();
+            // Hand the buffer back so commit() pushes into it.
+            debug_assert!(self.worklist.is_empty());
+            self.worklist = work;
+            e
+        } else {
+            let n = self.row_len.len();
+            self.eval_nodes(protocol, states, 0..n as NodeId, round_seed)
+        };
+        self.commit(states, metrics, evaluated)
+    }
+
+    /// Evaluates `nodes` against the *current* `states`, pushing changes
+    /// into `self.pending`. Returns the number of nodes evaluated
+    /// (alive, degree > 0).
+    fn eval_nodes(
+        &mut self,
+        protocol: &P,
+        states: &[P::State],
+        nodes: impl Iterator<Item = NodeId>,
+        round_seed: u64,
+    ) -> u64 {
+        let csr = CsrRef {
+            offsets: &self.offsets,
+            row_len: &self.row_len,
+            targets: &self.targets,
+            alive: &self.alive,
+        };
+        match &mut self.plan {
+            Plan::Tabular(t) => eval_chunk(
+                protocol,
+                &csr,
+                PlanRef::Tabular(t),
+                states,
+                nodes,
+                round_seed,
+                &mut self.pending,
+                &mut [],
+                &mut Vec::new(),
+            ),
+            Plan::Direct { scratch, touched } => eval_chunk(
+                protocol,
+                &csr,
+                PlanRef::Direct,
+                states,
+                nodes,
+                round_seed,
+                &mut self.pending,
+                scratch,
+                touched,
+            ),
+        }
+    }
+
+    /// Applies `self.pending`, marks changed nodes + their neighbours
+    /// dirty, bumps metrics. Shared by the sequential and parallel steps.
+    fn commit(&mut self, states: &mut [P::State], metrics: &mut Metrics, evaluated: u64) -> usize {
+        let changed = self.pending.len();
+        for i in 0..changed {
+            let (v, s) = self.pending[i];
+            states[v as usize] = s;
+            if self.use_dirty {
+                self.mark_dirty(v);
+                let start = self.offsets[v as usize] as usize;
+                let len = self.row_len[v as usize] as usize;
+                for k in start..start + len {
+                    let w = self.targets[k];
+                    self.mark_dirty(w);
+                }
+            }
+        }
+        metrics.rounds += 1;
+        metrics.activations += evaluated;
+        metrics.changes += changed as u64;
+        changed
+    }
+}
+
+/// One worker's output: its pending `(node, new state)` writes plus how
+/// many nodes it evaluated.
+#[cfg(feature = "parallel")]
+type ChunkResult<P> = (Vec<(NodeId, <P as Protocol>::State)>, u64);
+
+#[cfg(feature = "parallel")]
+impl<P: Protocol> CompiledKernel<P>
+where
+    P: Sync,
+    P::State: Send + Sync,
+{
+    /// Like [`Self::step`], but evaluates the worklist over `threads`
+    /// scoped workers. Bit-identical to the sequential step: nodes are
+    /// chunked in sorted order, coins derive from `(round_seed, v)`, and
+    /// per-chunk updates are applied in chunk order.
+    pub fn step_parallel(
+        &mut self,
+        protocol: &P,
+        states: &mut [P::State],
+        metrics: &mut Metrics,
+        round_seed: u64,
+        threads: usize,
+    ) -> usize {
+        let work: Vec<NodeId> = if self.use_dirty {
+            let mut w = std::mem::take(&mut self.worklist);
+            w.sort_unstable();
+            for &v in &w {
+                self.dirty[v as usize] = false;
+            }
+            w
+        } else {
+            (0..self.row_len.len() as NodeId).collect()
+        };
+        if threads <= 1 || work.len() < 256 {
+            self.pending.clear();
+            let e = self.eval_nodes(protocol, states, work.iter().copied(), round_seed);
+            if self.use_dirty {
+                let mut w = work;
+                w.clear();
+                self.worklist = w;
+            }
+            return self.commit(states, metrics, e);
+        }
+        let chunk_size = work.len().div_ceil(threads);
+        let csr = CsrRef {
+            offsets: &self.offsets,
+            row_len: &self.row_len,
+            targets: &self.targets,
+            alive: &self.alive,
+        };
+        let plan = &self.plan;
+        let frozen: &[P::State] = states;
+        let results: Vec<ChunkResult<P>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let (plan_ref, mut scratch, mut touched) = match plan {
+                            Plan::Tabular(t) => (PlanRef::Tabular(t), Vec::new(), Vec::new()),
+                            Plan::Direct { .. } => {
+                                (PlanRef::Direct, vec![0u32; P::State::COUNT], Vec::new())
+                            }
+                        };
+                        let e = eval_chunk(
+                            protocol,
+                            &csr,
+                            plan_ref,
+                            frozen,
+                            chunk.iter().copied(),
+                            round_seed,
+                            &mut out,
+                            &mut scratch,
+                            &mut touched,
+                        );
+                        (out, e)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        self.pending.clear();
+        let mut evaluated = 0;
+        for (chunk_pending, e) in results {
+            self.pending.extend(chunk_pending);
+            evaluated += e;
+        }
+        if self.use_dirty {
+            let mut w = work;
+            w.clear();
+            self.worklist = w;
+        }
+        self.commit(states, metrics, evaluated)
+    }
+}
+
+/// Borrowed CSR arrays, cheap to copy into worker closures.
+#[derive(Clone, Copy)]
+struct CsrRef<'a> {
+    offsets: &'a [u32],
+    row_len: &'a [u32],
+    targets: &'a [NodeId],
+    alive: &'a [bool],
+}
+
+/// The shared inner loop: evaluates `nodes` over frozen `states`,
+/// appending `(node, new state)` for changed nodes to `out`. `scratch` /
+/// `touched` are only used by the direct plan (`scratch` must be all-zero
+/// and length `|Q|`, or empty for the tabular plan).
+#[allow(clippy::too_many_arguments)]
+fn eval_chunk<P: Protocol>(
+    protocol: &P,
+    csr: &CsrRef<'_>,
+    plan: PlanRef<'_>,
+    states: &[P::State],
+    nodes: impl Iterator<Item = NodeId>,
+    round_seed: u64,
+    out: &mut Vec<(NodeId, P::State)>,
+    scratch: &mut [u32],
+    touched: &mut Vec<u32>,
+) -> u64 {
+    let mut evaluated = 0u64;
+    match plan {
+        PlanRef::Tabular(t) => {
+            let q = P::State::COUNT;
+            for v in nodes {
+                let vi = v as usize;
+                let len = csr.row_len[vi] as usize;
+                if len == 0 || !csr.alive[vi] {
+                    continue;
+                }
+                let start = csr.offsets[vi] as usize;
+                let mut acc = 0usize;
+                for &w in &csr.targets[start..start + len] {
+                    acc = t.fold[acc * q + states[w as usize].index()] as usize;
+                }
+                let own = states[vi].index();
+                let coin = round_coin(round_seed, v, P::RANDOMNESS) as usize;
+                let new_idx = t.trans[(own * t.randomness + coin) * t.acc_count + acc] as usize;
+                evaluated += 1;
+                if new_idx != own {
+                    out.push((v, P::State::from_index(new_idx)));
+                }
+            }
+        }
+        PlanRef::Direct => {
+            for v in nodes {
+                let vi = v as usize;
+                let len = csr.row_len[vi] as usize;
+                if len == 0 || !csr.alive[vi] {
+                    continue;
+                }
+                let start = csr.offsets[vi] as usize;
+                for &w in &csr.targets[start..start + len] {
+                    let idx = states[w as usize].index();
+                    if scratch[idx] == 0 {
+                        touched.push(idx as u32);
+                    }
+                    scratch[idx] += 1;
+                }
+                let old = states[vi];
+                let new = {
+                    let view: NeighborView<'_, P::State> =
+                        NeighborView::new_with_presence(scratch, Some(touched), None);
+                    protocol.transition(old, &view, round_coin(round_seed, v, P::RANDOMNESS))
+                };
+                for &idx in touched.iter() {
+                    scratch[idx as usize] = 0;
+                }
+                touched.clear();
+                evaluated += 1;
+                if new != old {
+                    out.push((v, new));
+                }
+            }
+        }
+    }
+    evaluated
+}
+
+/// The count class of an exact count `x` under bound `b`, period `m`.
+#[inline]
+fn class_of(x: u64, b: u64, m: u64) -> u64 {
+    if x < b {
+        x
+    } else {
+        b + (x - b) % m
+    }
+}
+
+/// Builds the tabular plan, or `None` if the protocol's abstract count
+/// space exceeds the budget or bound discovery fails to converge.
+///
+/// Bound discovery mirrors [`crate::compile`]: start from the declared
+/// `MAX_THRESHOLD` / `MODULI_LCM`, evaluate the transition on *every*
+/// abstract multiset with a recorder attached, and grow the bounds until
+/// the recorded queries are subsumed — at which point the classes are a
+/// sound abstraction of the counts and the tables are exact.
+fn build_tables<P: Protocol>(protocol: &P) -> Option<Tables> {
+    let q = P::State::COUNT;
+    let r = P::RANDOMNESS.max(1) as usize;
+    let mut bound = (P::MAX_THRESHOLD as u64).max(1);
+    let mut period = (P::MODULI_LCM as u64).max(1);
+    for _ in 0..DISCOVERY_ROUNDS {
+        let classes = bound + period;
+        let mut acc_count: u64 = 1;
+        for _ in 0..q {
+            acc_count = acc_count.checked_mul(classes)?;
+            if acc_count > ACC_BUDGET {
+                return None;
+            }
+        }
+        let entries = acc_count * q as u64 + acc_count * (q as u64) * (r as u64);
+        if entries > ENTRY_BUDGET {
+            return None;
+        }
+        let acc_total = acc_count as usize;
+
+        let recorder = RefCell::new(QueryRecorder::new(q));
+        let mut trans = vec![0u32; q * r * acc_total];
+        let mut counts = vec![0u32; q];
+        for a in 0..acc_total {
+            // Decode accumulator `a` into representative counts: exact
+            // classes map to themselves; tail class `c` represents `c`
+            // (the smallest count with that bound/residue signature).
+            let mut rem = a as u64;
+            let mut empty = true;
+            for c in counts.iter_mut() {
+                let digit = rem % classes;
+                rem /= classes;
+                *c = digit as u32;
+                if digit > 0 {
+                    empty = false;
+                }
+            }
+            for own in 0..q {
+                for coin in 0..r {
+                    let idx = (own * r + coin) * acc_total + a;
+                    trans[idx] = if empty {
+                        // Degree-0 nodes never activate; identity keeps
+                        // the table total.
+                        own as u32
+                    } else {
+                        let view: NeighborView<'_, P::State> =
+                            NeighborView::new(&counts, Some(&recorder));
+                        protocol
+                            .transition(P::State::from_index(own), &view, coin as u32)
+                            .index() as u32
+                    };
+                }
+            }
+        }
+
+        let rec = recorder.borrow();
+        let need_bound = rec.thresholds.iter().copied().max().unwrap_or(1);
+        let need_period = rec
+            .moduli
+            .iter()
+            .copied()
+            .fold(1, fssga_core::modthresh::lcm);
+        if need_bound > bound || !period.is_multiple_of(need_period) {
+            bound = bound.max(need_bound);
+            period = fssga_core::modthresh::lcm(period, need_period);
+            continue;
+        }
+
+        // Bounds subsumed: the representative-count evaluation above is
+        // exact on classes. Build the fold table.
+        let mut fold = vec![0u32; acc_total * q];
+        for a in 0..acc_total {
+            let mut rem = a as u64;
+            let mut weight = 1u64;
+            for entry in fold[a * q..(a + 1) * q].iter_mut() {
+                let digit = rem % classes;
+                rem /= classes;
+                let next = if digit < bound {
+                    class_of(digit + 1, bound, period)
+                } else {
+                    bound + (digit - bound + 1) % period
+                };
+                *entry = (a as u64 + (next - digit) * weight) as u32;
+                weight *= classes;
+            }
+        }
+        return Some(Tables {
+            acc_count: acc_total,
+            fold,
+            trans,
+            randomness: r,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impl_state_space;
+    use fssga_graph::generators;
+    use fssga_graph::rng::Xoshiro256;
+
+    #[derive(Copy, Clone, PartialEq, Eq, Debug)]
+    enum Infect {
+        Healthy,
+        Infected,
+    }
+    impl_state_space!(Infect { Healthy, Infected });
+
+    struct Spread;
+    impl Protocol for Spread {
+        type State = Infect;
+        const COMPILED: bool = true;
+        fn transition(&self, own: Infect, nbrs: &NeighborView<'_, Infect>, _coin: u32) -> Infect {
+            if own == Infect::Infected || nbrs.some(Infect::Infected) {
+                Infect::Infected
+            } else {
+                Infect::Healthy
+            }
+        }
+    }
+
+    fn infected_path(n: usize) -> Network<Spread> {
+        let g = generators::path(n);
+        Network::new(&g, Spread, |v| {
+            if v == 0 {
+                Infect::Infected
+            } else {
+                Infect::Healthy
+            }
+        })
+    }
+
+    #[test]
+    fn tabular_plan_selected_for_small_protocols() {
+        let mut net = infected_path(4);
+        net.ensure_kernel();
+        assert_eq!(net.kernel_plan(), Some(KernelPlan::Tabular));
+    }
+
+    #[test]
+    fn kernel_matches_interpreter_per_round() {
+        let g = generators::grid(5, 7);
+        let mut a = Network::new(&g, Spread, |v| {
+            if v % 9 == 0 {
+                Infect::Infected
+            } else {
+                Infect::Healthy
+            }
+        });
+        let mut b = Network::new(&g, Spread, |v| {
+            if v % 9 == 0 {
+                Infect::Infected
+            } else {
+                Infect::Healthy
+            }
+        });
+        b.ensure_kernel();
+        for round in 0..12 {
+            let ca = a.sync_step_seeded(round);
+            let cb = b.sync_step_kernel_seeded(round);
+            assert_eq!(ca, cb, "round {round} change counts differ");
+            assert_eq!(a.states(), b.states(), "round {round} states differ");
+        }
+    }
+
+    #[test]
+    fn dirty_set_quiesces() {
+        let mut net = infected_path(10);
+        net.ensure_kernel();
+        // Path of 10: 9 spreading rounds, then the worklist drains.
+        for round in 0..9 {
+            assert_eq!(net.sync_step_kernel_seeded(round), 1);
+        }
+        assert_eq!(net.sync_step_kernel_seeded(99), 0);
+        assert_eq!(net.kernel().unwrap().dirty_count(), 0, "worklist drained");
+        let before = net.metrics.activations;
+        assert_eq!(net.sync_step_kernel_seeded(100), 0);
+        assert_eq!(
+            net.metrics.activations, before,
+            "quiescent round evaluates nothing"
+        );
+    }
+
+    #[test]
+    fn fault_hooks_reschedule_neighbours() {
+        // Drive to fixpoint, then delete the infection's only bridge; the
+        // kernel must re-evaluate the affected endpoints (here: nothing
+        // changes state, but the evaluation must happen).
+        let mut net = infected_path(6);
+        net.ensure_kernel();
+        while net.sync_step_kernel_seeded(0) > 0 {}
+        assert_eq!(net.kernel().unwrap().dirty_count(), 0);
+        net.remove_edge(2, 3);
+        assert_eq!(
+            net.kernel().unwrap().dirty_count(),
+            2,
+            "both endpoints rescheduled"
+        );
+        let before = net.metrics.activations;
+        net.sync_step_kernel_seeded(1);
+        assert_eq!(net.metrics.activations, before + 2);
+    }
+
+    #[test]
+    fn node_removal_reschedules_former_neighbours() {
+        let g = generators::star(5);
+        let mut net = Network::new(&g, Spread, |v| {
+            if v == 0 {
+                Infect::Infected
+            } else {
+                Infect::Healthy
+            }
+        });
+        net.ensure_kernel();
+        while net.sync_step_kernel_seeded(0) > 0 {}
+        net.remove_node(0);
+        let k = net.kernel().unwrap();
+        // All 4 leaves lost their only neighbour.
+        assert_eq!(k.dirty_count(), 4);
+        // Leaves are now degree 0: the next round evaluates nobody but
+        // still drains the worklist.
+        net.sync_step_kernel_seeded(1);
+        assert_eq!(net.kernel().unwrap().dirty_count(), 0);
+    }
+
+    #[test]
+    fn interpreter_interleaving_invalidates_dirty_set() {
+        let mut net = infected_path(6);
+        net.ensure_kernel();
+        while net.sync_step_kernel_seeded(0) > 0 {}
+        // Out-of-band write through the interpreter-facing API...
+        net.set_state(5, Infect::Healthy);
+        // ...must force a full re-evaluation on the next kernel round.
+        let before = net.metrics.activations;
+        net.sync_step_kernel_seeded(1);
+        assert_eq!(net.metrics.activations, before + 6);
+        assert_eq!(net.state(5), Infect::Infected, "re-infected by neighbour");
+    }
+
+    #[test]
+    fn direct_plan_used_for_large_state_spaces() {
+        // 5000 states ** 2 classes blows the accumulator budget.
+        #[derive(Copy, Clone, PartialEq, Eq, Debug)]
+        struct Big(u16);
+        impl StateSpace for Big {
+            const COUNT: usize = 5000;
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+            fn from_index(i: usize) -> Self {
+                Big(i as u16)
+            }
+        }
+        struct MaxOf;
+        impl Protocol for MaxOf {
+            type State = Big;
+            const COMPILED: bool = true;
+            fn transition(&self, own: Big, nbrs: &NeighborView<'_, Big>, _c: u32) -> Big {
+                let mut best = own.0;
+                for s in nbrs.present_states() {
+                    best = best.max(s.0);
+                }
+                Big(best)
+            }
+        }
+        let g = generators::cycle(8);
+        let mut net = Network::new(&g, MaxOf, |v| Big(v as u16 * 37 % 5000));
+        net.ensure_kernel();
+        assert_eq!(net.kernel_plan(), Some(KernelPlan::Direct));
+        let mut reference = Network::new(&g, MaxOf, |v| Big(v as u16 * 37 % 5000));
+        for round in 0..8 {
+            net.sync_step_kernel_seeded(round);
+            reference.sync_step_seeded(round);
+            assert_eq!(net.states(), reference.states());
+        }
+    }
+
+    #[test]
+    fn probabilistic_protocols_skip_dirty_set() {
+        struct Flip;
+        impl Protocol for Flip {
+            type State = Infect;
+            const RANDOMNESS: u32 = 2;
+            const COMPILED: bool = true;
+            fn transition(&self, _own: Infect, _n: &NeighborView<'_, Infect>, coin: u32) -> Infect {
+                if coin == 0 {
+                    Infect::Healthy
+                } else {
+                    Infect::Infected
+                }
+            }
+        }
+        let g = generators::cycle(6);
+        let mut a = Network::new(&g, Flip, |_| Infect::Healthy);
+        let mut b = Network::new(&g, Flip, |_| Infect::Healthy);
+        b.ensure_kernel();
+        assert!(!b.kernel().unwrap().uses_dirty_set());
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        for _ in 0..10 {
+            let seed = rng.next_u64();
+            a.sync_step_seeded(seed);
+            b.sync_step_kernel_seeded(seed);
+            assert_eq!(a.states(), b.states());
+        }
+    }
+
+    #[test]
+    fn tabular_fold_increment_saturates_into_tail() {
+        // bound 2, period 3: classes 0,1 exact; 2,3,4 = "≥2, ≡0,1,2 (mod 3)".
+        assert_eq!(class_of(0, 2, 3), 0);
+        assert_eq!(class_of(1, 2, 3), 1);
+        assert_eq!(class_of(2, 2, 3), 2);
+        assert_eq!(class_of(4, 2, 3), 4);
+        assert_eq!(class_of(5, 2, 3), 2);
+        assert_eq!(class_of(7, 2, 3), 4);
+    }
+}

@@ -17,13 +17,20 @@
 //! * [`protocol`] — the [`Protocol`] and [`StateSpace`] traits.
 //! * [`view`] — the restricted [`NeighborView`] and its recorder.
 //! * [`network`] — graph + per-node states + O(deg) activation tally.
-//! * [`scheduler`] — synchronous rounds ([`SyncScheduler`]), and the
-//!   asynchronous activation policies of Section 3.4 ([`AsyncScheduler`]):
-//!   uniform-random, round-robin sweeps, random-permutation sweeps, and
-//!   fully adversarial orders.
-//! * [`parallel`] — a multi-threaded synchronous step that is bit-identical
-//!   to the sequential one (per-round coin streams are derived from
-//!   `(round seed, node id)`, not from thread interleaving).
+//! * [`runner`] — the unified [`Runner`] facade: one builder covering
+//!   synchronous rounds, the asynchronous activation policies of Section
+//!   3.4 (uniform-random, round-robin sweeps, random-permutation sweeps),
+//!   fully adversarial orders, and engine selection (interpreter vs
+//!   compiled kernel).
+//! * [`kernel`] — the compiled execution path: dense transition/fold
+//!   tables over `StateSpace::index`, CSR adjacency, and a dirty-set
+//!   synchronous scheduler.
+//! * [`scheduler`] — the deprecated pre-[`Runner`] entry points
+//!   ([`SyncScheduler`], [`AsyncScheduler`]), kept as thin wrappers.
+//! * [`parallel`] (feature `parallel`, default on) — a multi-threaded
+//!   synchronous step that is bit-identical to the sequential one
+//!   (per-round coin streams are derived from `(round seed, node id)`,
+//!   not from thread interleaving).
 //! * [`faults`] — timed decreasing-benign fault plans (Section 1).
 //! * [`sensitivity`] — the Section 2 k-sensitivity harness: critical sets,
 //!   the [`Sensitive`] trait, the empirical single-fault sweep, and
@@ -43,9 +50,12 @@ pub mod compile;
 pub mod faults;
 pub mod history;
 pub mod interp;
+pub mod kernel;
 pub mod network;
+#[cfg(feature = "parallel")]
 pub mod parallel;
 pub mod protocol;
+pub mod runner;
 pub mod scheduler;
 pub mod sensitivity;
 pub mod shrink;
@@ -59,8 +69,10 @@ pub mod rng {
 
 pub use campaign::{Campaign, CampaignOutcome, CampaignTrace, RunPolicy};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
-pub use network::Network;
+pub use kernel::{CompiledKernel, KernelPlan};
+pub use network::{Metrics, Network};
 pub use protocol::{Protocol, StateSpace};
+pub use runner::{Budget, Engine, Policy, RunReport, Runner};
 pub use scheduler::{AsyncPolicy, AsyncScheduler, SyncScheduler};
 pub use sensitivity::{
     reasonably_correct, sweep_single_faults, FaultInjector, Sensitive, SensitiveProtocol,

@@ -7,6 +7,7 @@ use fssga_core::multiset::Multiset;
 use fssga_graph::rng::{SplitMix64, Xoshiro256};
 use fssga_graph::{DynGraph, Graph, NodeId};
 
+use crate::kernel::{CompiledKernel, KernelPlan};
 use crate::protocol::{Protocol, StateSpace};
 use crate::view::{NeighborView, QueryRecorder};
 
@@ -34,6 +35,19 @@ pub struct Metrics {
     pub changes: u64,
 }
 
+impl Metrics {
+    /// Field-wise difference `self - earlier`. The counters are monotone,
+    /// so this is the cost of everything executed since `earlier` was
+    /// cloned — what [`crate::RunReport`] reports per run.
+    pub fn since(&self, earlier: &Metrics) -> Metrics {
+        Metrics {
+            activations: self.activations - earlier.activations,
+            rounds: self.rounds - earlier.rounds,
+            changes: self.changes - earlier.changes,
+        }
+    }
+}
+
 /// A graph whose every node runs the same [`Protocol`] automaton.
 ///
 /// The graph is a [`DynGraph`]: the paper's *decreasing benign faults*
@@ -49,7 +63,21 @@ pub struct Network<P: Protocol> {
     scratch: Vec<u32>,
     touched: Vec<u32>,
     recorder: Option<RefCell<QueryRecorder>>,
+    /// Compiled execution engine, built on demand (see
+    /// [`Self::ensure_kernel`]).
+    kernel: Option<CompiledKernel<P>>,
+    /// Set whenever states are written outside the kernel (interpreter
+    /// rounds, async activations, [`Self::set_state`]); the next kernel
+    /// round then re-evaluates every node instead of trusting its
+    /// dirty-set bookkeeping.
+    kernel_stale: bool,
     /// Execution counters (public for instrumentation).
+    ///
+    /// `rounds` and `changes` agree bit-for-bit between the interpreter
+    /// and kernel paths. `activations` does not: the kernel's dirty-set
+    /// scheduler skips nodes whose neighbourhood is unchanged (they
+    /// provably would not change state), so it reports *fewer*
+    /// activations for the same trajectory.
     pub metrics: Metrics,
 }
 
@@ -68,8 +96,19 @@ impl<P: Protocol> Network<P> {
             scratch: vec![0; P::State::COUNT],
             touched: Vec::with_capacity(64),
             recorder: None,
+            kernel: None,
+            kernel_stale: false,
             metrics: Metrics::default(),
         }
+    }
+
+    /// Like [`Self::new`], but compiles the execution kernel eagerly at
+    /// construction (the [`crate::Runner`] otherwise builds it on first
+    /// use).
+    pub fn new_compiled(graph: &Graph, protocol: P, init: impl FnMut(NodeId) -> P::State) -> Self {
+        let mut net = Self::new(graph, protocol, init);
+        net.ensure_kernel();
+        net
     }
 
     /// Number of node slots.
@@ -100,6 +139,27 @@ impl<P: Protocol> Network<P> {
     /// Overwrites the state of node `v` (test setup, oracles).
     pub fn set_state(&mut self, v: NodeId, s: P::State) {
         self.states[v as usize] = s;
+        self.kernel_stale = true;
+    }
+
+    /// Compiles the execution kernel for the current topology if not
+    /// already built. Idempotent; cheap to call before every kernel
+    /// round.
+    pub fn ensure_kernel(&mut self) {
+        if self.kernel.is_none() {
+            self.kernel = Some(CompiledKernel::new(self));
+            self.kernel_stale = false;
+        }
+    }
+
+    /// The compiled kernel, if one has been built.
+    pub fn kernel(&self) -> Option<&CompiledKernel<P>> {
+        self.kernel.as_ref()
+    }
+
+    /// Which evaluation plan the compiled kernel selected, if built.
+    pub fn kernel_plan(&self) -> Option<KernelPlan> {
+        self.kernel.as_ref().map(|k| k.plan())
     }
 
     /// Starts recording the mod/thresh queries the protocol performs.
@@ -113,14 +173,39 @@ impl<P: Protocol> Network<P> {
     }
 
     /// Removes an edge (a benign fault). Returns whether it existed.
+    ///
+    /// Keeps the compiled kernel's topology mirror and dirty-set
+    /// bookkeeping in sync: both endpoints are rescheduled for
+    /// re-evaluation, since their neighbour multisets changed without any
+    /// state change — the one event the dirty-set invariant cannot
+    /// observe on its own.
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
-        self.graph.remove_edge(u, v)
+        let removed = self.graph.remove_edge(u, v);
+        if removed {
+            if let Some(k) = self.kernel.as_mut() {
+                k.on_edge_removed(u, v);
+            }
+        }
+        removed
     }
 
     /// Removes a node and its edges (a benign fault). The node's state is
     /// frozen; it never activates again and neighbours no longer see it.
+    ///
+    /// Like [`Self::remove_edge`], invalidates the kernel's dirty-set
+    /// bookkeeping for every former neighbour.
     pub fn remove_node(&mut self, v: NodeId) -> bool {
-        self.graph.remove_node(v)
+        if self.kernel.is_some() && self.graph.is_alive(v) {
+            let former: Vec<NodeId> = self.graph.neighbors(v).to_vec();
+            let removed = self.graph.remove_node(v);
+            debug_assert!(removed);
+            if let Some(k) = self.kernel.as_mut() {
+                k.on_node_removed(v, &former);
+            }
+            removed
+        } else {
+            self.graph.remove_node(v)
+        }
     }
 
     /// Tallies the neighbour states of `v` into the scratch counter.
@@ -190,6 +275,7 @@ impl<P: Protocol> Network<P> {
         let new = self.protocol.transition(old, &view, coin);
         self.clear_scratch();
         self.states[v as usize] = new;
+        self.kernel_stale = true;
         self.metrics.activations += 1;
         let changed = new != old;
         if changed {
@@ -244,8 +330,42 @@ impl<P: Protocol> Network<P> {
             }
         }
         std::mem::swap(&mut self.states, &mut self.next);
+        self.kernel_stale = true;
         self.metrics.rounds += 1;
         self.metrics.changes += changed as u64;
+        changed
+    }
+
+    /// One synchronous round on the compiled kernel (built on demand).
+    /// Bit-identical trajectory to [`Self::sync_step`]; see the
+    /// [`Metrics`] note about activation counts. The coin stream comes
+    /// from `rng` exactly as in the interpreter path, so the two paths
+    /// are interchangeable round-by-round.
+    pub fn sync_step_kernel(&mut self, rng: &mut Xoshiro256) -> usize {
+        let round_seed = if P::RANDOMNESS > 1 { rng.next_u64() } else { 0 };
+        self.sync_step_kernel_seeded(round_seed)
+    }
+
+    /// Kernel round with an explicit seed (see
+    /// [`Self::sync_step_seeded`]).
+    pub fn sync_step_kernel_seeded(&mut self, round_seed: u64) -> usize {
+        assert!(
+            self.recorder.is_none(),
+            "query recording requires the interpreter stepper"
+        );
+        self.ensure_kernel();
+        let mut kernel = self.kernel.take().expect("ensured above");
+        if self.kernel_stale {
+            kernel.mark_all_dirty();
+            self.kernel_stale = false;
+        }
+        let changed = kernel.step(
+            &self.protocol,
+            &mut self.states,
+            &mut self.metrics,
+            round_seed,
+        );
+        self.kernel = Some(kernel);
         changed
     }
 
@@ -265,10 +385,43 @@ impl<P: Protocol> Network<P> {
 
     pub(crate) fn swap_buffers(&mut self) {
         std::mem::swap(&mut self.states, &mut self.next);
+        self.kernel_stale = true;
     }
 
     pub(crate) fn recording_enabled(&self) -> bool {
         self.recorder.is_some()
+    }
+}
+
+#[cfg(feature = "parallel")]
+impl<P: Protocol> Network<P>
+where
+    P: Sync,
+    P::State: Send + Sync,
+{
+    /// Kernel round with an explicit seed, evaluated over `threads`
+    /// scoped workers. Bit-identical to
+    /// [`Self::sync_step_kernel_seeded`] for any thread count.
+    pub fn sync_step_kernel_parallel_seeded(&mut self, round_seed: u64, threads: usize) -> usize {
+        assert!(
+            self.recorder.is_none(),
+            "query recording requires the interpreter stepper"
+        );
+        self.ensure_kernel();
+        let mut kernel = self.kernel.take().expect("ensured above");
+        if self.kernel_stale {
+            kernel.mark_all_dirty();
+            self.kernel_stale = false;
+        }
+        let changed = kernel.step_parallel(
+            &self.protocol,
+            &mut self.states,
+            &mut self.metrics,
+            round_seed,
+            threads,
+        );
+        self.kernel = Some(kernel);
+        changed
     }
 }
 

@@ -30,11 +30,22 @@ where
     P: Protocol + Sync,
     P::State: Send + Sync,
 {
+    let round_seed = if P::RANDOMNESS > 1 { rng.next_u64() } else { 0 };
+    sync_step_parallel_seeded(net, round_seed, threads)
+}
+
+/// As [`sync_step_parallel`], with an explicit round seed (the form
+/// [`crate::Runner`] drives, mirroring
+/// [`Network::sync_step_seeded`]).
+pub fn sync_step_parallel_seeded<P>(net: &mut Network<P>, round_seed: u64, threads: usize) -> usize
+where
+    P: Protocol + Sync,
+    P::State: Send + Sync,
+{
     assert!(
         !net.recording_enabled(),
         "query recording requires the sequential stepper"
     );
-    let round_seed = if P::RANDOMNESS > 1 { rng.next_u64() } else { 0 };
     let n = net.n();
     if threads <= 1 || n < 256 {
         return net.sync_step_seeded(round_seed);

@@ -47,6 +47,16 @@ pub trait Protocol {
     /// atoms). Same role as [`Self::MAX_THRESHOLD`].
     const MODULI_LCM: u32 = 1;
 
+    /// Opt-in flag for the compiled execution path: when `true`, the
+    /// [`crate::Runner`] with engine `Auto` may execute synchronous
+    /// rounds on a [`crate::CompiledKernel`] instead of the interpreter.
+    /// Opting in asserts that `transition` is a pure function of
+    /// `(own, view, coin)` — no interior mutability, no out-of-band
+    /// inputs — which every mod-thresh protocol is by construction.
+    /// Defaults to `false` so foreign protocols must claim purity
+    /// explicitly.
+    const COMPILED: bool = false;
+
     /// The new state of an activating node.
     fn transition(
         &self,
@@ -61,6 +71,7 @@ impl<P: Protocol> Protocol for &P {
     const RANDOMNESS: u32 = P::RANDOMNESS;
     const MAX_THRESHOLD: u32 = P::MAX_THRESHOLD;
     const MODULI_LCM: u32 = P::MODULI_LCM;
+    const COMPILED: bool = P::COMPILED;
 
     fn transition(
         &self,

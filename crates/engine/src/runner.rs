@@ -1,0 +1,346 @@
+//! The unified run facade: one builder for every execution mode.
+//!
+//! Historically the crate grew six run entry points
+//! (`SyncScheduler::{run_to_fixpoint, run_to_fixpoint_with_rng,
+//! run_rounds}` and `AsyncScheduler::{run_steps, run_to_fixpoint,
+//! run_order}`), each with its own return convention. [`Runner`] collapses
+//! them into one builder:
+//!
+//! ```
+//! use fssga_engine::{Budget, Network, Policy, Runner};
+//! # use fssga_engine::{impl_state_space, NeighborView, Protocol};
+//! # #[derive(Copy, Clone, PartialEq, Eq, Debug)]
+//! # enum S { A, B }
+//! # impl_state_space!(S { A, B });
+//! # struct Flip;
+//! # impl Protocol for Flip {
+//! #     type State = S;
+//! #     const COMPILED: bool = true;
+//! #     fn transition(&self, o: S, n: &NeighborView<'_, S>, _c: u32) -> S {
+//! #         if o == S::B || n.some(S::B) { S::B } else { S::A }
+//! #     }
+//! # }
+//! # let g = fssga_graph::generators::path(4);
+//! # let mut net = Network::new(&g, Flip, |v| if v == 0 { S::B } else { S::A });
+//! let report = Runner::new(&mut net)
+//!     .policy(Policy::Sync)
+//!     .budget(Budget::Fixpoint(100))
+//!     .seed(0)
+//!     .run();
+//! assert!(report.reached_fixpoint());
+//! ```
+//!
+//! The runner also decides *how* to execute: with [`Engine::Auto`] (the
+//! default), synchronous rounds of a protocol that opted in via
+//! [`Protocol::COMPILED`] run on the [`crate::CompiledKernel`] — dense
+//! tables, CSR adjacency, dirty-set scheduling — and everything else runs
+//! on the interpreter. Trajectories (states, change counts, fixpoint
+//! rounds) are bit-identical between engines; only the `activations`
+//! metric differs (the kernel provably skips no-op re-evaluations).
+
+use fssga_graph::rng::Xoshiro256;
+use fssga_graph::NodeId;
+
+use crate::network::{Metrics, Network};
+use crate::protocol::Protocol;
+use crate::scheduler::AsyncPolicy;
+
+/// Which execution engine [`Runner`] uses for synchronous rounds.
+/// (Asynchronous activations always run on the interpreter — single-node
+/// activation is exactly what the interpreter is for.)
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Kernel if the protocol opted in ([`Protocol::COMPILED`]) and query
+    /// recording is off; interpreter otherwise.
+    #[default]
+    Auto,
+    /// Always the interpreter (per-activation `transition` calls).
+    Interpreter,
+    /// Always the compiled kernel. Panics if query recording is enabled.
+    Kernel,
+}
+
+/// Activation order.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum Policy<'o> {
+    /// Synchronous rounds (Definition 3.10's synchronous successor).
+    #[default]
+    Sync,
+    /// Asynchronous single-node activations under a fairness policy.
+    Async(AsyncPolicy),
+    /// Fully adversarial: activate exactly these nodes, in this order.
+    Order(&'o [NodeId]),
+}
+
+/// How much work to do.
+#[derive(Clone, Copy, Debug)]
+pub enum Budget {
+    /// Exactly this many synchronous rounds (or asynchronous sweeps).
+    Rounds(usize),
+    /// Exactly this many single-node activations (asynchronous policies
+    /// only).
+    Steps(usize),
+    /// Run until a round (or sweep) changes nothing, up to this many.
+    Fixpoint(usize),
+}
+
+/// What a [`Runner`] did. All counters cover this run only.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunReport {
+    /// Synchronous rounds or asynchronous sweeps executed.
+    pub rounds: usize,
+    /// Node activations performed (kernel runs count only re-evaluated
+    /// nodes; see [`Metrics`]).
+    pub activations: u64,
+    /// Activations that changed a node's state.
+    pub changes: u64,
+    /// The 1-based round/sweep at which a fixpoint (no changes) was first
+    /// observed, if any. For an empty asynchronous sweep set this is
+    /// `Some(1)` (vacuous fixpoint).
+    pub fixpoint: Option<usize>,
+    /// Raw counter delta for this run.
+    pub metrics: Metrics,
+}
+
+impl RunReport {
+    /// Whether the run observed a quiescent round/sweep.
+    pub fn reached_fixpoint(&self) -> bool {
+        self.fixpoint.is_some()
+    }
+}
+
+/// Builder for a single run. See the [module docs](self) for the
+/// deprecated entry points each configuration replaces.
+pub struct Runner<'n, 'r, 'o, P: Protocol> {
+    net: &'n mut Network<P>,
+    policy: Policy<'o>,
+    budget: Budget,
+    seed: u64,
+    rng: Option<&'r mut Xoshiro256>,
+    engine: Engine,
+}
+
+impl<'n, 'r, 'o, P: Protocol> Runner<'n, 'r, 'o, P> {
+    /// A runner over `net` with defaults: synchronous rounds, fixpoint
+    /// budget of 1 000 000, seed 0, engine [`Engine::Auto`].
+    pub fn new(net: &'n mut Network<P>) -> Self {
+        Self {
+            net,
+            policy: Policy::Sync,
+            budget: Budget::Fixpoint(1_000_000),
+            seed: 0,
+            rng: None,
+            engine: Engine::Auto,
+        }
+    }
+
+    /// Sets the activation order.
+    pub fn policy(mut self, policy: Policy<'o>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the work budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Seeds the runner's own RNG (ignored if [`Self::rng`] is given).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Draws all randomness (round seeds, coins, activation orders) from
+    /// an external generator instead of a run-local one — for callers
+    /// that interleave runs with other seeded decisions (fault
+    /// campaigns).
+    pub fn rng(mut self, rng: &'r mut Xoshiro256) -> Self {
+        self.rng = Some(rng);
+        self
+    }
+
+    /// Selects the execution engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    fn use_kernel(&self) -> bool {
+        match self.engine {
+            Engine::Auto => P::COMPILED && !self.net.recording_enabled(),
+            Engine::Interpreter => false,
+            Engine::Kernel => true,
+        }
+    }
+
+    /// Executes the run.
+    pub fn run(self) -> RunReport {
+        let kernel = self.use_kernel();
+        self.run_with_stepper(|net, round_seed| {
+            if kernel {
+                net.sync_step_kernel_seeded(round_seed)
+            } else {
+                net.sync_step_seeded(round_seed)
+            }
+        })
+    }
+
+    /// The shared driver: `step_sync(net, round_seed)` performs one
+    /// synchronous round; everything else (budgets, async sweeps,
+    /// reporting) is engine-independent.
+    fn run_with_stepper(
+        self,
+        mut step_sync: impl FnMut(&mut Network<P>, u64) -> usize,
+    ) -> RunReport {
+        let before = self.net.metrics.clone();
+        let mut local_rng;
+        let rng: &mut Xoshiro256 = match self.rng {
+            Some(r) => r,
+            None => {
+                local_rng = Xoshiro256::seed_from_u64(self.seed);
+                &mut local_rng
+            }
+        };
+        let mut rounds = 0usize;
+        let mut fixpoint: Option<usize> = None;
+        match self.policy {
+            Policy::Sync => {
+                let (max_rounds, stop_at_fixpoint) = match self.budget {
+                    Budget::Rounds(k) => (k, false),
+                    Budget::Fixpoint(k) => (k, true),
+                    Budget::Steps(_) => panic!(
+                        "Budget::Steps counts single activations; \
+                         synchronous execution needs Budget::Rounds or Budget::Fixpoint"
+                    ),
+                };
+                for round in 1..=max_rounds {
+                    let round_seed = if P::RANDOMNESS > 1 { rng.next_u64() } else { 0 };
+                    let changed = step_sync(self.net, round_seed);
+                    rounds = round;
+                    if changed == 0 {
+                        fixpoint.get_or_insert(round);
+                        if stop_at_fixpoint {
+                            break;
+                        }
+                    }
+                }
+            }
+            Policy::Async(policy) => match self.budget {
+                Budget::Steps(steps) => {
+                    // Activations land on *alive* nodes only; dead slots
+                    // would dilute the budget (their "activation" is a
+                    // no-op). Topology cannot change during the run, so
+                    // the alive set is computed once.
+                    let alive: Vec<NodeId> = self.net.graph().alive_nodes().collect();
+                    if !alive.is_empty() {
+                        let n = alive.len();
+                        match policy {
+                            AsyncPolicy::UniformRandom => {
+                                for _ in 0..steps {
+                                    let v = alive[rng.gen_index(n)];
+                                    self.net.activate(v, rng);
+                                }
+                            }
+                            AsyncPolicy::RoundRobin => {
+                                for i in 0..steps {
+                                    self.net.activate(alive[i % n], rng);
+                                }
+                            }
+                            AsyncPolicy::RandomPermutation => {
+                                let mut order = alive;
+                                let mut idx = order.len(); // reshuffle first
+                                for _ in 0..steps {
+                                    if idx == order.len() {
+                                        rng.shuffle(&mut order);
+                                        idx = 0;
+                                    }
+                                    let v = order[idx];
+                                    idx += 1;
+                                    self.net.activate(v, rng);
+                                }
+                            }
+                        }
+                    }
+                }
+                Budget::Rounds(sweeps) | Budget::Fixpoint(sweeps) => {
+                    let stop_at_fixpoint = matches!(self.budget, Budget::Fixpoint(_));
+                    if stop_at_fixpoint {
+                        assert!(
+                            policy != AsyncPolicy::UniformRandom,
+                            "fixpoint detection needs sweep-based policies"
+                        );
+                    }
+                    let alive: Vec<NodeId> = self.net.graph().alive_nodes().collect();
+                    let mut order = alive.clone();
+                    if order.is_empty() {
+                        fixpoint = Some(1);
+                    } else {
+                        for sweep in 1..=sweeps {
+                            match policy {
+                                AsyncPolicy::RandomPermutation => rng.shuffle(&mut order),
+                                // A uniform-random "sweep" is |alive|
+                                // independent draws (no fairness
+                                // guarantee — hence no fixpoint mode).
+                                AsyncPolicy::UniformRandom => {
+                                    for slot in order.iter_mut() {
+                                        *slot = alive[rng.gen_index(alive.len())];
+                                    }
+                                }
+                                AsyncPolicy::RoundRobin => {}
+                            }
+                            let mut changed = false;
+                            for &v in &order {
+                                if self.net.activate(v, rng) {
+                                    changed = true;
+                                }
+                            }
+                            rounds = sweep;
+                            if !changed {
+                                fixpoint.get_or_insert(sweep);
+                                if stop_at_fixpoint {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            },
+            Policy::Order(order) => {
+                for &v in order {
+                    self.net.activate(v, rng);
+                }
+            }
+        }
+        let metrics = self.net.metrics.since(&before);
+        RunReport {
+            rounds,
+            activations: metrics.activations,
+            changes: metrics.changes,
+            fixpoint,
+            metrics,
+        }
+    }
+}
+
+#[cfg(feature = "parallel")]
+impl<'n, 'r, 'o, P> Runner<'n, 'r, 'o, P>
+where
+    P: Protocol + Sync,
+    P::State: Send + Sync,
+{
+    /// As [`Self::run`], but synchronous rounds fan out over `threads`
+    /// worker threads (kernel or interpreter, per the engine selection).
+    /// Bit-identical results to [`Self::run`] for any thread count.
+    pub fn run_parallel(self, threads: usize) -> RunReport {
+        let kernel = self.use_kernel();
+        self.run_with_stepper(move |net, round_seed| {
+            if kernel {
+                net.sync_step_kernel_parallel_seeded(round_seed, threads)
+            } else {
+                crate::parallel::sync_step_parallel_seeded(net, round_seed, threads)
+            }
+        })
+    }
+}

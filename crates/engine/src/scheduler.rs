@@ -1,10 +1,17 @@
 //! Activation schedulers for the two evolution models of Section 3.4.
+//!
+//! **Deprecated facade.** The six run entry points below predate
+//! [`crate::Runner`], which subsumes all of them behind one builder (and
+//! adds engine selection — compiled kernel vs interpreter). They remain
+//! as thin wrappers for source compatibility; each doc comment names its
+//! replacement, and the workspace itself compiles with `-D deprecated`.
 
 use fssga_graph::rng::Xoshiro256;
 use fssga_graph::NodeId;
 
 use crate::network::Network;
 use crate::protocol::Protocol;
+use crate::runner::{Budget, Engine, Policy, Runner};
 
 /// The synchronous model: every node activates simultaneously each round.
 pub struct SyncScheduler;
@@ -12,38 +19,56 @@ pub struct SyncScheduler;
 impl SyncScheduler {
     /// Runs synchronous rounds until no state changes, up to `max_rounds`.
     /// Returns the number of rounds taken to reach the fixpoint, or `None`
-    /// if it was not reached. Deterministic protocols need no entropy;
-    /// probabilistic ones get a fixed-seed stream (use
-    /// [`Self::run_to_fixpoint_with_rng`] to control it).
+    /// if it was not reached.
+    #[deprecated(note = "use Runner::new(net).budget(Budget::Fixpoint(max_rounds)).run().fixpoint")]
     pub fn run_to_fixpoint<P: Protocol>(net: &mut Network<P>, max_rounds: usize) -> Option<usize> {
-        let mut rng = Xoshiro256::seed_from_u64(0);
-        Self::run_to_fixpoint_with_rng(net, &mut rng, max_rounds)
+        Runner::new(net)
+            .engine(Engine::Interpreter)
+            .budget(Budget::Fixpoint(max_rounds))
+            .run()
+            .fixpoint
     }
 
     /// As [`Self::run_to_fixpoint`], drawing coins from `rng`.
+    #[deprecated(
+        note = "use Runner::new(net).budget(Budget::Fixpoint(max_rounds)).rng(rng).run().fixpoint"
+    )]
     pub fn run_to_fixpoint_with_rng<P: Protocol>(
         net: &mut Network<P>,
         rng: &mut Xoshiro256,
         max_rounds: usize,
     ) -> Option<usize> {
-        (1..=max_rounds).find(|_| net.sync_step(rng) == 0)
+        Runner::new(net)
+            .engine(Engine::Interpreter)
+            .budget(Budget::Fixpoint(max_rounds))
+            .rng(rng)
+            .run()
+            .fixpoint
     }
 
     /// Runs exactly `rounds` synchronous rounds; returns the total number
     /// of state changes.
+    #[deprecated(
+        note = "use Runner::new(net).budget(Budget::Rounds(rounds)).rng(rng).run().changes"
+    )]
     pub fn run_rounds<P: Protocol>(
         net: &mut Network<P>,
         rng: &mut Xoshiro256,
         rounds: usize,
     ) -> usize {
-        (0..rounds).map(|_| net.sync_step(rng)).sum()
+        Runner::new(net)
+            .engine(Engine::Interpreter)
+            .budget(Budget::Rounds(rounds))
+            .rng(rng)
+            .run()
+            .changes as usize
     }
 }
 
 /// Asynchronous activation orders. All three satisfy the paper's fairness
 /// assumption ("each node activates at least once per unit time") in
 /// expectation or deterministically; fully adversarial orders are
-/// available through [`AsyncScheduler::run_order`].
+/// available through [`Policy::Order`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AsyncPolicy {
     /// Each step activates a uniformly random alive node.
@@ -60,104 +85,56 @@ pub struct AsyncScheduler;
 impl AsyncScheduler {
     /// Performs `steps` single activations under `policy`. Returns the
     /// number of state changes.
-    ///
-    /// Activations are drawn from the *alive* nodes only. Iterating raw id
-    /// slots would silently spend steps on dead nodes after faults,
-    /// diluting step budgets and breaking the fairness assumption for the
-    /// survivors (a dead slot "activation" is a no-op). The topology
-    /// cannot change during this call, so the alive set is computed once.
+    #[deprecated(
+        note = "use Runner::new(net).policy(Policy::Async(policy)).budget(Budget::Steps(steps)).rng(rng).run().changes"
+    )]
     pub fn run_steps<P: Protocol>(
         net: &mut Network<P>,
         rng: &mut Xoshiro256,
         steps: usize,
         policy: AsyncPolicy,
     ) -> usize {
-        let alive: Vec<NodeId> = net.graph().alive_nodes().collect();
-        if alive.is_empty() {
-            return 0;
-        }
-        let n = alive.len();
-        let mut changes = 0;
-        match policy {
-            AsyncPolicy::UniformRandom => {
-                for _ in 0..steps {
-                    let v = alive[rng.gen_index(n)];
-                    if net.activate(v, rng) {
-                        changes += 1;
-                    }
-                }
-            }
-            AsyncPolicy::RoundRobin => {
-                for i in 0..steps {
-                    let v = alive[i % n];
-                    if net.activate(v, rng) {
-                        changes += 1;
-                    }
-                }
-            }
-            AsyncPolicy::RandomPermutation => {
-                let mut order = alive;
-                let mut idx = order.len(); // force reshuffle on first step
-                for _ in 0..steps {
-                    if idx == order.len() {
-                        rng.shuffle(&mut order);
-                        idx = 0;
-                    }
-                    let v = order[idx];
-                    idx += 1;
-                    if net.activate(v, rng) {
-                        changes += 1;
-                    }
-                }
-            }
-        }
-        changes
+        Runner::new(net)
+            .policy(Policy::Async(policy))
+            .budget(Budget::Steps(steps))
+            .rng(rng)
+            .run()
+            .changes as usize
     }
 
     /// Runs full sweeps (one activation per node per sweep, in round-robin
     /// or freshly-permuted order) until a sweep changes nothing; returns
     /// the number of sweeps to the fixpoint, or `None` after `max_sweeps`.
+    #[deprecated(
+        note = "use Runner::new(net).policy(Policy::Async(policy)).budget(Budget::Fixpoint(max_sweeps)).rng(rng).run().fixpoint"
+    )]
     pub fn run_to_fixpoint<P: Protocol>(
         net: &mut Network<P>,
         rng: &mut Xoshiro256,
         max_sweeps: usize,
         policy: AsyncPolicy,
     ) -> Option<usize> {
-        assert!(
-            policy != AsyncPolicy::UniformRandom,
-            "fixpoint detection needs sweep-based policies"
-        );
-        // Sweeps cover alive nodes only (dead slots cannot activate and
-        // must not count toward sweep fairness).
-        let mut order: Vec<NodeId> = net.graph().alive_nodes().collect();
-        if order.is_empty() {
-            return Some(1);
-        }
-        for sweep in 1..=max_sweeps {
-            if policy == AsyncPolicy::RandomPermutation {
-                rng.shuffle(&mut order);
-            }
-            let mut changed = false;
-            for &v in &order {
-                if net.activate(v, rng) {
-                    changed = true;
-                }
-            }
-            if !changed {
-                return Some(sweep);
-            }
-        }
-        None
+        Runner::new(net)
+            .policy(Policy::Async(policy))
+            .budget(Budget::Fixpoint(max_sweeps))
+            .rng(rng)
+            .run()
+            .fixpoint
     }
 
     /// Activates nodes in exactly the given (adversarial) order.
     /// Returns the number of state changes.
+    #[deprecated(note = "use Runner::new(net).policy(Policy::Order(order)).rng(rng).run().changes")]
     pub fn run_order<P: Protocol>(
         net: &mut Network<P>,
         rng: &mut Xoshiro256,
         order: &[NodeId],
     ) -> usize {
-        order.iter().filter(|&&v| net.activate(v, rng)).count()
+        Runner::new(net)
+            .policy(Policy::Order(order))
+            .rng(rng)
+            .run()
+            .changes as usize
     }
 }
 
@@ -178,6 +155,7 @@ mod tests {
     struct Spread;
     impl Protocol for Spread {
         type State = Infect;
+        const COMPILED: bool = true;
         fn transition(&self, own: Infect, nbrs: &NeighborView<'_, Infect>, _c: u32) -> Infect {
             if own == Infect::Infected || nbrs.some(Infect::Infected) {
                 Infect::Infected
@@ -206,7 +184,9 @@ mod tests {
         let g = generators::path(10);
         let mut net = infected_net(&g);
         // 9 spreading rounds + 1 quiescent round.
-        assert_eq!(SyncScheduler::run_to_fixpoint(&mut net, 100), Some(10));
+        let report = Runner::new(&mut net).budget(Budget::Fixpoint(100)).run();
+        assert_eq!(report.fixpoint, Some(10));
+        assert_eq!(report.rounds, 10);
         assert!(all_infected(&net));
     }
 
@@ -214,7 +194,48 @@ mod tests {
     fn sync_fixpoint_budget_exceeded() {
         let g = generators::path(10);
         let mut net = infected_net(&g);
-        assert_eq!(SyncScheduler::run_to_fixpoint(&mut net, 3), None);
+        let report = Runner::new(&mut net).budget(Budget::Fixpoint(3)).run();
+        assert_eq!(report.fixpoint, None);
+        assert_eq!(report.rounds, 3);
+    }
+
+    #[test]
+    fn deprecated_wrappers_match_runner() {
+        // The wrappers must stay bit-compatible until removal.
+        let g = generators::path(10);
+        let mut a = infected_net(&g);
+        let mut b = infected_net(&g);
+        #[allow(deprecated)]
+        let legacy = SyncScheduler::run_to_fixpoint(&mut a, 100);
+        let report = Runner::new(&mut b)
+            .engine(Engine::Interpreter)
+            .budget(Budget::Fixpoint(100))
+            .run();
+        assert_eq!(legacy, report.fixpoint);
+        assert_eq!(a.states(), b.states());
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn kernel_and_interpreter_engines_agree() {
+        let g = generators::grid(6, 6);
+        let mut a = infected_net(&g);
+        let mut b = infected_net(&g);
+        let ra = Runner::new(&mut a)
+            .engine(Engine::Interpreter)
+            .budget(Budget::Fixpoint(100))
+            .run();
+        let rb = Runner::new(&mut b)
+            .engine(Engine::Kernel)
+            .budget(Budget::Fixpoint(100))
+            .run();
+        assert_eq!(ra.fixpoint, rb.fixpoint);
+        assert_eq!(ra.changes, rb.changes);
+        assert_eq!(a.states(), b.states());
+        assert!(
+            rb.activations <= ra.activations,
+            "dirty-set never evaluates more"
+        );
     }
 
     #[test]
@@ -222,12 +243,14 @@ mod tests {
         let g = generators::cycle(12);
         let mut net = infected_net(&g);
         let mut rng = Xoshiro256::seed_from_u64(9);
-        let sweeps =
-            AsyncScheduler::run_to_fixpoint(&mut net, &mut rng, 100, AsyncPolicy::RoundRobin)
-                .expect("converges");
+        let report = Runner::new(&mut net)
+            .policy(Policy::Async(AsyncPolicy::RoundRobin))
+            .budget(Budget::Fixpoint(100))
+            .rng(&mut rng)
+            .run();
         // Round-robin in id order spreads clockwise a full arc per sweep,
         // so very few sweeps are needed — but at least 2 (last is quiet).
-        assert!(sweeps >= 2);
+        assert!(report.fixpoint.expect("converges") >= 2);
         assert!(all_infected(&net));
     }
 
@@ -236,8 +259,12 @@ mod tests {
         let g = generators::grid(5, 5);
         let mut net = infected_net(&g);
         let mut rng = Xoshiro256::seed_from_u64(10);
-        AsyncScheduler::run_to_fixpoint(&mut net, &mut rng, 200, AsyncPolicy::RandomPermutation)
-            .expect("converges");
+        let report = Runner::new(&mut net)
+            .policy(Policy::Async(AsyncPolicy::RandomPermutation))
+            .budget(Budget::Fixpoint(200))
+            .rng(&mut rng)
+            .run();
+        assert!(report.reached_fixpoint());
         assert!(all_infected(&net));
     }
 
@@ -246,7 +273,11 @@ mod tests {
         let g = generators::path(6);
         let mut net = infected_net(&g);
         let mut rng = Xoshiro256::seed_from_u64(11);
-        AsyncScheduler::run_steps(&mut net, &mut rng, 10_000, AsyncPolicy::UniformRandom);
+        Runner::new(&mut net)
+            .policy(Policy::Async(AsyncPolicy::UniformRandom))
+            .budget(Budget::Steps(10_000))
+            .rng(&mut rng)
+            .run();
         assert!(all_infected(&net));
     }
 
@@ -255,8 +286,18 @@ mod tests {
     fn uniform_random_fixpoint_rejected() {
         let g = generators::path(3);
         let mut net = infected_net(&g);
-        let mut rng = Xoshiro256::seed_from_u64(12);
-        let _ = AsyncScheduler::run_to_fixpoint(&mut net, &mut rng, 10, AsyncPolicy::UniformRandom);
+        let _ = Runner::new(&mut net)
+            .policy(Policy::Async(AsyncPolicy::UniformRandom))
+            .budget(Budget::Fixpoint(10))
+            .run();
+    }
+
+    #[test]
+    #[should_panic(expected = "Budget::Steps")]
+    fn sync_step_budget_rejected() {
+        let g = generators::path(3);
+        let mut net = infected_net(&g);
+        let _ = Runner::new(&mut net).budget(Budget::Steps(10)).run();
     }
 
     #[test]
@@ -267,14 +308,22 @@ mod tests {
         let mut net = infected_net(&g);
         net.remove_node(3);
         let mut rng = Xoshiro256::seed_from_u64(20);
-        AsyncScheduler::run_steps(&mut net, &mut rng, 5, AsyncPolicy::RoundRobin);
-        assert_eq!(net.metrics.activations, 5, "every step hits an alive node");
+        let report = Runner::new(&mut net)
+            .policy(Policy::Async(AsyncPolicy::RoundRobin))
+            .budget(Budget::Steps(5))
+            .rng(&mut rng)
+            .run();
+        assert_eq!(report.activations, 5, "every step hits an alive node");
         // Same for the random policies: budgets land on alive nodes only.
         for policy in [AsyncPolicy::UniformRandom, AsyncPolicy::RandomPermutation] {
             let mut net = infected_net(&g);
             net.remove_node(3);
-            AsyncScheduler::run_steps(&mut net, &mut rng, 50, policy);
-            assert_eq!(net.metrics.activations, 50, "{policy:?}");
+            let report = Runner::new(&mut net)
+                .policy(Policy::Async(policy))
+                .budget(Budget::Steps(50))
+                .rng(&mut rng)
+                .run();
+            assert_eq!(report.activations, 50, "{policy:?}");
         }
     }
 
@@ -284,8 +333,12 @@ mod tests {
         let mut net = infected_net(&g);
         net.remove_node(7); // leaf: the rest still converges
         let mut rng = Xoshiro256::seed_from_u64(21);
-        AsyncScheduler::run_to_fixpoint(&mut net, &mut rng, 100, AsyncPolicy::RoundRobin)
-            .expect("converges");
+        let report = Runner::new(&mut net)
+            .policy(Policy::Async(AsyncPolicy::RoundRobin))
+            .budget(Budget::Fixpoint(100))
+            .rng(&mut rng)
+            .run();
+        assert!(report.reached_fixpoint());
         let infected = net
             .states()
             .iter()
@@ -298,10 +351,13 @@ mod tests {
         for v in 0..8 {
             net.remove_node(v);
         }
-        assert_eq!(
-            AsyncScheduler::run_to_fixpoint(&mut net, &mut rng, 10, AsyncPolicy::RoundRobin),
-            Some(1)
-        );
+        let report = Runner::new(&mut net)
+            .policy(Policy::Async(AsyncPolicy::RoundRobin))
+            .budget(Budget::Fixpoint(10))
+            .rng(&mut rng)
+            .run();
+        assert_eq!(report.fixpoint, Some(1));
+        assert_eq!(report.activations, 0);
     }
 
     #[test]
@@ -309,13 +365,16 @@ mod tests {
         let g = generators::path(4);
         // Worst order: far end first — nothing to see, no spread beyond 1.
         let mut net = infected_net(&g);
-        let mut rng = Xoshiro256::seed_from_u64(13);
-        let changes = AsyncScheduler::run_order(&mut net, &mut rng, &[3, 2, 1]);
-        assert_eq!(changes, 1, "only node 1 sees the infection");
+        let report = Runner::new(&mut net)
+            .policy(Policy::Order(&[3, 2, 1]))
+            .run();
+        assert_eq!(report.changes, 1, "only node 1 sees the infection");
         // Best order: 1, 2, 3 — full spread in one pass.
         let mut net2 = infected_net(&g);
-        let changes2 = AsyncScheduler::run_order(&mut net2, &mut rng, &[1, 2, 3]);
-        assert_eq!(changes2, 3);
+        let report2 = Runner::new(&mut net2)
+            .policy(Policy::Order(&[1, 2, 3]))
+            .run();
+        assert_eq!(report2.changes, 3);
         assert!(all_infected(&net2));
     }
 
@@ -324,7 +383,26 @@ mod tests {
         let g = generators::path(5);
         let mut net = infected_net(&g);
         let mut rng = Xoshiro256::seed_from_u64(14);
-        let changes = SyncScheduler::run_rounds(&mut net, &mut rng, 2);
-        assert_eq!(changes, 2);
+        let report = Runner::new(&mut net)
+            .budget(Budget::Rounds(2))
+            .rng(&mut rng)
+            .run();
+        assert_eq!(report.changes, 2);
+        assert_eq!(report.rounds, 2);
+        assert_eq!(report.fixpoint, None, "no quiescent round seen yet");
+    }
+
+    #[test]
+    fn async_sweep_rounds_budget_runs_exactly_k() {
+        let g = generators::path(12);
+        let mut net = infected_net(&g);
+        let mut rng = Xoshiro256::seed_from_u64(15);
+        let report = Runner::new(&mut net)
+            .policy(Policy::Async(AsyncPolicy::RoundRobin))
+            .budget(Budget::Rounds(3))
+            .rng(&mut rng)
+            .run();
+        assert_eq!(report.rounds, 3);
+        assert_eq!(report.activations, 36);
     }
 }

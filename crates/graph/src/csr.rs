@@ -53,6 +53,20 @@ impl Graph {
         Self { offsets, targets }
     }
 
+    /// Builds a graph directly from CSR arrays whose rows are already
+    /// sorted. Fast path for [`crate::DynGraph::snapshot`]: skips the edge
+    /// list and the per-edge scatter of [`Self::from_edges`].
+    pub(crate) fn from_sorted_csr(offsets: Vec<u32>, targets: Vec<NodeId>) -> Self {
+        debug_assert_eq!(*offsets.last().unwrap_or(&0) as usize, targets.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        #[cfg(debug_assertions)]
+        for v in 0..offsets.len().saturating_sub(1) {
+            let row = &targets[offsets[v] as usize..offsets[v + 1] as usize];
+            debug_assert!(row.windows(2).all(|w| w[0] < w[1]), "row {v} not sorted");
+        }
+        Self { offsets, targets }
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn n(&self) -> usize {

@@ -115,12 +115,36 @@ impl DynGraph {
         }
     }
 
+    /// One-pass CSR export of the current topology: `(offsets, targets)`
+    /// with `targets[offsets[v] as usize..offsets[v + 1] as usize]` the
+    /// current (unsorted) neighbours of `v`. Dead nodes appear as empty
+    /// rows. This is the engine's compiled-kernel fast path: a flat,
+    /// cache-friendly mirror of the adjacency with no edge-list
+    /// materialization and no sorting.
+    pub fn csr_arrays(&self) -> (Vec<u32>, Vec<NodeId>) {
+        let n = self.n_slots();
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + self.adj[v].len() as u32;
+        }
+        let mut targets = Vec::with_capacity(offsets[n] as usize);
+        for row in &self.adj {
+            targets.extend_from_slice(row);
+        }
+        (offsets, targets)
+    }
+
     /// Snapshot of the *current* graph as a CSR [`Graph`] over all node
     /// slots (dead nodes appear isolated). Useful for handing the exact
-    /// oracles a consistent view mid-fault-campaign.
+    /// oracles a consistent view mid-fault-campaign. Built via
+    /// [`Self::csr_arrays`] plus a per-row sort — O(m log Δ), with no
+    /// intermediate edge list.
     pub fn snapshot(&self) -> Graph {
-        let edges: Vec<Edge> = self.edges().collect();
-        Graph::from_edges(self.n_slots(), &edges)
+        let (offsets, mut targets) = self.csr_arrays();
+        for v in 0..self.n_slots() {
+            targets[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
+        }
+        Graph::from_sorted_csr(offsets, targets)
     }
 
     /// Iterates remaining undirected edges, each once with `u < v`.

@@ -143,6 +143,7 @@ pub struct Bfs;
 
 impl Protocol for Bfs {
     type State = BfsState;
+    const COMPILED: bool = true;
 
     fn transition(&self, own: BfsState, nbrs: &NeighborView<'_, BfsState>, _coin: u32) -> BfsState {
         let mut s = own;
@@ -227,7 +228,10 @@ pub fn run_bfs(
     let mut net = fssga_engine::Network::new(g, Bfs, |v| {
         BfsState::init(v == originator, targets.contains(&v))
     });
-    let rounds = fssga_engine::SyncScheduler::run_to_fixpoint(&mut net, max_rounds)?;
+    let rounds = fssga_engine::Runner::new(&mut net)
+        .budget(fssga_engine::Budget::Fixpoint(max_rounds))
+        .run()
+        .fixpoint?;
     let status = net.state(originator).status;
     Some((status, rounds, net.states().to_vec()))
 }
@@ -235,7 +239,7 @@ pub fn run_bfs(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fssga_engine::{Network, SyncScheduler};
+    use fssga_engine::{Budget, Network, Runner};
     use fssga_graph::rng::Xoshiro256;
     use fssga_graph::{exact, generators};
 
@@ -363,7 +367,11 @@ mod tests {
             let g = generators::connected_gnp(20, 0.15, &mut rng);
             let mut net = Network::new(&g, Bfs, |v| BfsState::init(v == 0, false));
             assert!(
-                SyncScheduler::run_to_fixpoint(&mut net, 10 * g.n()).is_some(),
+                Runner::new(&mut net)
+                    .budget(Budget::Fixpoint(10 * g.n()))
+                    .run()
+                    .fixpoint
+                    .is_some(),
                 "BFS must stabilize"
             );
         }

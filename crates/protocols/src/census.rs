@@ -76,6 +76,7 @@ pub struct Census<const K: usize>;
 
 impl<const K: usize> Protocol for Census<K> {
     type State = FmSketch<K>;
+    const COMPILED: bool = true;
 
     fn transition(
         &self,
@@ -119,7 +120,7 @@ pub fn union_of_fresh_sketches<const K: usize>(n: usize, rng: &mut Xoshiro256) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fssga_engine::{Network, SyncScheduler};
+    use fssga_engine::{Budget, Network, Runner};
     use fssga_graph::{exact, generators};
 
     #[test]
@@ -212,7 +213,11 @@ mod tests {
             .iter()
             .fold(FmSketch::<8>::empty(), |a, &b| a.union(b));
         let mut net = Network::new(&g, Census::<8>, |v| sketches[v as usize]);
-        let rounds = SyncScheduler::run_to_fixpoint(&mut net, 100).unwrap();
+        let rounds = Runner::new(&mut net)
+            .budget(Budget::Fixpoint(100))
+            .run()
+            .fixpoint
+            .unwrap();
         assert!(net.states().iter().all(|&s| s == expected));
         let diam = exact::diameter(&g).unwrap() as usize;
         assert!(rounds <= diam + 2, "rounds {rounds} > diam {diam} + 2");
@@ -232,7 +237,11 @@ mod tests {
         let mut net = Network::new(&g, Census::<8>, |v| sketches[v as usize]);
         net.sync_step(&mut rng);
         net.remove_edge(9, 10);
-        SyncScheduler::run_to_fixpoint(&mut net, 100).unwrap();
+        Runner::new(&mut net)
+            .budget(Budget::Fixpoint(100))
+            .run()
+            .fixpoint
+            .unwrap();
         // Left component: union of sketches 0..=9 possibly plus early
         // diffusion — but after one round, node 9 knows at most nodes
         // 8..=10's bits... final state must be >= union(own half) and
@@ -299,12 +308,16 @@ pub fn run_averaged_census<const K: usize>(
     r: usize,
     rng: &mut Xoshiro256,
 ) -> f64 {
-    use fssga_engine::{Network, SyncScheduler};
+    use fssga_engine::{Budget, Network, Runner};
     let mut finals = Vec::with_capacity(r);
     for _ in 0..r {
         let sketches: Vec<FmSketch<K>> = (0..g.n()).map(|_| FmSketch::random_init(rng)).collect();
         let mut net = Network::new(g, Census::<K>, |v| sketches[v as usize]);
-        SyncScheduler::run_to_fixpoint(&mut net, 10 * g.n() + 20).expect("converges");
+        Runner::new(&mut net)
+            .budget(Budget::Fixpoint(10 * g.n() + 20))
+            .run()
+            .fixpoint
+            .expect("converges");
         finals.push(net.state(0));
     }
     averaged_estimate(&finals)

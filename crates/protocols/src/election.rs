@@ -365,6 +365,7 @@ pub struct Election;
 
 impl Protocol for Election {
     type State = ElectState;
+    const COMPILED: bool = true;
     /// Two independent bits per activation: bit 0 drives label picks and
     /// the agent tournament, bit 1 drives recolouring.
     const RANDOMNESS: u32 = 4;

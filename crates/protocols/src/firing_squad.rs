@@ -321,6 +321,7 @@ pub struct FiringSquad;
 
 impl Protocol for FiringSquad {
     type State = FsspState;
+    const COMPILED: bool = true;
 
     fn transition(
         &self,

@@ -74,6 +74,7 @@ pub struct TouristBfs;
 
 impl Protocol for TouristBfs {
     type State = TourLabel;
+    const COMPILED: bool = true;
 
     fn transition(
         &self,
@@ -281,6 +282,7 @@ impl Sensitive for GreedyTourist {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fssga_engine::{Budget, Network, Runner};
     use fssga_graph::generators;
 
     fn run_tourist(g: &Graph, seed: u64) -> TouristRun {
@@ -391,7 +393,11 @@ mod tests {
                 TourLabel::Star
             }
         });
-        fssga_engine::SyncScheduler::run_to_fixpoint(&mut net, 100).unwrap();
+        Runner::new(&mut net)
+            .budget(Budget::Fixpoint(100))
+            .run()
+            .fixpoint
+            .unwrap();
         let dist = fssga_graph::exact::bfs_distances(&g, &targets);
         for v in g.nodes() {
             assert_eq!(

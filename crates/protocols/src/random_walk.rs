@@ -69,6 +69,7 @@ pub struct RandomWalk;
 
 impl Protocol for RandomWalk {
     type State = WalkState;
+    const COMPILED: bool = true;
     const RANDOMNESS: u32 = 2;
 
     fn transition(

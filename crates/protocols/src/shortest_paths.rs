@@ -73,6 +73,7 @@ impl<const CAP: usize> ShortestPaths<CAP> {
 
 impl<const CAP: usize> Protocol for ShortestPaths<CAP> {
     type State = SpState<CAP>;
+    const COMPILED: bool = true;
 
     fn transition(
         &self,
@@ -156,8 +157,8 @@ pub fn route_to_sink<const CAP: usize>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fssga_engine::scheduler::{AsyncPolicy, AsyncScheduler, SyncScheduler};
     use fssga_engine::Network;
+    use fssga_engine::{AsyncPolicy, Budget, Policy, Runner};
     use fssga_graph::rng::Xoshiro256;
     use fssga_graph::{exact, generators};
 
@@ -170,7 +171,11 @@ mod tests {
         let mut net = Network::new(g, ShortestPaths::<C>, |v| {
             ShortestPaths::<C>::init(sinks.contains(&v))
         });
-        let rounds = SyncScheduler::run_to_fixpoint(&mut net, 10 * C + 10).expect("must converge");
+        let rounds = Runner::new(&mut net)
+            .budget(Budget::Fixpoint(10 * C + 10))
+            .run()
+            .fixpoint
+            .expect("must converge");
         (net, rounds)
     }
 
@@ -212,7 +217,11 @@ mod tests {
         let g = generators::path(6);
         let mut net = Network::new(&g, ShortestPaths::<8>, |v| ShortestPaths::<8>::init(v == 0));
         net.remove_edge(2, 3); // nodes 3..5 lose their sink
-        SyncScheduler::run_to_fixpoint(&mut net, 100).unwrap();
+        Runner::new(&mut net)
+            .budget(Budget::Fixpoint(100))
+            .run()
+            .fixpoint
+            .unwrap();
         let d = labels_as_distances(net.states());
         assert_eq!(&d[..3], &[0, 1, 2]);
         assert!(d[3..].iter().all(|&x| x == UNREACHABLE));
@@ -226,13 +235,13 @@ mod tests {
         let mut net = Network::new(&g, ShortestPaths::<CAP>, |v| {
             ShortestPaths::<CAP>::init(sinks.contains(&v))
         });
-        AsyncScheduler::run_to_fixpoint(
-            &mut net,
-            &mut rng,
-            50 * CAP,
-            AsyncPolicy::RandomPermutation,
-        )
-        .expect("converges");
+        Runner::new(&mut net)
+            .policy(Policy::Async(AsyncPolicy::RandomPermutation))
+            .budget(Budget::Fixpoint(50 * CAP))
+            .rng(&mut rng)
+            .run()
+            .fixpoint
+            .expect("converges");
         assert_eq!(
             labels_as_distances(net.states()),
             exact::bfs_distances(&g, &sinks)
@@ -249,11 +258,19 @@ mod tests {
             ShortestPaths::<CAP>::init(sinks.contains(&v))
         });
         let _rng = Xoshiro256::seed_from_u64(9);
-        SyncScheduler::run_to_fixpoint(&mut net, 1000).unwrap();
+        Runner::new(&mut net)
+            .budget(Budget::Fixpoint(1000))
+            .run()
+            .fixpoint
+            .unwrap();
         net.remove_edge(0, 1); // distances through node 6 now longer
                                // ...but note: after deletion some labels must INCREASE, and the
                                // 1+min rule only creeps up by one per round — still converges.
-        SyncScheduler::run_to_fixpoint(&mut net, 10 * CAP).expect("re-converges");
+        Runner::new(&mut net)
+            .budget(Budget::Fixpoint(10 * CAP))
+            .run()
+            .fixpoint
+            .expect("re-converges");
         let snapshot = net.graph().snapshot();
         assert_eq!(
             labels_as_distances(net.states()),

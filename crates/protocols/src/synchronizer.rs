@@ -75,6 +75,7 @@ pub struct Alpha<P>(pub P);
 
 impl<P: Protocol> Protocol for Alpha<P> {
     type State = AlphaState<P::State>;
+    const COMPILED: bool = P::COMPILED;
     const RANDOMNESS: u32 = P::RANDOMNESS;
     // The wrapper itself reads capped/modded counts of product states.
     const MAX_THRESHOLD: u32 = P::MAX_THRESHOLD;
@@ -254,7 +255,7 @@ mod tests {
     use super::*;
     use crate::shortest_paths::{labels_as_distances, ShortestPaths, SpState};
     use crate::two_coloring::{outcome, Color, TwoColoring};
-    use fssga_engine::scheduler::{AsyncPolicy, AsyncScheduler};
+    use fssga_engine::{AsyncPolicy, Budget, Policy, Runner};
     use fssga_graph::generators;
     use fssga_graph::rng::Xoshiro256;
 
@@ -321,7 +322,11 @@ mod tests {
             let g = generators::connected_gnp(15, 0.2, &mut rng);
             // Synchronous ground truth.
             let mut sync_net = Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
-            fssga_engine::SyncScheduler::run_to_fixpoint(&mut sync_net, 1000).unwrap();
+            Runner::new(&mut sync_net)
+                .budget(Budget::Fixpoint(1000))
+                .run()
+                .fixpoint
+                .unwrap();
             let truth = outcome(sync_net.states());
             // Async simulation.
             let (net, advances) =
@@ -378,7 +383,11 @@ mod tests {
         let mut net = alpha_network(&g, ShortestPaths::<64>, |v| {
             ShortestPaths::<64>::init(v == 0)
         });
-        AsyncScheduler::run_steps(&mut net, &mut rng, 200 * g.n(), AsyncPolicy::UniformRandom);
+        Runner::new(&mut net)
+            .policy(Policy::Async(AsyncPolicy::UniformRandom))
+            .budget(Budget::Steps(200 * g.n()))
+            .rng(&mut rng)
+            .run();
         let labels: Vec<SpState<64>> = net.states().iter().map(|s| s.cur).collect();
         assert_eq!(labels_as_distances(&labels), exact::bfs_distances(&g, &[0]));
     }

@@ -194,6 +194,7 @@ pub struct Traversal;
 
 impl Protocol for Traversal {
     type State = TravState;
+    const COMPILED: bool = true;
     const RANDOMNESS: u32 = 2;
 
     fn transition(

@@ -57,6 +57,7 @@ impl TwoColoring {
 
 impl Protocol for TwoColoring {
     type State = Color;
+    const COMPILED: bool = true;
 
     fn transition(&self, own: Color, nbrs: &NeighborView<'_, Color>, _coin: u32) -> Color {
         // The paper's f[q] clause list (identical for every own state,
@@ -124,14 +125,17 @@ pub fn outcome(states: &[Color]) -> ColoringOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fssga_engine::scheduler::{AsyncPolicy, AsyncScheduler, SyncScheduler};
     use fssga_engine::Network;
+    use fssga_engine::{AsyncPolicy, Budget, Policy, Runner};
     use fssga_graph::rng::Xoshiro256;
     use fssga_graph::{exact, generators};
 
     fn run_sync(g: &fssga_graph::Graph) -> (Vec<Color>, usize) {
         let mut net = Network::new(g, TwoColoring, |v| TwoColoring::init(v == 0));
-        let rounds = SyncScheduler::run_to_fixpoint(&mut net, 4 * g.n() + 16)
+        let rounds = Runner::new(&mut net)
+            .budget(Budget::Fixpoint(4 * g.n() + 16))
+            .run()
+            .fixpoint
             .expect("2-colouring must stabilize");
         (net.states().to_vec(), rounds)
     }
@@ -194,13 +198,13 @@ mod tests {
             let g = generators::connected_gnp(12, 0.25, &mut rng);
             let truth = exact::bipartition(&g).is_some();
             let mut net = Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
-            AsyncScheduler::run_to_fixpoint(
-                &mut net,
-                &mut rng,
-                20 * g.n(),
-                AsyncPolicy::RandomPermutation,
-            )
-            .expect("stabilizes");
+            Runner::new(&mut net)
+                .policy(Policy::Async(AsyncPolicy::RandomPermutation))
+                .budget(Budget::Fixpoint(20 * g.n()))
+                .rng(&mut rng)
+                .run()
+                .fixpoint
+                .expect("stabilizes");
             let got = outcome(net.states());
             if truth {
                 assert_eq!(got, ColoringOutcome::ProperColoring, "trial {trial}");
@@ -214,7 +218,11 @@ mod tests {
     fn seedless_network_stays_blank() {
         let g = generators::cycle(6);
         let mut net = Network::new(&g, TwoColoring, |_| Color::Blank);
-        SyncScheduler::run_to_fixpoint(&mut net, 10).expect("immediately stable");
+        Runner::new(&mut net)
+            .budget(Budget::Fixpoint(10))
+            .run()
+            .fixpoint
+            .expect("immediately stable");
         assert_eq!(outcome(net.states()), ColoringOutcome::Incomplete);
     }
 
@@ -249,7 +257,11 @@ mod tests {
         net.sync_step(&mut rng);
         net.remove_edge(3, 4);
         net.remove_edge(9, 10);
-        SyncScheduler::run_to_fixpoint(&mut net, 100).expect("stabilizes");
+        Runner::new(&mut net)
+            .budget(Budget::Fixpoint(100))
+            .run()
+            .fixpoint
+            .expect("stabilizes");
         assert!(
             net.states().iter().all(|&s| s != Color::Failed),
             "an even cycle minus edges is still bipartite: no node may fail"
@@ -274,6 +286,7 @@ pub fn paper_literal_automaton() -> fssga_core::ProbFssga {
 mod paper_literal_tests {
     use super::*;
     use fssga_engine::interp::InterpNetwork;
+    use fssga_engine::{AsyncPolicy, Budget, Policy, Runner};
     use fssga_graph::generators;
     use fssga_graph::rng::Xoshiro256;
 
@@ -317,7 +330,11 @@ mod paper_literal_tests {
         // survives seed-first asynchronous activation.
         let g = generators::path(2);
         let mut net = fssga_engine::Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
-        assert!(fssga_engine::SyncScheduler::run_to_fixpoint(&mut net, 50).is_some());
+        assert!(Runner::new(&mut net)
+            .budget(Budget::Fixpoint(50))
+            .run()
+            .fixpoint
+            .is_some());
         assert_eq!(outcome(net.states()), ColoringOutcome::ProperColoring);
 
         let g = generators::path(3);
@@ -325,13 +342,13 @@ mod paper_literal_tests {
         let mut rng = Xoshiro256::seed_from_u64(3);
         net.activate(0, &mut rng); // sticky: seed keeps RED
         assert_eq!(net.state(0), Color::Red);
-        fssga_engine::scheduler::AsyncScheduler::run_to_fixpoint(
-            &mut net,
-            &mut rng,
-            100,
-            fssga_engine::scheduler::AsyncPolicy::RoundRobin,
-        )
-        .expect("stabilizes");
+        Runner::new(&mut net)
+            .policy(Policy::Async(AsyncPolicy::RoundRobin))
+            .budget(Budget::Fixpoint(100))
+            .rng(&mut rng)
+            .run()
+            .fixpoint
+            .expect("stabilizes");
         assert_eq!(outcome(net.states()), ColoringOutcome::ProperColoring);
     }
 }

@@ -8,7 +8,7 @@
 //! 2. The Section 1 Flajolet–Martin census estimates the network size —
 //!    and keeps working after we cut the network in half.
 
-use fssga::engine::{Network, SyncScheduler};
+use fssga::engine::{Budget, Network, Runner};
 use fssga::graph::generators;
 use fssga::graph::rng::Xoshiro256;
 use fssga::protocols::census::{Census, FmSketch};
@@ -22,7 +22,10 @@ fn main() {
         ("9-cycle", generators::cycle(9)),
     ] {
         let mut net = Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
-        let rounds = SyncScheduler::run_to_fixpoint(&mut net, 10 * g.n())
+        let rounds = Runner::new(&mut net)
+            .budget(Budget::Fixpoint(10 * g.n()))
+            .run()
+            .fixpoint
             .expect("two-colouring always stabilizes");
         println!(
             "{name}: {:?} after {rounds} synchronous rounds",
@@ -40,7 +43,11 @@ fn main() {
     let mut net = Network::new(&g, Census::<16>, |v| sketches[v as usize]);
     {
         let mut probe = Network::new(&g, Census::<16>, |v| sketches[v as usize]);
-        let rounds = SyncScheduler::run_to_fixpoint(&mut probe, 10 * n).unwrap();
+        let rounds = Runner::new(&mut probe)
+            .budget(Budget::Fixpoint(10 * n))
+            .run()
+            .fixpoint
+            .unwrap();
         println!(
             "n = {n}: every node estimates {:.0} after {rounds} rounds",
             probe.state(0).estimate()
@@ -56,7 +63,11 @@ fn main() {
             net.remove_edge(u, v);
         }
     }
-    SyncScheduler::run_to_fixpoint(&mut net, 10 * n).unwrap();
+    Runner::new(&mut net)
+        .budget(Budget::Fixpoint(10 * n))
+        .run()
+        .fixpoint
+        .unwrap();
     let left = net.state(0).estimate();
     let right = net.state((n - 1) as u32).estimate();
     println!("after partition: left half estimates {left:.0}, right half {right:.0}");

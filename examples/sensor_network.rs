@@ -7,7 +7,7 @@
 //! cargo run --release --example sensor_network
 //! ```
 
-use fssga::engine::{Network, SyncScheduler};
+use fssga::engine::{Budget, Network, Runner};
 use fssga::graph::{exact, generators};
 use fssga::protocols::shortest_paths::{labels_as_distances, route_to_sink, ShortestPaths};
 
@@ -22,7 +22,11 @@ fn main() {
     let mut net = Network::new(&g, ShortestPaths::<CAP>, |v| {
         ShortestPaths::<CAP>::init(sinks.contains(&v))
     });
-    let rounds = SyncScheduler::run_to_fixpoint(&mut net, 4 * CAP).unwrap();
+    let rounds = Runner::new(&mut net)
+        .budget(Budget::Fixpoint(4 * CAP))
+        .run()
+        .fixpoint
+        .unwrap();
     println!("label convergence: {rounds} rounds on a {rows}x{cols} grid with 2 sinks");
 
     // Route a few packets greedily along decreasing labels.
@@ -46,7 +50,11 @@ fn main() {
     for (u, v) in victims {
         net.remove_edge(u, v);
     }
-    let rounds = SyncScheduler::run_to_fixpoint(&mut net, 8 * CAP).unwrap();
+    let rounds = Runner::new(&mut net)
+        .budget(Budget::Fixpoint(8 * CAP))
+        .run()
+        .fixpoint
+        .unwrap();
     let snapshot = net.graph().snapshot();
     let truth = exact::bfs_distances(&snapshot, &sinks);
     let healed = labels_as_distances(net.states()) == truth;

@@ -29,13 +29,13 @@
 //!
 //! ```
 //! use fssga::graph::generators;
-//! use fssga::engine::{Network, SyncScheduler};
+//! use fssga::engine::{Budget, Network, Runner};
 //! use fssga::protocols::two_coloring::{TwoColoring, Color};
 //!
 //! // Is a 6-cycle bipartite? Run the paper's Section 4.1 automaton.
 //! let g = generators::cycle(6);
 //! let mut net = Network::new(&g, &TwoColoring, |v| TwoColoring::init(v == 0));
-//! let rounds = SyncScheduler::run_to_fixpoint(&mut net, 100).expect("converges");
+//! let rounds = Runner::new(&mut net).budget(Budget::Fixpoint(100)).run().fixpoint.expect("converges");
 //! assert!(rounds <= 100);
 //! assert!(net.states().iter().all(|&s| s != Color::Failed));
 //! ```

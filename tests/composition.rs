@@ -4,7 +4,7 @@
 //! ("an election algorithm is an algorithmic form of global symmetry
 //! breaking").
 
-use fssga::engine::{Network, SyncScheduler};
+use fssga::engine::{Budget, Network, Runner};
 use fssga::graph::rng::Xoshiro256;
 use fssga::graph::{exact, generators};
 use fssga::protocols::election::ElectionHarness;
@@ -22,7 +22,11 @@ fn elect_then_two_color_from_uniform_start() {
         let leader = h.run(1_000_000, &mut rng).leader.expect("elects");
         // Phase 2: the leader seeds the 4.1 automaton.
         let mut net = Network::new(&g, TwoColoring, |v| TwoColoring::init(v == leader));
-        SyncScheduler::run_to_fixpoint(&mut net, 20 * g.n()).unwrap();
+        Runner::new(&mut net)
+            .budget(Budget::Fixpoint(20 * g.n()))
+            .run()
+            .fixpoint
+            .unwrap();
         let truth = exact::bipartition(&g).is_some();
         let got = outcome(net.states()) == ColoringOutcome::ProperColoring;
         assert_eq!(got, truth, "trial {trial}");
@@ -39,7 +43,11 @@ fn elect_then_cluster_around_the_leader() {
     let mut net = Network::new(&g, ShortestPaths::<128>, |v| {
         ShortestPaths::<128>::init(v == leader)
     });
-    SyncScheduler::run_to_fixpoint(&mut net, 600).unwrap();
+    Runner::new(&mut net)
+        .budget(Budget::Fixpoint(600))
+        .run()
+        .fixpoint
+        .unwrap();
     assert_eq!(
         labels_as_distances(net.states()),
         exact::bfs_distances(&g, &[leader])

@@ -3,7 +3,7 @@
 //! synthesis silently relies on this, so dishonest declarations would be
 //! a miscompilation. The recorder makes the check mechanical.
 
-use fssga::engine::{Network, Protocol, SyncScheduler};
+use fssga::engine::{Budget, Network, Protocol, Runner};
 use fssga::graph::generators;
 use fssga::graph::rng::Xoshiro256;
 
@@ -12,7 +12,11 @@ fn assert_honest<P: Protocol>(protocol: P, init: impl Fn(u32) -> P::State, round
     let g = generators::connected_gnp(24, 0.2, &mut rng);
     let mut net = Network::new(&g, protocol, &init);
     net.enable_recording();
-    let _ = SyncScheduler::run_to_fixpoint_with_rng(&mut net, &mut rng, rounds);
+    let _ = Runner::new(&mut net)
+        .budget(Budget::Fixpoint(rounds))
+        .rng(&mut rng)
+        .run()
+        .fixpoint;
     let rec = net.recorded_queries().unwrap();
     for (q, &t) in rec.thresholds.iter().enumerate() {
         assert!(

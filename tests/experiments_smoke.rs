@@ -11,11 +11,15 @@
 #[test]
 fn quickstart_doc_example_compiles_and_runs() {
     // Mirrors the README quickstart, guarding the public API surface.
-    use fssga::engine::{Network, SyncScheduler};
+    use fssga::engine::{Budget, Network, Runner};
     use fssga::graph::generators;
     use fssga::protocols::two_coloring::{outcome, ColoringOutcome, TwoColoring};
     let g = generators::cycle(6);
     let mut net = Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
-    SyncScheduler::run_to_fixpoint(&mut net, 100).expect("converges");
+    Runner::new(&mut net)
+        .budget(Budget::Fixpoint(100))
+        .run()
+        .fixpoint
+        .expect("converges");
     assert_eq!(outcome(net.states()), ColoringOutcome::ProperColoring);
 }

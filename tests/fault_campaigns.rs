@@ -4,7 +4,7 @@
 use fssga::engine::campaign::{Campaign, CampaignTrace, RunPolicy};
 use fssga::engine::faults::{FaultEvent, FaultKind, FaultPlan};
 use fssga::engine::sensitivity::{FaultInjector, Verdict};
-use fssga::engine::{AsyncPolicy, Network, SyncScheduler};
+use fssga::engine::{AsyncPolicy, Budget, Network, Runner};
 use fssga::graph::rng::Xoshiro256;
 use fssga::graph::{exact, generators, DynGraph, Graph};
 use fssga::protocols::census::{Census, FmSketch};
@@ -79,7 +79,11 @@ fn shortest_paths_survive_heavy_edge_loss() {
     let mut net = Network::new(&g, ShortestPaths::<128>, |v| {
         ShortestPaths::<128>::init(v == 0)
     });
-    SyncScheduler::run_to_fixpoint(&mut net, 600).unwrap();
+    Runner::new(&mut net)
+        .budget(Budget::Fixpoint(600))
+        .run()
+        .fixpoint
+        .unwrap();
     let mut removed = 0;
     let target = g.m() / 3;
     while removed < target {
@@ -92,7 +96,11 @@ fn shortest_paths_survive_heavy_edge_loss() {
             removed += 1;
         }
     }
-    SyncScheduler::run_to_fixpoint(&mut net, 600).expect("re-converges");
+    Runner::new(&mut net)
+        .budget(Budget::Fixpoint(600))
+        .run()
+        .fixpoint
+        .expect("re-converges");
     let snapshot = net.graph().snapshot();
     assert_eq!(
         labels_as_distances(net.states()),

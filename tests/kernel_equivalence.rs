@@ -1,0 +1,243 @@
+//! Cross-engine equivalence: the compiled kernel (dense tables, CSR
+//! adjacency, dirty-set scheduling, optional parallel rounds) must be
+//! bit-identical to the interpreter — same states after every round and
+//! the same change counts — for every protocol in the workspace, on
+//! path / star / Erdős–Rényi / torus topologies, with and without
+//! mid-run faults and interpreter interleaving.
+
+use fssga::engine::rng::Xoshiro256;
+use fssga::engine::{Budget, Engine, Network, Policy, Protocol, Runner};
+use fssga::graph::{generators, Graph, NodeId};
+use fssga::protocols::bfs::{Bfs, BfsState};
+use fssga::protocols::census::{Census, FmSketch};
+use fssga::protocols::election::{ElectState, Election};
+use fssga::protocols::firing_squad::{FiringSquad, FsspState};
+use fssga::protocols::greedy_tourist::{TourLabel, TouristBfs};
+use fssga::protocols::random_walk::{RandomWalk, WalkState};
+use fssga::protocols::shortest_paths::ShortestPaths;
+use fssga::protocols::synchronizer::alpha_network;
+use fssga::protocols::traversal::{TravState, Traversal};
+use fssga::protocols::two_coloring::TwoColoring;
+
+/// The four benchmark topologies of the acceptance criteria.
+fn graphs() -> Vec<(&'static str, Graph)> {
+    let mut rng = Xoshiro256::seed_from_u64(0xEC);
+    vec![
+        ("path", generators::path(40)),
+        ("star", generators::star(40)),
+        ("er", generators::connected_gnp(48, 0.12, &mut rng)),
+        ("torus", generators::torus(8, 8)),
+    ]
+}
+
+/// Steps `a` on the interpreter and `b` on the kernel, one synchronous
+/// round at a time, asserting states and cumulative change counts agree
+/// after every round. Both draw round seeds from identically-seeded RNGs.
+fn lockstep<P: Protocol>(
+    mut a: Network<P>,
+    mut b: Network<P>,
+    rounds: usize,
+    seed: u64,
+    ctx: &str,
+) {
+    let mut rng_a = Xoshiro256::seed_from_u64(seed);
+    let mut rng_b = Xoshiro256::seed_from_u64(seed);
+    for round in 1..=rounds {
+        Runner::new(&mut a)
+            .engine(Engine::Interpreter)
+            .budget(Budget::Rounds(1))
+            .rng(&mut rng_a)
+            .run();
+        Runner::new(&mut b)
+            .engine(Engine::Kernel)
+            .budget(Budget::Rounds(1))
+            .rng(&mut rng_b)
+            .run();
+        assert_eq!(
+            a.states(),
+            b.states(),
+            "{ctx}: states diverged at round {round}"
+        );
+        assert_eq!(
+            a.metrics.changes, b.metrics.changes,
+            "{ctx}: change counts diverged at round {round}"
+        );
+    }
+}
+
+/// Runs each protocol on each topology and checks per-round equivalence.
+#[test]
+fn all_protocols_agree_on_all_topologies() {
+    for (gname, g) in graphs() {
+        let n = g.n();
+        let last = (n - 1) as NodeId;
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let sketches: Vec<FmSketch<8>> = (0..n).map(|_| FmSketch::random_init(&mut rng)).collect();
+
+        let mk = |init: &dyn Fn(NodeId) -> _| Network::new(&g, TwoColoring, init);
+        lockstep(
+            mk(&|v| TwoColoring::init(v == 0)),
+            mk(&|v| TwoColoring::init(v == 0)),
+            12,
+            1,
+            &format!("two-coloring/{gname}"),
+        );
+
+        let mk = |_: ()| Network::new(&g, Census::<8>, |v| sketches[v as usize]);
+        lockstep(mk(()), mk(()), 12, 2, &format!("census/{gname}"));
+
+        let mk = |_: ()| {
+            Network::new(&g, ShortestPaths::<32>, |v| {
+                ShortestPaths::<32>::init(v == 0)
+            })
+        };
+        lockstep(mk(()), mk(()), 12, 3, &format!("shortest-paths/{gname}"));
+
+        let mk = |_: ()| Network::new(&g, Bfs, |v| BfsState::init(v == 0, v == last));
+        lockstep(mk(()), mk(()), 12, 4, &format!("bfs/{gname}"));
+
+        let mk = |_: ()| {
+            Network::new(&g, TouristBfs, |v| {
+                if v % 7 == 0 {
+                    TourLabel::Target
+                } else {
+                    TourLabel::Star
+                }
+            })
+        };
+        lockstep(mk(()), mk(()), 12, 5, &format!("greedy-tourist/{gname}"));
+
+        let mk = |_: ()| {
+            Network::new(&g, RandomWalk, |v| {
+                if v == 0 {
+                    WalkState::Flip
+                } else {
+                    WalkState::Blank
+                }
+            })
+        };
+        lockstep(mk(()), mk(()), 12, 6, &format!("random-walk/{gname}"));
+
+        let mk = |_: ()| Network::new(&g, Election, |_| ElectState::init());
+        lockstep(mk(()), mk(()), 12, 7, &format!("election/{gname}"));
+
+        let mk = |_: ()| Network::new(&g, FiringSquad, |v| FsspState::init(v == 0));
+        lockstep(mk(()), mk(()), 12, 8, &format!("firing-squad/{gname}"));
+
+        let mk = |_: ()| Network::new(&g, Traversal, |v| TravState::init(v == 0));
+        lockstep(mk(()), mk(()), 12, 9, &format!("traversal/{gname}"));
+
+        let mk = |_: ()| {
+            alpha_network(&g, ShortestPaths::<16>, |v| {
+                ShortestPaths::<16>::init(v == 0)
+            })
+        };
+        lockstep(
+            mk(()),
+            mk(()),
+            12,
+            10,
+            &format!("alpha-synchronizer/{gname}"),
+        );
+    }
+}
+
+/// Benign faults mid-run: the kernel's CSR mirror and dirty-set
+/// bookkeeping must track edge and node removals exactly.
+#[test]
+fn engines_agree_across_faults() {
+    for (gname, g) in graphs() {
+        let mut nets = [
+            Network::new(&g, ShortestPaths::<32>, |v| {
+                ShortestPaths::<32>::init(v == 0)
+            }),
+            Network::new(&g, ShortestPaths::<32>, |v| {
+                ShortestPaths::<32>::init(v == 0)
+            }),
+        ];
+        let engines = [Engine::Interpreter, Engine::Kernel];
+        for (net, engine) in nets.iter_mut().zip(engines) {
+            let step = |net: &mut _, k| {
+                Runner::new(net)
+                    .engine(engine)
+                    .budget(Budget::Rounds(k))
+                    .run();
+            };
+            step(net, 3);
+            net.remove_edge(0, 1);
+            step(net, 2);
+            net.remove_node(5);
+            step(net, 2);
+            // Interpreter-path interleaving invalidates kernel caches.
+            let mut rng = Xoshiro256::seed_from_u64(40);
+            net.activate(2, &mut rng);
+            Runner::new(net)
+                .engine(engine)
+                .budget(Budget::Fixpoint(1000))
+                .run();
+        }
+        let [a, b] = nets;
+        assert_eq!(a.states(), b.states(), "fault run diverged on {gname}");
+        assert_eq!(a.metrics.changes, b.metrics.changes, "{gname}");
+    }
+}
+
+/// Asynchronous sweeps always run on the interpreter; a kernel-backed
+/// network must behave identically to a plain one when the two modes are
+/// mixed (async sweep, then a compiled synchronous fixpoint).
+#[test]
+fn async_then_kernel_sync_matches_pure_interpreter() {
+    for (gname, g) in graphs() {
+        let build = || Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
+        let max_rounds = 10 * g.n();
+        let run = |mut net: Network<TwoColoring>, engine: Engine| {
+            let mut rng = Xoshiro256::seed_from_u64(99);
+            Runner::new(&mut net)
+                .policy(Policy::Async(fssga::engine::AsyncPolicy::RandomPermutation))
+                .budget(Budget::Rounds(2))
+                .rng(&mut rng)
+                .run();
+            Runner::new(&mut net)
+                .engine(engine)
+                .budget(Budget::Fixpoint(max_rounds))
+                .rng(&mut rng)
+                .run();
+            net
+        };
+        let a = run(build(), Engine::Interpreter);
+        let b = run(build(), Engine::Kernel);
+        assert_eq!(a.states(), b.states(), "mixed-mode run diverged on {gname}");
+    }
+}
+
+/// Parallel synchronous rounds are bit-identical to sequential ones for
+/// any thread count, on both engines.
+#[cfg(feature = "parallel")]
+#[test]
+fn parallel_rounds_are_bit_identical() {
+    for (gname, g) in graphs() {
+        for engine in [Engine::Interpreter, Engine::Kernel] {
+            let build = || Network::new(&g, Traversal, |v| TravState::init(v == 0));
+            let mut seq = build();
+            Runner::new(&mut seq)
+                .engine(engine)
+                .budget(Budget::Rounds(10))
+                .seed(5)
+                .run();
+            for threads in [2usize, 3, 8] {
+                let mut par = build();
+                Runner::new(&mut par)
+                    .engine(engine)
+                    .budget(Budget::Rounds(10))
+                    .seed(5)
+                    .run_parallel(threads);
+                assert_eq!(
+                    seq.states(),
+                    par.states(),
+                    "{gname}: {engine:?} with {threads} threads diverged"
+                );
+                assert_eq!(seq.metrics.changes, par.metrics.changes, "{gname}");
+            }
+        }
+    }
+}

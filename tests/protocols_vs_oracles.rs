@@ -5,8 +5,7 @@
 use fssga::core::multiset::Multiset;
 use fssga::engine::compile::compile_protocol;
 use fssga::engine::interp::InterpNetwork;
-use fssga::engine::scheduler::{AsyncPolicy, AsyncScheduler};
-use fssga::engine::{Network, StateSpace, SyncScheduler};
+use fssga::engine::{AsyncPolicy, Budget, Network, Policy, Runner, StateSpace};
 use fssga::graph::rng::Xoshiro256;
 use fssga::graph::{exact, generators};
 use fssga::protocols::bfs::{run_bfs, Status};
@@ -31,7 +30,11 @@ fn the_whole_portfolio_on_one_shared_graph() {
         .map(|_| FmSketch::random_init(&mut rng))
         .collect();
     let mut census = Network::new(&g, Census::<16>, |v| sketches[v as usize]);
-    SyncScheduler::run_to_fixpoint(&mut census, 10 * g.n()).unwrap();
+    Runner::new(&mut census)
+        .budget(Budget::Fixpoint(10 * g.n()))
+        .run()
+        .fixpoint
+        .unwrap();
     let est = census.state(0).estimate();
     assert!(
         (4.0..=600.0).contains(&est),
@@ -40,7 +43,11 @@ fn the_whole_portfolio_on_one_shared_graph() {
 
     // 2. Two-colouring agrees with the oracle.
     let mut col = Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0));
-    SyncScheduler::run_to_fixpoint(&mut col, 10 * g.n()).unwrap();
+    Runner::new(&mut col)
+        .budget(Budget::Fixpoint(10 * g.n()))
+        .run()
+        .fixpoint
+        .unwrap();
     let bip = exact::bipartition(&g).is_some();
     assert_eq!(
         outcome(col.states()) == ColoringOutcome::ProperColoring,
@@ -51,7 +58,11 @@ fn the_whole_portfolio_on_one_shared_graph() {
     let mut sp = Network::new(&g, ShortestPaths::<128>, |v| {
         ShortestPaths::<128>::init(v == 0)
     });
-    SyncScheduler::run_to_fixpoint(&mut sp, 600).unwrap();
+    Runner::new(&mut sp)
+        .budget(Budget::Fixpoint(600))
+        .run()
+        .fixpoint
+        .unwrap();
     assert_eq!(
         labels_as_distances(sp.states()),
         exact::bfs_distances(&g, &[0])
@@ -99,7 +110,11 @@ fn alpha_synchronizer_composes_with_census() {
         .iter()
         .fold(FmSketch::<8>::empty(), |a, &b| a.union(b));
     let mut net = alpha_network(&g, Census::<8>, |v| sketches[v as usize]);
-    AsyncScheduler::run_steps(&mut net, &mut rng, 300 * g.n(), AsyncPolicy::UniformRandom);
+    Runner::new(&mut net)
+        .policy(Policy::Async(AsyncPolicy::UniformRandom))
+        .budget(Budget::Steps(300 * g.n()))
+        .rng(&mut rng)
+        .run();
     assert!(net.states().iter().all(|s| s.cur == expected));
 }
 

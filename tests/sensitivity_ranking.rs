@@ -17,7 +17,7 @@ use fssga::engine::faults::{FaultEvent, FaultKind};
 use fssga::engine::sensitivity::{
     reasonably_correct, sweep_single_faults, Sensitive, SensitivityClass, Verdict,
 };
-use fssga::engine::{AsyncPolicy, AsyncScheduler, Campaign, Network, RunPolicy};
+use fssga::engine::{AsyncPolicy, Budget, Campaign, Network, Policy, RunPolicy, Runner};
 use fssga::graph::rng::Xoshiro256;
 use fssga::graph::{exact, generators, DynGraph, Graph, NodeId};
 use fssga::protocols::bridges::BridgeWalk;
@@ -298,12 +298,11 @@ fn alpha_synchronizer_is_zero_critical() {
         let ev = schedule[0];
         let mut net = alpha_network(&g, TwoColoring, |v| TwoColoring::init(v == 0));
         let mut rng = Xoshiro256::seed_from_u64(504);
-        AsyncScheduler::run_steps(
-            &mut net,
-            &mut rng,
-            ev.time as usize * n,
-            AsyncPolicy::RoundRobin,
-        );
+        Runner::new(&mut net)
+            .policy(Policy::Async(AsyncPolicy::RoundRobin))
+            .budget(Budget::Steps(ev.time as usize * n))
+            .rng(&mut rng)
+            .run();
         match ev.kind {
             FaultKind::Edge(u, v) => {
                 net.remove_edge(u, v);
@@ -318,7 +317,11 @@ fn alpha_synchronizer_is_zero_critical() {
         let mut progressed = vec![false; n];
         for _ in 0..10 {
             let before: Vec<u8> = (0..n as NodeId).map(|v| net.state(v).clock).collect();
-            AsyncScheduler::run_steps(&mut net, &mut rng, alive.len(), AsyncPolicy::RoundRobin);
+            Runner::new(&mut net)
+                .policy(Policy::Async(AsyncPolicy::RoundRobin))
+                .budget(Budget::Steps(alive.len()))
+                .rng(&mut rng)
+                .run();
             for &v in &alive {
                 if net.state(v).clock != before[v as usize] {
                     progressed[v as usize] = true;
