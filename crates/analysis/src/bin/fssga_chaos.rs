@@ -8,8 +8,14 @@
 //! correct is not, or if a trace fails to replay bit-for-bit.
 //!
 //! Usage:
-//!     fssga-chaos           # run the smoke suite
-//!     fssga-chaos --seed N  # override the base seed
+//!     fssga-chaos                    # run the smoke suite
+//!     fssga-chaos --seed N           # override the base seed
+//!     fssga-chaos --trace-out PATH   # also write a JSONL round/fault trace
+//!
+//! The trace artifact is one JSON-lines record per synchronous round
+//! (`{"t":"round",...}` — see `fssga_engine::RoundMetrics::to_jsonl`)
+//! interleaved with the fault surgeries the campaign applied
+//! (`{"t":"fault",...}`), from a census campaign on the smoke grid.
 
 use fssga_engine::campaign::{Campaign, RunPolicy};
 use fssga_engine::faults::{FaultEvent, FaultKind, FaultPlan};
@@ -130,6 +136,7 @@ where
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 0xC4A05u64;
+    let mut trace_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -140,8 +147,15 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(p.clone()),
+                None => {
+                    eprintln!("--trace-out needs a path");
+                    std::process::exit(2);
+                }
+            },
             other => {
-                eprintln!("unknown flag {other}; usage: fssga-chaos [--seed N]");
+                eprintln!("unknown flag {other}; usage: fssga-chaos [--seed N] [--trace-out PATH]");
                 std::process::exit(2);
             }
         }
@@ -169,6 +183,24 @@ fn main() {
             "sssp/gnp",
             |s| sp_campaign(&gnp, s).horizon(80).plan(plan.clone()),
             seed + 10,
+        );
+    }
+
+    // --- Optional artifact: replayable round/fault trace of one campaign. ---
+    if let Some(path) = trace_out.as_deref() {
+        use std::io::Write;
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x7ACE);
+        let base = DynGraph::from_graph(&grid);
+        let plan = FaultPlan::random(&base, 4, 12, 0.7, &[0], &mut rng);
+        let campaign = census_campaign(&grid, seed).horizon(40).plan(plan);
+        let f = std::io::BufWriter::new(std::fs::File::create(path).expect("create trace file"));
+        let mut sink = fssga_engine::JsonlTrace::new(f);
+        let out = campaign.run_traced(&mut sink);
+        sink.into_inner().flush().expect("flush trace file");
+        println!(
+            "fssga-chaos: wrote round/fault trace ({} fault(s), verdict={:?}) to {path}",
+            out.trace.schedule.len(),
+            out.verdict
         );
     }
 

@@ -4,6 +4,9 @@
 //! fssga-bench engine                  # full baseline, writes BENCH_engine.json
 //! fssga-bench engine --smoke          # tiny workloads, CI sanity only
 //! fssga-bench engine --out path.json
+//! fssga-bench engine --trace-out t.jsonl   # also emit a JSONL round trace
+//! fssga-bench golden [--out path.jsonl]    # regenerate the metrics snapshot
+//! fssga-bench golden --check [--out path]  # diff against the recorded snapshot
 //! ```
 //!
 //! The `engine` baseline races the interpreter against the compiled
@@ -12,12 +15,20 @@
 //! relaxation on a torus — and records median wall times plus the
 //! speedup. Both engines are bit-identical in trajectory (asserted here
 //! on final states), so the speedup is a pure execution-path comparison.
+//!
+//! The timed runs carry a [`fssga_engine::NullTracer`] — the zero-cost
+//! observability default — so the recorded medians are untraced numbers.
+//! One extra *observed* kernel run per workload (never timed) collects
+//! the [`RunMetrics`] columns (`kernel_activations_per_round`,
+//! `dirty_hit_rate`) and, under `--trace-out`, streams every round event
+//! to a replayable JSONL artifact.
 
+use std::io::Write;
 use std::time::Instant;
 
 use fssga_bench::harness::fmt_ns;
 use fssga_bench::DEFAULT_SEED;
-use fssga_engine::{Budget, Engine, Network, Runner};
+use fssga_engine::{Budget, Engine, Network, RoundLog, RunMetrics, Runner, Tracer};
 use fssga_graph::rng::Xoshiro256;
 use fssga_graph::Graph;
 use fssga_protocols::census::{Census, FmSketch};
@@ -37,12 +48,14 @@ impl Timing {
     }
 }
 
-/// One interpreter-vs-kernel comparison.
+/// One interpreter-vs-kernel comparison, plus the kernel's observed
+/// per-round metrics (from a separate, untimed run).
 struct Row {
     name: String,
     n: usize,
     interp: Timing,
     kernel: Timing,
+    metrics: RunMetrics,
 }
 
 impl Row {
@@ -54,14 +67,17 @@ impl Row {
         format!(
             "{{\"name\":\"{}\",\"n\":{},\"rounds\":{},\
              \"interpreter_median_ns\":{:.0},\"kernel_median_ns\":{:.0},\
-             \"reps\":{},\"speedup\":{:.2}}}",
+             \"reps\":{},\"speedup\":{:.2},\
+             \"kernel_activations_per_round\":{:.1},\"dirty_hit_rate\":{:.4}}}",
             self.name,
             self.n,
             self.interp.rounds,
             self.interp.median_ns(),
             self.kernel.median_ns(),
             self.interp.times_ns.len(),
-            self.speedup()
+            self.speedup(),
+            self.metrics.activations_per_round(),
+            self.metrics.dirty_hit_rate()
         )
     }
 }
@@ -97,7 +113,7 @@ fn fingerprint(indices: impl Iterator<Item = usize>) -> u64 {
     h
 }
 
-fn census_row(g: &Graph, name: &str, reps: usize) -> Row {
+fn census_row(g: &Graph, name: &str, reps: usize, tracer: &mut dyn Tracer) -> Row {
     use fssga_engine::StateSpace;
     let mut rng = Xoshiro256::seed_from_u64(DEFAULT_SEED);
     let sketches: Vec<FmSketch<16>> = (0..g.n())
@@ -118,21 +134,35 @@ fn census_row(g: &Graph, name: &str, reps: usize) -> Row {
     let (kernel, fk) = time_engine(reps, Engine::Kernel, run);
     assert_eq!(fi, fk, "engines must agree on final states");
     assert_eq!(interp.rounds, kernel.rounds, "engines must agree on rounds");
+    // One untimed observed kernel run for the metric columns / trace.
+    let mut net = Network::new(g, Census::<16>, |v| sketches[v as usize]);
+    let metrics = Runner::new(&mut net)
+        .engine(Engine::Kernel)
+        .budget(Budget::Fixpoint(10 * g.n()))
+        .observed()
+        .tracer(tracer)
+        .run()
+        .metrics
+        .expect("observed run carries metrics");
     Row {
         name: name.to_string(),
         n: g.n(),
         interp,
         kernel,
+        metrics,
     }
 }
 
-fn shortest_paths_row(g: &Graph, name: &str, reps: usize) -> Row {
+fn shortest_paths_row(g: &Graph, name: &str, reps: usize, tracer: &mut dyn Tracer) -> Row {
     use fssga_engine::StateSpace;
     const CAP: usize = 256;
-    let run = |engine: Engine| {
-        let mut net = Network::new(g, ShortestPaths::<CAP>, |v| {
+    let build = || {
+        Network::new(g, ShortestPaths::<CAP>, |v| {
             ShortestPaths::<CAP>::init(v == 0)
-        });
+        })
+    };
+    let run = |engine: Engine| {
+        let mut net = build();
         let report = Runner::new(&mut net)
             .engine(engine)
             .budget(Budget::Fixpoint(8 * CAP))
@@ -146,15 +176,26 @@ fn shortest_paths_row(g: &Graph, name: &str, reps: usize) -> Row {
     let (kernel, fk) = time_engine(reps, Engine::Kernel, run);
     assert_eq!(fi, fk, "engines must agree on final states");
     assert_eq!(interp.rounds, kernel.rounds, "engines must agree on rounds");
+    // One untimed observed kernel run for the metric columns / trace.
+    let mut net = build();
+    let metrics = Runner::new(&mut net)
+        .engine(Engine::Kernel)
+        .budget(Budget::Fixpoint(8 * CAP))
+        .observed()
+        .tracer(tracer)
+        .run()
+        .metrics
+        .expect("observed run carries metrics");
     Row {
         name: name.to_string(),
         n: g.n(),
         interp,
         kernel,
+        metrics,
     }
 }
 
-fn engine_baseline(smoke: bool, out: &str) {
+fn engine_baseline(smoke: bool, out: &str, trace_out: Option<&str>) {
     use fssga_graph::generators;
     // Torus keeps every degree at 4 while the diameter (≈ side) sets the
     // number of rounds; side 224 puts n just past the 50k floor.
@@ -164,19 +205,40 @@ fn engine_baseline(smoke: bool, out: &str) {
         "engine baseline: torus {side}x{side} (n = {}), {reps} rep(s) per engine",
         g.n()
     );
-    let rows = [
-        census_row(&g, &format!("census/torus-{side}x{side}"), reps),
-        shortest_paths_row(&g, &format!("shortest-paths/torus-{side}x{side}"), reps),
-    ];
+    let run_rows = |tracer: &mut dyn Tracer| {
+        [
+            census_row(&g, &format!("census/torus-{side}x{side}"), reps, tracer),
+            shortest_paths_row(
+                &g,
+                &format!("shortest-paths/torus-{side}x{side}"),
+                reps,
+                tracer,
+            ),
+        ]
+    };
+    let rows = match trace_out {
+        Some(path) => {
+            let f = std::io::BufWriter::new(std::fs::File::create(path).expect("create trace"));
+            let mut sink = fssga_engine::JsonlTrace::new(f);
+            let rows = run_rows(&mut sink);
+            sink.into_inner().flush().expect("flush trace");
+            println!("wrote {path}");
+            rows
+        }
+        None => run_rows(&mut fssga_engine::NullTracer),
+    };
     for row in &rows {
         println!(
-            "{:<36} n={:<6} rounds={:<4} interp {:>12} kernel {:>12} speedup {:>6.2}x",
+            "{:<36} n={:<6} rounds={:<4} interp {:>12} kernel {:>12} speedup {:>6.2}x \
+             act/round {:>9.1} dirty-hit {:>6.1}%",
             row.name,
             row.n,
             row.interp.rounds,
             fmt_ns(row.interp.median_ns()),
             fmt_ns(row.kernel.median_ns()),
-            row.speedup()
+            row.speedup(),
+            row.metrics.activations_per_round(),
+            100.0 * row.metrics.dirty_hit_rate()
         );
     }
     let body: Vec<String> = rows.iter().map(Row::to_json).collect();
@@ -189,19 +251,83 @@ fn engine_baseline(smoke: bool, out: &str) {
     println!("wrote {out}");
 }
 
+/// The golden observability snapshot: per-round metrics of a compiled
+/// census run on `path(16)` — tiny, deterministic (sketches drawn from
+/// [`DEFAULT_SEED`]), and exercising the dirty-set scheduler. CI
+/// regenerates this and diffs it against the recorded file, so any
+/// change to metric semantics must update the snapshot deliberately.
+fn golden_metrics() -> String {
+    use fssga_graph::generators;
+    let g = generators::path(16);
+    let mut rng = Xoshiro256::seed_from_u64(DEFAULT_SEED);
+    let sketches: Vec<FmSketch<8>> = (0..g.n())
+        .map(|_| FmSketch::random_init(&mut rng))
+        .collect();
+    let mut net = Network::new(&g, Census::<8>, |v| sketches[v as usize]);
+    let mut log = RoundLog::default();
+    Runner::new(&mut net)
+        .engine(Engine::Kernel)
+        .budget(Budget::Fixpoint(160))
+        .tracer(&mut log)
+        .run();
+    let mut s = String::new();
+    for r in &log.rounds {
+        s.push_str(&r.to_jsonl());
+        s.push('\n');
+    }
+    s
+}
+
+fn golden(check: bool, path: &str) {
+    let fresh = golden_metrics();
+    if check {
+        let recorded = std::fs::read_to_string(path).expect("read recorded snapshot");
+        if recorded != fresh {
+            eprintln!("golden metrics snapshot drifted from {path}:");
+            for (i, (a, b)) in recorded.lines().zip(fresh.lines()).enumerate() {
+                if a != b {
+                    eprintln!("line {}:\n  recorded: {a}\n  fresh:    {b}", i + 1);
+                }
+            }
+            let (r, f) = (recorded.lines().count(), fresh.lines().count());
+            if r != f {
+                eprintln!("line counts differ: recorded {r}, fresh {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("golden metrics snapshot matches {path}");
+    } else {
+        std::fs::write(path, fresh).expect("write snapshot");
+        println!("wrote {path}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let check = args.iter().any(|a| a == "--check");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let trace_out = flag("--trace-out");
     match args.first().map(String::as_str) {
-        Some("engine") => engine_baseline(smoke, &out),
+        Some("engine") => {
+            let out = flag("--out").unwrap_or_else(|| "BENCH_engine.json".to_string());
+            engine_baseline(smoke, &out, trace_out.as_deref());
+        }
+        Some("golden") => {
+            let out = flag("--out")
+                .unwrap_or_else(|| "tests/golden/census_path16_metrics.jsonl".to_string());
+            golden(check, &out);
+        }
         other => {
-            eprintln!("usage: fssga-bench engine [--smoke] [--out PATH]  (got {other:?})");
+            eprintln!(
+                "usage: fssga-bench engine [--smoke] [--out PATH] [--trace-out PATH]\n\
+                 \x20      fssga-bench golden [--check] [--out PATH]  (got {other:?})"
+            );
             std::process::exit(2);
         }
     }

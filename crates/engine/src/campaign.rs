@@ -18,6 +18,7 @@ use fssga_graph::{Graph, NodeId};
 
 use crate::faults::{FaultEvent, FaultKind, FaultPlan};
 use crate::network::Network;
+use crate::obs::{FaultSurgery, NullTracer, Tracer};
 use crate::protocol::Protocol;
 use crate::runner::{Budget, Engine, Policy, Runner};
 use crate::scheduler::AsyncPolicy;
@@ -301,10 +302,27 @@ impl<'a, P: Protocol, A: PartialEq> Campaign<'a, P, A> {
         self.run_with_schedule(self.plan.events())
     }
 
+    /// Like [`Self::run`], forwarding per-tick [`crate::RoundMetrics`]
+    /// events and discrete [`FaultSurgery`] events to `tracer` (the
+    /// `fssga-chaos --trace-out` artifact comes from here).
+    pub fn run_traced<T: Tracer>(&self, tracer: &mut T) -> CampaignOutcome<A> {
+        self.run_with_schedule_traced(self.plan.events(), tracer)
+    }
+
     /// Runs the campaign with an alternative fault schedule (the shrinker
     /// and the sensitivity estimator go through here); everything else —
     /// seed, policy, horizon — is taken from the campaign.
     pub fn run_with_schedule(&self, schedule: &[FaultEvent]) -> CampaignOutcome<A> {
+        self.run_with_schedule_traced(schedule, &mut NullTracer)
+    }
+
+    /// Traced variant of [`Self::run_with_schedule`]; zero-cost with
+    /// [`NullTracer`].
+    pub fn run_with_schedule_traced<T: Tracer>(
+        &self,
+        schedule: &[FaultEvent],
+        tracer: &mut T,
+    ) -> CampaignOutcome<A> {
         let mut events = schedule.to_vec();
         events.sort_by_key(|e| e.time);
         let mut rng = Xoshiro256::seed_from_u64(self.seed);
@@ -335,6 +353,12 @@ impl<'a, P: Protocol, A: PartialEq> Campaign<'a, P, A> {
                         kind: ev.kind,
                     });
                     snapshots.push(net.graph().snapshot());
+                    if tracer.enabled() {
+                        tracer.fault(&FaultSurgery {
+                            round: tick,
+                            kind: ev.kind,
+                        });
+                    }
                 }
             }
             match self.policy {
@@ -343,6 +367,7 @@ impl<'a, P: Protocol, A: PartialEq> Campaign<'a, P, A> {
                         .engine(self.engine)
                         .budget(Budget::Rounds(1))
                         .rng(&mut rng)
+                        .tracer(&mut *tracer)
                         .run();
                 }
                 RunPolicy::Async(policy) => {
@@ -370,6 +395,7 @@ impl<'a, P: Protocol, A: PartialEq> Campaign<'a, P, A> {
                         .policy(Policy::Order(&order))
                         .budget(Budget::Steps(order.len()))
                         .rng(&mut rng)
+                        .tracer(&mut *tracer)
                         .run();
                     trace.activations.extend_from_slice(&order);
                 }

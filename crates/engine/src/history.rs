@@ -5,44 +5,146 @@
 //! ASCII timelines (one row per round, one column per node), which is how
 //! the repository's figures of merit (firing-squad synchrony, colour
 //! flood fronts, arm growth) were eyeballed during development.
+//!
+//! Unbounded recording is O(n · rounds) memory — a large torus driven for
+//! thousands of rounds will happily eat gigabytes. Two knobs bound it:
+//!
+//! * a **stride** ([`History::with_stride`]) records every k-th offered
+//!   snapshot;
+//! * a **cap** ([`History::capped`]) bounds the number of retained
+//!   snapshots by *decimation*: when the cap would be exceeded, the
+//!   stride doubles and every snapshot at an odd multiple of the old
+//!   stride is dropped. The recording always spans the whole run at
+//!   uniform (power-of-two × stride) spacing, using at most `cap`
+//!   snapshots — the classic halving trick for streaming sparklines.
+//!
+//! [`History::round_id`] maps a retained snapshot back to the 0-based
+//! round it was taken at, and [`History::timeline`] labels rows with it.
 
 use crate::network::Network;
 use crate::protocol::Protocol;
 
-/// A recorded sequence of network state vectors.
-#[derive(Clone, Debug, Default)]
+/// A recorded sequence of network state vectors, optionally decimated
+/// (see the [module docs](self)).
+#[derive(Clone, Debug)]
 pub struct History<S> {
     rounds: Vec<Vec<S>>,
+    /// The 0-based offered-snapshot index each retained row was taken at.
+    round_ids: Vec<u64>,
+    /// Record every `stride`-th offered snapshot (doubles on decimation).
+    stride: u64,
+    /// Retain at most this many snapshots, decimating to stay under.
+    cap: Option<usize>,
+    /// Snapshots offered via [`Self::record`] so far (retained or not).
+    seen: u64,
+}
+
+impl<S> Default for History<S> {
+    fn default() -> Self {
+        History {
+            rounds: Vec::new(),
+            round_ids: Vec::new(),
+            stride: 1,
+            cap: None,
+            seen: 0,
+        }
+    }
 }
 
 impl<S: Copy + PartialEq> History<S> {
-    /// An empty history.
+    /// An empty history recording every offered snapshot, unbounded.
     pub fn new() -> Self {
-        History { rounds: Vec::new() }
+        Self::default()
     }
 
-    /// Snapshots the network's current states.
+    /// An empty history recording every `stride`-th offered snapshot
+    /// (stride 1 = every one). Panics if `stride` is 0.
+    pub fn with_stride(stride: u64) -> Self {
+        Self::with_limits(stride, None)
+    }
+
+    /// An empty history retaining at most `cap` snapshots, decimating
+    /// (doubling the stride, dropping every other retained row) whenever
+    /// the cap would be exceeded. Panics if `cap < 2` — decimation needs
+    /// room for both endpoints.
+    pub fn capped(cap: usize) -> Self {
+        Self::with_limits(1, Some(cap))
+    }
+
+    /// An empty history with both knobs (see [`Self::with_stride`] and
+    /// [`Self::capped`]).
+    pub fn with_limits(stride: u64, cap: Option<usize>) -> Self {
+        assert!(stride >= 1, "stride must be at least 1");
+        if let Some(c) = cap {
+            assert!(c >= 2, "cap must be at least 2");
+        }
+        History {
+            stride,
+            cap,
+            ..Self::default()
+        }
+    }
+
+    /// Offers the network's current states for recording. Retained iff
+    /// the offer index is a multiple of the current stride; may trigger
+    /// decimation when a cap is set.
     pub fn record<P: Protocol<State = S>>(&mut self, net: &Network<P>) {
+        let id = self.seen;
+        self.seen += 1;
+        if !id.is_multiple_of(self.stride) {
+            return;
+        }
         self.rounds.push(net.states().to_vec());
+        self.round_ids.push(id);
+        if let Some(cap) = self.cap {
+            while self.rounds.len() > cap {
+                self.decimate();
+            }
+        }
     }
 
-    /// Number of recorded snapshots.
+    /// Doubles the stride and drops every retained row whose id is an
+    /// odd multiple of the old stride.
+    fn decimate(&mut self) {
+        self.stride *= 2;
+        let stride = self.stride;
+        let mut keep = self.round_ids.iter().map(|&id| id % stride == 0);
+        self.rounds
+            .retain(|_| keep.next().expect("ids parallel rounds"));
+        self.round_ids.retain(|&id| id % stride == 0);
+    }
+
+    /// Number of retained snapshots.
     pub fn len(&self) -> usize {
         self.rounds.len()
     }
 
-    /// Whether nothing has been recorded.
+    /// Whether nothing has been retained.
     pub fn is_empty(&self) -> bool {
         self.rounds.is_empty()
     }
 
-    /// The snapshot at `round` (0-based).
-    pub fn at(&self, round: usize) -> &[S] {
-        &self.rounds[round]
+    /// The retained snapshot at index `i` (0-based, recording order).
+    pub fn at(&self, i: usize) -> &[S] {
+        &self.rounds[i]
     }
 
-    /// How many nodes changed state between consecutive snapshots
-    /// (`changes()[i]` compares snapshot `i` to `i+1`).
+    /// The 0-based offer (round) index the retained snapshot `i` was
+    /// taken at — equal to `i` while no stride/decimation is in play.
+    pub fn round_id(&self, i: usize) -> u64 {
+        self.round_ids[i]
+    }
+
+    /// The current stride between retained snapshots (grows by doubling
+    /// under a cap).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// How many nodes changed state between consecutive *retained*
+    /// snapshots (`changes()[i]` compares snapshot `i` to `i+1`; under a
+    /// stride or cap these may be several rounds apart — see
+    /// [`Self::round_id`]).
     pub fn changes(&self) -> Vec<usize> {
         self.rounds
             .windows(2)
@@ -50,8 +152,8 @@ impl<S: Copy + PartialEq> History<S> {
             .collect()
     }
 
-    /// The first snapshot index from which nothing ever changes again,
-    /// if the recording reached quiescence.
+    /// The first retained-snapshot index from which nothing ever changes
+    /// again, if the recording reached quiescence.
     pub fn quiescent_from(&self) -> Option<usize> {
         let last = self.rounds.last()?;
         let mut idx = self.rounds.len() - 1;
@@ -65,13 +167,13 @@ impl<S: Copy + PartialEq> History<S> {
         }
     }
 
-    /// Renders the history as an ASCII timeline: one line per round, one
-    /// glyph per node.
+    /// Renders the history as an ASCII timeline: one line per retained
+    /// snapshot (labelled with its round id), one glyph per node.
     pub fn timeline(&self, mut glyph: impl FnMut(S) -> char) -> String {
         self.rounds
             .iter()
-            .enumerate()
-            .map(|(t, row)| {
+            .zip(&self.round_ids)
+            .map(|(row, &t)| {
                 let cells: String = row.iter().map(|&s| glyph(s)).collect();
                 format!("t={t:4}  {cells}")
             })
@@ -107,17 +209,20 @@ mod tests {
         }
     }
 
-    fn run_recorded(rounds: usize) -> History<Bit> {
+    fn run_into(mut h: History<Bit>, rounds: usize) -> History<Bit> {
         let g = generators::path(5);
         let mut net = Network::new(&g, Spread, |v| if v == 0 { Bit::On } else { Bit::Off });
         let mut rng = Xoshiro256::seed_from_u64(1);
-        let mut h = History::new();
         h.record(&net);
         for _ in 0..rounds {
             net.sync_step(&mut rng);
             h.record(&net);
         }
         h
+    }
+
+    fn run_recorded(rounds: usize) -> History<Bit> {
+        run_into(History::new(), rounds)
     }
 
     #[test]
@@ -152,5 +257,52 @@ mod tests {
         assert_eq!(lines.len(), 5);
         assert!(lines[0].ends_with("#...."));
         assert!(lines[4].ends_with("#####"));
+    }
+
+    #[test]
+    fn stride_skips_intermediate_rounds() {
+        let h = run_into(History::with_stride(3), 7);
+        // Offers 0..=7; retained: 0, 3, 6.
+        assert_eq!(h.len(), 3);
+        assert_eq!(
+            (0..h.len()).map(|i| h.round_id(i)).collect::<Vec<_>>(),
+            vec![0, 3, 6]
+        );
+        let s = h.timeline(|b| if b == Bit::On { '#' } else { '.' });
+        assert!(s.lines().next().unwrap().starts_with("t=   0"));
+        assert!(s.lines().last().unwrap().starts_with("t=   6"));
+    }
+
+    #[test]
+    fn cap_decimates_but_spans_the_run() {
+        let h = run_into(History::capped(4), 20);
+        // 21 offers under a cap of 4: stride doubles to 8.
+        assert!(h.len() <= 4, "cap respected, got {}", h.len());
+        assert_eq!(h.round_id(0), 0, "start of run always retained");
+        assert_eq!(h.stride(), 8);
+        for i in 0..h.len() {
+            assert_eq!(h.round_id(i) % h.stride(), 0, "uniform spacing");
+        }
+        assert!(
+            h.round_id(h.len() - 1) >= 16,
+            "recording spans the late run"
+        );
+        // Decimated rows still carry real states: the last retained
+        // snapshot of a 20-round spread on path(5) is fully on.
+        assert!(h.at(h.len() - 1).iter().all(|&b| b == Bit::On));
+    }
+
+    #[test]
+    fn bounded_memory_for_long_runs() {
+        let h = run_into(History::capped(8), 1000);
+        assert!(h.len() <= 8);
+        assert_eq!(h.round_id(0), 0);
+        assert!(h.round_id(h.len() - 1) >= 1001 - h.stride());
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be at least 2")]
+    fn tiny_cap_rejected() {
+        let _ = History::<Bit>::capped(1);
     }
 }

@@ -13,6 +13,7 @@ use fssga_graph::rng::Xoshiro256;
 use fssga_graph::{DynGraph, Graph, NodeId};
 
 use crate::network::round_coin;
+use crate::obs::{NullTracer, RoundMetrics, Tracer};
 
 /// A network whose nodes run a table-level [`ProbFssga`].
 pub struct InterpNetwork<'a> {
@@ -25,6 +26,8 @@ pub struct InterpNetwork<'a> {
     /// hot loop never allocates.
     ms: Multiset,
     touched: Vec<usize>,
+    /// Synchronous rounds completed (feeds [`RoundMetrics::round`]).
+    rounds: u64,
 }
 
 impl<'a> InterpNetwork<'a> {
@@ -44,6 +47,7 @@ impl<'a> InterpNetwork<'a> {
             states,
             ms: Multiset::empty(auto.num_states()),
             touched: Vec::with_capacity(64),
+            rounds: 0,
         }
     }
 
@@ -109,13 +113,29 @@ impl<'a> InterpNetwork<'a> {
     /// One synchronous round with an explicit round seed (matches
     /// [`crate::network::round_coin`]); returns the number of changes.
     pub fn sync_step_seeded(&mut self, round_seed: u64) -> usize {
+        self.sync_step_traced(round_seed, &mut NullTracer)
+    }
+
+    /// Like [`Self::sync_step_seeded`], but emits one [`RoundMetrics`]
+    /// event to `tracer` (with [`NullTracer`] this monomorphizes to the
+    /// untraced round). The table-level interpreter evaluates every
+    /// eligible node natively, so `eligible = scheduled = activations =
+    /// direct`; it has no fault channel of its own, so `faults` is 0.
+    pub fn sync_step_traced<T: Tracer>(&mut self, round_seed: u64, tracer: &mut T) -> usize {
+        let trace = tracer.enabled();
         let n = self.graph.n_slots();
         let mut changed = 0;
+        let mut evaluated = 0u64;
+        let mut reads = 0u64;
         for v in 0..n as NodeId {
             let old = self.states[v as usize];
             if !self.graph.is_alive(v) || self.graph.degree(v) == 0 {
                 self.next[v as usize] = old;
                 continue;
+            }
+            if trace {
+                evaluated += 1;
+                reads += self.graph.degree(v) as u64;
             }
             let coin = round_coin(round_seed, v, self.auto.randomness() as u32) as usize;
             self.fill_multiset(v);
@@ -127,6 +147,20 @@ impl<'a> InterpNetwork<'a> {
             }
         }
         std::mem::swap(&mut self.states, &mut self.next);
+        self.rounds += 1;
+        if trace {
+            tracer.round(&RoundMetrics {
+                round: self.rounds,
+                eligible: evaluated,
+                scheduled: evaluated,
+                activations: evaluated,
+                changes: changed as u64,
+                neighbor_reads: reads,
+                tabular: 0,
+                direct: evaluated,
+                faults: 0,
+            });
+        }
         changed
     }
 

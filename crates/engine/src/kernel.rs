@@ -46,6 +46,7 @@ use std::marker::PhantomData;
 use fssga_graph::NodeId;
 
 use crate::network::{round_coin, Metrics, Network};
+use crate::obs::{NullTracer, RoundMetrics, Tracer};
 use crate::protocol::{Protocol, StateSpace};
 use crate::view::{NeighborView, QueryRecorder};
 
@@ -68,6 +69,40 @@ pub enum KernelPlan {
     Tabular,
     /// CSR tally into a reusable scratch vector + native `transition`.
     Direct,
+}
+
+/// How [`CompiledKernel::with_schedule`] decides whether to run the
+/// dirty-set scheduler.
+///
+/// The dirty set is sound only for deterministic protocols
+/// (`P::RANDOMNESS <= 1`): a probabilistic node draws a fresh coin every
+/// round, so a "clean" node is *not* at a local fixpoint and skipping it
+/// would change the trajectory. That precondition is enforced with a
+/// hard check at kernel construction, not by convention.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DirtySchedule {
+    /// Use the dirty set iff the protocol is deterministic (the default).
+    Auto,
+    /// Require the dirty set; **panics** at construction if the protocol
+    /// is probabilistic.
+    Forced,
+    /// Re-evaluate every node every round regardless of determinism.
+    Disabled,
+}
+
+/// Per-evaluation-pass counters, folded into [`RoundMetrics`] by the
+/// traced steppers. All-zero when tracing is disabled (the hot loops
+/// skip the bookkeeping entirely).
+#[derive(Copy, Clone, Debug, Default)]
+struct EvalStats {
+    /// Nodes evaluated (alive, degree > 0).
+    evaluated: u64,
+    /// Neighbour states read (sum of degrees over evaluated nodes).
+    reads: u64,
+    /// Evaluations dispatched through the dense tables.
+    tabular: u64,
+    /// Evaluations dispatched through a native `transition` call.
+    direct: u64,
 }
 
 /// Dense tables for the tabular plan.
@@ -132,13 +167,26 @@ pub struct CompiledKernel<P: Protocol> {
     /// Two-phase commit buffer: `(node, new state)` for this round's
     /// changes only, so sparse late rounds do O(changes), not O(n).
     pending: Vec<(NodeId, P::State)>,
+    /// Nodes currently able to activate (alive, degree > 0); maintained
+    /// incrementally across fault surgeries so traced rounds report it
+    /// for free.
+    eligible: u64,
     plan: Plan,
     _protocol: PhantomData<fn() -> P>,
 }
 
 impl<P: Protocol> CompiledKernel<P> {
-    /// Compiles a kernel for the network's current topology and protocol.
+    /// Compiles a kernel for the network's current topology and protocol,
+    /// with [`DirtySchedule::Auto`] scheduling.
     pub fn new(net: &Network<P>) -> Self {
+        Self::with_schedule(net, DirtySchedule::Auto)
+    }
+
+    /// Compiles a kernel with an explicit scheduling policy. Panics if
+    /// `schedule` demands the dirty set for a probabilistic protocol —
+    /// the soundness precondition is `P::RANDOMNESS <= 1` (see
+    /// [`DirtySchedule`]).
+    pub fn with_schedule(net: &Network<P>, schedule: DirtySchedule) -> Self {
         let g = net.graph();
         let n = g.n_slots();
         let (full_offsets, targets) = g.csr_arrays();
@@ -148,6 +196,19 @@ impl<P: Protocol> CompiledKernel<P> {
         let mut offsets = full_offsets;
         offsets.truncate(n);
         let alive: Vec<bool> = (0..n as NodeId).map(|v| g.is_alive(v)).collect();
+        let eligible = (0..n).filter(|&i| alive[i] && row_len[i] > 0).count() as u64;
+        let deterministic = P::RANDOMNESS <= 1;
+        let use_dirty = match schedule {
+            DirtySchedule::Auto => deterministic,
+            DirtySchedule::Forced => true,
+            DirtySchedule::Disabled => false,
+        };
+        assert!(
+            !use_dirty || deterministic,
+            "dirty-set scheduling is unsound for probabilistic protocols \
+             (RANDOMNESS = {} > 1): skipped nodes would miss fresh coin draws",
+            P::RANDOMNESS
+        );
         let plan = match build_tables::<P>(net.protocol()) {
             Some(t) => Plan::Tabular(t),
             None => Plan::Direct {
@@ -160,10 +221,11 @@ impl<P: Protocol> CompiledKernel<P> {
             row_len,
             targets,
             alive,
-            use_dirty: P::RANDOMNESS <= 1,
+            use_dirty,
             dirty: vec![true; n],
             worklist: (0..n as NodeId).collect(),
             pending: Vec::new(),
+            eligible,
             plan,
             _protocol: PhantomData,
         }
@@ -213,37 +275,70 @@ impl<P: Protocol> CompiledKernel<P> {
         self.worklist.extend(0..self.dirty.len() as NodeId);
     }
 
-    fn remove_from_row(&mut self, v: NodeId, target: NodeId) {
-        let start = self.offsets[v as usize] as usize;
-        let len = self.row_len[v as usize] as usize;
+    /// Removes `target` from `v`'s CSR row, if present. Returns whether a
+    /// removal happened; an empty row or a missing target is a no-op
+    /// (double-remove must not underflow `row_len` or corrupt the row).
+    /// Maintains the incremental `eligible` count.
+    fn remove_from_row(&mut self, v: NodeId, target: NodeId) -> bool {
+        let vi = v as usize;
+        let len = self.row_len[vi] as usize;
+        if len == 0 {
+            return false;
+        }
+        let start = self.offsets[vi] as usize;
         let row = &mut self.targets[start..start + len];
-        if let Some(i) = row.iter().position(|&w| w == target) {
-            row.swap(i, len - 1);
-            self.row_len[v as usize] -= 1;
+        match row.iter().position(|&w| w == target) {
+            Some(i) => {
+                row.swap(i, len - 1);
+                self.row_len[vi] -= 1;
+                if self.row_len[vi] == 0 && self.alive[vi] {
+                    self.eligible -= 1;
+                }
+                true
+            }
+            None => false,
         }
     }
 
     /// Fault hook: edge `{u, v}` was removed from the live topology. Both
     /// endpoints must be re-evaluated — their neighbour multisets changed
     /// even though no *state* did, which is exactly the case the dirty-set
-    /// invariant cannot see on its own.
+    /// invariant cannot see on its own. A repeated or phantom removal is
+    /// a no-op: nothing changed, so nothing is rescheduled.
     pub(crate) fn on_edge_removed(&mut self, u: NodeId, v: NodeId) {
-        self.remove_from_row(u, v);
-        self.remove_from_row(v, u);
-        self.mark_dirty(u);
-        self.mark_dirty(v);
+        let removed_u = self.remove_from_row(u, v);
+        let removed_v = self.remove_from_row(v, u);
+        if removed_u || removed_v {
+            self.mark_dirty(u);
+            self.mark_dirty(v);
+        }
     }
 
     /// Fault hook: node `v` was removed; `former_neighbors` are its
     /// neighbours *before* removal. Every former neighbour lost a
-    /// multiset entry and must be re-evaluated.
+    /// multiset entry and must be re-evaluated. Idempotent: removing an
+    /// already-dead node is a no-op.
     pub(crate) fn on_node_removed(&mut self, v: NodeId, former_neighbors: &[NodeId]) {
-        for &w in former_neighbors {
-            self.remove_from_row(w, v);
-            self.mark_dirty(w);
+        let vi = v as usize;
+        if !self.alive[vi] {
+            return;
         }
-        self.row_len[v as usize] = 0;
-        self.alive[v as usize] = false;
+        for &w in former_neighbors {
+            if self.remove_from_row(w, v) {
+                self.mark_dirty(w);
+            }
+        }
+        if self.row_len[vi] > 0 {
+            self.eligible -= 1;
+        }
+        self.row_len[vi] = 0;
+        self.alive[vi] = false;
+    }
+
+    /// Nodes currently able to activate (alive, degree > 0) — what a
+    /// traced round reports as [`RoundMetrics::eligible`].
+    pub fn eligible_count(&self) -> u64 {
+        self.eligible
     }
 
     /// One synchronous round over `states`. Returns the number of nodes
@@ -256,36 +351,78 @@ impl<P: Protocol> CompiledKernel<P> {
         metrics: &mut Metrics,
         round_seed: u64,
     ) -> usize {
+        self.step_traced(protocol, states, metrics, round_seed, &mut NullTracer, 0)
+    }
+
+    /// Like [`Self::step`], but emits one [`RoundMetrics`] event to
+    /// `tracer` after the round (when it is enabled — with [`NullTracer`]
+    /// this monomorphizes to exactly [`Self::step`]). `faults` is the
+    /// number of fault surgeries applied since the previous traced round,
+    /// forwarded into the event.
+    pub fn step_traced<T: Tracer>(
+        &mut self,
+        protocol: &P,
+        states: &mut [P::State],
+        metrics: &mut Metrics,
+        round_seed: u64,
+        tracer: &mut T,
+        faults: u64,
+    ) -> usize {
+        let trace = tracer.enabled();
         self.pending.clear();
-        let evaluated = if self.use_dirty {
+        let (stats, scheduled) = if self.use_dirty {
             let mut work = std::mem::take(&mut self.worklist);
             work.sort_unstable();
             for &v in &work {
                 self.dirty[v as usize] = false;
             }
-            let e = self.eval_nodes(protocol, states, work.iter().copied(), round_seed);
+            let scheduled = work.len() as u64;
+            let stats = if trace {
+                self.eval_nodes::<true>(protocol, states, work.iter().copied(), round_seed)
+            } else {
+                self.eval_nodes::<false>(protocol, states, work.iter().copied(), round_seed)
+            };
             work.clear();
             // Hand the buffer back so commit() pushes into it.
             debug_assert!(self.worklist.is_empty());
             self.worklist = work;
-            e
+            (stats, scheduled)
         } else {
             let n = self.row_len.len();
-            self.eval_nodes(protocol, states, 0..n as NodeId, round_seed)
+            let stats = if trace {
+                self.eval_nodes::<true>(protocol, states, 0..n as NodeId, round_seed)
+            } else {
+                self.eval_nodes::<false>(protocol, states, 0..n as NodeId, round_seed)
+            };
+            (stats, self.eligible)
         };
-        self.commit(states, metrics, evaluated)
+        let changed = self.commit(states, metrics, stats.evaluated);
+        if trace {
+            tracer.round(&RoundMetrics {
+                round: metrics.rounds,
+                eligible: self.eligible,
+                scheduled,
+                activations: stats.evaluated,
+                changes: changed as u64,
+                neighbor_reads: stats.reads,
+                tabular: stats.tabular,
+                direct: stats.direct,
+                faults,
+            });
+        }
+        changed
     }
 
     /// Evaluates `nodes` against the *current* `states`, pushing changes
-    /// into `self.pending`. Returns the number of nodes evaluated
-    /// (alive, degree > 0).
-    fn eval_nodes(
+    /// into `self.pending`. Returns the evaluation counters (only
+    /// `evaluated` is maintained when `TRACE` is false).
+    fn eval_nodes<const TRACE: bool>(
         &mut self,
         protocol: &P,
         states: &[P::State],
         nodes: impl Iterator<Item = NodeId>,
         round_seed: u64,
-    ) -> u64 {
+    ) -> EvalStats {
         let csr = CsrRef {
             offsets: &self.offsets,
             row_len: &self.row_len,
@@ -293,7 +430,7 @@ impl<P: Protocol> CompiledKernel<P> {
             alive: &self.alive,
         };
         match &mut self.plan {
-            Plan::Tabular(t) => eval_chunk(
+            Plan::Tabular(t) => eval_chunk::<P, TRACE>(
                 protocol,
                 &csr,
                 PlanRef::Tabular(t),
@@ -304,7 +441,7 @@ impl<P: Protocol> CompiledKernel<P> {
                 &mut [],
                 &mut Vec::new(),
             ),
-            Plan::Direct { scratch, touched } => eval_chunk(
+            Plan::Direct { scratch, touched } => eval_chunk::<P, TRACE>(
                 protocol,
                 &csr,
                 PlanRef::Direct,
@@ -342,10 +479,60 @@ impl<P: Protocol> CompiledKernel<P> {
     }
 }
 
-/// One worker's output: its pending `(node, new state)` writes plus how
-/// many nodes it evaluated.
+/// One worker's output: its pending `(node, new state)` writes plus its
+/// evaluation counters.
 #[cfg(feature = "parallel")]
-type ChunkResult<P> = (Vec<(NodeId, <P as Protocol>::State)>, u64);
+type ChunkResult<P> = (Vec<(NodeId, <P as Protocol>::State)>, EvalStats);
+
+/// Fans `work` out over scoped workers in contiguous chunks. The `TRACE`
+/// split happens *before* spawning, so each worker's hot loop is
+/// monomorphized with a compile-time constant rather than a captured
+/// flag.
+#[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)]
+fn eval_parallel_chunks<P, const TRACE: bool>(
+    protocol: &P,
+    csr: &CsrRef<'_>,
+    plan: &Plan,
+    frozen: &[P::State],
+    work: &[NodeId],
+    chunk_size: usize,
+    round_seed: u64,
+) -> Vec<ChunkResult<P>>
+where
+    P: Protocol + Sync,
+    P::State: Send + Sync,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = work
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let (plan_ref, mut scratch, mut touched) = match plan {
+                        Plan::Tabular(t) => (PlanRef::Tabular(t), Vec::new(), Vec::new()),
+                        Plan::Direct { .. } => {
+                            (PlanRef::Direct, vec![0u32; P::State::COUNT], Vec::new())
+                        }
+                    };
+                    let stats = eval_chunk::<P, TRACE>(
+                        protocol,
+                        csr,
+                        plan_ref,
+                        frozen,
+                        chunk.iter().copied(),
+                        round_seed,
+                        &mut out,
+                        &mut scratch,
+                        &mut touched,
+                    );
+                    (out, stats)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
 
 #[cfg(feature = "parallel")]
 impl<P: Protocol> CompiledKernel<P>
@@ -365,6 +552,32 @@ where
         round_seed: u64,
         threads: usize,
     ) -> usize {
+        self.step_parallel_traced(
+            protocol,
+            states,
+            metrics,
+            round_seed,
+            threads,
+            &mut NullTracer,
+            0,
+        )
+    }
+
+    /// Like [`Self::step_traced`], over `threads` scoped workers. The
+    /// traced/untraced decision is made before workers spawn, so the
+    /// disabled path runs the same code as [`Self::step_parallel`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_parallel_traced<T: Tracer>(
+        &mut self,
+        protocol: &P,
+        states: &mut [P::State],
+        metrics: &mut Metrics,
+        round_seed: u64,
+        threads: usize,
+        tracer: &mut T,
+        faults: u64,
+    ) -> usize {
+        let trace = tracer.enabled();
         let work: Vec<NodeId> = if self.use_dirty {
             let mut w = std::mem::take(&mut self.worklist);
             w.sort_unstable();
@@ -375,66 +588,73 @@ where
         } else {
             (0..self.row_len.len() as NodeId).collect()
         };
-        if threads <= 1 || work.len() < 256 {
+        let scheduled = if self.use_dirty {
+            work.len() as u64
+        } else {
+            self.eligible
+        };
+        let stats = if threads <= 1 || work.len() < 256 {
             self.pending.clear();
-            let e = self.eval_nodes(protocol, states, work.iter().copied(), round_seed);
+            let stats = if trace {
+                self.eval_nodes::<true>(protocol, states, work.iter().copied(), round_seed)
+            } else {
+                self.eval_nodes::<false>(protocol, states, work.iter().copied(), round_seed)
+            };
             if self.use_dirty {
                 let mut w = work;
                 w.clear();
                 self.worklist = w;
             }
-            return self.commit(states, metrics, e);
-        }
-        let chunk_size = work.len().div_ceil(threads);
-        let csr = CsrRef {
-            offsets: &self.offsets,
-            row_len: &self.row_len,
-            targets: &self.targets,
-            alive: &self.alive,
+            stats
+        } else {
+            let chunk_size = work.len().div_ceil(threads);
+            let csr = CsrRef {
+                offsets: &self.offsets,
+                row_len: &self.row_len,
+                targets: &self.targets,
+                alive: &self.alive,
+            };
+            let frozen: &[P::State] = states;
+            let results: Vec<ChunkResult<P>> = if trace {
+                eval_parallel_chunks::<P, true>(
+                    protocol, &csr, &self.plan, frozen, &work, chunk_size, round_seed,
+                )
+            } else {
+                eval_parallel_chunks::<P, false>(
+                    protocol, &csr, &self.plan, frozen, &work, chunk_size, round_seed,
+                )
+            };
+            self.pending.clear();
+            let mut stats = EvalStats::default();
+            for (chunk_pending, s) in results {
+                self.pending.extend(chunk_pending);
+                stats.evaluated += s.evaluated;
+                stats.reads += s.reads;
+                stats.tabular += s.tabular;
+                stats.direct += s.direct;
+            }
+            if self.use_dirty {
+                let mut w = work;
+                w.clear();
+                self.worklist = w;
+            }
+            stats
         };
-        let plan = &self.plan;
-        let frozen: &[P::State] = states;
-        let results: Vec<ChunkResult<P>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = work
-                .chunks(chunk_size)
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        let mut out = Vec::new();
-                        let (plan_ref, mut scratch, mut touched) = match plan {
-                            Plan::Tabular(t) => (PlanRef::Tabular(t), Vec::new(), Vec::new()),
-                            Plan::Direct { .. } => {
-                                (PlanRef::Direct, vec![0u32; P::State::COUNT], Vec::new())
-                            }
-                        };
-                        let e = eval_chunk(
-                            protocol,
-                            &csr,
-                            plan_ref,
-                            frozen,
-                            chunk.iter().copied(),
-                            round_seed,
-                            &mut out,
-                            &mut scratch,
-                            &mut touched,
-                        );
-                        (out, e)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
-        self.pending.clear();
-        let mut evaluated = 0;
-        for (chunk_pending, e) in results {
-            self.pending.extend(chunk_pending);
-            evaluated += e;
+        let changed = self.commit(states, metrics, stats.evaluated);
+        if trace {
+            tracer.round(&RoundMetrics {
+                round: metrics.rounds,
+                eligible: self.eligible,
+                scheduled,
+                activations: stats.evaluated,
+                changes: changed as u64,
+                neighbor_reads: stats.reads,
+                tabular: stats.tabular,
+                direct: stats.direct,
+                faults,
+            });
         }
-        if self.use_dirty {
-            let mut w = work;
-            w.clear();
-            self.worklist = w;
-        }
-        self.commit(states, metrics, evaluated)
+        changed
     }
 }
 
@@ -450,9 +670,11 @@ struct CsrRef<'a> {
 /// The shared inner loop: evaluates `nodes` over frozen `states`,
 /// appending `(node, new state)` for changed nodes to `out`. `scratch` /
 /// `touched` are only used by the direct plan (`scratch` must be all-zero
-/// and length `|Q|`, or empty for the tabular plan).
+/// and length `|Q|`, or empty for the tabular plan). With `TRACE` false
+/// every metric branch is a compile-time constant and the loop is the
+/// untraced hot path, unchanged.
 #[allow(clippy::too_many_arguments)]
-fn eval_chunk<P: Protocol>(
+fn eval_chunk<P: Protocol, const TRACE: bool>(
     protocol: &P,
     csr: &CsrRef<'_>,
     plan: PlanRef<'_>,
@@ -462,7 +684,8 @@ fn eval_chunk<P: Protocol>(
     out: &mut Vec<(NodeId, P::State)>,
     scratch: &mut [u32],
     touched: &mut Vec<u32>,
-) -> u64 {
+) -> EvalStats {
+    let mut stats = EvalStats::default();
     let mut evaluated = 0u64;
     match plan {
         PlanRef::Tabular(t) => {
@@ -482,9 +705,15 @@ fn eval_chunk<P: Protocol>(
                 let coin = round_coin(round_seed, v, P::RANDOMNESS) as usize;
                 let new_idx = t.trans[(own * t.randomness + coin) * t.acc_count + acc] as usize;
                 evaluated += 1;
+                if TRACE {
+                    stats.reads += len as u64;
+                }
                 if new_idx != own {
                     out.push((v, P::State::from_index(new_idx)));
                 }
+            }
+            if TRACE {
+                stats.tabular = evaluated;
             }
         }
         PlanRef::Direct => {
@@ -513,13 +742,20 @@ fn eval_chunk<P: Protocol>(
                 }
                 touched.clear();
                 evaluated += 1;
+                if TRACE {
+                    stats.reads += len as u64;
+                }
                 if new != old {
                     out.push((v, new));
                 }
             }
+            if TRACE {
+                stats.direct = evaluated;
+            }
         }
     }
-    evaluated
+    stats.evaluated = evaluated;
+    stats
 }
 
 /// The count class of an exact count `x` under bound `b`, period `m`.
@@ -819,21 +1055,24 @@ mod tests {
         }
     }
 
-    #[test]
-    fn probabilistic_protocols_skip_dirty_set() {
-        struct Flip;
-        impl Protocol for Flip {
-            type State = Infect;
-            const RANDOMNESS: u32 = 2;
-            const COMPILED: bool = true;
-            fn transition(&self, _own: Infect, _n: &NeighborView<'_, Infect>, coin: u32) -> Infect {
-                if coin == 0 {
-                    Infect::Healthy
-                } else {
-                    Infect::Infected
-                }
+    /// Coin-driven two-state protocol (RANDOMNESS = 2): the dirty set is
+    /// unsound for it, which the scheduling tests below rely on.
+    struct Flip;
+    impl Protocol for Flip {
+        type State = Infect;
+        const RANDOMNESS: u32 = 2;
+        const COMPILED: bool = true;
+        fn transition(&self, _own: Infect, _n: &NeighborView<'_, Infect>, coin: u32) -> Infect {
+            if coin == 0 {
+                Infect::Healthy
+            } else {
+                Infect::Infected
             }
         }
+    }
+
+    #[test]
+    fn probabilistic_protocols_skip_dirty_set() {
         let g = generators::cycle(6);
         let mut a = Network::new(&g, Flip, |_| Infect::Healthy);
         let mut b = Network::new(&g, Flip, |_| Infect::Healthy);
@@ -846,6 +1085,152 @@ mod tests {
             b.sync_step_kernel_seeded(seed);
             assert_eq!(a.states(), b.states());
         }
+    }
+
+    #[test]
+    fn double_edge_removal_is_a_noop() {
+        // Regression: a second removal of the same edge used to scan a
+        // stale row slice and could underflow `row_len`; now it must
+        // leave the CSR mirror untouched and reschedule nothing.
+        let mut net = infected_path(6);
+        net.ensure_kernel();
+        while net.sync_step_kernel_seeded(0) > 0 {}
+        let mut k = CompiledKernel::new(&net);
+        let mut states = net.states().to_vec();
+        let mut m = Metrics::default();
+        while k.dirty_count() > 0 {
+            k.step(net.protocol(), &mut states, &mut m, 0);
+        }
+        let eligible = k.eligible_count();
+        k.on_edge_removed(2, 3);
+        assert_eq!(k.dirty_count(), 2);
+        let row2 = k.row_len[2];
+        let row3 = k.row_len[3];
+        // Fire the same surgery again: no row shrinks, nothing new dirty.
+        k.on_edge_removed(2, 3);
+        k.on_edge_removed(3, 2);
+        assert_eq!(k.row_len[2], row2, "row 2 must not shrink again");
+        assert_eq!(k.row_len[3], row3, "row 3 must not shrink again");
+        assert_eq!(k.dirty_count(), 2, "no-op surgery reschedules nothing");
+        assert_eq!(k.eligible_count(), eligible);
+        // Phantom edge (never existed): also a no-op.
+        k.on_edge_removed(0, 5);
+        assert_eq!(k.dirty_count(), 2);
+    }
+
+    #[test]
+    fn repeated_fault_mid_run_stays_lockstep_with_interpreter() {
+        // Network-level double removal: the first succeeds, the second
+        // reports `false` and the kernel mirror must stay consistent with
+        // the interpreter's topology through the rest of the run.
+        let mut a = infected_path(8);
+        let mut b = infected_path(8);
+        b.ensure_kernel();
+        for round in 0..3 {
+            a.sync_step_seeded(round);
+            b.sync_step_kernel_seeded(round);
+        }
+        for net in [&mut a, &mut b] {
+            assert!(net.remove_edge(4, 5));
+            assert!(!net.remove_edge(4, 5), "second removal is a no-op");
+            assert!(!net.remove_edge(5, 4), "either orientation");
+        }
+        for round in 3..10 {
+            let ca = a.sync_step_seeded(round);
+            let cb = b.sync_step_kernel_seeded(round);
+            assert_eq!(ca, cb, "round {round}");
+            assert_eq!(a.states(), b.states(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn double_node_removal_is_idempotent() {
+        let g = generators::star(5);
+        let mut net = Network::new(&g, Spread, |_| Infect::Healthy);
+        net.ensure_kernel();
+        let mut k = CompiledKernel::new(&net);
+        assert_eq!(k.eligible_count(), 5);
+        let former: Vec<NodeId> = (1..5).collect();
+        k.on_node_removed(0, &former);
+        // Hub dead, 4 isolated leaves: nobody is eligible.
+        assert_eq!(k.eligible_count(), 0);
+        let dirty = k.dirty_count();
+        k.on_node_removed(0, &former);
+        assert_eq!(k.eligible_count(), 0, "second removal is a no-op");
+        assert_eq!(k.dirty_count(), dirty);
+    }
+
+    #[test]
+    fn eligible_count_tracks_faults() {
+        let mut net = infected_path(5);
+        net.ensure_kernel();
+        let mut k = CompiledKernel::new(&net);
+        assert_eq!(k.eligible_count(), 5);
+        // Cutting the end edge isolates node 0.
+        k.on_edge_removed(0, 1);
+        assert_eq!(k.eligible_count(), 4);
+        // Removing interior node 2 kills it and isolates node 1.
+        k.on_node_removed(2, &[1, 3]);
+        assert_eq!(k.eligible_count(), 2, "nodes 3 and 4 remain eligible");
+    }
+
+    #[test]
+    #[should_panic(expected = "dirty-set scheduling is unsound")]
+    fn forcing_dirty_set_on_probabilistic_protocol_panics() {
+        let g = generators::cycle(4);
+        let net = Network::new(&g, Flip, |_| Infect::Healthy);
+        let _ = CompiledKernel::with_schedule(&net, DirtySchedule::Forced);
+    }
+
+    #[test]
+    fn randomized_protocol_is_never_dirty_scheduled() {
+        use crate::obs::RoundLog;
+        let g = generators::cycle(6);
+        let mut net = Network::new(&g, Flip, |_| Infect::Healthy);
+        net.ensure_kernel();
+        let mut k = CompiledKernel::new(&net);
+        assert!(!k.uses_dirty_set());
+        let mut log = RoundLog::default();
+        let mut m = Metrics::default();
+        let mut states = net.states().to_vec();
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for _ in 0..8 {
+            k.step_traced(
+                net.protocol(),
+                &mut states,
+                &mut m,
+                rng.next_u64(),
+                &mut log,
+                0,
+            );
+        }
+        for r in &log.rounds {
+            assert_eq!(
+                r.scheduled, r.eligible,
+                "every eligible node must be scheduled every round"
+            );
+            assert_eq!(r.activations, r.eligible, "and evaluated");
+        }
+    }
+
+    #[test]
+    fn traced_step_reports_round_metrics() {
+        use crate::obs::RoundLog;
+        let mut net = infected_path(6);
+        net.ensure_kernel();
+        let mut k = CompiledKernel::new(&net);
+        let mut log = RoundLog::default();
+        let mut m = Metrics::default();
+        let mut states = net.states().to_vec();
+        k.step_traced(net.protocol(), &mut states, &mut m, 0, &mut log, 0);
+        let r = log.rounds[0];
+        assert_eq!(r.round, 1);
+        assert_eq!(r.eligible, 6);
+        assert_eq!(r.scheduled, 6, "first round schedules everything");
+        assert_eq!(r.activations, 6);
+        assert_eq!(r.changes, 1);
+        assert_eq!(r.neighbor_reads, 10, "path of 6: degree sum 2*5");
+        assert_eq!(r.tabular + r.direct, r.activations, "dispatch totals");
     }
 
     #[test]

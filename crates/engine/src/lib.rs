@@ -40,6 +40,9 @@
 //!   chains.
 //! * [`shrink`] — delta-debugging minimization of failing fault schedules
 //!   to 1-minimal counterexamples.
+//! * [`obs`] — the zero-cost-when-disabled observability layer: the
+//!   [`Tracer`] trait, per-round [`RoundMetrics`], and the built-in
+//!   [`Counters`] / [`JsonlTrace`] sinks.
 //! * [`interp`] — run a table-level [`fssga_core::ProbFssga`] directly.
 //! * [`compile`] — protocol → mod-thresh FSSGA extraction.
 
@@ -52,6 +55,7 @@ pub mod history;
 pub mod interp;
 pub mod kernel;
 pub mod network;
+pub mod obs;
 #[cfg(feature = "parallel")]
 pub mod parallel;
 pub mod protocol;
@@ -69,8 +73,12 @@ pub mod rng {
 
 pub use campaign::{Campaign, CampaignOutcome, CampaignTrace, RunPolicy};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
-pub use kernel::{CompiledKernel, KernelPlan};
+pub use history::History;
+pub use kernel::{CompiledKernel, DirtySchedule, KernelPlan};
 pub use network::{Metrics, Network};
+pub use obs::{
+    Counters, FaultSurgery, JsonlTrace, NullTracer, RoundLog, RoundMetrics, RunMetrics, Tee, Tracer,
+};
 pub use protocol::{Protocol, StateSpace};
 pub use runner::{Budget, Engine, Policy, RunReport, Runner};
 pub use scheduler::{AsyncPolicy, AsyncScheduler, SyncScheduler};

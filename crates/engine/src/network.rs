@@ -8,6 +8,7 @@ use fssga_graph::rng::{SplitMix64, Xoshiro256};
 use fssga_graph::{DynGraph, Graph, NodeId};
 
 use crate::kernel::{CompiledKernel, KernelPlan};
+use crate::obs::{NullTracer, RoundMetrics, Tracer};
 use crate::protocol::{Protocol, StateSpace};
 use crate::view::{NeighborView, QueryRecorder};
 
@@ -71,6 +72,10 @@ pub struct Network<P: Protocol> {
     /// round then re-evaluates every node instead of trusting its
     /// dirty-set bookkeeping.
     kernel_stale: bool,
+    /// Fault surgeries applied since the last *traced* round; drained
+    /// into [`RoundMetrics::faults`] by the traced steppers and left
+    /// untouched otherwise.
+    pending_faults: u64,
     /// Execution counters (public for instrumentation).
     ///
     /// `rounds` and `changes` agree bit-for-bit between the interpreter
@@ -98,6 +103,7 @@ impl<P: Protocol> Network<P> {
             recorder: None,
             kernel: None,
             kernel_stale: false,
+            pending_faults: 0,
             metrics: Metrics::default(),
         }
     }
@@ -182,6 +188,7 @@ impl<P: Protocol> Network<P> {
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
         let removed = self.graph.remove_edge(u, v);
         if removed {
+            self.pending_faults += 1;
             if let Some(k) = self.kernel.as_mut() {
                 k.on_edge_removed(u, v);
             }
@@ -195,7 +202,7 @@ impl<P: Protocol> Network<P> {
     /// Like [`Self::remove_edge`], invalidates the kernel's dirty-set
     /// bookkeeping for every former neighbour.
     pub fn remove_node(&mut self, v: NodeId) -> bool {
-        if self.kernel.is_some() && self.graph.is_alive(v) {
+        let removed = if self.kernel.is_some() && self.graph.is_alive(v) {
             let former: Vec<NodeId> = self.graph.neighbors(v).to_vec();
             let removed = self.graph.remove_node(v);
             debug_assert!(removed);
@@ -205,7 +212,17 @@ impl<P: Protocol> Network<P> {
             removed
         } else {
             self.graph.remove_node(v)
+        };
+        if removed {
+            self.pending_faults += 1;
         }
+        removed
+    }
+
+    /// Drains the fault-surgery counter ("faults since the last traced
+    /// round") — called exactly once per traced round.
+    pub(crate) fn take_pending_faults(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_faults)
     }
 
     /// Tallies the neighbour states of `v` into the scratch counter.
@@ -305,12 +322,28 @@ impl<P: Protocol> Network<P> {
     /// Synchronous round with an explicit seed (determinism across
     /// sequential/parallel paths; see [`crate::parallel`]).
     pub fn sync_step_seeded(&mut self, round_seed: u64) -> usize {
+        self.sync_step_seeded_traced(round_seed, &mut NullTracer)
+    }
+
+    /// Like [`Self::sync_step_seeded`], but emits one [`RoundMetrics`]
+    /// event to `tracer` after the round. With [`NullTracer`] (whose
+    /// `enabled` is a constant `false`) this monomorphizes to exactly the
+    /// untraced round: the per-node read counting is behind the hoisted
+    /// flag and the evaluated count is recovered from the existing
+    /// activation counter.
+    pub fn sync_step_seeded_traced<T: Tracer>(&mut self, round_seed: u64, tracer: &mut T) -> usize {
+        let trace = tracer.enabled();
+        let before_activations = self.metrics.activations;
+        let mut reads = 0u64;
         let n = self.n();
         let mut changed = 0;
         for v in 0..n as NodeId {
             if !self.can_activate(v) {
                 self.next[v as usize] = self.states[v as usize];
                 continue;
+            }
+            if trace {
+                reads += self.graph.degree(v) as u64;
             }
             self.tally(v);
             let view = NeighborView::new_with_presence(
@@ -333,6 +366,23 @@ impl<P: Protocol> Network<P> {
         self.kernel_stale = true;
         self.metrics.rounds += 1;
         self.metrics.changes += changed as u64;
+        if trace {
+            // The interpreter evaluates every eligible node, so one
+            // counter serves as eligible, scheduled, and activations; all
+            // interpreter dispatches are native `transition` calls.
+            let evaluated = self.metrics.activations - before_activations;
+            tracer.round(&RoundMetrics {
+                round: self.metrics.rounds,
+                eligible: evaluated,
+                scheduled: evaluated,
+                activations: evaluated,
+                changes: changed as u64,
+                neighbor_reads: reads,
+                tabular: 0,
+                direct: evaluated,
+                faults: self.take_pending_faults(),
+            });
+        }
         changed
     }
 
@@ -349,21 +399,39 @@ impl<P: Protocol> Network<P> {
     /// Kernel round with an explicit seed (see
     /// [`Self::sync_step_seeded`]).
     pub fn sync_step_kernel_seeded(&mut self, round_seed: u64) -> usize {
+        self.sync_step_kernel_seeded_traced(round_seed, &mut NullTracer)
+    }
+
+    /// Like [`Self::sync_step_kernel_seeded`], but forwards one
+    /// [`RoundMetrics`] event per round to `tracer` (see
+    /// [`CompiledKernel::step_traced`]).
+    pub fn sync_step_kernel_seeded_traced<T: Tracer>(
+        &mut self,
+        round_seed: u64,
+        tracer: &mut T,
+    ) -> usize {
         assert!(
             self.recorder.is_none(),
             "query recording requires the interpreter stepper"
         );
         self.ensure_kernel();
+        let faults = if tracer.enabled() {
+            self.take_pending_faults()
+        } else {
+            0
+        };
         let mut kernel = self.kernel.take().expect("ensured above");
         if self.kernel_stale {
             kernel.mark_all_dirty();
             self.kernel_stale = false;
         }
-        let changed = kernel.step(
+        let changed = kernel.step_traced(
             &self.protocol,
             &mut self.states,
             &mut self.metrics,
             round_seed,
+            tracer,
+            faults,
         );
         self.kernel = Some(kernel);
         changed
@@ -403,22 +471,39 @@ where
     /// scoped workers. Bit-identical to
     /// [`Self::sync_step_kernel_seeded`] for any thread count.
     pub fn sync_step_kernel_parallel_seeded(&mut self, round_seed: u64, threads: usize) -> usize {
+        self.sync_step_kernel_parallel_seeded_traced(round_seed, threads, &mut NullTracer)
+    }
+
+    /// Traced variant of [`Self::sync_step_kernel_parallel_seeded`].
+    pub fn sync_step_kernel_parallel_seeded_traced<T: Tracer>(
+        &mut self,
+        round_seed: u64,
+        threads: usize,
+        tracer: &mut T,
+    ) -> usize {
         assert!(
             self.recorder.is_none(),
             "query recording requires the interpreter stepper"
         );
         self.ensure_kernel();
+        let faults = if tracer.enabled() {
+            self.take_pending_faults()
+        } else {
+            0
+        };
         let mut kernel = self.kernel.take().expect("ensured above");
         if self.kernel_stale {
             kernel.mark_all_dirty();
             self.kernel_stale = false;
         }
-        let changed = kernel.step_parallel(
+        let changed = kernel.step_parallel_traced(
             &self.protocol,
             &mut self.states,
             &mut self.metrics,
             round_seed,
             threads,
+            tracer,
+            faults,
         );
         self.kernel = Some(kernel);
         changed

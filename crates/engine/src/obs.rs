@@ -1,0 +1,473 @@
+//! Observability: zero-cost-when-disabled tracing of engine execution.
+//!
+//! The paper's claims are quantitative — O(n log n) expected activations
+//! for leader election (§4), the 0/1/Θ(n) sensitivity ranking (§2),
+//! synchronizer overhead (§4.2) — so the engine must be able to *report*
+//! what it did, per round, without slowing down runs that do not ask.
+//!
+//! The design is a single [`Tracer`] trait threaded generically through
+//! every stepper ([`crate::Runner`], [`crate::CompiledKernel`], the
+//! interpreter paths, and [`crate::Campaign`]):
+//!
+//! * **Disabled is free.** [`NullTracer::enabled`] returns a constant
+//!   `false`; every traced stepper hoists `tracer.enabled()` out of its
+//!   hot loop, so the `NullTracer` monomorphization compiles to exactly
+//!   the untraced code. The recorded engine baseline
+//!   (`BENCH_engine.json`) is the regression guard: medians with
+//!   `NullTracer` must stay within noise of the pre-tracing kernels.
+//! * **One event per round.** Steppers emit a [`RoundMetrics`] after each
+//!   synchronous round (or asynchronous sweep); fault surgeries between
+//!   rounds surface both as [`RoundMetrics::faults`] counts and — from
+//!   the campaign engine — as discrete [`FaultSurgery`] events.
+//! * **Sinks compose.** [`Counters`] aggregates rounds into a
+//!   [`RunMetrics`] summary (what [`crate::RunReport::metrics`] carries),
+//!   [`RoundLog`] keeps every event for tests, [`JsonlTrace`] streams a
+//!   replayable JSON-lines log (the `fssga-bench` / `fssga-chaos` CI
+//!   artifact), and [`Tee`] fans one event stream into two sinks.
+//!
+//! The per-round counters double as a cross-engine correctness oracle:
+//! the interpreter and the compiled kernel must agree bit-for-bit on the
+//! engine-invariant projection ([`RoundMetrics::invariant`]), which
+//! `tests/kernel_equivalence.rs` checks for every protocol in the
+//! workspace.
+
+use std::io::Write;
+
+use crate::faults::FaultKind;
+
+/// A sink for per-round engine events.
+///
+/// Implementations should keep [`Tracer::round`] cheap — it is called
+/// once per synchronous round, never per node. The per-node cost of
+/// tracing (neighbour-read and dispatch counting) is paid only when
+/// [`Tracer::enabled`] returns `true`; steppers hoist that call out of
+/// their hot loops, so a tracer whose `enabled` is a constant `false`
+/// (like [`NullTracer`]) costs nothing at all.
+///
+/// The trait is dyn-compatible: `&mut dyn Tracer` works wherever a
+/// concrete sink type would be awkward (CLI plumbing), at the price of a
+/// virtual call per round.
+pub trait Tracer {
+    /// Whether this sink wants events. Steppers consult this once per
+    /// round and skip all metric bookkeeping when it is `false`.
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// One synchronous round (or asynchronous sweep) completed.
+    fn round(&mut self, metrics: &RoundMetrics);
+
+    /// A fault surgery was applied (emitted by the campaign engine at the
+    /// tick a fault fires; plain [`crate::Network`] fault injection is
+    /// reported via [`RoundMetrics::faults`] instead).
+    #[inline]
+    fn fault(&mut self, surgery: &FaultSurgery) {
+        let _ = surgery;
+    }
+}
+
+/// The do-nothing sink: [`Tracer::enabled`] is a constant `false`, so
+/// every traced stepper monomorphized with `NullTracer` compiles to the
+/// untraced code.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn round(&mut self, _metrics: &RoundMetrics) {}
+}
+
+/// Mutable references to tracers are tracers (lets callers keep ownership
+/// of a sink while threading it through a [`crate::Runner`] or a
+/// [`crate::Campaign`]). Also covers `&mut dyn Tracer`.
+impl<T: Tracer + ?Sized> Tracer for &mut T {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn round(&mut self, metrics: &RoundMetrics) {
+        (**self).round(metrics);
+    }
+
+    #[inline]
+    fn fault(&mut self, surgery: &FaultSurgery) {
+        (**self).fault(surgery);
+    }
+}
+
+/// What one synchronous round (or asynchronous sweep) did.
+///
+/// Engine-invariant fields — identical between the interpreter and the
+/// compiled kernel for the same trajectory — are `round`, `eligible`,
+/// `changes`, and `faults` (see [`Self::invariant`]). Scheduling fields
+/// (`scheduled`, `activations`, `neighbor_reads`) legitimately differ:
+/// the kernel's dirty-set scheduler skips provably-quiescent nodes, which
+/// is the optimisation the metrics exist to measure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundMetrics {
+    /// Cumulative round counter of the network after this round (sweep
+    /// index within the run, for asynchronous sweeps).
+    pub round: u64,
+    /// Nodes that *could* activate: alive with at least one live
+    /// neighbour. Purely topology-determined, hence engine-invariant.
+    pub eligible: u64,
+    /// Nodes submitted to the evaluator this round: the dirty-set
+    /// occupancy on the kernel's dirty path, `eligible` otherwise.
+    pub scheduled: u64,
+    /// Nodes actually evaluated (transition computed). The interpreter
+    /// evaluates every eligible node; the kernel may evaluate fewer.
+    pub activations: u64,
+    /// Activations that changed a node's state. Engine-invariant.
+    pub changes: u64,
+    /// Neighbour states read while tallying multisets (= the sum of
+    /// degrees over evaluated nodes).
+    pub neighbor_reads: u64,
+    /// Activations dispatched through the kernel's dense fold/trans
+    /// tables ([`crate::KernelPlan::Tabular`]).
+    pub tabular: u64,
+    /// Activations dispatched through a native `transition` call (the
+    /// kernel's direct plan, or any interpreter activation).
+    pub direct: u64,
+    /// Fault surgeries (edge/node removals) applied to the network since
+    /// the previous traced round.
+    pub faults: u64,
+}
+
+impl RoundMetrics {
+    /// The engine-invariant projection: `(round, eligible, changes,
+    /// faults)`. Bit-identical between the interpreter and the compiled
+    /// kernel on the same trajectory — the lockstep oracle in
+    /// `tests/kernel_equivalence.rs` asserts exactly this.
+    pub fn invariant(&self) -> (u64, u64, u64, u64) {
+        (self.round, self.eligible, self.changes, self.faults)
+    }
+
+    /// One JSON-lines record (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"t\":\"round\",\"round\":{},\"eligible\":{},\"scheduled\":{},\
+             \"activations\":{},\"changes\":{},\"neighbor_reads\":{},\
+             \"tabular\":{},\"direct\":{},\"faults\":{}}}",
+            self.round,
+            self.eligible,
+            self.scheduled,
+            self.activations,
+            self.changes,
+            self.neighbor_reads,
+            self.tabular,
+            self.direct,
+            self.faults
+        )
+    }
+}
+
+/// A discrete fault-surgery event (campaign engine only; the tick the
+/// fault fired at plus what died).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSurgery {
+    /// The campaign tick (or round) at which the fault was applied.
+    pub round: u64,
+    /// What died.
+    pub kind: FaultKind,
+}
+
+impl FaultSurgery {
+    /// One JSON-lines record (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        match self.kind {
+            FaultKind::Edge(u, v) => format!(
+                "{{\"t\":\"fault\",\"round\":{},\"kind\":\"edge\",\"u\":{u},\"v\":{v}}}",
+                self.round
+            ),
+            FaultKind::Node(v) => format!(
+                "{{\"t\":\"fault\",\"round\":{},\"kind\":\"node\",\"v\":{v}}}",
+                self.round
+            ),
+        }
+    }
+}
+
+/// Whole-run aggregate of [`RoundMetrics`] — what an observed
+/// [`crate::Runner`] run attaches to its [`crate::RunReport`].
+///
+/// All counter fields are sums over the run's rounds; `eligible` and
+/// `scheduled` sum *per-round* values, so they count node-rounds, not
+/// nodes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// Rounds (or sweeps) aggregated.
+    pub rounds: u64,
+    /// Total eligible node-rounds.
+    pub eligible: u64,
+    /// Total scheduled node-rounds (dirty-set occupancy summed).
+    pub scheduled: u64,
+    /// Total activations.
+    pub activations: u64,
+    /// Total state changes.
+    pub changes: u64,
+    /// Total neighbour states read.
+    pub neighbor_reads: u64,
+    /// Total tabular-plan dispatches.
+    pub tabular: u64,
+    /// Total direct/native dispatches.
+    pub direct: u64,
+    /// Total fault surgeries applied.
+    pub faults: u64,
+    /// Largest single-round `scheduled` value (peak dirty-set occupancy).
+    pub max_scheduled: u64,
+}
+
+impl RunMetrics {
+    /// Folds one round event into the aggregate.
+    pub fn absorb(&mut self, r: &RoundMetrics) {
+        self.rounds += 1;
+        self.eligible += r.eligible;
+        self.scheduled += r.scheduled;
+        self.activations += r.activations;
+        self.changes += r.changes;
+        self.neighbor_reads += r.neighbor_reads;
+        self.tabular += r.tabular;
+        self.direct += r.direct;
+        self.faults += r.faults;
+        self.max_scheduled = self.max_scheduled.max(r.scheduled);
+    }
+
+    /// Mean activations per round (0.0 for an empty run).
+    pub fn activations_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.activations as f64 / self.rounds as f64
+        }
+    }
+
+    /// Fraction of eligible node-rounds the scheduler *skipped*:
+    /// `1 − activations / eligible`. On the interpreter this is 0; on the
+    /// kernel's dirty path it measures how much work the dirty set saved
+    /// (the "dirty-set hit rate" column of `BENCH_engine.json`).
+    pub fn dirty_hit_rate(&self) -> f64 {
+        if self.eligible == 0 {
+            0.0
+        } else {
+            1.0 - self.activations as f64 / self.eligible as f64
+        }
+    }
+}
+
+/// The aggregating sink: folds every round into a [`RunMetrics`].
+/// [`crate::Runner`] tees one of these alongside any user tracer to
+/// enrich its report.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counters {
+    /// The aggregate so far.
+    pub run: RunMetrics,
+}
+
+impl Tracer for Counters {
+    fn round(&mut self, metrics: &RoundMetrics) {
+        self.run.absorb(metrics);
+    }
+}
+
+/// A keep-everything sink for tests and offline analysis.
+#[derive(Clone, Debug, Default)]
+pub struct RoundLog {
+    /// Every round event, in order.
+    pub rounds: Vec<RoundMetrics>,
+    /// Every fault-surgery event, in order.
+    pub faults: Vec<FaultSurgery>,
+}
+
+impl Tracer for RoundLog {
+    fn round(&mut self, metrics: &RoundMetrics) {
+        self.rounds.push(*metrics);
+    }
+
+    fn fault(&mut self, surgery: &FaultSurgery) {
+        self.faults.push(*surgery);
+    }
+}
+
+/// A streaming JSON-lines sink: one `{"t":"round",...}` object per round
+/// and one `{"t":"fault",...}` per surgery, in event order — the
+/// replayable trace artifact `fssga-bench --trace-out` and
+/// `fssga-chaos --trace-out` upload from CI.
+#[derive(Debug)]
+pub struct JsonlTrace<W: Write> {
+    out: W,
+}
+
+impl<W: Write> JsonlTrace<W> {
+    /// A sink writing to `out` (wrap files in a `BufWriter`).
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        self.out.flush().expect("flush jsonl trace");
+        self.out
+    }
+}
+
+impl<W: Write> Tracer for JsonlTrace<W> {
+    fn round(&mut self, metrics: &RoundMetrics) {
+        writeln!(self.out, "{}", metrics.to_jsonl()).expect("write jsonl trace");
+    }
+
+    fn fault(&mut self, surgery: &FaultSurgery) {
+        writeln!(self.out, "{}", surgery.to_jsonl()).expect("write jsonl trace");
+    }
+}
+
+/// Fans one event stream into two sinks (`Tee(a, b)` forwards to `a`
+/// then `b`). Enabled iff either side is, so tracing work is done once
+/// even when only one side listens.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: Tracer, B: Tracer> Tracer for Tee<A, B> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.0.enabled() || self.1.enabled()
+    }
+
+    #[inline]
+    fn round(&mut self, metrics: &RoundMetrics) {
+        self.0.round(metrics);
+        self.1.round(metrics);
+    }
+
+    #[inline]
+    fn fault(&mut self, surgery: &FaultSurgery) {
+        self.0.fault(surgery);
+        self.1.fault(surgery);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(round: u64) -> RoundMetrics {
+        RoundMetrics {
+            round,
+            eligible: 10,
+            scheduled: 4,
+            activations: 3,
+            changes: 2,
+            neighbor_reads: 12,
+            tabular: 3,
+            direct: 0,
+            faults: 1,
+        }
+    }
+
+    #[test]
+    fn null_tracer_is_disabled() {
+        assert!(!NullTracer.enabled());
+        let mut n = NullTracer;
+        let r = &mut n;
+        assert!(
+            !<&mut NullTracer as Tracer>::enabled(&r),
+            "blanket impl preserves it"
+        );
+    }
+
+    #[test]
+    fn counters_aggregate_rounds() {
+        let mut c = Counters::default();
+        c.round(&sample(1));
+        c.round(&RoundMetrics {
+            scheduled: 9,
+            ..sample(2)
+        });
+        assert_eq!(c.run.rounds, 2);
+        assert_eq!(c.run.eligible, 20);
+        assert_eq!(c.run.activations, 6);
+        assert_eq!(c.run.changes, 4);
+        assert_eq!(c.run.faults, 2);
+        assert_eq!(c.run.max_scheduled, 9);
+        assert_eq!(c.run.activations_per_round(), 3.0);
+        let hit = c.run.dirty_hit_rate();
+        assert!((hit - 0.7).abs() < 1e-12, "1 - 6/20 = 0.7, got {hit}");
+    }
+
+    #[test]
+    fn empty_run_metrics_are_finite() {
+        let m = RunMetrics::default();
+        assert_eq!(m.activations_per_round(), 0.0);
+        assert_eq!(m.dirty_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn jsonl_round_format_is_stable() {
+        assert_eq!(
+            sample(7).to_jsonl(),
+            "{\"t\":\"round\",\"round\":7,\"eligible\":10,\"scheduled\":4,\
+             \"activations\":3,\"changes\":2,\"neighbor_reads\":12,\
+             \"tabular\":3,\"direct\":0,\"faults\":1}"
+        );
+    }
+
+    #[test]
+    fn jsonl_fault_format_is_stable() {
+        let e = FaultSurgery {
+            round: 3,
+            kind: FaultKind::Edge(1, 2),
+        };
+        assert_eq!(
+            e.to_jsonl(),
+            "{\"t\":\"fault\",\"round\":3,\"kind\":\"edge\",\"u\":1,\"v\":2}"
+        );
+        let n = FaultSurgery {
+            round: 4,
+            kind: FaultKind::Node(9),
+        };
+        assert_eq!(
+            n.to_jsonl(),
+            "{\"t\":\"fault\",\"round\":4,\"kind\":\"node\",\"v\":9}"
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_streams_events_in_order() {
+        let mut sink = JsonlTrace::new(Vec::new());
+        sink.round(&sample(1));
+        sink.fault(&FaultSurgery {
+            round: 1,
+            kind: FaultKind::Node(5),
+        });
+        sink.round(&sample(2));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"t\":\"round\"") && lines[0].contains("\"round\":1"));
+        assert!(lines[1].contains("\"t\":\"fault\""));
+        assert!(lines[2].contains("\"round\":2"));
+    }
+
+    #[test]
+    fn tee_forwards_to_both_and_ors_enablement() {
+        let mut tee = Tee(NullTracer, Counters::default());
+        assert!(tee.enabled(), "counters side is live");
+        tee.round(&sample(1));
+        assert_eq!(tee.1.run.rounds, 1);
+        let off = Tee(NullTracer, NullTracer);
+        assert!(!off.enabled());
+    }
+
+    #[test]
+    fn invariant_projection_picks_engine_invariant_fields() {
+        let m = sample(5);
+        assert_eq!(m.invariant(), (5, 10, 2, 1));
+    }
+}

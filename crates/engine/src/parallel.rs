@@ -13,9 +13,10 @@
 //! invariant the tests and the `engine_ablation` bench both exercise.
 
 use fssga_graph::rng::Xoshiro256;
-use fssga_graph::NodeId;
+use fssga_graph::{DynGraph, NodeId};
 
 use crate::network::Network;
+use crate::obs::{NullTracer, RoundMetrics, Tracer};
 use crate::protocol::{Protocol, StateSpace};
 use crate::view::NeighborView;
 
@@ -42,22 +43,85 @@ where
     P: Protocol + Sync,
     P::State: Send + Sync,
 {
+    sync_step_parallel_seeded_traced(net, round_seed, threads, &mut NullTracer)
+}
+
+/// Traced variant of [`sync_step_parallel_seeded`]: emits one
+/// [`RoundMetrics`] event after the round. The traced/untraced decision
+/// is made *before* workers spawn (a const-generic split), so the
+/// disabled path monomorphizes to exactly the untraced round.
+pub fn sync_step_parallel_seeded_traced<P, T>(
+    net: &mut Network<P>,
+    round_seed: u64,
+    threads: usize,
+    tracer: &mut T,
+) -> usize
+where
+    P: Protocol + Sync,
+    P::State: Send + Sync,
+    T: Tracer,
+{
     assert!(
         !net.recording_enabled(),
         "query recording requires the sequential stepper"
     );
+    let trace = tracer.enabled();
     let n = net.n();
     if threads <= 1 || n < 256 {
-        return net.sync_step_seeded(round_seed);
+        return net.sync_step_seeded_traced(round_seed, tracer);
     }
 
-    let (protocol, graph, states, next, metrics) = net.parallel_parts();
     let chunk = n.div_ceil(threads);
+    let (changed_total, activations_total, reads_total) = {
+        let (protocol, graph, states, next, _) = net.parallel_parts();
+        if trace {
+            run_chunks::<P, true>(protocol, graph, states, next, chunk, round_seed)
+        } else {
+            run_chunks::<P, false>(protocol, graph, states, next, chunk, round_seed)
+        }
+    };
+
+    net.metrics.rounds += 1;
+    net.metrics.activations += activations_total;
+    net.metrics.changes += changed_total as u64;
+    net.swap_buffers();
+    if trace {
+        let faults = net.take_pending_faults();
+        tracer.round(&RoundMetrics {
+            round: net.metrics.rounds,
+            eligible: activations_total,
+            scheduled: activations_total,
+            activations: activations_total,
+            changes: changed_total as u64,
+            neighbor_reads: reads_total,
+            tabular: 0,
+            direct: activations_total,
+            faults,
+        });
+    }
+    changed_total
+}
+
+/// The scoped-thread fan-out, monomorphized per `TRACE` value so the
+/// read counting inside workers is a compile-time constant. Returns
+/// `(changed, activations, neighbor reads)` totals.
+fn run_chunks<P, const TRACE: bool>(
+    protocol: &P,
+    graph: &DynGraph,
+    states: &[P::State],
+    next: &mut [P::State],
+    chunk: usize,
+    round_seed: u64,
+) -> (usize, u64, u64)
+where
+    P: Protocol + Sync,
+    P::State: Send + Sync,
+{
     let mut changed_total = 0usize;
     let mut activations_total = 0u64;
-
+    let mut reads_total = 0u64;
     std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
+        let mut handles = Vec::new();
         let mut rest = next;
         let mut start = 0usize;
         while !rest.is_empty() {
@@ -71,12 +135,16 @@ where
                 let mut touched: Vec<u32> = Vec::with_capacity(64);
                 let mut changed = 0usize;
                 let mut activations = 0u64;
+                let mut reads = 0u64;
                 for (off, slot) in mine.iter_mut().enumerate() {
                     let v = (lo + off) as NodeId;
                     let old = states[v as usize];
                     if !graph.is_alive(v) || graph.degree(v) == 0 {
                         *slot = old;
                         continue;
+                    }
+                    if TRACE {
+                        reads += graph.degree(v) as u64;
                     }
                     for &w in graph.neighbors(v) {
                         let idx = states[w as usize].index();
@@ -99,21 +167,17 @@ where
                         changed += 1;
                     }
                 }
-                (changed, activations)
+                (changed, activations, reads)
             }));
         }
         for h in handles {
-            let (c, a) = h.join().expect("worker panicked");
+            let (c, a, r) = h.join().expect("worker panicked");
             changed_total += c;
             activations_total += a;
+            reads_total += r;
         }
     });
-
-    metrics.rounds += 1;
-    metrics.activations += activations_total;
-    metrics.changes += changed_total as u64;
-    net.swap_buffers();
-    changed_total
+    (changed_total, activations_total, reads_total)
 }
 
 #[cfg(test)]

@@ -37,11 +37,25 @@
 //! on the interpreter. Trajectories (states, change counts, fixpoint
 //! rounds) are bit-identical between engines; only the `activations`
 //! metric differs (the kernel provably skips no-op re-evaluations).
+//!
+//! # Observability
+//!
+//! Attach any [`Tracer`] with [`Runner::tracer`] to receive one
+//! [`crate::RoundMetrics`] event per round (or per asynchronous sweep),
+//! or call [`Runner::observed`] to just collect the aggregate: either way
+//! the run's [`RunReport::metrics`] carries a [`RunMetrics`] summary.
+//! Tracing is zero-cost when absent — the default [`NullTracer`] path
+//! monomorphizes to the untraced steppers. Bounded state recording rides
+//! the same hook: [`Runner::record`] snapshots into a [`History`] (which
+//! can stride or decimate; see [`crate::history`]) at the start of the
+//! run and after every round.
 
 use fssga_graph::rng::Xoshiro256;
 use fssga_graph::NodeId;
 
+use crate::history::History;
 use crate::network::{Metrics, Network};
+use crate::obs::{Counters, NullTracer, RoundMetrics, RunMetrics, Tee, Tracer};
 use crate::protocol::Protocol;
 use crate::scheduler::AsyncPolicy;
 
@@ -99,7 +113,10 @@ pub struct RunReport {
     /// `Some(1)` (vacuous fixpoint).
     pub fixpoint: Option<usize>,
     /// Raw counter delta for this run.
-    pub metrics: Metrics,
+    pub counters: Metrics,
+    /// Aggregated per-round metrics — present iff the run was observed
+    /// (a tracer was attached or [`Runner::observed`] was called).
+    pub metrics: Option<RunMetrics>,
 }
 
 impl RunReport {
@@ -110,19 +127,23 @@ impl RunReport {
 }
 
 /// Builder for a single run. See the [module docs](self) for the
-/// deprecated entry points each configuration replaces.
-pub struct Runner<'n, 'r, 'o, P: Protocol> {
+/// deprecated entry points each configuration replaces and for the
+/// observability hooks.
+pub struct Runner<'n, 'r, 'o, 'h, P: Protocol, T: Tracer = NullTracer> {
     net: &'n mut Network<P>,
     policy: Policy<'o>,
     budget: Budget,
     seed: u64,
     rng: Option<&'r mut Xoshiro256>,
     engine: Engine,
+    tracer: T,
+    record: Option<&'h mut History<P::State>>,
+    observe: bool,
 }
 
-impl<'n, 'r, 'o, P: Protocol> Runner<'n, 'r, 'o, P> {
+impl<'n, P: Protocol> Runner<'n, '_, '_, '_, P, NullTracer> {
     /// A runner over `net` with defaults: synchronous rounds, fixpoint
-    /// budget of 1 000 000, seed 0, engine [`Engine::Auto`].
+    /// budget of 1 000 000, seed 0, engine [`Engine::Auto`], no tracer.
     pub fn new(net: &'n mut Network<P>) -> Self {
         Self {
             net,
@@ -131,9 +152,14 @@ impl<'n, 'r, 'o, P: Protocol> Runner<'n, 'r, 'o, P> {
             seed: 0,
             rng: None,
             engine: Engine::Auto,
+            tracer: NullTracer,
+            record: None,
+            observe: false,
         }
     }
+}
 
+impl<'n, 'r, 'o, 'h, P: Protocol, T: Tracer> Runner<'n, 'r, 'o, 'h, P, T> {
     /// Sets the activation order.
     pub fn policy(mut self, policy: Policy<'o>) -> Self {
         self.policy = policy;
@@ -167,6 +193,39 @@ impl<'n, 'r, 'o, P: Protocol> Runner<'n, 'r, 'o, P> {
         self
     }
 
+    /// Attaches a per-round event sink (pass `&mut sink` to keep
+    /// ownership). The run is then observed: the report additionally
+    /// carries a [`RunMetrics`] aggregate.
+    pub fn tracer<T2: Tracer>(self, tracer: T2) -> Runner<'n, 'r, 'o, 'h, P, T2> {
+        Runner {
+            net: self.net,
+            policy: self.policy,
+            budget: self.budget,
+            seed: self.seed,
+            rng: self.rng,
+            engine: self.engine,
+            tracer,
+            record: self.record,
+            observe: self.observe,
+        }
+    }
+
+    /// Observes the run without an external sink: collects the
+    /// [`RunMetrics`] aggregate into [`RunReport::metrics`].
+    pub fn observed(mut self) -> Self {
+        self.observe = true;
+        self
+    }
+
+    /// Snapshots states into `history` at the start of the run and after
+    /// every synchronous round / asynchronous sweep (once at the end for
+    /// step- and order-driven runs). Use a strided or capped [`History`]
+    /// to bound memory on long runs.
+    pub fn record(mut self, history: &'h mut History<P::State>) -> Self {
+        self.record = Some(history);
+        self
+    }
+
     fn use_kernel(&self) -> bool {
         match self.engine {
             Engine::Auto => P::COMPILED && !self.net.recording_enabled(),
@@ -178,169 +237,354 @@ impl<'n, 'r, 'o, P: Protocol> Runner<'n, 'r, 'o, P> {
     /// Executes the run.
     pub fn run(self) -> RunReport {
         let kernel = self.use_kernel();
-        self.run_with_stepper(|net, round_seed| {
-            if kernel {
-                net.sync_step_kernel_seeded(round_seed)
-            } else {
-                net.sync_step_seeded(round_seed)
-            }
-        })
-    }
-
-    /// The shared driver: `step_sync(net, round_seed)` performs one
-    /// synchronous round; everything else (budgets, async sweeps,
-    /// reporting) is engine-independent.
-    fn run_with_stepper(
-        self,
-        mut step_sync: impl FnMut(&mut Network<P>, u64) -> usize,
-    ) -> RunReport {
-        let before = self.net.metrics.clone();
-        let mut local_rng;
-        let rng: &mut Xoshiro256 = match self.rng {
-            Some(r) => r,
-            None => {
-                local_rng = Xoshiro256::seed_from_u64(self.seed);
-                &mut local_rng
-            }
-        };
-        let mut rounds = 0usize;
-        let mut fixpoint: Option<usize> = None;
-        match self.policy {
-            Policy::Sync => {
-                let (max_rounds, stop_at_fixpoint) = match self.budget {
-                    Budget::Rounds(k) => (k, false),
-                    Budget::Fixpoint(k) => (k, true),
-                    Budget::Steps(_) => panic!(
-                        "Budget::Steps counts single activations; \
-                         synchronous execution needs Budget::Rounds or Budget::Fixpoint"
-                    ),
-                };
-                for round in 1..=max_rounds {
-                    let round_seed = if P::RANDOMNESS > 1 { rng.next_u64() } else { 0 };
-                    let changed = step_sync(self.net, round_seed);
-                    rounds = round;
-                    if changed == 0 {
-                        fixpoint.get_or_insert(round);
-                        if stop_at_fixpoint {
-                            break;
-                        }
-                    }
-                }
-            }
-            Policy::Async(policy) => match self.budget {
-                Budget::Steps(steps) => {
-                    // Activations land on *alive* nodes only; dead slots
-                    // would dilute the budget (their "activation" is a
-                    // no-op). Topology cannot change during the run, so
-                    // the alive set is computed once.
-                    let alive: Vec<NodeId> = self.net.graph().alive_nodes().collect();
-                    if !alive.is_empty() {
-                        let n = alive.len();
-                        match policy {
-                            AsyncPolicy::UniformRandom => {
-                                for _ in 0..steps {
-                                    let v = alive[rng.gen_index(n)];
-                                    self.net.activate(v, rng);
-                                }
-                            }
-                            AsyncPolicy::RoundRobin => {
-                                for i in 0..steps {
-                                    self.net.activate(alive[i % n], rng);
-                                }
-                            }
-                            AsyncPolicy::RandomPermutation => {
-                                let mut order = alive;
-                                let mut idx = order.len(); // reshuffle first
-                                for _ in 0..steps {
-                                    if idx == order.len() {
-                                        rng.shuffle(&mut order);
-                                        idx = 0;
-                                    }
-                                    let v = order[idx];
-                                    idx += 1;
-                                    self.net.activate(v, rng);
-                                }
-                            }
-                        }
-                    }
-                }
-                Budget::Rounds(sweeps) | Budget::Fixpoint(sweeps) => {
-                    let stop_at_fixpoint = matches!(self.budget, Budget::Fixpoint(_));
-                    if stop_at_fixpoint {
-                        assert!(
-                            policy != AsyncPolicy::UniformRandom,
-                            "fixpoint detection needs sweep-based policies"
-                        );
-                    }
-                    let alive: Vec<NodeId> = self.net.graph().alive_nodes().collect();
-                    let mut order = alive.clone();
-                    if order.is_empty() {
-                        fixpoint = Some(1);
+        let observe = self.observe || self.tracer.enabled();
+        let Runner {
+            net,
+            policy,
+            budget,
+            seed,
+            rng,
+            engine: _,
+            mut tracer,
+            record,
+            observe: _,
+        } = self;
+        if observe {
+            let mut counters = Counters::default();
+            let mut tee = Tee(&mut tracer, &mut counters);
+            let mut report = run_core(
+                net,
+                policy,
+                budget,
+                seed,
+                rng,
+                record,
+                &mut tee,
+                |net, round_seed, t| {
+                    if kernel {
+                        net.sync_step_kernel_seeded_traced(round_seed, t)
                     } else {
-                        for sweep in 1..=sweeps {
-                            match policy {
-                                AsyncPolicy::RandomPermutation => rng.shuffle(&mut order),
-                                // A uniform-random "sweep" is |alive|
-                                // independent draws (no fairness
-                                // guarantee — hence no fixpoint mode).
-                                AsyncPolicy::UniformRandom => {
-                                    for slot in order.iter_mut() {
-                                        *slot = alive[rng.gen_index(alive.len())];
-                                    }
-                                }
-                                AsyncPolicy::RoundRobin => {}
-                            }
-                            let mut changed = false;
-                            for &v in &order {
-                                if self.net.activate(v, rng) {
-                                    changed = true;
-                                }
-                            }
-                            rounds = sweep;
-                            if !changed {
-                                fixpoint.get_or_insert(sweep);
-                                if stop_at_fixpoint {
-                                    break;
-                                }
-                            }
-                        }
+                        net.sync_step_seeded_traced(round_seed, t)
                     }
-                }
-            },
-            Policy::Order(order) => {
-                for &v in order {
-                    self.net.activate(v, rng);
-                }
-            }
-        }
-        let metrics = self.net.metrics.since(&before);
-        RunReport {
-            rounds,
-            activations: metrics.activations,
-            changes: metrics.changes,
-            fixpoint,
-            metrics,
+                },
+            );
+            report.metrics = Some(counters.run);
+            report
+        } else {
+            run_core(
+                net,
+                policy,
+                budget,
+                seed,
+                rng,
+                record,
+                &mut NullTracer,
+                |net, round_seed, _| {
+                    if kernel {
+                        net.sync_step_kernel_seeded(round_seed)
+                    } else {
+                        net.sync_step_seeded(round_seed)
+                    }
+                },
+            )
         }
     }
 }
 
 #[cfg(feature = "parallel")]
-impl<'n, 'r, 'o, P> Runner<'n, 'r, 'o, P>
+impl<P, T> Runner<'_, '_, '_, '_, P, T>
 where
     P: Protocol + Sync,
     P::State: Send + Sync,
+    T: Tracer,
 {
     /// As [`Self::run`], but synchronous rounds fan out over `threads`
     /// worker threads (kernel or interpreter, per the engine selection).
     /// Bit-identical results to [`Self::run`] for any thread count.
     pub fn run_parallel(self, threads: usize) -> RunReport {
         let kernel = self.use_kernel();
-        self.run_with_stepper(move |net, round_seed| {
-            if kernel {
-                net.sync_step_kernel_parallel_seeded(round_seed, threads)
-            } else {
-                crate::parallel::sync_step_parallel_seeded(net, round_seed, threads)
-            }
-        })
+        let observe = self.observe || self.tracer.enabled();
+        let Runner {
+            net,
+            policy,
+            budget,
+            seed,
+            rng,
+            engine: _,
+            mut tracer,
+            record,
+            observe: _,
+        } = self;
+        if observe {
+            let mut counters = Counters::default();
+            let mut tee = Tee(&mut tracer, &mut counters);
+            let mut report = run_core(
+                net,
+                policy,
+                budget,
+                seed,
+                rng,
+                record,
+                &mut tee,
+                |net, round_seed, t| {
+                    if kernel {
+                        net.sync_step_kernel_parallel_seeded_traced(round_seed, threads, t)
+                    } else {
+                        crate::parallel::sync_step_parallel_seeded_traced(
+                            net, round_seed, threads, t,
+                        )
+                    }
+                },
+            );
+            report.metrics = Some(counters.run);
+            report
+        } else {
+            run_core(
+                net,
+                policy,
+                budget,
+                seed,
+                rng,
+                record,
+                &mut NullTracer,
+                |net, round_seed, _| {
+                    if kernel {
+                        net.sync_step_kernel_parallel_seeded(round_seed, threads)
+                    } else {
+                        crate::parallel::sync_step_parallel_seeded(net, round_seed, threads)
+                    }
+                },
+            )
+        }
     }
+}
+
+/// The shared driver: `step_sync(net, round_seed, tracer)` performs one
+/// synchronous round; everything else (budgets, async sweeps, history
+/// recording, reporting) is engine-independent. Asynchronous sweeps are
+/// traced here (per sweep) since individual activations have no round
+/// structure of their own; step- and order-driven runs emit one
+/// aggregate event with `round == 0`.
+#[allow(clippy::too_many_arguments)]
+fn run_core<P: Protocol, Tr: Tracer>(
+    net: &mut Network<P>,
+    policy: Policy<'_>,
+    budget: Budget,
+    seed: u64,
+    rng: Option<&mut Xoshiro256>,
+    mut record: Option<&mut History<P::State>>,
+    tracer: &mut Tr,
+    mut step_sync: impl FnMut(&mut Network<P>, u64, &mut Tr) -> usize,
+) -> RunReport {
+    let before = net.metrics.clone();
+    let tr = tracer.enabled();
+    let mut local_rng;
+    let rng: &mut Xoshiro256 = match rng {
+        Some(r) => r,
+        None => {
+            local_rng = Xoshiro256::seed_from_u64(seed);
+            &mut local_rng
+        }
+    };
+    if let Some(h) = record.as_deref_mut() {
+        h.record(net);
+    }
+    let mut rounds = 0usize;
+    let mut fixpoint: Option<usize> = None;
+    match policy {
+        Policy::Sync => {
+            let (max_rounds, stop_at_fixpoint) = match budget {
+                Budget::Rounds(k) => (k, false),
+                Budget::Fixpoint(k) => (k, true),
+                Budget::Steps(_) => panic!(
+                    "Budget::Steps counts single activations; \
+                     synchronous execution needs Budget::Rounds or Budget::Fixpoint"
+                ),
+            };
+            for round in 1..=max_rounds {
+                let round_seed = if P::RANDOMNESS > 1 { rng.next_u64() } else { 0 };
+                let changed = step_sync(net, round_seed, tracer);
+                rounds = round;
+                if let Some(h) = record.as_deref_mut() {
+                    h.record(net);
+                }
+                if changed == 0 {
+                    fixpoint.get_or_insert(round);
+                    if stop_at_fixpoint {
+                        break;
+                    }
+                }
+            }
+        }
+        Policy::Async(policy) => match budget {
+            Budget::Steps(steps) => {
+                // Activations land on *alive* nodes only; dead slots
+                // would dilute the budget (their "activation" is a
+                // no-op). Topology cannot change during the run, so
+                // the alive set is computed once.
+                let alive: Vec<NodeId> = net.graph().alive_nodes().collect();
+                let mut reads = 0u64;
+                if !alive.is_empty() {
+                    let n = alive.len();
+                    match policy {
+                        AsyncPolicy::UniformRandom => {
+                            for _ in 0..steps {
+                                let v = alive[rng.gen_index(n)];
+                                if tr && net.can_activate(v) {
+                                    reads += net.graph().degree(v) as u64;
+                                }
+                                net.activate(v, rng);
+                            }
+                        }
+                        AsyncPolicy::RoundRobin => {
+                            for i in 0..steps {
+                                let v = alive[i % n];
+                                if tr && net.can_activate(v) {
+                                    reads += net.graph().degree(v) as u64;
+                                }
+                                net.activate(v, rng);
+                            }
+                        }
+                        AsyncPolicy::RandomPermutation => {
+                            let mut order = alive;
+                            let mut idx = order.len(); // reshuffle first
+                            for _ in 0..steps {
+                                if idx == order.len() {
+                                    rng.shuffle(&mut order);
+                                    idx = 0;
+                                }
+                                let v = order[idx];
+                                idx += 1;
+                                if tr && net.can_activate(v) {
+                                    reads += net.graph().degree(v) as u64;
+                                }
+                                net.activate(v, rng);
+                            }
+                        }
+                    }
+                }
+                if tr {
+                    emit_aggregate(net, tracer, &before, 0, steps as u64, reads);
+                }
+            }
+            Budget::Rounds(sweeps) | Budget::Fixpoint(sweeps) => {
+                let stop_at_fixpoint = matches!(budget, Budget::Fixpoint(_));
+                if stop_at_fixpoint {
+                    assert!(
+                        policy != AsyncPolicy::UniformRandom,
+                        "fixpoint detection needs sweep-based policies"
+                    );
+                }
+                let alive: Vec<NodeId> = net.graph().alive_nodes().collect();
+                let mut order = alive.clone();
+                if order.is_empty() {
+                    fixpoint = Some(1);
+                } else {
+                    for sweep in 1..=sweeps {
+                        match policy {
+                            AsyncPolicy::RandomPermutation => rng.shuffle(&mut order),
+                            // A uniform-random "sweep" is |alive|
+                            // independent draws (no fairness
+                            // guarantee — hence no fixpoint mode).
+                            AsyncPolicy::UniformRandom => {
+                                for slot in order.iter_mut() {
+                                    *slot = alive[rng.gen_index(alive.len())];
+                                }
+                            }
+                            AsyncPolicy::RoundRobin => {}
+                        }
+                        let sweep_before = net.metrics.clone();
+                        let mut reads = 0u64;
+                        let mut changed = false;
+                        for &v in &order {
+                            if tr && net.can_activate(v) {
+                                reads += net.graph().degree(v) as u64;
+                            }
+                            if net.activate(v, rng) {
+                                changed = true;
+                            }
+                        }
+                        rounds = sweep;
+                        if let Some(h) = record.as_deref_mut() {
+                            h.record(net);
+                        }
+                        if tr {
+                            emit_aggregate(
+                                net,
+                                tracer,
+                                &sweep_before,
+                                sweep as u64,
+                                order.len() as u64,
+                                reads,
+                            );
+                        }
+                        if !changed {
+                            fixpoint.get_or_insert(sweep);
+                            if stop_at_fixpoint {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        },
+        Policy::Order(order) => {
+            let mut reads = 0u64;
+            for &v in order {
+                if tr && net.can_activate(v) {
+                    reads += net.graph().degree(v) as u64;
+                }
+                net.activate(v, rng);
+            }
+            if tr {
+                emit_aggregate(net, tracer, &before, 0, order.len() as u64, reads);
+            }
+        }
+    }
+    // Step- and order-driven runs have no per-round hook; snapshot once
+    // at the end (sync rounds and async sweeps recorded above).
+    let tail_record = matches!(policy, Policy::Order(_))
+        || (matches!(policy, Policy::Async(_)) && matches!(budget, Budget::Steps(_)));
+    if tail_record {
+        if let Some(h) = record {
+            h.record(net);
+        }
+    }
+    let counters = net.metrics.since(&before);
+    RunReport {
+        rounds,
+        activations: counters.activations,
+        changes: counters.changes,
+        fixpoint,
+        counters,
+        metrics: None,
+    }
+}
+
+/// Emits one asynchronous-phase [`RoundMetrics`] event: activation and
+/// change counts come from the network's counter delta, eligibility is
+/// not re-derived (individual activations have no synchronous-round
+/// eligibility semantics), and every interpreter activation is a direct
+/// dispatch.
+fn emit_aggregate<P: Protocol, Tr: Tracer>(
+    net: &mut Network<P>,
+    tracer: &mut Tr,
+    since: &Metrics,
+    round: u64,
+    scheduled: u64,
+    reads: u64,
+) {
+    let delta = net.metrics.since(since);
+    let faults = net.take_pending_faults();
+    tracer.round(&RoundMetrics {
+        round,
+        eligible: delta.activations,
+        scheduled,
+        activations: delta.activations,
+        changes: delta.changes,
+        neighbor_reads: reads,
+        tabular: 0,
+        direct: delta.activations,
+        faults,
+    });
 }

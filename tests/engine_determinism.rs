@@ -7,9 +7,19 @@
 //! graph sizes, and thread counts.
 
 use fssga::engine::parallel::sync_step_parallel;
-use fssga::engine::{NeighborView, Network, Protocol, StateSpace};
-use fssga::graph::generators;
+use fssga::engine::{Budget, NeighborView, Network, Protocol, Runner, StateSpace, SyncScheduler};
 use fssga::graph::rng::Xoshiro256;
+use fssga::graph::{generators, NodeId};
+use fssga::protocols::bfs::{Bfs, BfsState};
+use fssga::protocols::census::{Census, FmSketch};
+use fssga::protocols::election::{ElectState, Election};
+use fssga::protocols::firing_squad::{FiringSquad, FsspState};
+use fssga::protocols::greedy_tourist::{TourLabel, TouristBfs};
+use fssga::protocols::random_walk::{RandomWalk, WalkState};
+use fssga::protocols::shortest_paths::ShortestPaths;
+use fssga::protocols::synchronizer::alpha_network;
+use fssga::protocols::traversal::{TravState, Traversal};
+use fssga::protocols::two_coloring::TwoColoring;
 
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 enum S4 {
@@ -82,6 +92,155 @@ fn parallel_equals_sequential_mixer() {
     ] {
         assert_lockstep(Mixer, init, n, 0.02, gseed, threads, 4);
     }
+}
+
+/// Runs `rounds` synchronous rounds of identically-built networks through
+/// three entry points — the sequential [`Runner`], [`Runner::run_parallel`],
+/// and the deprecated [`SyncScheduler::run_rounds`] wrapper — and asserts
+/// all three report the same change count and end in the same states.
+fn changes_parity<P>(build: &dyn Fn() -> Network<P>, rounds: usize, seed: u64, ctx: &str)
+where
+    P: Protocol + Sync,
+    P::State: Send + Sync + std::fmt::Debug,
+{
+    let mut seq = build();
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let sequential = Runner::new(&mut seq)
+        .budget(Budget::Rounds(rounds))
+        .rng(&mut rng)
+        .run()
+        .changes;
+
+    let mut par = build();
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let parallel = Runner::new(&mut par)
+        .budget(Budget::Rounds(rounds))
+        .rng(&mut rng)
+        .run_parallel(3)
+        .changes;
+
+    let mut legacy_net = build();
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    #[allow(deprecated)]
+    let legacy = SyncScheduler::run_rounds(&mut legacy_net, &mut rng, rounds) as u64;
+
+    assert_eq!(
+        sequential, parallel,
+        "{ctx}: sequential vs parallel changes"
+    );
+    assert_eq!(
+        sequential, legacy,
+        "{ctx}: sequential vs deprecated changes"
+    );
+    assert_eq!(
+        seq.states(),
+        par.states(),
+        "{ctx}: parallel states diverged"
+    );
+    assert_eq!(
+        seq.states(),
+        legacy_net.states(),
+        "{ctx}: deprecated-wrapper states diverged"
+    );
+}
+
+/// `RunReport::changes` parity across the sequential runner, the parallel
+/// stepper, and the deprecated wrapper, for every protocol in the
+/// workspace (the graph is large enough that `run_parallel` really
+/// spawns workers instead of falling back to the sequential path).
+#[test]
+fn change_counts_agree_across_entry_points() {
+    let g = generators::connected_gnp(300, 0.02, &mut Xoshiro256::seed_from_u64(0xD15C));
+    let n = g.n();
+    let last = (n - 1) as NodeId;
+    let mut rng = Xoshiro256::seed_from_u64(7);
+    let sketches: Vec<FmSketch<8>> = (0..n).map(|_| FmSketch::random_init(&mut rng)).collect();
+    let rounds = 8;
+
+    changes_parity(
+        &|| Network::new(&g, TwoColoring, |v| TwoColoring::init(v == 0)),
+        rounds,
+        1,
+        "two-coloring",
+    );
+    changes_parity(
+        &|| Network::new(&g, Census::<8>, |v| sketches[v as usize]),
+        rounds,
+        2,
+        "census",
+    );
+    changes_parity(
+        &|| {
+            Network::new(&g, ShortestPaths::<32>, |v| {
+                ShortestPaths::<32>::init(v == 0)
+            })
+        },
+        rounds,
+        3,
+        "shortest-paths",
+    );
+    changes_parity(
+        &|| Network::new(&g, Bfs, |v| BfsState::init(v == 0, v == last)),
+        rounds,
+        4,
+        "bfs",
+    );
+    changes_parity(
+        &|| {
+            Network::new(&g, TouristBfs, |v| {
+                if v % 7 == 0 {
+                    TourLabel::Target
+                } else {
+                    TourLabel::Star
+                }
+            })
+        },
+        rounds,
+        5,
+        "greedy-tourist",
+    );
+    changes_parity(
+        &|| {
+            Network::new(&g, RandomWalk, |v| {
+                if v == 0 {
+                    WalkState::Flip
+                } else {
+                    WalkState::Blank
+                }
+            })
+        },
+        rounds,
+        6,
+        "random-walk",
+    );
+    changes_parity(
+        &|| Network::new(&g, Election, |_| ElectState::init()),
+        rounds,
+        7,
+        "election",
+    );
+    changes_parity(
+        &|| Network::new(&g, FiringSquad, |v| FsspState::init(v == 0)),
+        rounds,
+        8,
+        "firing-squad",
+    );
+    changes_parity(
+        &|| Network::new(&g, Traversal, |v| TravState::init(v == 0)),
+        rounds,
+        9,
+        "traversal",
+    );
+    changes_parity(
+        &|| {
+            alpha_network(&g, ShortestPaths::<16>, |v| {
+                ShortestPaths::<16>::init(v == 0)
+            })
+        },
+        rounds,
+        10,
+        "alpha-synchronizer",
+    );
 }
 
 /// Same grid on the randomized-coin path with odd thread counts that do

@@ -1,12 +1,13 @@
 //! Cross-engine equivalence: the compiled kernel (dense tables, CSR
 //! adjacency, dirty-set scheduling, optional parallel rounds) must be
-//! bit-identical to the interpreter — same states after every round and
-//! the same change counts — for every protocol in the workspace, on
+//! bit-identical to the interpreter — same states after every round, the
+//! same change counts, and the same per-round metrics on the
+//! engine-invariant projection — for every protocol in the workspace, on
 //! path / star / Erdős–Rényi / torus topologies, with and without
 //! mid-run faults and interpreter interleaving.
 
 use fssga::engine::rng::Xoshiro256;
-use fssga::engine::{Budget, Engine, Network, Policy, Protocol, Runner};
+use fssga::engine::{Budget, Engine, Network, Policy, Protocol, RoundLog, Runner};
 use fssga::graph::{generators, Graph, NodeId};
 use fssga::protocols::bfs::{Bfs, BfsState};
 use fssga::protocols::census::{Census, FmSketch};
@@ -33,6 +34,14 @@ fn graphs() -> Vec<(&'static str, Graph)> {
 /// Steps `a` on the interpreter and `b` on the kernel, one synchronous
 /// round at a time, asserting states and cumulative change counts agree
 /// after every round. Both draw round seeds from identically-seeded RNGs.
+///
+/// Both runs carry a [`RoundLog`] tracer, and every round's metrics are
+/// compared on the engine-invariant projection (round, eligible, changes,
+/// faults) — bit-identical by contract — while the scheduling fields are
+/// checked against the semantics each engine promises: the interpreter
+/// evaluates every eligible node; the kernel may skip some (dirty set)
+/// but never evaluates more, and its dispatch counts partition its
+/// activations.
 fn lockstep<P: Protocol>(
     mut a: Network<P>,
     mut b: Network<P>,
@@ -42,16 +51,20 @@ fn lockstep<P: Protocol>(
 ) {
     let mut rng_a = Xoshiro256::seed_from_u64(seed);
     let mut rng_b = Xoshiro256::seed_from_u64(seed);
+    let mut log_a = RoundLog::default();
+    let mut log_b = RoundLog::default();
     for round in 1..=rounds {
         Runner::new(&mut a)
             .engine(Engine::Interpreter)
             .budget(Budget::Rounds(1))
             .rng(&mut rng_a)
+            .tracer(&mut log_a)
             .run();
         Runner::new(&mut b)
             .engine(Engine::Kernel)
             .budget(Budget::Rounds(1))
             .rng(&mut rng_b)
+            .tracer(&mut log_b)
             .run();
         assert_eq!(
             a.states(),
@@ -61,6 +74,41 @@ fn lockstep<P: Protocol>(
         assert_eq!(
             a.metrics.changes, b.metrics.changes,
             "{ctx}: change counts diverged at round {round}"
+        );
+    }
+    assert_eq!(log_a.rounds.len(), rounds, "{ctx}: interpreter round count");
+    assert_eq!(log_b.rounds.len(), rounds, "{ctx}: kernel round count");
+    for (ma, mb) in log_a.rounds.iter().zip(&log_b.rounds) {
+        let round = ma.round;
+        assert_eq!(
+            ma.invariant(),
+            mb.invariant(),
+            "{ctx}: engine-invariant metrics diverged at round {round}\n\
+             interpreter: {ma:?}\n\
+             kernel:      {mb:?}"
+        );
+        assert_eq!(
+            ma.activations, ma.eligible,
+            "{ctx}: interpreter must evaluate every eligible node (round {round})"
+        );
+        assert!(
+            mb.activations <= ma.activations,
+            "{ctx}: kernel evaluated more nodes than the interpreter (round {round})"
+        );
+        assert!(
+            mb.scheduled <= mb.eligible,
+            "{ctx}: kernel scheduled beyond the eligible set (round {round})"
+        );
+        for (name, m) in [("interpreter", ma), ("kernel", mb)] {
+            assert_eq!(
+                m.tabular + m.direct,
+                m.activations,
+                "{ctx}: {name} dispatch counts must partition activations (round {round})"
+            );
+        }
+        assert!(
+            mb.neighbor_reads <= ma.neighbor_reads,
+            "{ctx}: kernel read more neighbour states than the interpreter (round {round})"
         );
     }
 }

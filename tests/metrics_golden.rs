@@ -1,0 +1,42 @@
+//! Golden observability snapshot: the per-round metrics of a small,
+//! fully deterministic compiled-kernel run must match the recorded JSONL
+//! file byte for byte.
+//!
+//! The snapshot is `tests/golden/census_path16_metrics.jsonl`, produced
+//! by `fssga-bench golden` (CI regenerates and diffs it the same way).
+//! If a metric's definition changes, regenerate deliberately with
+//! `cargo run -p fssga-bench --bin fssga-bench -- golden` and review the
+//! diff — this test exists so metric semantics cannot drift silently.
+
+use fssga::engine::rng::Xoshiro256;
+use fssga::engine::{Budget, Engine, Network, RoundLog, Runner};
+use fssga::graph::generators;
+use fssga::protocols::census::{Census, FmSketch};
+
+/// Mirrors `fssga_bench::DEFAULT_SEED` (the bench crate is not a
+/// dependency of the facade, so the constant is pinned here too).
+const SEED: u64 = 0xF55A_2006;
+
+#[test]
+fn census_path16_metrics_match_recorded_snapshot() {
+    let g = generators::path(16);
+    let mut rng = Xoshiro256::seed_from_u64(SEED);
+    let sketches: Vec<FmSketch<8>> = (0..g.n())
+        .map(|_| FmSketch::random_init(&mut rng))
+        .collect();
+    let mut net = Network::new(&g, Census::<8>, |v| sketches[v as usize]);
+    let mut log = RoundLog::default();
+    Runner::new(&mut net)
+        .engine(Engine::Kernel)
+        .budget(Budget::Fixpoint(160))
+        .tracer(&mut log)
+        .run();
+
+    let fresh: String = log.rounds.iter().map(|r| r.to_jsonl() + "\n").collect();
+    let recorded = include_str!("golden/census_path16_metrics.jsonl");
+    assert_eq!(
+        fresh, recorded,
+        "per-round metrics drifted from the golden snapshot; if the \
+         change is intentional, regenerate with `fssga-bench golden`"
+    );
+}
