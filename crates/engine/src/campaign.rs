@@ -203,7 +203,12 @@ pub struct CampaignOutcome<A> {
 
 /// The answer-extraction half of a campaign's oracle: reads the final
 /// answer off the surviving network, `None` when inconclusive.
-pub type AnswerFn<'a, P, A> = Box<dyn Fn(&Network<P>) -> Option<A> + 'a>;
+///
+/// `Send + Sync` so a `&Campaign` can be shared across the worker pool
+/// by [`Campaign::sweep_parallel`] — campaign oracles are pure functions
+/// of their arguments plus immutable captures, so the bounds cost
+/// nothing in practice.
+pub type AnswerFn<'a, P, A> = Box<dyn Fn(&Network<P>) -> Option<A> + Send + Sync + 'a>;
 
 /// A declarative fault campaign over a [`Protocol`] network.
 ///
@@ -219,10 +224,10 @@ pub type AnswerFn<'a, P, A> = Box<dyn Fn(&Network<P>) -> Option<A> + 'a>;
 /// the realized chain as the witness set).
 pub struct Campaign<'a, P: Protocol, A: PartialEq> {
     graph: Graph,
-    protocol: Box<dyn Fn() -> P + 'a>,
-    init: Box<dyn Fn(NodeId) -> P::State + 'a>,
+    protocol: Box<dyn Fn() -> P + Send + Sync + 'a>,
+    init: Box<dyn Fn(NodeId) -> P::State + Send + Sync + 'a>,
     answer: AnswerFn<'a, P, A>,
-    reference: Box<dyn Fn(&Graph) -> A + 'a>,
+    reference: Box<dyn Fn(&Graph) -> A + Send + Sync + 'a>,
     policy: RunPolicy,
     horizon: u64,
     seed: u64,
@@ -235,10 +240,10 @@ impl<'a, P: Protocol, A: PartialEq> Campaign<'a, P, A> {
     /// seed 0, no faults.
     pub fn new(
         graph: &Graph,
-        protocol: impl Fn() -> P + 'a,
-        init: impl Fn(NodeId) -> P::State + 'a,
-        answer: impl Fn(&Network<P>) -> Option<A> + 'a,
-        reference: impl Fn(&Graph) -> A + 'a,
+        protocol: impl Fn() -> P + Send + Sync + 'a,
+        init: impl Fn(NodeId) -> P::State + Send + Sync + 'a,
+        answer: impl Fn(&Network<P>) -> Option<A> + Send + Sync + 'a,
+        reference: impl Fn(&Graph) -> A + Send + Sync + 'a,
     ) -> Self {
         Self {
             graph: graph.clone(),
@@ -431,6 +436,25 @@ impl<'a, P: Protocol, A: PartialEq> Campaign<'a, P, A> {
         self.run_with_schedule(&trace.schedule)
     }
 
+    /// Fans the `times × kinds` single-fault probes of the empirical
+    /// sensitivity estimator out over `threads` threads, with this
+    /// campaign's [`Self::run_with_schedule`] as the probe body. Every
+    /// probe is an independent, fully seed-deterministic run, and the
+    /// report is merged in sweep order, so the result is bit-identical
+    /// to `sweep_single_faults(kinds, times, |s| self.run_with_schedule(s)
+    /// .verdict)` for any thread count.
+    #[cfg(feature = "parallel")]
+    pub fn sweep_parallel(
+        &self,
+        kinds: &[FaultKind],
+        times: &[u64],
+        threads: usize,
+    ) -> crate::sensitivity::SensitivityReport {
+        crate::sensitivity::sweep_single_faults_parallel(kinds, times, threads, |schedule| {
+            self.run_with_schedule(schedule).verdict
+        })
+    }
+
     /// If the configured plan yields [`Verdict::Incorrect`], delta-debugs
     /// the fault schedule to a 1-minimal failing counterexample (dropping
     /// events, advancing times, weakening node kills to single-edge cuts)
@@ -561,6 +585,22 @@ mod tests {
             assert_eq!(parsed, a.trace, "{policy:?} text round-trip");
             let replayed = c.replay(&a.trace);
             assert_eq!(replayed.trace, a.trace, "{policy:?} replay");
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_sweep_matches_sequential_sweep() {
+        use crate::sensitivity::sweep_single_faults;
+        let g = generators::grid(3, 4);
+        let c = or_campaign(&g).horizon(12).seed(9);
+        let kinds: Vec<FaultKind> = (0..g.n() as NodeId).map(FaultKind::Node).collect();
+        let times = [0u64, 2, 5];
+        let sequential =
+            sweep_single_faults(&kinds, &times, |s| c.run_with_schedule(s).verdict).probes;
+        for threads in [1usize, 2, 4, 8] {
+            let parallel = c.sweep_parallel(&kinds, &times, threads).probes;
+            assert_eq!(sequential, parallel, "{threads} threads");
         }
     }
 

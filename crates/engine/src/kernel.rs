@@ -34,11 +34,18 @@
 //! not (that is the point) and [`crate::network::Metrics`] documents the
 //! difference.
 //!
-//! A feature-gated parallel round (`parallel`) fans the worklist out over
-//! scoped threads in contiguous chunks and applies the per-chunk updates
-//! in chunk order, so results are bit-identical to the sequential kernel
-//! for any thread count — coins come from
-//! [`round_coin`]`(round_seed, v, r)`, never from thread interleaving.
+//! On top of both sits the **sharded round** (`parallel` feature): node
+//! ids are split into contiguous, degree-weighted shards
+//! ([`fssga_graph::Partition`]), each shard evaluates into its own
+//! arena (pending buffer, scratch vector, counters — no contention on
+//! any global structure), and the committing thread concatenates arenas
+//! in ascending shard order. Because shards are contiguous and the
+//! worklist is sorted, that concatenation *is* the sequential
+//! evaluation order, and coins come from
+//! [`round_coin`]`(round_seed, v, r)` — never from thread interleaving —
+//! so results are bit-identical to the sequential kernel for any thread
+//! count. Threads come from a persistent [`crate::ShardPool`], parked
+//! between rounds.
 
 use std::cell::RefCell;
 use std::marker::PhantomData;
@@ -49,6 +56,17 @@ use crate::network::{round_coin, Metrics, Network};
 use crate::obs::{NullTracer, RoundMetrics, Tracer};
 use crate::protocol::{Protocol, StateSpace};
 use crate::view::{NeighborView, QueryRecorder};
+
+#[cfg(feature = "parallel")]
+use std::sync::Mutex;
+
+#[cfg(feature = "parallel")]
+use fssga_graph::Partition;
+
+#[cfg(feature = "parallel")]
+use crate::obs::ShardRoundMetrics;
+#[cfg(feature = "parallel")]
+use crate::pool::ShardPool;
 
 /// Largest abstract-count space `(B + M)^|Q|` the tabular plan will
 /// enumerate. Beyond this the kernel falls back to the direct plan.
@@ -61,6 +79,13 @@ const ENTRY_BUDGET: u64 = 1 << 22;
 /// How many times table construction re-runs bound discovery before
 /// giving up on the tabular plan.
 const DISCOVERY_ROUNDS: usize = 8;
+
+/// Smallest worklist worth waking the shard pool for. Below this the
+/// sharded step evaluates inline on the calling thread (same canonical
+/// order, so the trajectory is unchanged — sparse late rounds just skip
+/// the wakeup latency).
+#[cfg(feature = "parallel")]
+const SHARD_MIN_WORK: usize = 256;
 
 /// Which evaluation plan a [`CompiledKernel`] ended up with.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -143,6 +168,33 @@ enum PlanRef<'a> {
     Direct,
 }
 
+/// One shard's private evaluation workspace. Shards write *only* here
+/// during the parallel phase — the global worklist, pending buffer, and
+/// dirty flags are touched exclusively by the committing thread.
+#[cfg(feature = "parallel")]
+struct ShardArena<P: Protocol> {
+    /// This shard's proposed `(node, new state)` writes, in node order.
+    out: Vec<(NodeId, P::State)>,
+    /// Direct-plan tally vector (empty for the tabular plan).
+    scratch: Vec<u32>,
+    /// Direct-plan touched-state indices.
+    touched: Vec<u32>,
+    /// This shard's evaluation counters for the round.
+    stats: EvalStats,
+}
+
+/// The sharded-execution state: a degree-weighted contiguous partition
+/// plus one arena per shard. Built lazily on the first sharded step and
+/// rebuilt when the shard count changes. Fault surgeries do *not*
+/// trigger a rebuild — a stale partition only costs balance, never
+/// correctness, because dead nodes and shrunken rows are skipped by the
+/// evaluator itself.
+#[cfg(feature = "parallel")]
+struct Sharding<P: Protocol> {
+    partition: Partition,
+    arenas: Vec<Mutex<ShardArena<P>>>,
+}
+
 /// The compiled execution engine for one [`Network`].
 ///
 /// Holds a flat CSR mirror of the network's topology (kept in sync with
@@ -172,6 +224,10 @@ pub struct CompiledKernel<P: Protocol> {
     /// for free.
     eligible: u64,
     plan: Plan,
+    /// Sharded-execution state (partition + per-shard arenas), built on
+    /// the first sharded step.
+    #[cfg(feature = "parallel")]
+    sharding: Option<Sharding<P>>,
     _protocol: PhantomData<fn() -> P>,
 }
 
@@ -227,6 +283,8 @@ impl<P: Protocol> CompiledKernel<P> {
             pending: Vec::new(),
             eligible,
             plan,
+            #[cfg(feature = "parallel")]
+            sharding: None,
             _protocol: PhantomData,
         }
     }
@@ -479,59 +537,97 @@ impl<P: Protocol> CompiledKernel<P> {
     }
 }
 
-/// One worker's output: its pending `(node, new state)` writes plus its
-/// evaluation counters.
+/// Splits a sorted worklist into per-shard subslices along the
+/// partition's boundaries. Zero-copy: shard `k` gets exactly the work
+/// items whose ids fall in `partition.range(k)`, and concatenating the
+/// slices in shard order reproduces `work` verbatim.
 #[cfg(feature = "parallel")]
-type ChunkResult<P> = (Vec<(NodeId, <P as Protocol>::State)>, EvalStats);
+fn split_by_partition<'a>(work: &'a [NodeId], partition: &Partition) -> Vec<&'a [NodeId]> {
+    let mut out = Vec::with_capacity(partition.shards());
+    let mut rest = work;
+    for k in 0..partition.shards() {
+        let end = partition.range(k).end;
+        let cut = rest.partition_point(|&v| v < end);
+        let (head, tail) = rest.split_at(cut);
+        out.push(head);
+        rest = tail;
+    }
+    debug_assert!(rest.is_empty(), "worklist node beyond the last shard");
+    out
+}
 
-/// Fans `work` out over scoped workers in contiguous chunks. The `TRACE`
-/// split happens *before* spawning, so each worker's hot loop is
+/// This round's work, per shard: either subslices of the sorted dirty
+/// worklist, or (for full re-evaluation) the partition's id ranges.
+#[cfg(feature = "parallel")]
+enum ShardWork<'a> {
+    Slices(Vec<&'a [NodeId]>),
+    Ranges(&'a Partition),
+}
+
+#[cfg(feature = "parallel")]
+impl ShardWork<'_> {
+    fn len_of(&self, k: usize) -> u64 {
+        match self {
+            ShardWork::Slices(sl) => sl[k].len() as u64,
+            ShardWork::Ranges(p) => p.range(k).len() as u64,
+        }
+    }
+}
+
+/// Fans the shards out over the pool. Each claimed shard locks its own
+/// arena (uncontended — shard indices are handed out exactly once per
+/// epoch) and evaluates its work against the frozen states. The `TRACE`
+/// split happens *before* the pool wakes, so each shard's hot loop is
 /// monomorphized with a compile-time constant rather than a captured
 /// flag.
 #[cfg(feature = "parallel")]
 #[allow(clippy::too_many_arguments)]
-fn eval_parallel_chunks<P, const TRACE: bool>(
+fn eval_shards<P, const TRACE: bool>(
     protocol: &P,
     csr: &CsrRef<'_>,
     plan: &Plan,
     frozen: &[P::State],
-    work: &[NodeId],
-    chunk_size: usize,
+    split: &ShardWork<'_>,
+    arenas: &[Mutex<ShardArena<P>>],
     round_seed: u64,
-) -> Vec<ChunkResult<P>>
-where
+    pool: &mut ShardPool,
+) where
     P: Protocol + Sync,
     P::State: Send + Sync,
 {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = work
-            .chunks(chunk_size)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    let (plan_ref, mut scratch, mut touched) = match plan {
-                        Plan::Tabular(t) => (PlanRef::Tabular(t), Vec::new(), Vec::new()),
-                        Plan::Direct { .. } => {
-                            (PlanRef::Direct, vec![0u32; P::State::COUNT], Vec::new())
-                        }
-                    };
-                    let stats = eval_chunk::<P, TRACE>(
-                        protocol,
-                        csr,
-                        plan_ref,
-                        frozen,
-                        chunk.iter().copied(),
-                        round_seed,
-                        &mut out,
-                        &mut scratch,
-                        &mut touched,
-                    );
-                    (out, stats)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
+    pool.run(arenas.len(), &|k| {
+        let mut guard = arenas[k].lock().expect("shard arena poisoned");
+        let arena = &mut *guard;
+        arena.out.clear();
+        let plan_ref = match plan {
+            Plan::Tabular(t) => PlanRef::Tabular(t),
+            Plan::Direct { .. } => PlanRef::Direct,
+        };
+        arena.stats = match split {
+            ShardWork::Slices(sl) => eval_chunk::<P, TRACE>(
+                protocol,
+                csr,
+                plan_ref,
+                frozen,
+                sl[k].iter().copied(),
+                round_seed,
+                &mut arena.out,
+                &mut arena.scratch,
+                &mut arena.touched,
+            ),
+            ShardWork::Ranges(p) => eval_chunk::<P, TRACE>(
+                protocol,
+                csr,
+                plan_ref,
+                frozen,
+                p.range(k),
+                round_seed,
+                &mut arena.out,
+                &mut arena.scratch,
+                &mut arena.touched,
+            ),
+        };
+    });
 }
 
 #[cfg(feature = "parallel")]
@@ -540,74 +636,123 @@ where
     P: Sync,
     P::State: Send + Sync,
 {
-    /// Like [`Self::step`], but evaluates the worklist over `threads`
-    /// scoped workers. Bit-identical to the sequential step: nodes are
-    /// chunked in sorted order, coins derive from `(round_seed, v)`, and
-    /// per-chunk updates are applied in chunk order.
-    pub fn step_parallel(
+    /// Builds (or rebuilds) the partition + arenas for `shards` shards.
+    /// Weighted by the *live* CSR row lengths, so a kernel sharded after
+    /// fault surgeries balances the surviving topology.
+    fn ensure_sharding(&mut self, shards: usize) {
+        let rebuild = match &self.sharding {
+            Some(s) => s.partition.shards() != shards,
+            None => true,
+        };
+        if !rebuild {
+            return;
+        }
+        let partition = Partition::from_degrees(&self.row_len, shards);
+        let arenas = (0..shards)
+            .map(|_| {
+                Mutex::new(ShardArena {
+                    out: Vec::new(),
+                    scratch: match self.plan {
+                        Plan::Direct { .. } => vec![0; P::State::COUNT],
+                        Plan::Tabular(_) => Vec::new(),
+                    },
+                    touched: Vec::new(),
+                    stats: EvalStats::default(),
+                })
+            })
+            .collect();
+        self.sharding = Some(Sharding { partition, arenas });
+    }
+
+    /// Like [`Self::step`], but evaluates the round's worklist sharded
+    /// over `pool`. Bit-identical to the sequential step for any thread
+    /// count: shards are contiguous id ranges of the sorted worklist,
+    /// coins derive from `(round_seed, v)`, and per-shard updates are
+    /// committed in ascending shard order (= node order).
+    pub fn step_sharded(
         &mut self,
         protocol: &P,
         states: &mut [P::State],
         metrics: &mut Metrics,
         round_seed: u64,
-        threads: usize,
+        pool: &mut ShardPool,
     ) -> usize {
-        self.step_parallel_traced(
+        self.step_sharded_traced(
             protocol,
             states,
             metrics,
             round_seed,
-            threads,
+            pool,
             &mut NullTracer,
             0,
         )
     }
 
-    /// Like [`Self::step_traced`], over `threads` scoped workers. The
-    /// traced/untraced decision is made before workers spawn, so the
-    /// disabled path runs the same code as [`Self::step_parallel`].
+    /// Like [`Self::step_traced`], sharded over `pool`. When the tracer
+    /// is enabled and the pool actually ran (more than one shard, enough
+    /// work), one [`ShardRoundMetrics`] per shard is emitted in
+    /// ascending shard order *before* the round's [`RoundMetrics`] —
+    /// always from the committing thread, so sinks never see interleaved
+    /// events regardless of thread count.
     #[allow(clippy::too_many_arguments)]
-    pub fn step_parallel_traced<T: Tracer>(
+    pub fn step_sharded_traced<T: Tracer>(
         &mut self,
         protocol: &P,
         states: &mut [P::State],
         metrics: &mut Metrics,
         round_seed: u64,
-        threads: usize,
+        pool: &mut ShardPool,
         tracer: &mut T,
         faults: u64,
     ) -> usize {
         let trace = tracer.enabled();
-        let work: Vec<NodeId> = if self.use_dirty {
+        let shards = pool.threads();
+        self.pending.clear();
+        // Gather this round's work exactly as the sequential step does.
+        let work: Option<Vec<NodeId>> = if self.use_dirty {
             let mut w = std::mem::take(&mut self.worklist);
             w.sort_unstable();
             for &v in &w {
                 self.dirty[v as usize] = false;
             }
-            w
+            Some(w)
         } else {
-            (0..self.row_len.len() as NodeId).collect()
+            None
         };
-        let scheduled = if self.use_dirty {
-            work.len() as u64
-        } else {
-            self.eligible
-        };
-        let stats = if threads <= 1 || work.len() < 256 {
-            self.pending.clear();
-            let stats = if trace {
-                self.eval_nodes::<true>(protocol, states, work.iter().copied(), round_seed)
-            } else {
-                self.eval_nodes::<false>(protocol, states, work.iter().copied(), round_seed)
-            };
-            if self.use_dirty {
-                let mut w = work;
-                w.clear();
-                self.worklist = w;
+        let scheduled = work.as_ref().map_or(self.eligible, |w| w.len() as u64);
+        let work_len = work.as_ref().map_or(self.row_len.len(), |w| w.len());
+
+        let mut per_shard: Vec<ShardRoundMetrics> = Vec::new();
+        let stats = if shards <= 1 || work_len < SHARD_MIN_WORK {
+            // Not worth waking the pool: evaluate inline, in the same
+            // canonical order, producing the identical trajectory.
+            match (&work, trace) {
+                (Some(w), true) => {
+                    self.eval_nodes::<true>(protocol, states, w.iter().copied(), round_seed)
+                }
+                (Some(w), false) => {
+                    self.eval_nodes::<false>(protocol, states, w.iter().copied(), round_seed)
+                }
+                (None, true) => self.eval_nodes::<true>(
+                    protocol,
+                    states,
+                    0..self.row_len.len() as NodeId,
+                    round_seed,
+                ),
+                (None, false) => self.eval_nodes::<false>(
+                    protocol,
+                    states,
+                    0..self.row_len.len() as NodeId,
+                    round_seed,
+                ),
             }
-            stats
         } else {
-            let chunk_size = work.len().div_ceil(threads);
+            self.ensure_sharding(shards);
+            let sharding = self.sharding.as_ref().expect("just ensured");
+            let split = match &work {
+                Some(w) => ShardWork::Slices(split_by_partition(w, &sharding.partition)),
+                None => ShardWork::Ranges(&sharding.partition),
+            };
             let csr = CsrRef {
                 offsets: &self.offsets,
                 row_len: &self.row_len,
@@ -615,33 +760,67 @@ where
                 alive: &self.alive,
             };
             let frozen: &[P::State] = states;
-            let results: Vec<ChunkResult<P>> = if trace {
-                eval_parallel_chunks::<P, true>(
-                    protocol, &csr, &self.plan, frozen, &work, chunk_size, round_seed,
-                )
+            if trace {
+                eval_shards::<P, true>(
+                    protocol,
+                    &csr,
+                    &self.plan,
+                    frozen,
+                    &split,
+                    &sharding.arenas,
+                    round_seed,
+                    pool,
+                );
             } else {
-                eval_parallel_chunks::<P, false>(
-                    protocol, &csr, &self.plan, frozen, &work, chunk_size, round_seed,
-                )
-            };
-            self.pending.clear();
-            let mut stats = EvalStats::default();
-            for (chunk_pending, s) in results {
-                self.pending.extend(chunk_pending);
-                stats.evaluated += s.evaluated;
-                stats.reads += s.reads;
-                stats.tabular += s.tabular;
-                stats.direct += s.direct;
+                eval_shards::<P, false>(
+                    protocol,
+                    &csr,
+                    &self.plan,
+                    frozen,
+                    &split,
+                    &sharding.arenas,
+                    round_seed,
+                    pool,
+                );
             }
-            if self.use_dirty {
-                let mut w = work;
-                w.clear();
-                self.worklist = w;
+            let per_slice: Vec<u64> = (0..shards).map(|k| split.len_of(k)).collect();
+            drop(split);
+            // Merge in ascending shard order: contiguous shards over a
+            // sorted worklist concatenate to the sequential order.
+            let sharding = self.sharding.as_mut().expect("just ensured");
+            let mut stats = EvalStats::default();
+            for (k, arena) in sharding.arenas.iter_mut().enumerate() {
+                let a = arena.get_mut().expect("shard arena poisoned");
+                if trace {
+                    per_shard.push(ShardRoundMetrics {
+                        round: 0, // stamped after commit below
+                        shard: k as u32,
+                        shards: shards as u32,
+                        scheduled: per_slice[k],
+                        activations: a.stats.evaluated,
+                        changes: a.out.len() as u64,
+                        neighbor_reads: a.stats.reads,
+                    });
+                }
+                stats.evaluated += a.stats.evaluated;
+                stats.reads += a.stats.reads;
+                stats.tabular += a.stats.tabular;
+                stats.direct += a.stats.direct;
+                self.pending.append(&mut a.out);
             }
             stats
         };
+        if let Some(mut w) = work {
+            w.clear();
+            debug_assert!(self.worklist.is_empty());
+            self.worklist = w;
+        }
         let changed = self.commit(states, metrics, stats.evaluated);
         if trace {
+            for s in &mut per_shard {
+                s.round = metrics.rounds;
+                tracer.shard_round(s);
+            }
             tracer.round(&RoundMetrics {
                 round: metrics.rounds,
                 eligible: self.eligible,

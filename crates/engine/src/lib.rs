@@ -28,9 +28,14 @@
 //! * [`scheduler`] — the deprecated pre-[`Runner`] entry points
 //!   ([`SyncScheduler`], [`AsyncScheduler`]), kept as thin wrappers.
 //! * [`parallel`] (feature `parallel`, default on) — a multi-threaded
-//!   synchronous step that is bit-identical to the sequential one
+//!   interpreter step that is bit-identical to the sequential one
 //!   (per-round coin streams are derived from `(round seed, node id)`,
 //!   not from thread interleaving).
+//! * [`pool`] (feature `parallel`) — the persistent [`ShardPool`] behind
+//!   the kernel's sharded rounds: workers parked between rounds, shard
+//!   indices handed out through one atomic counter. Select the backend
+//!   with [`Runner::threads`] / [`Engine::Sharded`]; per-shard load is
+//!   observable through [`ShardRoundMetrics`] events.
 //! * [`faults`] — timed decreasing-benign fault plans (Section 1).
 //! * [`sensitivity`] — the Section 2 k-sensitivity harness: critical sets,
 //!   the [`Sensitive`] trait, the empirical single-fault sweep, and
@@ -58,6 +63,8 @@ pub mod network;
 pub mod obs;
 #[cfg(feature = "parallel")]
 pub mod parallel;
+#[cfg(feature = "parallel")]
+pub mod pool;
 pub mod protocol;
 pub mod runner;
 pub mod scheduler;
@@ -77,11 +84,16 @@ pub use history::History;
 pub use kernel::{CompiledKernel, DirtySchedule, KernelPlan};
 pub use network::{Metrics, Network};
 pub use obs::{
-    Counters, FaultSurgery, JsonlTrace, NullTracer, RoundLog, RoundMetrics, RunMetrics, Tee, Tracer,
+    Counters, FaultSurgery, JsonlTrace, NullTracer, RoundLog, RoundMetrics, RunMetrics,
+    ShardRoundMetrics, Tee, Tracer,
 };
+#[cfg(feature = "parallel")]
+pub use pool::ShardPool;
 pub use protocol::{Protocol, StateSpace};
 pub use runner::{Budget, Engine, Policy, RunReport, Runner};
 pub use scheduler::{AsyncPolicy, AsyncScheduler, SyncScheduler};
+#[cfg(feature = "parallel")]
+pub use sensitivity::sweep_single_faults_parallel;
 pub use sensitivity::{
     reasonably_correct, sweep_single_faults, FaultInjector, Sensitive, SensitiveProtocol,
     SensitivityClass, SensitivityReport, Verdict,

@@ -9,6 +9,8 @@ use fssga_graph::{DynGraph, Graph, NodeId};
 
 use crate::kernel::{CompiledKernel, KernelPlan};
 use crate::obs::{NullTracer, RoundMetrics, Tracer};
+#[cfg(feature = "parallel")]
+use crate::pool::ShardPool;
 use crate::protocol::{Protocol, StateSpace};
 use crate::view::{NeighborView, QueryRecorder};
 
@@ -76,6 +78,11 @@ pub struct Network<P: Protocol> {
     /// into [`RoundMetrics::faults`] by the traced steppers and left
     /// untouched otherwise.
     pending_faults: u64,
+    /// Persistent worker pool for sharded rounds — built on first use,
+    /// rebuilt when the requested thread count changes, parked between
+    /// rounds so sharded stepping pays no spawn cost per round.
+    #[cfg(feature = "parallel")]
+    pool: Option<ShardPool>,
     /// Execution counters (public for instrumentation).
     ///
     /// `rounds` and `changes` agree bit-for-bit between the interpreter
@@ -104,6 +111,8 @@ impl<P: Protocol> Network<P> {
             kernel: None,
             kernel_stale: false,
             pending_faults: 0,
+            #[cfg(feature = "parallel")]
+            pool: None,
             metrics: Metrics::default(),
         }
     }
@@ -467,15 +476,20 @@ where
     P: Sync,
     P::State: Send + Sync,
 {
-    /// Kernel round with an explicit seed, evaluated over `threads`
-    /// scoped workers. Bit-identical to
+    /// Kernel round with an explicit seed, evaluated over the sharded
+    /// backend with `threads` threads. Bit-identical to
     /// [`Self::sync_step_kernel_seeded`] for any thread count.
-    pub fn sync_step_kernel_parallel_seeded(&mut self, round_seed: u64, threads: usize) -> usize {
-        self.sync_step_kernel_parallel_seeded_traced(round_seed, threads, &mut NullTracer)
+    pub fn sync_step_kernel_sharded_seeded(&mut self, round_seed: u64, threads: usize) -> usize {
+        self.sync_step_kernel_sharded_seeded_traced(round_seed, threads, &mut NullTracer)
     }
 
-    /// Traced variant of [`Self::sync_step_kernel_parallel_seeded`].
-    pub fn sync_step_kernel_parallel_seeded_traced<T: Tracer>(
+    /// Traced variant of [`Self::sync_step_kernel_sharded_seeded`]: emits
+    /// per-shard [`crate::ShardRoundMetrics`] (when the pool actually
+    /// runs) followed by the round's [`RoundMetrics`], all from this
+    /// thread in deterministic order. The worker pool persists inside
+    /// the network across rounds; it is rebuilt only when `threads`
+    /// changes.
+    pub fn sync_step_kernel_sharded_seeded_traced<T: Tracer>(
         &mut self,
         round_seed: u64,
         threads: usize,
@@ -496,12 +510,17 @@ where
             kernel.mark_all_dirty();
             self.kernel_stale = false;
         }
-        let changed = kernel.step_parallel_traced(
+        let threads = threads.max(1);
+        if self.pool.as_ref().is_none_or(|p| p.threads() != threads) {
+            self.pool = Some(ShardPool::new(threads));
+        }
+        let pool = self.pool.as_mut().expect("just ensured");
+        let changed = kernel.step_sharded_traced(
             &self.protocol,
             &mut self.states,
             &mut self.metrics,
             round_seed,
-            threads,
+            pool,
             tracer,
             faults,
         );

@@ -65,6 +65,21 @@ pub trait Tracer {
     fn fault(&mut self, surgery: &FaultSurgery) {
         let _ = surgery;
     }
+
+    /// One shard's share of a sharded synchronous round (emitted by the
+    /// sharded kernel only, *before* the round's [`Tracer::round`] event).
+    ///
+    /// Workers never call this. Per-shard counters are buffered in each
+    /// shard's arena during the evaluation phase and the committing
+    /// thread emits them in ascending shard order once the round's
+    /// barrier has passed — so sinks (including line-oriented ones like
+    /// [`JsonlTrace`]) see a deterministic, thread-count-independent
+    /// event stream. Defaults to a no-op: sinks that only care about
+    /// whole rounds ignore shards entirely.
+    #[inline]
+    fn shard_round(&mut self, metrics: &ShardRoundMetrics) {
+        let _ = metrics;
+    }
 }
 
 /// The do-nothing sink: [`Tracer::enabled`] is a constant `false`, so
@@ -100,6 +115,11 @@ impl<T: Tracer + ?Sized> Tracer for &mut T {
     #[inline]
     fn fault(&mut self, surgery: &FaultSurgery) {
         (**self).fault(surgery);
+    }
+
+    #[inline]
+    fn shard_round(&mut self, metrics: &ShardRoundMetrics) {
+        (**self).shard_round(metrics);
     }
 }
 
@@ -165,6 +185,53 @@ impl RoundMetrics {
             self.tabular,
             self.direct,
             self.faults
+        )
+    }
+}
+
+/// One shard's share of a sharded synchronous round.
+///
+/// The sharded kernel buffers these per-arena while workers evaluate and
+/// emits them from the committing thread in ascending shard order, so the
+/// event stream is deterministic regardless of thread count or scheduling
+/// (see [`Tracer::shard_round`]). Summed over `0..shards`, the counters
+/// equal the corresponding fields of the round's [`RoundMetrics`] —
+/// `tests/shard_equivalence.rs` asserts exactly that.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardRoundMetrics {
+    /// Cumulative round counter of the network after this round.
+    pub round: u64,
+    /// This shard's index (`0..shards`).
+    pub shard: u32,
+    /// Total shard count of the round, so a single event is
+    /// self-describing in a streamed trace.
+    pub shards: u32,
+    /// Dirty nodes this shard submitted to the evaluator.
+    pub scheduled: u64,
+    /// Nodes this shard actually evaluated.
+    pub activations: u64,
+    /// Evaluations that proposed a state change.
+    pub changes: u64,
+    /// Neighbour states this shard read while tallying multisets. The
+    /// per-shard spread of this field is the load-imbalance signal the
+    /// degree-aware partitioner exists to flatten.
+    pub neighbor_reads: u64,
+}
+
+impl ShardRoundMetrics {
+    /// One JSON-lines record (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"t\":\"shard\",\"round\":{},\"shard\":{},\"shards\":{},\
+             \"scheduled\":{},\"activations\":{},\"changes\":{},\
+             \"neighbor_reads\":{}}}",
+            self.round,
+            self.shard,
+            self.shards,
+            self.scheduled,
+            self.activations,
+            self.changes,
+            self.neighbor_reads
         )
     }
 }
@@ -284,6 +351,9 @@ pub struct RoundLog {
     pub rounds: Vec<RoundMetrics>,
     /// Every fault-surgery event, in order.
     pub faults: Vec<FaultSurgery>,
+    /// Every per-shard event, in order (round-major, then shard-ascending
+    /// — the order the sharded kernel guarantees).
+    pub shards: Vec<ShardRoundMetrics>,
 }
 
 impl Tracer for RoundLog {
@@ -293,6 +363,10 @@ impl Tracer for RoundLog {
 
     fn fault(&mut self, surgery: &FaultSurgery) {
         self.faults.push(*surgery);
+    }
+
+    fn shard_round(&mut self, metrics: &ShardRoundMetrics) {
+        self.shards.push(*metrics);
     }
 }
 
@@ -326,6 +400,10 @@ impl<W: Write> Tracer for JsonlTrace<W> {
     fn fault(&mut self, surgery: &FaultSurgery) {
         writeln!(self.out, "{}", surgery.to_jsonl()).expect("write jsonl trace");
     }
+
+    fn shard_round(&mut self, metrics: &ShardRoundMetrics) {
+        writeln!(self.out, "{}", metrics.to_jsonl()).expect("write jsonl trace");
+    }
 }
 
 /// Fans one event stream into two sinks (`Tee(a, b)` forwards to `a`
@@ -350,6 +428,12 @@ impl<A: Tracer, B: Tracer> Tracer for Tee<A, B> {
     fn fault(&mut self, surgery: &FaultSurgery) {
         self.0.fault(surgery);
         self.1.fault(surgery);
+    }
+
+    #[inline]
+    fn shard_round(&mut self, metrics: &ShardRoundMetrics) {
+        self.0.shard_round(metrics);
+        self.1.shard_round(metrics);
     }
 }
 
@@ -463,6 +547,51 @@ mod tests {
         assert_eq!(tee.1.run.rounds, 1);
         let off = Tee(NullTracer, NullTracer);
         assert!(!off.enabled());
+    }
+
+    #[test]
+    fn jsonl_shard_format_is_stable() {
+        let s = ShardRoundMetrics {
+            round: 2,
+            shard: 1,
+            shards: 4,
+            scheduled: 8,
+            activations: 7,
+            changes: 3,
+            neighbor_reads: 21,
+        };
+        assert_eq!(
+            s.to_jsonl(),
+            "{\"t\":\"shard\",\"round\":2,\"shard\":1,\"shards\":4,\
+             \"scheduled\":8,\"activations\":7,\"changes\":3,\
+             \"neighbor_reads\":21}"
+        );
+    }
+
+    #[test]
+    fn shard_events_route_to_logs_and_jsonl_but_not_counters() {
+        let s = ShardRoundMetrics {
+            round: 1,
+            shard: 0,
+            shards: 2,
+            ..Default::default()
+        };
+        let mut log = RoundLog::default();
+        log.shard_round(&s);
+        assert_eq!(log.shards, vec![s]);
+
+        let mut sink = JsonlTrace::new(Vec::new());
+        sink.shard_round(&s);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(text.starts_with("{\"t\":\"shard\""));
+
+        // Counters aggregate whole rounds only: shard events are the
+        // per-shard *decomposition* of a round, so folding them in too
+        // would double-count.
+        let mut tee = Tee(Counters::default(), RoundLog::default());
+        tee.shard_round(&s);
+        assert_eq!(tee.0.run, RunMetrics::default());
+        assert_eq!(tee.1.shards.len(), 1);
     }
 
     #[test]

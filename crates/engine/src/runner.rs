@@ -72,7 +72,36 @@ pub enum Engine {
     Interpreter,
     /// Always the compiled kernel. Panics if query recording is enabled.
     Kernel,
+    /// The compiled kernel's sharded backend — pair with
+    /// [`Runner::threads`] to pick the thread count. Without a
+    /// `.threads(n)` call (or at `n = 1`) this is equivalent to
+    /// [`Engine::Kernel`]: one shard *is* the sequential kernel, and the
+    /// trajectory is bit-identical across thread counts either way.
+    Sharded,
 }
+
+/// Monomorphized parallel-step entry points. [`Runner::threads`] captures
+/// these where the `P: Sync` bounds hold, so the bound-free
+/// [`Runner::run`] can dispatch the sharded path without infecting every
+/// caller with `Send + Sync` requirements.
+#[cfg(feature = "parallel")]
+struct ParCaps<P: Protocol> {
+    /// Sharded kernel round (see
+    /// [`Network::sync_step_kernel_sharded_seeded_traced`]).
+    kernel_step: fn(&mut Network<P>, u64, usize, &mut dyn Tracer) -> usize,
+    /// Chunked interpreter round (see [`crate::parallel`]).
+    interp_step: fn(&mut Network<P>, u64, usize, &mut dyn Tracer) -> usize,
+}
+
+#[cfg(feature = "parallel")]
+impl<P: Protocol> Clone for ParCaps<P> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+#[cfg(feature = "parallel")]
+impl<P: Protocol> Copy for ParCaps<P> {}
 
 /// Activation order.
 #[derive(Clone, Copy, Debug, Default)]
@@ -139,6 +168,12 @@ pub struct Runner<'n, 'r, 'o, 'h, P: Protocol, T: Tracer = NullTracer> {
     tracer: T,
     record: Option<&'h mut History<P::State>>,
     observe: bool,
+    /// Thread count for synchronous rounds; set by [`Self::threads`]
+    /// together with the dispatch capabilities.
+    #[cfg(feature = "parallel")]
+    threads: usize,
+    #[cfg(feature = "parallel")]
+    par: Option<ParCaps<P>>,
 }
 
 impl<'n, P: Protocol> Runner<'n, '_, '_, '_, P, NullTracer> {
@@ -155,6 +190,10 @@ impl<'n, P: Protocol> Runner<'n, '_, '_, '_, P, NullTracer> {
             tracer: NullTracer,
             record: None,
             observe: false,
+            #[cfg(feature = "parallel")]
+            threads: 1,
+            #[cfg(feature = "parallel")]
+            par: None,
         }
     }
 }
@@ -207,6 +246,10 @@ impl<'n, 'r, 'o, 'h, P: Protocol, T: Tracer> Runner<'n, 'r, 'o, 'h, P, T> {
             tracer,
             record: self.record,
             observe: self.observe,
+            #[cfg(feature = "parallel")]
+            threads: self.threads,
+            #[cfg(feature = "parallel")]
+            par: self.par,
         }
     }
 
@@ -230,24 +273,41 @@ impl<'n, 'r, 'o, 'h, P: Protocol, T: Tracer> Runner<'n, 'r, 'o, 'h, P, T> {
         match self.engine {
             Engine::Auto => P::COMPILED && !self.net.recording_enabled(),
             Engine::Interpreter => false,
-            Engine::Kernel => true,
+            Engine::Kernel | Engine::Sharded => true,
+        }
+    }
+
+    /// The thread count synchronous rounds will use (1 unless
+    /// [`Self::threads`] was called).
+    fn thread_count(&self) -> usize {
+        #[cfg(feature = "parallel")]
+        {
+            self.threads
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            1
         }
     }
 
     /// Executes the run.
     pub fn run(self) -> RunReport {
         let kernel = self.use_kernel();
+        let threads = self.thread_count();
         let observe = self.observe || self.tracer.enabled();
+        #[cfg(feature = "parallel")]
+        let par = self.par;
+        #[cfg(not(feature = "parallel"))]
+        let _ = threads;
         let Runner {
             net,
             policy,
             budget,
             seed,
             rng,
-            engine: _,
             mut tracer,
             record,
-            observe: _,
+            ..
         } = self;
         if observe {
             let mut counters = Counters::default();
@@ -261,6 +321,18 @@ impl<'n, 'r, 'o, 'h, P: Protocol, T: Tracer> Runner<'n, 'r, 'o, 'h, P, T> {
                 record,
                 &mut tee,
                 |net, round_seed, t| {
+                    #[cfg(feature = "parallel")]
+                    if threads > 1 {
+                        if let Some(caps) = par {
+                            let step = if kernel {
+                                caps.kernel_step
+                            } else {
+                                caps.interp_step
+                            };
+                            let dyn_tracer: &mut dyn Tracer = t;
+                            return step(net, round_seed, threads, dyn_tracer);
+                        }
+                    }
                     if kernel {
                         net.sync_step_kernel_seeded_traced(round_seed, t)
                     } else {
@@ -280,6 +352,17 @@ impl<'n, 'r, 'o, 'h, P: Protocol, T: Tracer> Runner<'n, 'r, 'o, 'h, P, T> {
                 record,
                 &mut NullTracer,
                 |net, round_seed, _| {
+                    #[cfg(feature = "parallel")]
+                    if threads > 1 {
+                        if let Some(caps) = par {
+                            let step = if kernel {
+                                caps.kernel_step
+                            } else {
+                                caps.interp_step
+                            };
+                            return step(net, round_seed, threads, &mut NullTracer);
+                        }
+                    }
                     if kernel {
                         net.sync_step_kernel_seeded(round_seed)
                     } else {
@@ -298,64 +381,35 @@ where
     P::State: Send + Sync,
     T: Tracer,
 {
-    /// As [`Self::run`], but synchronous rounds fan out over `threads`
-    /// worker threads (kernel or interpreter, per the engine selection).
-    /// Bit-identical results to [`Self::run`] for any thread count.
+    /// Runs synchronous rounds over `threads` threads (clamped to at
+    /// least 1). Kernel engines use the sharded backend — a
+    /// degree-weighted contiguous [`fssga_graph::Partition`] evaluated
+    /// over a persistent [`crate::ShardPool`] — and the interpreter uses
+    /// chunked scoped threads ([`crate::parallel`]). Either way the
+    /// trajectory is **bit-identical** to the single-threaded run: coins
+    /// derive from `(round_seed, node)` and per-shard results commit in
+    /// node order.
+    ///
+    /// This is the only builder knob requiring `P: Sync` — it captures
+    /// the monomorphized parallel steppers here so [`Self::run`] itself
+    /// stays free of `Send + Sync` bounds.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self.par = Some(ParCaps {
+            kernel_step: |net, round_seed, threads, mut t| {
+                net.sync_step_kernel_sharded_seeded_traced(round_seed, threads, &mut t)
+            },
+            interp_step: |net, round_seed, threads, mut t| {
+                crate::parallel::sync_step_parallel_seeded_traced(net, round_seed, threads, &mut t)
+            },
+        });
+        self
+    }
+
+    /// As [`Self::run`] over `threads` threads.
+    #[deprecated(note = "use `.threads(n).run()`; it composes with every other builder knob")]
     pub fn run_parallel(self, threads: usize) -> RunReport {
-        let kernel = self.use_kernel();
-        let observe = self.observe || self.tracer.enabled();
-        let Runner {
-            net,
-            policy,
-            budget,
-            seed,
-            rng,
-            engine: _,
-            mut tracer,
-            record,
-            observe: _,
-        } = self;
-        if observe {
-            let mut counters = Counters::default();
-            let mut tee = Tee(&mut tracer, &mut counters);
-            let mut report = run_core(
-                net,
-                policy,
-                budget,
-                seed,
-                rng,
-                record,
-                &mut tee,
-                |net, round_seed, t| {
-                    if kernel {
-                        net.sync_step_kernel_parallel_seeded_traced(round_seed, threads, t)
-                    } else {
-                        crate::parallel::sync_step_parallel_seeded_traced(
-                            net, round_seed, threads, t,
-                        )
-                    }
-                },
-            );
-            report.metrics = Some(counters.run);
-            report
-        } else {
-            run_core(
-                net,
-                policy,
-                budget,
-                seed,
-                rng,
-                record,
-                &mut NullTracer,
-                |net, round_seed, _| {
-                    if kernel {
-                        net.sync_step_kernel_parallel_seeded(round_seed, threads)
-                    } else {
-                        crate::parallel::sync_step_parallel_seeded(net, round_seed, threads)
-                    }
-                },
-            )
-        }
+        self.threads(threads).run()
     }
 }
 

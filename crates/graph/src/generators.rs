@@ -164,6 +164,44 @@ pub fn connected_gnp(n: usize, p: f64, rng: &mut Xoshiro256) -> Graph {
     b.build()
 }
 
+/// Power-law (scale-free) graph via preferential attachment
+/// (Barabási–Albert): nodes `0..=m` start as a clique, then each new node
+/// attaches `m` edges to distinct existing nodes chosen with probability
+/// proportional to their current degree. Connected by construction, with
+/// a heavy-tailed degree distribution — the adversarial workload for
+/// degree-aware partitioning (a handful of hubs carry most of the edge
+/// weight, unlike the regular tori of the engine baseline).
+pub fn preferential_attachment(n: usize, m: usize, rng: &mut Xoshiro256) -> Graph {
+    assert!(m >= 1, "each new node needs at least one attachment");
+    assert!(n > m, "need more nodes than attachments per node");
+    let mut b = GraphBuilder::new(n);
+    // `endpoints` lists every node once per incident edge, so a uniform
+    // draw from it is a degree-proportional draw over nodes.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * m * n);
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            b.add_edge(u as NodeId, v as NodeId);
+            endpoints.push(u as NodeId);
+            endpoints.push(v as NodeId);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let t = endpoints[rng.gen_index(endpoints.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(v as NodeId, t);
+            endpoints.push(v as NodeId);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
 /// Complete bipartite graph `K_{a,b}`; sides are `0..a` and `a..a+b`.
 pub fn complete_bipartite(a: usize, b: usize) -> Graph {
     assert!(a >= 1 && b >= 1);
@@ -406,6 +444,24 @@ mod tests {
         assert!(exact::bipartition(&g).is_some());
         let d = exact::bfs_distances(&g, &[0]);
         assert_eq!(d[11], 5); // (0,0) -> (2,3): 2+3
+    }
+
+    #[test]
+    fn preferential_attachment_is_connected_and_heavy_tailed() {
+        let mut r = rng();
+        let g = preferential_attachment(2000, 2, &mut r);
+        assert_eq!(g.n(), 2000);
+        assert!(exact::is_connected(&g));
+        assert!(g.min_degree() >= 2, "every node attaches m = 2 edges");
+        // Heavy tail: the max degree dwarfs the mean (~2m = 4).
+        assert!(
+            g.max_degree() > 10 * (2 * g.m() / g.n()),
+            "expected hubs, max degree {}",
+            g.max_degree()
+        );
+        // Determinism: same seed, same graph.
+        let again = preferential_attachment(2000, 2, &mut rng());
+        assert_eq!(g, again);
     }
 
     #[test]

@@ -95,7 +95,8 @@ fn parallel_equals_sequential_mixer() {
 }
 
 /// Runs `rounds` synchronous rounds of identically-built networks through
-/// three entry points — the sequential [`Runner`], [`Runner::run_parallel`],
+/// three entry points — the sequential [`Runner`], a 3-thread
+/// [`Runner::threads`] run,
 /// and the deprecated [`SyncScheduler::run_rounds`] wrapper — and asserts
 /// all three report the same change count and end in the same states.
 fn changes_parity<P>(build: &dyn Fn() -> Network<P>, rounds: usize, seed: u64, ctx: &str)
@@ -116,7 +117,8 @@ where
     let parallel = Runner::new(&mut par)
         .budget(Budget::Rounds(rounds))
         .rng(&mut rng)
-        .run_parallel(3)
+        .threads(3)
+        .run()
         .changes;
 
     let mut legacy_net = build();
@@ -146,8 +148,8 @@ where
 
 /// `RunReport::changes` parity across the sequential runner, the parallel
 /// stepper, and the deprecated wrapper, for every protocol in the
-/// workspace (the graph is large enough that `run_parallel` really
-/// spawns workers instead of falling back to the sequential path).
+/// workspace (the graph is large enough that the multi-thread path
+/// really spawns workers instead of falling back to the sequential one).
 #[test]
 fn change_counts_agree_across_entry_points() {
     let g = generators::connected_gnp(300, 0.02, &mut Xoshiro256::seed_from_u64(0xD15C));

@@ -278,7 +278,8 @@ fn parallel_rounds_are_bit_identical() {
                     .engine(engine)
                     .budget(Budget::Rounds(10))
                     .seed(5)
-                    .run_parallel(threads);
+                    .threads(threads)
+                    .run();
                 assert_eq!(
                     seq.states(),
                     par.states(),
