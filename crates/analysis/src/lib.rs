@@ -24,14 +24,18 @@
 //! * [`lint`] — the shipped pass over every library program and protocol;
 //!   the `fssga-lint` binary runs it and exits non-zero on violations.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod blowup;
 pub mod compliance;
 pub mod deadcode;
-pub mod diag;
 pub mod lint;
 pub mod sm_audit;
 pub mod totality;
 
-pub use diag::{Diagnostic, Report, Severity};
+/// Diagnostics now live in `fssga-core` (so the semantic model checker in
+/// `fssga-verify` can emit them without depending on this crate);
+/// re-exported here so `fssga_analysis::diag::...` paths keep working.
+pub use fssga_core::diag;
+pub use fssga_core::diag::{Diagnostic, Report, Severity};

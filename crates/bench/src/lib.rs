@@ -11,6 +11,7 @@
 //! wins, which exponent, where the crossover is) without re-parsing
 //! stdout.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

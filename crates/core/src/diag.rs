@@ -1,4 +1,6 @@
-//! Diagnostics: the common currency of every analysis in this crate.
+//! Diagnostics: the common currency of every static analysis
+//! (`fssga-analysis`) and semantic check (`fssga-verify`) in the
+//! workspace.
 //!
 //! Each analysis produces [`Diagnostic`]s tagged with the subject program
 //! or protocol, a severity, and — whenever the finding is semantic — a

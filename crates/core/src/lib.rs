@@ -29,10 +29,12 @@
 //! automaton** assigns to each own-state `q` an SM function `f[q]` applied
 //! to the multiset of neighbour states.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod check;
 pub mod convert;
+pub mod diag;
 pub mod equiv;
 pub mod fssga;
 pub mod library;

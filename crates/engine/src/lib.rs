@@ -51,6 +51,12 @@
 //! * [`interp`] — run a table-level [`fssga_core::ProbFssga`] directly.
 //! * [`compile`] — protocol → mod-thresh FSSGA extraction.
 
+// Unsafe policy: the engine is the only workspace crate allowed to
+// contain `unsafe`, and only in the [`pool`] module (the lifetime-erased
+// job pointer of the sharded kernel). Everything else is checked Rust;
+// the clippy `undocumented_unsafe_blocks` workspace lint additionally
+// requires a `// SAFETY:` comment on every block that remains.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
@@ -64,6 +70,7 @@ pub mod obs;
 #[cfg(feature = "parallel")]
 pub mod parallel;
 #[cfg(feature = "parallel")]
+#[allow(unsafe_code)]
 pub mod pool;
 pub mod protocol;
 pub mod runner;

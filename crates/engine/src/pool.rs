@@ -30,18 +30,56 @@
 use std::any::Any;
 use std::mem;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+
+// Under `--cfg loom` (the CI model-checking job) every synchronization
+// primitive is swapped for loom's permutation-exploring equivalent; the
+// algorithm itself is identical. See `tests/loom_pool.rs`.
+#[cfg(loom)]
+use loom::{
+    sync::{
+        atomic::{AtomicUsize, Ordering},
+        Arc, Condvar, Mutex,
+    },
+    thread::{self, JoinHandle},
+};
+#[cfg(not(loom))]
+use std::{
+    sync::{
+        atomic::{AtomicUsize, Ordering},
+        Arc, Condvar, Mutex,
+    },
+    thread::{self, JoinHandle},
+};
 
 /// The published job: a borrowed `Fn(usize) + Sync` with its lifetime
 /// erased (see the module-level safety model).
 #[derive(Copy, Clone)]
 struct Job(*const (dyn Fn(usize) + Sync));
 
-// SAFETY: the pointee is `Sync`, so sharing the pointer across workers
-// is sound; `run` keeps the pointee alive for the whole epoch.
+// SAFETY: `Send` here really stands in for "a `&` to the pointee may be
+// shared across threads": `Job` is `Copy`, so after one worker takes it
+// out of the mutex-guarded slot, *every* worker (and the caller) holds a
+// copy and dereferences the same pointee concurrently. That is sound on
+// two conditions. (1) The pointee is `Sync` — guaranteed by the erased
+// type itself and re-checked by `job_pointee_is_shareable` below, so a
+// shared `&` to it is `Send`. (2) The pointee is still alive — `run`
+// blocks until `active == 0` and clears the slot under the lock before
+// returning, so no worker can observe the pointer after the borrow it
+// was created from ends (module-level safety model).
 unsafe impl Send for Job {}
+
+/// Compile-time witness for the `Send` impl above: a shared reference to
+/// the job pointee crosses threads, which is exactly `&T: Send`, i.e.
+/// `T: Sync`. If the pointee type ever loses its `Sync` bound, this stops
+/// compiling instead of the pool becoming silently unsound.
+const _: () = {
+    const fn job_pointee_is_shareable<T: ?Sized>()
+    where
+        for<'a> &'a T: Send,
+    {
+    }
+    job_pointee_is_shareable::<dyn Fn(usize) + Sync>();
+};
 
 /// Coordination state guarded by the pool mutex.
 struct State {
@@ -156,7 +194,7 @@ impl ShardPool {
         let workers = (1..threads)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker(shared))
+                thread::spawn(move || worker(shared))
             })
             .collect();
         Self {
@@ -235,7 +273,10 @@ impl Drop for ShardPool {
     }
 }
 
-#[cfg(test)]
+// The unit tests drive real std primitives; under `--cfg loom` they are
+// compiled out (loom primitives panic outside `loom::model`) and the
+// model-checking suite in `tests/loom_pool.rs` takes over.
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;

@@ -131,6 +131,42 @@ impl<'a, S: StateSpace> NeighborView<'a, S> {
         }
     }
 
+    /// Like [`Self::over_recorded`], but the caller also supplies the
+    /// nonzero-index list, so [`Self::present_states`] runs in O(distinct
+    /// states) rather than O(`S::COUNT`). External exhaustive drivers
+    /// (`fssga-verify`) need this for product-state protocols whose
+    /// alphabet runs to tens of thousands of states.
+    ///
+    /// `presence` must list exactly the indices with nonzero count;
+    /// this is debug-asserted.
+    pub fn over_sparse(
+        counts: &'a [u32],
+        presence: &'a [u32],
+        recorder: Option<&'a RefCell<QueryRecorder>>,
+    ) -> Self {
+        assert_eq!(counts.len(), S::COUNT);
+        debug_assert!(
+            presence.iter().all(|&i| counts[i as usize] > 0),
+            "presence list may only name nonzero indices"
+        );
+        // The exhaustive (exactly-the-nonzero-set) check is O(|Q|) per
+        // view; only affordable for small alphabets, and hot callers
+        // construct one view per transition.
+        debug_assert!(
+            S::COUNT > 4096 || counts.iter().filter(|&&c| c > 0).count() == presence.len(),
+            "presence list must be exactly the nonzero indices"
+        );
+        if let Some(rec) = recorder {
+            assert_eq!(rec.borrow().thresholds.len(), S::COUNT);
+        }
+        Self {
+            counts,
+            presence: Some(presence),
+            recorder,
+            _ph: PhantomData,
+        }
+    }
+
     /// `μ_q >= t` — the negated thresh atom `¬(μ_q < t)`. `t >= 1`.
     pub fn at_least(&self, q: S, t: u32) -> bool {
         assert!(t >= 1, "thresh atoms need t >= 1");
@@ -215,12 +251,10 @@ impl<'a, S: StateSpace> NeighborView<'a, S> {
     /// result as an unordered set (aggregate with min/max/any, never
     /// "first wins").
     pub fn present_states(&self) -> impl Iterator<Item = S> + '_ {
-        if let Some(rec) = self.recorder {
-            let mut rec = rec.borrow_mut();
-            for q in 0..S::COUNT {
-                rec.record_thresh(q, 1);
-            }
-        }
+        // No recorder traffic: this is a `μ_q >= 1` query on every state,
+        // and threshold 1 is the recorder's baseline — recording it can
+        // never change an entry. (Walking all of `S::COUNT` here used to
+        // dominate exhaustive exploration of product-state protocols.)
         let from_presence = self
             .presence
             .map(|p| p.iter().map(|&i| S::from_index(i as usize)));

@@ -373,6 +373,42 @@ pub fn two_cliques_shared_vertex(k: usize) -> Graph {
     b.build()
 }
 
+/// Every connected simple graph on `n` labelled vertices (`1 <= n <= 5`),
+/// enumerated by edge-subset bitmask in a fixed, deterministic order.
+///
+/// The bounded model checker (`fssga-verify`) quantifies over this family
+/// when a named-graph family is not exhaustive enough; tests use it to
+/// cross-check structural invariants on *all* small topologies. Counts are
+/// the OEIS A001187 labelled connected graphs: 1, 1, 4, 38, 728 for
+/// n = 1..=5 — the n ≤ 5 cap keeps the enumeration (2^10 masks at n = 5)
+/// trivially cheap while the n = 6 count (26704) would already dominate
+/// any checker built on top.
+pub fn all_connected_graphs(n: usize) -> Vec<Graph> {
+    assert!(
+        (1..=5).contains(&n),
+        "all_connected_graphs supports 1 <= n <= 5, got {n}"
+    );
+    // All unordered vertex pairs, in lexicographic order: bit i of a mask
+    // decides whether pairs[i] is an edge.
+    let pairs: Vec<(NodeId, NodeId)> = (0..n as NodeId)
+        .flat_map(|u| ((u + 1)..n as NodeId).map(move |v| (u, v)))
+        .collect();
+    let mut out = Vec::new();
+    for mask in 0u32..(1u32 << pairs.len()) {
+        let edges: Vec<(NodeId, NodeId)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &e)| e)
+            .collect();
+        let g = Graph::from_edges(n, &edges);
+        if crate::exact::is_connected(&g) {
+            out.push(g);
+        }
+    }
+    out
+}
+
 /// An odd cycle glued onto a random bipartite graph — guaranteed
 /// non-2-colourable instances for experiment E5.
 pub fn bipartite_plus_odd_cycle(a: usize, b: usize, p: f64, rng: &mut Xoshiro256) -> Graph {
@@ -398,6 +434,39 @@ mod tests {
 
     fn rng() -> Xoshiro256 {
         Xoshiro256::seed_from_u64(0xF55A)
+    }
+
+    #[test]
+    fn all_connected_graphs_counts_match_oeis_a001187() {
+        for (n, expect) in [(1usize, 1usize), (2, 1), (3, 4), (4, 38), (5, 728)] {
+            let family = all_connected_graphs(n);
+            assert_eq!(family.len(), expect, "n = {n}");
+            for g in &family {
+                assert_eq!(g.n(), n);
+                assert!(exact::is_connected(g));
+            }
+        }
+    }
+
+    #[test]
+    fn all_connected_graphs_is_deterministic_and_duplicate_free() {
+        let a = all_connected_graphs(4);
+        let b = all_connected_graphs(4);
+        let edge_sets = |fam: &[Graph]| -> Vec<Vec<(NodeId, NodeId)>> {
+            fam.iter().map(|g| g.edges().collect()).collect()
+        };
+        let (ea, eb) = (edge_sets(&a), edge_sets(&b));
+        assert_eq!(ea, eb, "enumeration order must be stable");
+        let mut dedup = ea.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ea.len(), "no duplicate edge sets");
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= n <= 5")]
+    fn all_connected_graphs_rejects_large_n() {
+        let _ = all_connected_graphs(6);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! * [`rng`] — a small deterministic PRNG (splitmix64-seeded xoshiro256**)
 //!   so that every simulation in the workspace is exactly reproducible.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;

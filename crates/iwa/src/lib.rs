@@ -21,6 +21,7 @@
 //!   symmetry breaking needed to pick the agent's next destination, as in
 //!   Sections 4.4–4.6 of the paper).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fssga_on_iwa;

@@ -138,6 +138,22 @@ impl StateSpace for BfsState {
     }
 }
 
+/// The checked semantic contract. Algorithm 4.1 is stated for synchronous
+/// rounds (adjacent labels must differ by exactly one hop of wavefront);
+/// mod-3 labels are sticky and cannot self-correct, so a mid-run fault can
+/// strand stale labels — the tree-like Θ(n) fragility class of Section 2
+/// (the greedy tourist recovers 1-sensitivity from the same labelling by
+/// relabelling every epoch).
+pub const CONTRACT: crate::contract::SemanticContract = crate::contract::SemanticContract {
+    name: "bfs",
+    order_independent: false,
+    semilattice: false,
+    scheduling: crate::contract::Scheduling::SyncOnly,
+    sensitivity: fssga_engine::SensitivityClass::Linear,
+    max_nodes: 6,
+    config_budget: 50_000,
+};
+
 /// The synchronous BFS protocol of Algorithm 4.1.
 pub struct Bfs;
 

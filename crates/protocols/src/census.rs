@@ -106,6 +106,19 @@ impl<const K: usize> SensitiveProtocol for Census<K> {
     }
 }
 
+/// The checked semantic contract: OR-diffusion of sketches is the
+/// workspace's canonical semilattice protocol — confluent under any
+/// activation order, and 0-sensitive (Section 2).
+pub const CONTRACT: crate::contract::SemanticContract = crate::contract::SemanticContract {
+    name: "census",
+    order_independent: true,
+    semilattice: true,
+    scheduling: crate::contract::Scheduling::Any,
+    sensitivity: SensitivityClass::Zero,
+    max_nodes: 6,
+    config_budget: 50_000,
+};
+
 /// Draws `n` independent sketches and returns their union — the value
 /// every node converges to in a connected fault-free network. Exposed for
 /// statistical testing and the E1 experiment.

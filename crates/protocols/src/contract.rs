@@ -1,0 +1,137 @@
+//! Machine-readable semantic contracts, consumed by the bounded model
+//! checker in `fssga-verify`.
+//!
+//! Every shipped algorithm declares, as plain data, the semantic
+//! properties the rest of the workspace relies on: whether its
+//! asynchronous executions are order-independent (the Church–Rosser
+//! property the paper's SM framework promises for multiset-function
+//! protocols), whether its state transition induces a semilattice join,
+//! which scheduling model its correctness argument assumes, and its
+//! Section 2 sensitivity class. The checker *verifies* these claims by
+//! exhaustive exploration on small graphs instead of trusting them — a
+//! contract here is a proof obligation, not documentation.
+//!
+//! The exploration caps (`max_nodes`, `config_budget`) are part of the
+//! contract on purpose: they pin down the instance family on which the
+//! claim has been machine-checked, so a future change that silently blows
+//! up the reachable state space fails the lint gate instead of silently
+//! shrinking coverage.
+
+use fssga_engine::SensitivityClass;
+
+/// Which scheduling model a protocol's correctness argument assumes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheduling {
+    /// Correct under arbitrary single-node activation orders (the paper's
+    /// adversarial asynchronous daemon). The checker explores *all*
+    /// interleavings.
+    Any,
+    /// Correct only under synchronous rounds (Algorithm 4.1's BFS, the
+    /// firing squad, ...). The checker explores the synchronous round
+    /// tree, branching over every per-node coin assignment.
+    SyncOnly,
+}
+
+/// A protocol's declared semantic properties, as checkable data.
+#[derive(Clone, Copy, Debug)]
+pub struct SemanticContract {
+    /// Stable name (matches the `Sensitive`/lint naming where one exists).
+    pub name: &'static str,
+    /// Claim: every maximal run from a canonical initial configuration
+    /// reaches the same fixed point, regardless of activation order and
+    /// coins (only meaningful — and only checked — for [`Scheduling::Any`]
+    /// protocols; it is trivially true for deterministic synchronous
+    /// protocols and therefore not claimed by them).
+    pub order_independent: bool,
+    /// Claim: the induced binary operation `a ∘ b := f(a, {b})` is a
+    /// semilattice join (idempotent, commutative, associative) — the
+    /// algebraic core behind a diffusion's order-independence.
+    pub semilattice: bool,
+    /// The scheduling model the protocol is correct under.
+    pub scheduling: Scheduling,
+    /// The declared Section 2 sensitivity class (cross-checked against the
+    /// `Sensitive`/`SensitiveProtocol` declarations where those exist).
+    pub sensitivity: SensitivityClass,
+    /// Largest instance in the checker's graph family for this protocol.
+    pub max_nodes: usize,
+    /// Upper bound on distinct reachable configurations explored per
+    /// (graph, init) instance before the checker reports a budget warning.
+    pub config_budget: usize,
+}
+
+/// The contracts of all ten shipped protocols, in the lint pass order.
+pub fn all() -> [&'static SemanticContract; 10] {
+    [
+        &crate::census::CONTRACT,
+        &crate::shortest_paths::CONTRACT,
+        &crate::two_coloring::CONTRACT,
+        &crate::synchronizer::CONTRACT,
+        &crate::bfs::CONTRACT,
+        &crate::random_walk::CONTRACT,
+        &crate::traversal::CONTRACT,
+        &crate::greedy_tourist::CONTRACT,
+        &crate::election::CONTRACT,
+        &crate::firing_squad::CONTRACT,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let mut names: Vec<&str> = all().iter().map(|c| c.name).collect();
+        assert!(names.iter().all(|n| !n.is_empty()));
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn order_independence_implies_async_scheduling() {
+        for c in all() {
+            if c.order_independent {
+                assert_eq!(
+                    c.scheduling,
+                    Scheduling::Any,
+                    "{}: order-independence is a claim about async runs",
+                    c.name
+                );
+            }
+            if c.semilattice {
+                assert!(
+                    c.order_independent,
+                    "{}: a semilattice diffusion is in particular confluent",
+                    c.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budgets_are_sane() {
+        for c in all() {
+            assert!((2..=6).contains(&c.max_nodes), "{}", c.name);
+            assert!(c.config_budget >= 1_000, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn declared_classes_match_sensitive_impls() {
+        use fssga_engine::SensitiveProtocol;
+        // Protocol-level declarations (PR 2) and contracts must agree.
+        assert_eq!(
+            crate::census::CONTRACT.sensitivity,
+            <crate::census::Census<4> as SensitiveProtocol>::declared_class()
+        );
+        assert_eq!(
+            crate::shortest_paths::CONTRACT.sensitivity,
+            <crate::shortest_paths::ShortestPaths<8> as SensitiveProtocol>::declared_class()
+        );
+        assert_eq!(
+            crate::synchronizer::CONTRACT.sensitivity,
+            <crate::synchronizer::Alpha<crate::two_coloring::TwoColoring> as SensitiveProtocol>::declared_class()
+        );
+    }
+}

@@ -360,6 +360,21 @@ fn scan(own: &ElectState, nbrs: &NeighborView<'_, ElectState>) -> Scan {
     s
 }
 
+/// The checked semantic contract. Election composes phases, clustering
+/// and Milgram agents; early on every node is a remaining candidate, so
+/// the critical set is Θ(n). Its product state space is by far the
+/// largest in the portfolio (~69k states), so the checker's instance
+/// family stops at n = 3 with a generous configuration budget.
+pub const CONTRACT: crate::contract::SemanticContract = crate::contract::SemanticContract {
+    name: "leader-election",
+    order_independent: false,
+    semilattice: false,
+    scheduling: crate::contract::Scheduling::SyncOnly,
+    sensitivity: SensitivityClass::Linear,
+    max_nodes: 3,
+    config_budget: 30_000,
+};
+
 /// The election protocol.
 pub struct Election;
 

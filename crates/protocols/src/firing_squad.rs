@@ -316,6 +316,20 @@ impl StateSpace for FsspState {
     }
 }
 
+/// The checked semantic contract. FSSP is the extreme synchronous
+/// algorithm: simultaneity *is* the specification, so it is meaningful
+/// only under synchronous rounds, and any mid-run fault can desynchronize
+/// the firing — every cell is critical (Θ(n)).
+pub const CONTRACT: crate::contract::SemanticContract = crate::contract::SemanticContract {
+    name: "firing-squad",
+    order_independent: false,
+    semilattice: false,
+    scheduling: crate::contract::Scheduling::SyncOnly,
+    sensitivity: fssga_engine::SensitivityClass::Linear,
+    max_nodes: 6,
+    config_budget: 50_000,
+};
+
 /// The FSSGA firing-squad protocol for path graphs.
 pub struct FiringSquad;
 

@@ -69,6 +69,22 @@ impl TourLabel {
     }
 }
 
+/// The checked semantic contract (the harness view: labelling epochs plus
+/// the agent). Relabelling from scratch every epoch is what buys the
+/// 1-sensitivity — stale labels never survive an epoch boundary, so only
+/// the agent's own node is load-bearing. The labelling subroutine itself
+/// is synchronous (asynchronous adoption can skip a wavefront and adopt a
+/// wrong residue).
+pub const CONTRACT: crate::contract::SemanticContract = crate::contract::SemanticContract {
+    name: "greedy-tourist",
+    order_independent: false,
+    semilattice: false,
+    scheduling: crate::contract::Scheduling::SyncOnly,
+    sensitivity: SensitivityClass::Constant(1),
+    max_nodes: 6,
+    config_budget: 50_000,
+};
+
 /// The multi-source mod-3 labelling protocol (synchronous).
 pub struct TouristBfs;
 

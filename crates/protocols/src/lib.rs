@@ -23,11 +23,13 @@
 //! (agents and unbounded counters); they are implemented as dedicated
 //! simulations with the same fault interface.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bfs;
 pub mod bridges;
 pub mod census;
+pub mod contract;
 pub mod election;
 pub mod firing_squad;
 pub mod greedy_tourist;

@@ -64,6 +64,21 @@ impl WalkState {
     }
 }
 
+/// The checked semantic contract. The elimination tournament assumes
+/// synchronous rounds (flip/decide phases interlock); the walker token is
+/// the only persistent structure, so the critical set is the walker node
+/// plus — transiently, during a hand-over — the unique `Tails` receiver:
+/// `Constant(2)`.
+pub const CONTRACT: crate::contract::SemanticContract = crate::contract::SemanticContract {
+    name: "random-walk",
+    order_independent: false,
+    semilattice: false,
+    scheduling: crate::contract::Scheduling::SyncOnly,
+    sensitivity: SensitivityClass::Constant(2),
+    max_nodes: 4,
+    config_budget: 100_000,
+};
+
 /// The synchronous random-walk protocol.
 pub struct RandomWalk;
 

@@ -111,6 +111,22 @@ impl<const CAP: usize> SensitiveProtocol for ShortestPaths<CAP> {
     }
 }
 
+/// The checked semantic contract. The `1 + min` relaxation from the
+/// all-`CAP` initial configuration is confluent: every label stays
+/// `>= ` its true distance along any run, the unique fixed point is the
+/// capped distance vector, and the checker verifies the changing-step
+/// relation is acyclic on every family instance. It is *not* a
+/// semilattice join (`a ∘ b = min(b)+1` is not idempotent).
+pub const CONTRACT: crate::contract::SemanticContract = crate::contract::SemanticContract {
+    name: "shortest-paths",
+    order_independent: true,
+    semilattice: false,
+    scheduling: crate::contract::Scheduling::Any,
+    sensitivity: SensitivityClass::Zero,
+    max_nodes: 6,
+    config_budget: 50_000,
+};
+
 /// Extracts all labels as distances (`UNREACHABLE` for nodes still at the
 /// cap, which after convergence means "no sink in my component within CAP
 /// hops").

@@ -154,6 +154,22 @@ impl<P: Protocol> SensitiveProtocol for Alpha<P> {
     }
 }
 
+/// The checked semantic contract for `Alpha<TwoColoring>` (the shipped
+/// lint instantiation). The synchronizer is *designed* for asynchrony but
+/// not order-independent in the strong sense: clock skew is bounded, not
+/// absent, so intermediate configurations genuinely depend on the
+/// interleaving and the simulation never quiesces (clocks tick forever) —
+/// hence no confluence claim. 0-sensitive like the diffusions it wraps.
+pub const CONTRACT: crate::contract::SemanticContract = crate::contract::SemanticContract {
+    name: "alpha-synchronizer",
+    order_independent: false,
+    semilattice: false,
+    scheduling: crate::contract::Scheduling::Any,
+    sensitivity: SensitivityClass::Zero,
+    max_nodes: 3,
+    config_budget: 150_000,
+};
+
 /// The tree-based β synchronizer baseline.
 ///
 /// Pulses are driven over a BFS spanning tree: pulse `k` completes for a

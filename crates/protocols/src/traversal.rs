@@ -189,6 +189,20 @@ pub fn scan(nbrs: &NeighborView<'_, TravState>) -> Hood {
     h
 }
 
+/// The checked semantic contract. Milgram's traversal keeps its entire
+/// arm alive as routing state: severing any arm node re-grows hands on
+/// both fragments (the `corrupted` failure mode), so the critical set is
+/// the whole arm — Θ(n) in the worst case.
+pub const CONTRACT: crate::contract::SemanticContract = crate::contract::SemanticContract {
+    name: "traversal",
+    order_independent: false,
+    semilattice: false,
+    scheduling: crate::contract::Scheduling::SyncOnly,
+    sensitivity: fssga_engine::SensitivityClass::Linear,
+    max_nodes: 3,
+    config_budget: 150_000,
+};
+
 /// The synchronous traversal protocol.
 pub struct Traversal;
 

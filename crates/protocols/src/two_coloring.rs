@@ -98,6 +98,24 @@ impl Protocol for TwoColoring {
     }
 }
 
+/// The checked semantic contract. With sticky colours the state order
+/// `Blank < {Red, Blue} < Failed` makes every run terminating, and from a
+/// single seed the fixed point is unique (the parity colouring on
+/// bipartite instances, all-`Failed` otherwise) — so the protocol is
+/// order-independent, which the checker verifies over every activation
+/// interleaving. 0-sensitive: all paths between two nodes of a bipartite
+/// graph share one parity, so stale colours stay consistent on any
+/// subgraph.
+pub const CONTRACT: crate::contract::SemanticContract = crate::contract::SemanticContract {
+    name: "two-coloring",
+    order_independent: true,
+    semilattice: false,
+    scheduling: crate::contract::Scheduling::Any,
+    sensitivity: fssga_engine::SensitivityClass::Zero,
+    max_nodes: 6,
+    config_budget: 50_000,
+};
+
 /// The outcome of a stabilized 2-colouring run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ColoringOutcome {

@@ -1,0 +1,99 @@
+//! The checker's instance families.
+//!
+//! Bounded model checking is only as strong as the instances it covers,
+//! so the family is exhaustive where that is affordable: *every*
+//! connected graph on up to four nodes (via
+//! [`fssga_graph::generators::all_connected_graphs`]), topped up with the
+//! named shapes the paper's arguments single out (paths, cycles, stars,
+//! cliques) at the sizes where exhaustive enumeration stops paying.
+
+use fssga_graph::{generators, Graph};
+
+/// A graph with a stable human-readable name, used in diagnostics and
+/// witnesses.
+pub struct NamedGraph {
+    /// Stable name, e.g. `"all-n3-#2"` or `"cycle-5"`.
+    pub name: String,
+    /// The instance itself.
+    pub graph: Graph,
+}
+
+impl NamedGraph {
+    fn new(name: impl Into<String>, graph: Graph) -> Self {
+        Self {
+            name: name.into(),
+            graph,
+        }
+    }
+}
+
+/// The standard family for a protocol capped at `max_nodes`: every
+/// connected graph on `2..=min(max_nodes, 4)` nodes, then named paths,
+/// cycles, stars and cliques for each larger size up to `max_nodes`.
+/// Ordered by node count so that the first violating instance a check
+/// reports is minimal within the family.
+pub fn family(max_nodes: usize) -> Vec<NamedGraph> {
+    assert!(max_nodes >= 2, "instance family needs max_nodes >= 2");
+    let mut out = Vec::new();
+    for n in 2..=max_nodes.min(4) {
+        for (i, g) in generators::all_connected_graphs(n).into_iter().enumerate() {
+            out.push(NamedGraph::new(format!("all-n{n}-#{i}"), g));
+        }
+    }
+    for n in 5..=max_nodes {
+        out.push(NamedGraph::new(format!("path-{n}"), generators::path(n)));
+        out.push(NamedGraph::new(format!("cycle-{n}"), generators::cycle(n)));
+        out.push(NamedGraph::new(format!("star-{n}"), generators::star(n)));
+        out.push(NamedGraph::new(
+            format!("clique-{n}"),
+            generators::complete(n),
+        ));
+    }
+    out
+}
+
+/// Paths only — the firing-squad protocol is specified for path graphs
+/// and is not meaningful elsewhere.
+pub fn paths(max_nodes: usize) -> Vec<NamedGraph> {
+    assert!(max_nodes >= 2, "instance family needs max_nodes >= 2");
+    (2..=max_nodes)
+        .map(|n| NamedGraph::new(format!("path-{n}"), generators::path(n)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fssga_graph::exact;
+
+    #[test]
+    fn family_is_connected_and_size_ordered() {
+        let fam = family(6);
+        assert!(fam.iter().all(|g| exact::is_connected(&g.graph)));
+        let sizes: Vec<usize> = fam.iter().map(|g| g.graph.n()).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sizes, sorted, "family must be ordered by node count");
+        // 1 + 4 + 38 exhaustive graphs, plus 4 named shapes at n = 5, 6.
+        assert_eq!(fam.len(), 1 + 4 + 38 + 4 + 4);
+    }
+
+    #[test]
+    fn family_names_are_unique() {
+        let fam = family(6);
+        let mut names: Vec<&str> = fam.iter().map(|g| g.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), fam.len());
+    }
+
+    #[test]
+    fn paths_family_is_paths() {
+        let fam = paths(5);
+        assert_eq!(fam.len(), 4);
+        for g in &fam {
+            assert_eq!(g.graph.m(), g.graph.n() - 1);
+            assert!(g.name.starts_with("path-"));
+        }
+    }
+}

@@ -1,0 +1,567 @@
+//! The verification entry point for the ten shipped protocols.
+//!
+//! Each protocol gets a driver that (a) runs the generic
+//! [`crate::checker::check_protocol`] pipeline over its contract's
+//! instance family, and (b) where the declared sensitivity class is
+//! falsifiable (`Zero` / `Constant(k)`), replays an *exhaustive*
+//! single-fault sweep on a dedicated instance and certifies the verdict
+//! pattern with [`crate::sensitivity::certify`]. Protocols declared
+//! `Linear` get [`crate::sensitivity::note_linear`]: no single-fault
+//! pattern can refute `|χ| ≤ n`, and the Θ(n) lower-bound evidence lives
+//! in the experiment suite.
+
+use fssga_core::diag::Report;
+use fssga_engine::faults::FaultKind;
+use fssga_engine::{
+    sweep_single_faults, AsyncPolicy, Budget, Campaign, Network, Policy, Runner, Sensitive, Verdict,
+};
+use fssga_graph::rng::Xoshiro256;
+use fssga_graph::{exact, generators, DynGraph, Graph, NodeId};
+use fssga_protocols::bfs::{Bfs, BfsState};
+use fssga_protocols::census::{Census, FmSketch};
+use fssga_protocols::contract::SemanticContract;
+use fssga_protocols::election::{ElectState, Election};
+use fssga_protocols::firing_squad::{FiringSquad, FsspState};
+use fssga_protocols::greedy_tourist::{GreedyTourist, TourLabel, TouristBfs};
+use fssga_protocols::random_walk::{RandomWalk, WalkHarness, WalkState};
+use fssga_protocols::shortest_paths::{labels_as_distances, ShortestPaths};
+use fssga_protocols::synchronizer::{alpha_network, Alpha, AlphaState};
+use fssga_protocols::traversal::{TravState, Traversal};
+use fssga_protocols::two_coloring::{self, Color, ColoringOutcome, TwoColoring};
+use fssga_protocols::{bfs, random_walk, shortest_paths, synchronizer, traversal};
+use fssga_protocols::{census, election, firing_squad, greedy_tourist};
+
+use crate::checker::check_protocol;
+use crate::graphs::{family, paths};
+use crate::sensitivity::{certify, exhaustive_kinds, note_linear};
+
+/// How much of the contract-declared exploration space to actually cover.
+///
+/// The contracts pin the instance family each claim is certified on;
+/// this knob lets callers shrink it uniformly — the tier-1 test runs
+/// [`VerifyScale::quick`] so `cargo test` stays fast, while the
+/// `fssga-lint verify` CI gate runs [`VerifyScale::full`].
+pub struct VerifyScale {
+    /// Cap on instance size (intersected with each contract's own cap).
+    pub max_nodes: usize,
+    /// Cap on configurations explored per instance (intersected with each
+    /// contract's own budget).
+    pub config_budget: usize,
+    /// Whether to run the exhaustive single-fault sweeps.
+    pub sweeps: bool,
+}
+
+impl VerifyScale {
+    /// Full contract-declared coverage (the CI lint gate).
+    pub fn full() -> Self {
+        Self {
+            max_nodes: usize::MAX,
+            config_budget: usize::MAX,
+            sweeps: true,
+        }
+    }
+
+    /// Reduced coverage for fast test runs: instances up to four nodes,
+    /// a few thousand configurations per instance, sweeps included.
+    pub fn quick() -> Self {
+        Self {
+            max_nodes: 4,
+            config_budget: 4_000,
+            sweeps: true,
+        }
+    }
+}
+
+/// One protocol's verification outcome.
+pub struct ProtocolVerification {
+    /// The contract name (`"census"`, `"bfs"`, ...).
+    pub name: &'static str,
+    /// Everything the checks found.
+    pub report: Report,
+}
+
+fn scaled(c: &SemanticContract, scale: &VerifyScale) -> SemanticContract {
+    SemanticContract {
+        max_nodes: c.max_nodes.min(scale.max_nodes),
+        config_budget: c.config_budget.min(scale.config_budget),
+        ..*c
+    }
+}
+
+/// Verifies all ten shipped protocols at full contract coverage.
+pub fn verify_shipped() -> Vec<ProtocolVerification> {
+    verify_shipped_scaled(&VerifyScale::full())
+}
+
+/// Verifies all ten shipped protocols at the given coverage scale, in
+/// the contract order of [`fssga_protocols::contract::all`].
+pub fn verify_shipped_scaled(scale: &VerifyScale) -> Vec<ProtocolVerification> {
+    vec![
+        ProtocolVerification {
+            name: census::CONTRACT.name,
+            report: check_census(scale),
+        },
+        ProtocolVerification {
+            name: shortest_paths::CONTRACT.name,
+            report: check_shortest_paths(scale),
+        },
+        ProtocolVerification {
+            name: two_coloring::CONTRACT.name,
+            report: check_two_coloring(scale),
+        },
+        ProtocolVerification {
+            name: synchronizer::CONTRACT.name,
+            report: check_alpha(scale),
+        },
+        ProtocolVerification {
+            name: bfs::CONTRACT.name,
+            report: check_bfs(scale),
+        },
+        ProtocolVerification {
+            name: random_walk::CONTRACT.name,
+            report: check_random_walk(scale),
+        },
+        ProtocolVerification {
+            name: traversal::CONTRACT.name,
+            report: check_traversal(scale),
+        },
+        ProtocolVerification {
+            name: greedy_tourist::CONTRACT.name,
+            report: check_greedy_tourist(scale),
+        },
+        ProtocolVerification {
+            name: election::CONTRACT.name,
+            report: check_election(scale),
+        },
+        ProtocolVerification {
+            name: firing_squad::CONTRACT.name,
+            report: check_firing_squad(scale),
+        },
+    ]
+}
+
+/// Flattens per-protocol results into one report (the lint gate's view).
+pub fn combined_report(results: Vec<ProtocolVerification>) -> Report {
+    let mut all = Report::new();
+    for r in results {
+        all.extend(r.report);
+    }
+    all
+}
+
+// --- census ---------------------------------------------------------------
+
+fn check_census(scale: &VerifyScale) -> Report {
+    let c = scaled(&census::CONTRACT, scale);
+    // A 3-bit sketch keeps the product space small; the initial sketches
+    // cover all three bit positions so the union lattice is exercised.
+    let mut report = check_protocol(&c, &Census::<3>, &family(c.max_nodes), |_, v| {
+        FmSketch::<3>(1u16 << (v % 3))
+    });
+    if scale.sweeps {
+        sweep_census(&c, &mut report);
+    }
+    report
+}
+
+fn sweep_census(c: &SemanticContract, report: &mut Report) {
+    // cycle(5) stays connected under any single node kill or edge cut, so
+    // every surviving bit keeps diffusing: no probe may be harmful.
+    let g = generators::cycle(5);
+    let mut rng = Xoshiro256::seed_from_u64(601);
+    let sketches: Vec<FmSketch<8>> = (0..g.n())
+        .map(|_| FmSketch::random_init(&mut rng))
+        .collect();
+    let campaign = Campaign::new(
+        &g,
+        || Census::<8>,
+        |v| sketches[v as usize],
+        |net: &Network<Census<8>>| net.graph().is_alive(0).then(|| net.state(0).0),
+        |g: &Graph| {
+            let d = DynGraph::from_graph(g);
+            d.component_of(0)
+                .into_iter()
+                .fold(0u16, |acc, v| acc | sketches[v as usize].0)
+        },
+    )
+    .horizon(25);
+    let kinds = exhaustive_kinds(&g);
+    let sweep = sweep_single_faults(&kinds, &[0, 1, 2, 4, 7], |schedule| {
+        campaign.run_with_schedule(schedule).verdict
+    });
+    certify(c, "cycle-5", g.n(), &sweep, |_| Vec::new(), report);
+}
+
+// --- shortest paths -------------------------------------------------------
+
+fn check_shortest_paths(scale: &VerifyScale) -> Report {
+    let c = scaled(&shortest_paths::CONTRACT, scale);
+    let mut report = check_protocol(&c, &ShortestPaths::<6>, &family(c.max_nodes), |_, v| {
+        ShortestPaths::<6>::init(v == 0)
+    });
+    if scale.sweeps {
+        sweep_shortest_paths(&c, &mut report);
+    }
+    report
+}
+
+fn sweep_shortest_paths(c: &SemanticContract, report: &mut Report) {
+    let g = generators::cycle(5);
+    let campaign = Campaign::new(
+        &g,
+        || ShortestPaths::<32>,
+        |v| ShortestPaths::<32>::init(v == 0),
+        |net: &Network<ShortestPaths<32>>| {
+            net.graph().is_alive(0).then(|| {
+                let dist = labels_as_distances(net.states());
+                net.graph()
+                    .alive_nodes()
+                    .map(|v| (v, dist[v as usize]))
+                    .collect::<Vec<_>>()
+            })
+        },
+        |g: &Graph| {
+            // Dead nodes appear as isolated slots in snapshots; on a cycle
+            // degree > 0 is exactly "alive".
+            let dist = exact::bfs_distances(g, &[0]);
+            g.nodes()
+                .filter(|&v| g.degree(v) > 0)
+                .map(|v| (v, dist[v as usize]))
+                .collect::<Vec<_>>()
+        },
+    )
+    .horizon(30);
+    let kinds = exhaustive_kinds(&g);
+    let sweep = sweep_single_faults(&kinds, &[0, 2, 5], |schedule| {
+        campaign.run_with_schedule(schedule).verdict
+    });
+    certify(c, "cycle-5", g.n(), &sweep, |_| Vec::new(), report);
+}
+
+// --- two-coloring ---------------------------------------------------------
+
+fn check_two_coloring(scale: &VerifyScale) -> Report {
+    let c = scaled(&two_coloring::CONTRACT, scale);
+    let mut report = check_protocol(&c, &TwoColoring, &family(c.max_nodes), |_, v| {
+        TwoColoring::init(v == 0)
+    });
+    if scale.sweeps {
+        // One bipartite and one odd instance, both 2-connected.
+        sweep_two_coloring(&c, "cycle-4", generators::cycle(4), &mut report);
+        sweep_two_coloring(&c, "cycle-5", generators::cycle(5), &mut report);
+    }
+    report
+}
+
+/// The predicted outcome of a converged run on `g`, restricted to the
+/// seed's component: proper iff that component is bipartite.
+fn coloring_reference(g: &Graph) -> ColoringOutcome {
+    let dist = exact::bfs_distances(g, &[0]);
+    let odd_edge = g.edges().any(|(u, v)| {
+        let (du, dv) = (dist[u as usize], dist[v as usize]);
+        du != exact::UNREACHABLE && dv != exact::UNREACHABLE && (du + dv) % 2 == 0
+    });
+    if odd_edge {
+        ColoringOutcome::OddCycleDetected
+    } else {
+        ColoringOutcome::ProperColoring
+    }
+}
+
+fn sweep_two_coloring(c: &SemanticContract, instance: &str, g: Graph, report: &mut Report) {
+    let campaign = Campaign::new(
+        &g,
+        || TwoColoring,
+        |v| TwoColoring::init(v == 0),
+        |net: &Network<TwoColoring>| {
+            net.graph().is_alive(0).then(|| {
+                let comp = net.graph().component_of(0);
+                let states: Vec<Color> = comp.iter().map(|&v| net.state(v)).collect();
+                two_coloring::outcome(&states)
+            })
+        },
+        coloring_reference,
+    )
+    .horizon(30);
+    let kinds = exhaustive_kinds(&g);
+    let sweep = sweep_single_faults(&kinds, &[0, 2, 6], |schedule| {
+        campaign.run_with_schedule(schedule).verdict
+    });
+    certify(c, instance, g.n(), &sweep, |_| Vec::new(), report);
+}
+
+// --- α synchronizer -------------------------------------------------------
+
+fn check_alpha(scale: &VerifyScale) -> Report {
+    let c = scaled(&synchronizer::CONTRACT, scale);
+    let mut report = check_protocol(&c, &Alpha(TwoColoring), &family(c.max_nodes), |_, v| {
+        AlphaState::init(TwoColoring::init(v == 0))
+    });
+    if scale.sweeps {
+        sweep_alpha(&c, &mut report);
+    }
+    report
+}
+
+fn sweep_alpha(c: &SemanticContract, report: &mut Report) {
+    // The α synchronizer holds no global structure: after any lone fault
+    // every surviving clock must keep ticking. "Harmful" here means some
+    // alive, non-isolated node makes no clock progress over ten sweeps.
+    let n = 6usize;
+    let g = generators::cycle(n);
+    let kinds = exhaustive_kinds(&g);
+    let sweep = sweep_single_faults(&kinds, &[0, 4], |schedule| {
+        let ev = schedule[0];
+        let mut net = alpha_network(&g, TwoColoring, |v| TwoColoring::init(v == 0));
+        let mut rng = Xoshiro256::seed_from_u64(604);
+        Runner::new(&mut net)
+            .policy(Policy::Async(AsyncPolicy::RoundRobin))
+            .budget(Budget::Steps(ev.time as usize * n))
+            .rng(&mut rng)
+            .run();
+        match ev.kind {
+            FaultKind::Edge(u, v) => {
+                net.remove_edge(u, v);
+            }
+            FaultKind::Node(v) => {
+                net.remove_node(v);
+            }
+        }
+        let alive: Vec<NodeId> = net.graph().alive_nodes().collect();
+        let mut progressed = vec![false; n];
+        for _ in 0..10 {
+            let before: Vec<u8> = (0..n as NodeId).map(|v| net.state(v).clock).collect();
+            Runner::new(&mut net)
+                .policy(Policy::Async(AsyncPolicy::RoundRobin))
+                .budget(Budget::Steps(alive.len()))
+                .rng(&mut rng)
+                .run();
+            for &v in &alive {
+                if net.state(v).clock != before[v as usize] {
+                    progressed[v as usize] = true;
+                }
+            }
+        }
+        let stuck = alive
+            .iter()
+            .any(|&v| net.graph().degree(v) > 0 && !progressed[v as usize]);
+        if stuck {
+            Verdict::Incorrect
+        } else {
+            Verdict::ReasonablyCorrect
+        }
+    });
+    certify(c, "cycle-6", n, &sweep, |_| Vec::new(), report);
+}
+
+// --- BFS (Algorithm 4.1) --------------------------------------------------
+
+fn check_bfs(scale: &VerifyScale) -> Report {
+    let c = scaled(&bfs::CONTRACT, scale);
+    let mut report = check_protocol(&c, &Bfs, &family(c.max_nodes), |g, v| {
+        BfsState::init(v == 0, v == g.n() as NodeId - 1)
+    });
+    note_linear(&c, &mut report);
+    report
+}
+
+// --- random walk (Algorithm 4.2) ------------------------------------------
+
+fn check_random_walk(scale: &VerifyScale) -> Report {
+    let c = scaled(&random_walk::CONTRACT, scale);
+    let mut report = check_protocol(&c, &RandomWalk, &family(c.max_nodes), |_, v| {
+        if v == 0 {
+            WalkState::Flip
+        } else {
+            WalkState::Blank
+        }
+    });
+    if scale.sweeps {
+        sweep_random_walk(&c, &mut report);
+    }
+    report
+}
+
+fn sweep_random_walk(c: &SemanticContract, report: &mut Report) {
+    // Faults land between moves, when the configuration is clean (one
+    // Flip walker, everyone else Blank), so `time` counts completed
+    // moves. cycle(4) minus any node or edge is a path: the walk can
+    // always continue unless the walker itself dies.
+    let g = generators::cycle(4);
+    let seed = 606u64;
+    let kinds = exhaustive_kinds(&g);
+    let sweep = sweep_single_faults(&kinds, &[0, 2, 5], |schedule| {
+        let ev = schedule[0];
+        let mut h = WalkHarness::new(&g, 0);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let _ = h.run(ev.time as usize, 100_000, &mut rng);
+        match ev.kind {
+            FaultKind::Edge(u, v) => {
+                h.network_mut().remove_edge(u, v);
+            }
+            FaultKind::Node(v) => {
+                h.network_mut().remove_node(v);
+            }
+        }
+        let alive_walkers = {
+            let net = h.network_mut();
+            (0..net.n() as NodeId)
+                .filter(|&v| net.graph().is_alive(v) && net.state(v).is_walker())
+                .count()
+        };
+        if alive_walkers != 1 {
+            return Verdict::Incorrect;
+        }
+        let run = h.run(2, 50_000, &mut rng);
+        if run.rounds_per_move.len() == 2 {
+            Verdict::ReasonablyCorrect
+        } else {
+            Verdict::Incorrect
+        }
+    });
+    let critical_at = |t: u64| {
+        let mut h = WalkHarness::new(&g, 0);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let _ = h.run(t as usize, 100_000, &mut rng);
+        h.critical_set()
+    };
+    certify(c, "cycle-4", g.n(), &sweep, critical_at, report);
+}
+
+// --- Milgram traversal (Algorithm 4.3) ------------------------------------
+
+fn check_traversal(scale: &VerifyScale) -> Report {
+    let c = scaled(&traversal::CONTRACT, scale);
+    let mut report = check_protocol(&c, &Traversal, &family(c.max_nodes), |_, v| {
+        TravState::init(v == 0)
+    });
+    note_linear(&c, &mut report);
+    report
+}
+
+// --- greedy tourist -------------------------------------------------------
+
+fn check_greedy_tourist(scale: &VerifyScale) -> Report {
+    let c = scaled(&greedy_tourist::CONTRACT, scale);
+    // One visited node among unvisited targets: the BFS-labelling phase
+    // the harness runs each epoch.
+    let mut report = check_protocol(&c, &TouristBfs, &family(c.max_nodes), |_, v| {
+        if v == 0 {
+            TourLabel::Star
+        } else {
+            TourLabel::Target
+        }
+    });
+    if scale.sweeps {
+        sweep_greedy_tourist(&c, &mut report);
+    }
+    report
+}
+
+/// Replays the fault-free tourist prefix to round budget `t` and returns
+/// its declared critical set there (the agent's position).
+fn tourist_critical_at(g: &Graph, t: u64) -> Vec<NodeId> {
+    let mut tour = GreedyTourist::new(g, 0);
+    let mut rng = Xoshiro256::seed_from_u64(605);
+    let _ = tour.run(t, &mut rng);
+    tour.critical_set()
+}
+
+fn sweep_greedy_tourist(c: &SemanticContract, report: &mut Report) {
+    // 2-connected: killing any single non-agent node leaves the rest
+    // connected, so the tour must still finish; only the agent's own node
+    // is load-bearing.
+    let mut grng = Xoshiro256::seed_from_u64(77);
+    let g = generators::cycle_with_chords(8, 2, &mut grng);
+    let kinds = exhaustive_kinds(&g);
+    let sweep = sweep_single_faults(&kinds, &[0, 5, 12], |schedule| {
+        let ev = schedule[0];
+        let mut tour = GreedyTourist::new(&g, 0);
+        let mut rng = Xoshiro256::seed_from_u64(605);
+        let _ = tour.run(ev.time, &mut rng);
+        match ev.kind {
+            FaultKind::Edge(u, v) => {
+                tour.network_mut().remove_edge(u, v);
+            }
+            FaultKind::Node(v) => {
+                tour.network_mut().remove_node(v);
+            }
+        }
+        let _ = tour.run(200_000, &mut rng);
+        let unvisited_alive = tour
+            .network()
+            .graph()
+            .alive_nodes()
+            .any(|v| !tour.visited()[v as usize]);
+        if unvisited_alive {
+            Verdict::Incorrect
+        } else {
+            Verdict::ReasonablyCorrect
+        }
+    });
+    certify(
+        c,
+        "cycle-with-chords-8",
+        g.n(),
+        &sweep,
+        |t| tourist_critical_at(&g, t),
+        report,
+    );
+}
+
+// --- leader election (Algorithm 4.4) ---------------------------------------
+
+fn check_election(scale: &VerifyScale) -> Report {
+    let c = scaled(&election::CONTRACT, scale);
+    let mut report = check_protocol(&c, &Election, &family(c.max_nodes), |_, _| {
+        ElectState::init()
+    });
+    note_linear(&c, &mut report);
+    report
+}
+
+// --- firing squad ----------------------------------------------------------
+
+fn check_firing_squad(scale: &VerifyScale) -> Report {
+    let c = scaled(&firing_squad::CONTRACT, scale);
+    // Path graphs only: the protocol is specified for oriented paths with
+    // the general at an endpoint.
+    let mut report = check_protocol(&c, &FiringSquad, &paths(c.max_nodes), |_, v| {
+        FsspState::init(v == 0)
+    });
+    note_linear(&c, &mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_shrinks_contracts() {
+        let scale = VerifyScale::quick();
+        let c = scaled(&election::CONTRACT, &scale);
+        assert_eq!(c.max_nodes, 3);
+        assert_eq!(c.config_budget, 4_000);
+        assert_eq!(c.name, "leader-election");
+    }
+
+    #[test]
+    fn combined_report_flattens() {
+        let mut a = Report::new();
+        a.push(fssga_core::diag::Diagnostic::note("x", "a", "m"));
+        let mut b = Report::new();
+        b.push(fssga_core::diag::Diagnostic::note("x", "b", "m"));
+        let all = combined_report(vec![
+            ProtocolVerification {
+                name: "a",
+                report: a,
+            },
+            ProtocolVerification {
+                name: "b",
+                report: b,
+            },
+        ]);
+        assert_eq!(all.diagnostics.len(), 2);
+    }
+}

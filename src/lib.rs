@@ -24,6 +24,10 @@
 //!   and greedy-tourist traversals, and randomized leader election.
 //! * [`iwa`] — Section 5.1: isotonic web automata and the mutual
 //!   simulations between IWA and FSSGA.
+//! * [`verify`] — bounded exhaustive model checking of the protocols'
+//!   semantic contracts: confluence / order-independence, semantic
+//!   totality within declared query bounds, and sensitivity-class
+//!   certification, with minimized replayable witnesses.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +44,7 @@
 //! assert!(net.states().iter().all(|&s| s != Color::Failed));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use fssga_analysis as analysis;
@@ -48,3 +53,4 @@ pub use fssga_engine as engine;
 pub use fssga_graph as graph;
 pub use fssga_iwa as iwa;
 pub use fssga_protocols as protocols;
+pub use fssga_verify as verify;
