@@ -8,19 +8,30 @@
 //! correct is not, or if a trace fails to replay bit-for-bit.
 //!
 //! Usage:
-//!     fssga-chaos                    # run the smoke suite
-//!     fssga-chaos --seed N           # override the base seed
-//!     fssga-chaos --trace-out PATH   # also write a JSONL round/fault trace
+//!     fssga-chaos                     # run the smoke suite
+//!     fssga-chaos --seed N            # override the base seed
+//!     fssga-chaos --trace-out PATH    # also write a JSONL round/fault trace
+//!     fssga-chaos --churn-out PATH    # write a serialized smoke churn stream
+//!     fssga-chaos --churn-replay PATH # replay a churn stream, audit determinism
 //!
 //! The trace artifact is one JSON-lines record per synchronous round
 //! (`{"t":"round",...}` — see `fssga_engine::RoundMetrics::to_jsonl`)
 //! interleaved with the fault surgeries the campaign applied
 //! (`{"t":"fault",...}`), from a census campaign on the smoke grid.
+//!
+//! `--churn-replay` parses a `churn-stream v1` text file (the format
+//! `--churn-out` emits), replays it twice against the 8x8 smoke torus —
+//! census on the compiled kernel, continuous structural oracle every
+//! round — and fails unless the two runs agree bit-for-bit (reports and
+//! final states) with zero oracle failures.
 
 use fssga_engine::campaign::{Campaign, RunPolicy};
 use fssga_engine::faults::{FaultEvent, FaultKind, FaultPlan};
 use fssga_engine::sensitivity::{Sensitive, Verdict};
-use fssga_engine::{AsyncPolicy, Network};
+use fssga_engine::{
+    run_churn_oracle_traced, AsyncPolicy, ChurnConfig, ChurnOptions, ChurnStream, Network,
+    NullTracer,
+};
 use fssga_graph::rng::Xoshiro256;
 use fssga_graph::{generators, DynGraph, Graph, NodeId};
 use fssga_protocols::census::{Census, FmSketch};
@@ -47,6 +58,8 @@ fn fault_str(e: &FaultEvent) -> String {
     match e.kind {
         FaultKind::Edge(u, v) => format!("t={} edge({u},{v})", e.time),
         FaultKind::Node(v) => format!("t={} node({v})", e.time),
+        FaultKind::AddNode(v) => format!("t={} add-node({v})", e.time),
+        FaultKind::AddEdge(u, v) => format!("t={} add-edge({u},{v})", e.time),
     }
 }
 
@@ -133,10 +146,75 @@ where
     failures
 }
 
+/// The per-node census sketch used by the churn replay: a pure function
+/// of `(seed, v)` so arrivals get the same sketch in every run.
+fn churn_sketch(seed: u64, v: NodeId) -> FmSketch<12> {
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    FmSketch::random_init(&mut rng)
+}
+
+/// One churn replay run against the smoke torus: census on the compiled
+/// kernel, continuous structural oracle (live-edge count against the
+/// sliding topology window — snapshots preserve live edges exactly)
+/// every round.
+fn churn_run(stream: &ChurnStream, seed: u64) -> (fssga_engine::ChurnReport, Vec<FmSketch<12>>) {
+    let g = generators::torus(8, 8);
+    let mut net = Network::new_compiled(&g, Census::<12>, |v| churn_sketch(seed, v));
+    let report = run_churn_oracle_traced(
+        &mut net,
+        stream,
+        &ChurnOptions::default(),
+        |v| churn_sketch(seed, v),
+        |net: &Network<Census<12>>| Some(net.graph().m()),
+        |g: &Graph| g.m(),
+        &mut NullTracer,
+    );
+    (report, net.states().to_vec())
+}
+
+/// Replays a serialized churn stream twice and audits that the runs are
+/// bit-identical with a clean oracle; returns the number of failures.
+fn churn_replay(path: &str, seed: u64) -> u32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fssga-chaos: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let stream = match ChurnStream::from_text(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fssga-chaos: bad churn stream in {path}: {e}");
+            return 1;
+        }
+    };
+    let (ra, fa) = churn_run(&stream, seed);
+    let (rb, fb) = churn_run(&stream, seed);
+    let deterministic = ra == rb && fa == fb;
+    println!(
+        "  churn-replay {path}: {} scheduled event(s), {} applied ({} arrivals, {} departures, \
+         {} skipped) over {} round(s); work/event={:.2} oracle={}/{} clean replay={}",
+        stream.len(),
+        ra.events(),
+        ra.arrivals,
+        ra.departures,
+        ra.skipped,
+        ra.rounds,
+        ra.work_per_event(),
+        ra.oracle_checks - ra.oracle_failures,
+        ra.oracle_checks,
+        if deterministic { "ok" } else { "MISMATCH" },
+    );
+    u32::from(!deterministic) + u32::from(ra.oracle_failures > 0)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 0xC4A05u64;
     let mut trace_out: Option<String> = None;
+    let mut churn_out: Option<String> = None;
+    let mut churn_replay_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -154,13 +232,57 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--churn-out" => match it.next() {
+                Some(p) => churn_out = Some(p.clone()),
+                None => {
+                    eprintln!("--churn-out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            "--churn-replay" => match it.next() {
+                Some(p) => churn_replay_path = Some(p.clone()),
+                None => {
+                    eprintln!("--churn-replay needs a path");
+                    std::process::exit(2);
+                }
+            },
             other => {
-                eprintln!("unknown flag {other}; usage: fssga-chaos [--seed N] [--trace-out PATH]");
+                eprintln!(
+                    "unknown flag {other}; usage: fssga-chaos [--seed N] [--trace-out PATH] \
+                     [--churn-out PATH] [--churn-replay PATH]"
+                );
                 std::process::exit(2);
             }
         }
     }
     let mut failures = 0u32;
+
+    // --- Optional artifact: a replayable churn stream on the smoke torus. ---
+    if let Some(path) = churn_out.as_deref() {
+        let g = generators::torus(8, 8);
+        let stream = ChurnStream::generate(
+            &DynGraph::from_graph(&g),
+            &ChurnConfig {
+                seed,
+                horizon: 120,
+                rate: 2.0,
+                protected: vec![0],
+                ..ChurnConfig::default()
+            },
+        );
+        std::fs::write(path, stream.to_text()).expect("write churn stream");
+        println!(
+            "fssga-chaos: wrote churn stream ({} event(s) over {} round(s)) to {path}",
+            stream.len(),
+            stream.horizon()
+        );
+    }
+
+    // --- Churn replay: determinism + continuous-oracle audit. ---
+    if let Some(path) = churn_replay_path.as_deref() {
+        println!("fssga-chaos: churn stream replay...");
+        failures += churn_replay(path, seed);
+    }
 
     // --- Smoke campaigns: fault-tolerant algorithms must stay correct. ---
     println!("fssga-chaos: smoke campaigns (random non-critical fault plans)...");

@@ -9,6 +9,8 @@
 //! fssga-bench parallel --smoke [--out PATH] [--trace-out PATH]
 //! fssga-bench golden [--out path.jsonl]    # regenerate the metrics snapshot
 //! fssga-bench golden --check [--out path]  # diff against the recorded snapshot
+//! fssga-bench churn                   # streaming-churn baseline, BENCH_churn.json
+//! fssga-bench churn --smoke [--out PATH] [--trace-out PATH]
 //! ```
 //!
 //! The `engine` baseline races the interpreter against the compiled
@@ -17,6 +19,15 @@
 //! relaxation on a torus — and records median wall times plus the
 //! speedup. Both engines are bit-identical in trajectory (asserted here
 //! on final states), so the speedup is a pure execution-path comparison.
+//!
+//! The `churn` baseline streams a mixed arrival/departure
+//! [`fssga_engine::ChurnStream`] through a converged census network and
+//! records the incremental repair cost per event against a from-scratch
+//! kernel rebuild, the recovery-time distribution, and the sustained
+//! event throughput. It also replays the same stream on the interpreter
+//! (full recompute every round) and asserts the final states are
+//! bit-identical — the dirty-set repair path must be semantically
+//! invisible.
 //!
 //! The timed runs carry a [`fssga_engine::NullTracer`] — the zero-cost
 //! observability default — so the recorded medians are untraced numbers.
@@ -30,9 +41,12 @@ use std::time::Instant;
 
 use fssga_bench::harness::fmt_ns;
 use fssga_bench::DEFAULT_SEED;
-use fssga_engine::{Budget, Engine, Network, RoundLog, RunMetrics, Runner, Tracer};
+use fssga_engine::{
+    run_churn_traced, Budget, ChurnConfig, ChurnStream, Engine, Network, RoundLog, RunMetrics,
+    Runner, Tracer,
+};
 use fssga_graph::rng::Xoshiro256;
-use fssga_graph::Graph;
+use fssga_graph::{DynGraph, Graph, NodeId};
 use fssga_protocols::census::{Census, FmSketch};
 use fssga_protocols::shortest_paths::ShortestPaths;
 
@@ -450,6 +464,158 @@ fn parallel_baseline(smoke: bool, out: &str, trace_out: Option<&str>) {
     println!("wrote {out}");
 }
 
+/// Deterministic sketch for a node id, shared by every replay of the
+/// same stream so arriving nodes start identically everywhere.
+fn churn_sketch(v: NodeId) -> FmSketch<16> {
+    let mut rng =
+        Xoshiro256::seed_from_u64(DEFAULT_SEED ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    FmSketch::random_init(&mut rng)
+}
+
+fn churn_baseline(smoke: bool, out: &str, trace_out: Option<&str>) {
+    use fssga_engine::StateSpace;
+    use fssga_graph::generators;
+    let (side, horizon, rate) = if smoke {
+        (32, 64, 2.0)
+    } else {
+        (224, 2_000, 5.0)
+    };
+    let g = generators::torus(side, side);
+    let stream = ChurnStream::generate(
+        &DynGraph::from_graph(&g),
+        &ChurnConfig {
+            seed: DEFAULT_SEED,
+            horizon,
+            rate,
+            ..ChurnConfig::default()
+        },
+    );
+    println!(
+        "churn baseline: torus {side}x{side} (n = {}), {} scheduled events over {horizon} rounds",
+        g.n(),
+        stream.len()
+    );
+
+    let converge = |net: &mut Network<Census<16>>| {
+        Runner::new(net)
+            .engine(Engine::Kernel)
+            .budget(Budget::Fixpoint(10 * g.n()))
+            .run()
+            .fixpoint
+            .expect("census converges");
+    };
+
+    // From-scratch rebuild cost: one full kernel fixpoint on the initial
+    // topology — what every event would cost if repair meant rebuilding.
+    let mut rebuild = Network::new_compiled(&g, Census::<16>, churn_sketch);
+    let t = Instant::now();
+    converge(&mut rebuild);
+    let rebuild_ns = t.elapsed().as_nanos() as f64;
+    let rebuild_activations = rebuild.metrics.activations;
+
+    // Incremental run: converge first, then stream the events through the
+    // dirty-set kernel. The report's activations count only churn work
+    // (the harness reads per-round metric deltas).
+    let mut net = Network::new_compiled(&g, Census::<16>, churn_sketch);
+    converge(&mut net);
+    let t = Instant::now();
+    let report = run_churn_traced(
+        &mut net,
+        &stream,
+        churn_sketch,
+        &mut fssga_engine::NullTracer,
+    );
+    let churn_ns = t.elapsed().as_nanos() as f64;
+    let fp_kernel = fingerprint(net.states().iter().map(|s| s.index()));
+
+    // Interpreter replay: full recompute every round — the from-scratch
+    // semantics the incremental path must be indistinguishable from.
+    let mut full = Network::new(&g, Census::<16>, churn_sketch);
+    Runner::new(&mut full)
+        .engine(Engine::Interpreter)
+        .budget(Budget::Fixpoint(10 * g.n()))
+        .run()
+        .fixpoint
+        .expect("census converges");
+    let mut plan = stream.plan();
+    for round in 0..stream.horizon() {
+        plan.apply_due_with(&mut full, round, churn_sketch);
+        full.sync_step_seeded(0);
+    }
+    let bit_identical = fingerprint(full.states().iter().map(|s| s.index())) == fp_kernel;
+    assert!(
+        bit_identical,
+        "incremental kernel repair diverged from full recompute"
+    );
+
+    // One untimed traced replay when a JSONL artifact was requested.
+    if let Some(path) = trace_out {
+        let f = std::io::BufWriter::new(std::fs::File::create(path).expect("create trace"));
+        let mut sink = fssga_engine::JsonlTrace::new(f);
+        let mut traced = Network::new_compiled(&g, Census::<16>, churn_sketch);
+        converge(&mut traced);
+        let _ = run_churn_traced(&mut traced, &stream, churn_sketch, &mut sink);
+        sink.into_inner().flush().expect("flush trace");
+        println!("wrote {path}");
+    }
+
+    let events_per_sec = report.events() as f64 / (churn_ns / 1e9);
+    let rebuild_ratio = rebuild_activations as f64 / report.work_per_event().max(f64::MIN_POSITIVE);
+    println!(
+        "applied {} events ({} arrivals, {} departures, {} skipped) in {}",
+        report.events(),
+        report.arrivals,
+        report.departures,
+        report.skipped,
+        fmt_ns(churn_ns)
+    );
+    println!(
+        "work/event {:>8.1} activations vs rebuild {} ({:.0}x cheaper)  \
+         events/sec {:>9.0}  recovery p50/p99/max {}/{}/{} rounds  bit-identical {}",
+        report.work_per_event(),
+        rebuild_activations,
+        rebuild_ratio,
+        events_per_sec,
+        report.recovery_quantile(0.5),
+        report.recovery_quantile(0.99),
+        report.recovery_quantile(1.0),
+        bit_identical
+    );
+    let json = format!(
+        "{{\"bench\":\"churn\",\"smoke\":{},\"n\":{},\"horizon\":{},\"rate\":{:.1},\
+         \"scheduled_events\":{},\"applied_events\":{},\"arrivals\":{},\"departures\":{},\
+         \"skipped\":{},\"rounds\":{},\"work_per_event\":{:.2},\"rebuild_activations\":{},\
+         \"rebuild_ratio\":{:.1},\"rebuild_ns\":{:.0},\"events_per_sec\":{:.1},\
+         \"elapsed_ns\":{:.0},\"recovery_p50\":{},\"recovery_p90\":{},\"recovery_p99\":{},\
+         \"recovery_max\":{},\"bit_identical\":{},\"final_alive\":{},\"final_edges\":{}}}\n",
+        smoke,
+        g.n(),
+        horizon,
+        rate,
+        stream.len(),
+        report.events(),
+        report.arrivals,
+        report.departures,
+        report.skipped,
+        report.rounds,
+        report.work_per_event(),
+        rebuild_activations,
+        rebuild_ratio,
+        rebuild_ns,
+        events_per_sec,
+        churn_ns,
+        report.recovery_quantile(0.5),
+        report.recovery_quantile(0.9),
+        report.recovery_quantile(0.99),
+        report.recovery_quantile(1.0),
+        bit_identical,
+        report.final_alive,
+        report.final_edges
+    );
+    std::fs::write(out, json).expect("write baseline json");
+    println!("wrote {out}");
+}
+
 /// The golden observability snapshot: per-round metrics of a compiled
 /// census run on `path(16)` — tiny, deterministic (sketches drawn from
 /// [`DEFAULT_SEED`]), and exercising the dirty-set scheduler. CI
@@ -526,11 +692,17 @@ fn main() {
                 .unwrap_or_else(|| "tests/golden/census_path16_metrics.jsonl".to_string());
             golden(check, &out);
         }
+        Some("churn") => {
+            let out = flag("--out").unwrap_or_else(|| "BENCH_churn.json".to_string());
+            churn_baseline(smoke, &out, trace_out.as_deref());
+        }
         other => {
             eprintln!(
                 "usage: fssga-bench engine [--smoke] [--out PATH] [--trace-out PATH]\n\
                  \x20      fssga-bench parallel [--smoke] [--out PATH] [--trace-out PATH]\n\
-                 \x20      fssga-bench golden [--check] [--out PATH]  (got {other:?})"
+                 \x20      fssga-bench golden [--check] [--out PATH]\n\
+                 \x20      fssga-bench churn [--smoke] [--out PATH] [--trace-out PATH]  \
+                 (got {other:?})"
             );
             std::process::exit(2);
         }

@@ -104,10 +104,10 @@ impl CampaignTrace {
         out.push_str(&format!("horizon {}\n", self.horizon));
         out.push_str(&format!("verdict {}\n", verdict_tag(self.verdict)));
         for e in &self.schedule {
-            match e.kind {
-                FaultKind::Edge(u, v) => out.push_str(&format!("fault {} edge {u} {v}\n", e.time)),
-                FaultKind::Node(v) => out.push_str(&format!("fault {} node {v}\n", e.time)),
-            }
+            // `to_trace_fields` writes the legacy `edge {u} {v}` /
+            // `node {v}` forms verbatim, so removal-only traces are
+            // byte-identical to the original v1 format.
+            out.push_str(&format!("fault {} {}\n", e.time, e.kind.to_trace_fields()));
         }
         if !self.activations.is_empty() {
             out.push_str("activations");
@@ -150,14 +150,10 @@ impl CampaignTrace {
                 }
                 Some("fault") => {
                     let time: u64 = parse_field(parts.next(), "fault time")?;
-                    let kind = match parts.next() {
-                        Some("edge") => FaultKind::Edge(
-                            parse_field(parts.next(), "edge u")?,
-                            parse_field(parts.next(), "edge v")?,
-                        ),
-                        Some("node") => FaultKind::Node(parse_field(parts.next(), "node v")?),
-                        other => return Err(format!("bad fault kind {other:?}")),
-                    };
+                    // Accepts the legacy `edge` / `node` vocabulary plus
+                    // the arrival tags (`add-node` / `add-edge`).
+                    let kind = FaultKind::from_trace_fields(&mut parts)
+                        .ok_or_else(|| format!("bad fault kind in {line:?}"))?;
                     schedule.push(FaultEvent { time, kind });
                 }
                 Some("activations") => {
@@ -351,6 +347,18 @@ impl<'a, P: Protocol, A: PartialEq> Campaign<'a, P, A> {
                 let applied = match ev.kind {
                     FaultKind::Edge(u, v) => net.remove_edge(u, v),
                     FaultKind::Node(v) => net.remove_node(v),
+                    FaultKind::AddNode(v) => {
+                        // Arrivals use the campaign's own init closure, so
+                        // a joining node starts exactly as it would have at
+                        // time zero. Stale ids are skipped (see FaultKind).
+                        if v as usize == net.n() {
+                            net.add_node((self.init)(v));
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    FaultKind::AddEdge(u, v) => net.add_edge(u, v),
                 };
                 if applied {
                     trace.schedule.push(FaultEvent {
@@ -586,6 +594,52 @@ mod tests {
             let replayed = c.replay(&a.trace);
             assert_eq!(replayed.trace, a.trace, "{policy:?} replay");
         }
+    }
+
+    #[test]
+    fn legacy_trace_text_round_trips_byte_identically() {
+        // Satellite: removal-only trace text from before the arrival
+        // vocabulary existed must parse unchanged and re-serialize to the
+        // same bytes.
+        let legacy = "campaign-trace v1\n\
+                      seed 42\n\
+                      policy sync\n\
+                      horizon 15\n\
+                      verdict reasonably-correct\n\
+                      fault 1 node 5\n\
+                      fault 3 edge 2 6\n";
+        let parsed = CampaignTrace::from_text(legacy).unwrap();
+        assert_eq!(
+            parsed.schedule,
+            vec![
+                FaultEvent {
+                    time: 1,
+                    kind: FaultKind::Node(5),
+                },
+                FaultEvent {
+                    time: 3,
+                    kind: FaultKind::Edge(2, 6),
+                },
+            ]
+        );
+        assert_eq!(parsed.to_text(), legacy, "byte-identical re-serialization");
+
+        // The extended vocabulary round-trips through the same parser.
+        let churny = "campaign-trace v1\n\
+                      seed 7\n\
+                      policy sync\n\
+                      horizon 9\n\
+                      verdict inconclusive\n\
+                      fault 2 add-node 12\n\
+                      fault 2 add-edge 12 3\n";
+        let parsed = CampaignTrace::from_text(churny).unwrap();
+        assert_eq!(parsed.schedule[0].kind, FaultKind::AddNode(12));
+        assert_eq!(parsed.schedule[1].kind, FaultKind::AddEdge(12, 3));
+        assert_eq!(parsed.to_text(), churny);
+        assert!(CampaignTrace::from_text(
+            "campaign-trace v1\nseed 1\npolicy sync\nhorizon 1\nverdict inconclusive\nfault 0 frob 1\n"
+        )
+        .is_err());
     }
 
     #[cfg(feature = "parallel")]

@@ -203,12 +203,22 @@ struct Sharding<P: Protocol> {
 /// by [`Network::ensure_kernel`] or eagerly by [`Network::new_compiled`];
 /// driven by [`crate::Runner`].
 pub struct CompiledKernel<P: Protocol> {
-    /// Fixed row starts (slack layout: rows never grow, only shrink).
+    /// Row starts (slack layout). Removals shrink a row in place;
+    /// additions fill the row's slack, and a full row is relocated to the
+    /// end of `targets` with doubled capacity (amortized O(1) per
+    /// insertion) — see [`Self::on_edge_added`].
     offsets: Vec<u32>,
-    /// Live length of each row (`<=` allocated row width).
+    /// Live length of each row (`<= row_cap`).
     row_len: Vec<u32>,
+    /// Allocated width of each row. Starts at the construction-time
+    /// degree; removals leave `row_len < row_cap` slack that later
+    /// additions reuse, and growth doubles it.
+    row_cap: Vec<u32>,
     /// Mutable neighbour targets; removal swap-removes within the row.
     targets: Vec<NodeId>,
+    /// `targets` slots abandoned by relocated rows. When more than half
+    /// the arena is abandoned, [`Self::compact`] rebuilds it tight.
+    dead_space: usize,
     /// Alive mirror.
     alive: Vec<bool>,
     /// Whether the dirty-set scheduler is sound (deterministic protocol).
@@ -274,8 +284,10 @@ impl<P: Protocol> CompiledKernel<P> {
         };
         Self {
             offsets,
+            row_cap: row_len.clone(),
             row_len,
             targets,
+            dead_space: 0,
             alive,
             use_dirty,
             dirty: vec![true; n],
@@ -391,6 +403,131 @@ impl<P: Protocol> CompiledKernel<P> {
         }
         self.row_len[vi] = 0;
         self.alive[vi] = false;
+    }
+
+    /// Churn hook: edge `{u, v}` was added to the live topology. Both
+    /// endpoints' multisets grew, so both are rescheduled. Idempotent: a
+    /// repeated or phantom addition (target already in the row, dead
+    /// endpoint) is a no-op and reschedules nothing.
+    pub(crate) fn on_edge_added(&mut self, u: NodeId, v: NodeId) {
+        let added_u = self.push_to_row(u, v);
+        let added_v = self.push_to_row(v, u);
+        if added_u || added_v {
+            self.mark_dirty(u);
+            self.mark_dirty(v);
+        }
+    }
+
+    /// Churn hook: a fresh node with id `v` joined, isolated and alive.
+    /// `v` must be the next unused slot id (stale arrivals are skipped —
+    /// the same contract as [`crate::FaultKind::AddNode`]). The new row
+    /// starts with zero capacity; its first edge allocates via
+    /// [`Self::grow_row`]. Invalidates the sharded partition, which only
+    /// covers the id space it was built over.
+    pub(crate) fn on_node_added(&mut self, v: NodeId) {
+        let vi = v as usize;
+        if vi != self.row_len.len() {
+            return;
+        }
+        self.offsets.push(self.targets.len() as u32);
+        self.row_len.push(0);
+        self.row_cap.push(0);
+        self.alive.push(true);
+        self.dirty.push(false);
+        // Degree 0: not eligible, nothing to schedule until an edge
+        // arrives and on_edge_added marks it dirty.
+        #[cfg(feature = "parallel")]
+        {
+            self.sharding = None;
+        }
+    }
+
+    /// Appends `target` to `v`'s CSR row, if absent. Returns whether an
+    /// insertion happened. Fills the row's slack when there is any;
+    /// otherwise relocates the row to the end of the arena with doubled
+    /// capacity. Maintains the incremental `eligible` count.
+    fn push_to_row(&mut self, v: NodeId, target: NodeId) -> bool {
+        let vi = v as usize;
+        if !self.alive[vi] {
+            return false;
+        }
+        let len = self.row_len[vi] as usize;
+        let start = self.offsets[vi] as usize;
+        if self.targets[start..start + len].contains(&target) {
+            return false;
+        }
+        if len == self.row_cap[vi] as usize {
+            self.grow_row(vi);
+        }
+        let start = self.offsets[vi] as usize;
+        self.targets[start + len] = target;
+        self.row_len[vi] += 1;
+        if len == 0 {
+            self.eligible += 1;
+        }
+        true
+    }
+
+    /// Relocates row `vi` to the end of the arena with capacity
+    /// `max(2, 2 * cap)`. Doubling makes insertion amortized O(1) and
+    /// bounds total capacity at twice the live entries; the abandoned
+    /// slots are tracked in `dead_space` and reclaimed by
+    /// [`Self::compact`] once they exceed half the arena — so the arena
+    /// never exceeds ~4x the live edge entries.
+    fn grow_row(&mut self, vi: usize) {
+        let len = self.row_len[vi] as usize;
+        let old_cap = self.row_cap[vi] as usize;
+        let new_cap = (old_cap * 2).max(2);
+        let old_start = self.offsets[vi] as usize;
+        let new_start = self.targets.len();
+        self.targets.extend_from_within(old_start..old_start + len);
+        self.targets.resize(new_start + new_cap, 0);
+        self.offsets[vi] = new_start as u32;
+        self.row_cap[vi] = new_cap as u32;
+        self.dead_space += old_cap;
+        if self.dead_space * 2 > self.targets.len() && self.targets.len() > 64 {
+            self.compact();
+        }
+    }
+
+    /// Rebuilds the arena tight: every row packed at its live length, no
+    /// slack, no dead space. O(n + m); triggered only when at least half
+    /// the arena is abandoned, so the cost is amortized against the
+    /// growth that created the garbage.
+    fn compact(&mut self) {
+        let n = self.row_len.len();
+        let total: usize = self.row_len.iter().map(|&l| l as usize).sum();
+        let mut packed = Vec::with_capacity(total);
+        for v in 0..n {
+            let start = self.offsets[v] as usize;
+            let len = self.row_len[v] as usize;
+            self.offsets[v] = packed.len() as u32;
+            packed.extend_from_slice(&self.targets[start..start + len]);
+            self.row_cap[v] = len as u32;
+        }
+        self.targets = packed;
+        self.dead_space = 0;
+    }
+
+    /// The live CSR row of node `v` — its neighbour multiset, in arena
+    /// order. Exposed so equivalence tests can audit the incremental
+    /// mirror against a from-scratch rebuild.
+    pub fn row(&self, v: NodeId) -> &[NodeId] {
+        let vi = v as usize;
+        let start = self.offsets[vi] as usize;
+        &self.targets[start..start + self.row_len[vi] as usize]
+    }
+
+    /// Total `targets` arena slots (live + slack + abandoned) — exposed
+    /// so tests and benchmarks can watch the slack-growth/compaction
+    /// policy at work.
+    pub fn arena_len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Arena slots abandoned by relocated rows and not yet compacted.
+    pub fn dead_space(&self) -> usize {
+        self.dead_space
     }
 
     /// Nodes currently able to activate (alive, degree > 0) — what a
@@ -910,6 +1047,11 @@ fn eval_chunk<P: Protocol, const TRACE: bool>(
                     }
                     scratch[idx] += 1;
                 }
+                // Canonical presence order: insertion order follows the
+                // arena row, which incremental surgery may have relocated
+                // — sort so `present_states` iteration is identical to a
+                // from-scratch build and to the interpreter.
+                touched.sort_unstable();
                 let old = states[vi];
                 let new = {
                     let view: NeighborView<'_, P::State> =
@@ -1410,6 +1552,157 @@ mod tests {
         assert_eq!(r.changes, 1);
         assert_eq!(r.neighbor_reads, 10, "path of 6: degree sum 2*5");
         assert_eq!(r.tabular + r.direct, r.activations, "dispatch totals");
+    }
+
+    #[test]
+    fn edge_addition_reschedules_endpoints() {
+        // Cut the path, reach fixpoint with the right half healthy, then
+        // *add* a bridging edge: infection must resume through it.
+        let mut net = infected_path(6);
+        net.ensure_kernel();
+        net.remove_edge(2, 3);
+        while net.sync_step_kernel_seeded(0) > 0 {}
+        assert_eq!(net.state(3), Infect::Healthy);
+        assert!(net.add_edge(1, 4), "fresh bridge");
+        assert_eq!(
+            net.kernel().unwrap().dirty_count(),
+            2,
+            "both endpoints rescheduled"
+        );
+        let mut round = 1;
+        while net.sync_step_kernel_seeded(round) > 0 {
+            round += 1;
+        }
+        assert_eq!(net.state(4), Infect::Infected, "spread crossed the bridge");
+        assert!(!net.add_edge(1, 4), "duplicate addition reports false");
+    }
+
+    #[test]
+    fn node_addition_grows_the_mirror() {
+        let mut net = infected_path(4);
+        net.ensure_kernel();
+        while net.sync_step_kernel_seeded(0) > 0 {}
+        let v = net.add_node(Infect::Healthy);
+        assert_eq!(v, 4);
+        assert_eq!(
+            net.kernel().unwrap().dirty_count(),
+            0,
+            "an isolated arrival needs no re-evaluation"
+        );
+        assert!(net.add_edge(v, 3));
+        let mut round = 1;
+        while net.sync_step_kernel_seeded(round) > 0 {
+            round += 1;
+        }
+        assert_eq!(net.state(v), Infect::Infected, "arrival caught the spread");
+    }
+
+    #[test]
+    fn incremental_growth_matches_rebuilt_kernel() {
+        // After a mixed churn batch, the incrementally-repaired kernel
+        // must evolve bit-identically to a kernel rebuilt from scratch.
+        let g = generators::grid(4, 4);
+        let init = |v: NodeId| {
+            if v == 0 {
+                Infect::Infected
+            } else {
+                Infect::Healthy
+            }
+        };
+        let mut inc = Network::new(&g, Spread, init);
+        inc.ensure_kernel();
+        for round in 0..3 {
+            inc.sync_step_kernel_seeded(round);
+        }
+        // Churn batch: removals and arrivals interleaved.
+        inc.remove_edge(0, 1);
+        let a = inc.add_node(Infect::Healthy);
+        inc.add_edge(a, 5);
+        inc.remove_node(10);
+        let b = inc.add_node(Infect::Healthy);
+        inc.add_edge(b, a);
+        inc.add_edge(b, 15);
+        // Rebuild path: same topology and states, fresh kernel.
+        let snap = inc.graph().snapshot();
+        let mut rebuilt = Network::new(&snap, Spread, |v| inc.state(v));
+        for w in 0..snap.n() as NodeId {
+            if !inc.graph().is_alive(w) {
+                rebuilt.remove_node(w);
+            }
+        }
+        rebuilt.ensure_kernel();
+        for round in 3..12 {
+            let ci = inc.sync_step_kernel_seeded(round);
+            let cr = rebuilt.sync_step_kernel_seeded(round);
+            assert_eq!(ci, cr, "round {round} change counts");
+            assert_eq!(inc.states(), rebuilt.states(), "round {round} states");
+        }
+    }
+
+    #[test]
+    fn slack_growth_doubles_and_compacts() {
+        let g = generators::path(2);
+        let mut net = Network::new(&g, Spread, |_| Infect::Healthy);
+        net.ensure_kernel();
+        let mut k = CompiledKernel::new(&net);
+        // Row 0 starts tight at cap 1 (degree 1). Growing it past its
+        // capacity must relocate with doubling and account dead space.
+        k.on_node_added(2);
+        k.on_edge_added(0, 2);
+        assert_eq!(k.row_len[0], 2);
+        assert!(k.row_cap[0] >= 2, "row relocated with more capacity");
+        assert!(k.dead_space() > 0, "old allocation abandoned");
+        // Hammer one hub row: arena stays bounded by compaction.
+        for i in 3..200u32 {
+            k.on_node_added(i);
+            k.on_edge_added(0, i);
+        }
+        assert_eq!(k.row_len[0], 199);
+        let live: usize = k.row_len.iter().map(|&l| l as usize).sum();
+        // Doubling bounds per-row capacity at 2x its live length, and the
+        // compaction trigger bounds dead space at half the arena — so the
+        // arena is at most ~4x the live entries.
+        assert!(
+            k.arena_len() <= 4 * live + 64,
+            "arena {} not bounded by ~4x live {live}",
+            k.arena_len()
+        );
+        assert!(
+            k.dead_space() * 2 <= k.arena_len(),
+            "compaction keeps dead space under half the arena"
+        );
+        // The row must still be intact: every target present exactly once.
+        let start = k.offsets[0] as usize;
+        let mut row: Vec<NodeId> = k.targets[start..start + k.row_len[0] as usize].to_vec();
+        row.sort_unstable();
+        let want: Vec<NodeId> = std::iter::once(1).chain(2..200).collect();
+        assert_eq!(row, want);
+    }
+
+    #[test]
+    fn stale_node_addition_is_skipped() {
+        let mut net = infected_path(3);
+        net.ensure_kernel();
+        let mut k = CompiledKernel::new(&net);
+        k.on_node_added(7); // not the next slot: must be ignored
+        assert_eq!(k.row_len.len(), 3);
+        k.on_node_added(3);
+        assert_eq!(k.row_len.len(), 4);
+    }
+
+    #[test]
+    fn duplicate_edge_addition_is_a_noop() {
+        let mut net = infected_path(4);
+        net.ensure_kernel();
+        let mut k = CompiledKernel::new(&net);
+        let mut states = net.states().to_vec();
+        let mut m = Metrics::default();
+        while k.dirty_count() > 0 {
+            k.step(net.protocol(), &mut states, &mut m, 0);
+        }
+        k.on_edge_added(1, 2); // already adjacent in the path
+        assert_eq!(k.dirty_count(), 0, "phantom addition reschedules nothing");
+        assert_eq!(k.row_len[1], 2);
     }
 
     #[test]

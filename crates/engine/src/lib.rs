@@ -43,6 +43,10 @@
 //! * [`campaign`] — the deterministic fault-campaign engine: declarative
 //!   [`Campaign`]s, replayable [`CampaignTrace`]s, automatic snapshot
 //!   chains.
+//! * [`churn`] — the streaming churn engine: seeded, rate-configurable
+//!   [`ChurnStream`]s of arrivals *and* departures interleaved into the
+//!   kernel's round loop, with a continuous sliding-window oracle and
+//!   per-burst recovery-time metrics ([`ChurnRoundMetrics`]).
 //! * [`shrink`] — delta-debugging minimization of failing fault schedules
 //!   to 1-minimal counterexamples.
 //! * [`obs`] — the zero-cost-when-disabled observability layer: the
@@ -60,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod churn;
 pub mod compile;
 pub mod faults;
 pub mod history;
@@ -86,13 +91,16 @@ pub mod rng {
 }
 
 pub use campaign::{Campaign, CampaignOutcome, CampaignTrace, RunPolicy};
+pub use churn::{
+    run_churn_oracle_traced, run_churn_traced, ChurnConfig, ChurnOptions, ChurnReport, ChurnStream,
+};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use history::History;
 pub use kernel::{CompiledKernel, DirtySchedule, KernelPlan};
 pub use network::{Metrics, Network};
 pub use obs::{
-    Counters, FaultSurgery, JsonlTrace, NullTracer, RoundLog, RoundMetrics, RunMetrics,
-    ShardRoundMetrics, Tee, Tracer,
+    ChurnRoundMetrics, Counters, FaultSurgery, JsonlTrace, NullTracer, RoundLog, RoundMetrics,
+    RunMetrics, ShardRoundMetrics, Tee, Tracer,
 };
 #[cfg(feature = "parallel")]
 pub use pool::ShardPool;

@@ -167,6 +167,16 @@ impl<P: Protocol> Network<P> {
         }
     }
 
+    /// Discards any compiled kernel and rebuilds one from scratch on the
+    /// current topology: a fresh CSR with no slack-growth history and
+    /// every node scheduled. This is the from-scratch baseline the churn
+    /// bench and the incremental-repair equivalence tests race against
+    /// [`Self::add_edge`]/[`Self::remove_edge`]'s in-place mirror updates.
+    pub fn rebuild_kernel(&mut self) {
+        self.kernel = None;
+        self.ensure_kernel();
+    }
+
     /// The compiled kernel, if one has been built.
     pub fn kernel(&self) -> Option<&CompiledKernel<P>> {
         self.kernel.as_ref()
@@ -211,6 +221,9 @@ impl<P: Protocol> Network<P> {
     /// Like [`Self::remove_edge`], invalidates the kernel's dirty-set
     /// bookkeeping for every former neighbour.
     pub fn remove_node(&mut self, v: NodeId) -> bool {
+        if v as usize >= self.graph.n_slots() {
+            return false;
+        }
         let removed = if self.kernel.is_some() && self.graph.is_alive(v) {
             let former: Vec<NodeId> = self.graph.neighbors(v).to_vec();
             let removed = self.graph.remove_node(v);
@@ -226,6 +239,39 @@ impl<P: Protocol> Network<P> {
             self.pending_faults += 1;
         }
         removed
+    }
+
+    /// Adds an edge between two alive nodes (a churn arrival). Returns
+    /// whether it was added (`false` for self-loops, dead endpoints, or
+    /// an existing edge).
+    ///
+    /// Keeps the compiled kernel's CSR mirror in sync via slack growth
+    /// (see [`CompiledKernel`]): both endpoints are rescheduled, since
+    /// their neighbour multisets grew without any state change.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let added = self.graph.add_edge(u, v);
+        if added {
+            self.pending_faults += 1;
+            if let Some(k) = self.kernel.as_mut() {
+                k.on_edge_added(u, v);
+            }
+        }
+        added
+    }
+
+    /// Adds a fresh, isolated, alive node with the given initial state
+    /// and returns its id (always the previous [`Self::n`]). The node
+    /// cannot activate until an edge attaches it; the kernel mirror grows
+    /// in step.
+    pub fn add_node(&mut self, state: P::State) -> NodeId {
+        let v = self.graph.add_node();
+        self.states.push(state);
+        self.next.push(state);
+        self.pending_faults += 1;
+        if let Some(k) = self.kernel.as_mut() {
+            k.on_node_added(v);
+        }
+        v
     }
 
     /// Drains the fault-surgery counter ("faults since the last traced
@@ -244,6 +290,10 @@ impl<P: Protocol> Network<P> {
             }
             self.scratch[idx] += 1;
         }
+        // Canonical presence order (ascending state index) so
+        // `present_states` iterates identically across the interpreter,
+        // the compiled kernel and the verifier's exhaustive driver.
+        self.touched.sort_unstable();
     }
 
     fn clear_scratch(&mut self) {

@@ -80,6 +80,17 @@ pub trait Tracer {
     fn shard_round(&mut self, metrics: &ShardRoundMetrics) {
         let _ = metrics;
     }
+
+    /// One round of a streaming churn run completed (emitted by the
+    /// [`crate::churn`] harness *after* the round's [`Tracer::round`]
+    /// event). Carries the churn-specific view of the round: events
+    /// applied, population counts, recovery completions, and the
+    /// continuous-oracle verdict when one was taken. Defaults to a no-op
+    /// so existing sinks are unaffected.
+    #[inline]
+    fn churn_round(&mut self, metrics: &ChurnRoundMetrics) {
+        let _ = metrics;
+    }
 }
 
 /// The do-nothing sink: [`Tracer::enabled`] is a constant `false`, so
@@ -120,6 +131,11 @@ impl<T: Tracer + ?Sized> Tracer for &mut T {
     #[inline]
     fn shard_round(&mut self, metrics: &ShardRoundMetrics) {
         (**self).shard_round(metrics);
+    }
+
+    #[inline]
+    fn churn_round(&mut self, metrics: &ChurnRoundMetrics) {
+        (**self).churn_round(metrics);
     }
 }
 
@@ -236,6 +252,72 @@ impl ShardRoundMetrics {
     }
 }
 
+/// What one round of a streaming churn run did (emitted by the
+/// [`crate::churn`] harness alongside the round's [`RoundMetrics`]).
+///
+/// `activations` and `changes` duplicate the corresponding
+/// [`RoundMetrics`] fields so a churn trace is self-contained: the
+/// recompute-work-per-event ratio (`BENCH_churn.json`) divides summed
+/// `activations` by summed `arrivals + departures` without re-joining
+/// two event streams.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChurnRoundMetrics {
+    /// Cumulative round counter of the network after this round.
+    pub round: u64,
+    /// Arrival events (`add-node` / `add-edge`) applied before this
+    /// round's step.
+    pub arrivals: u64,
+    /// Departure events (`node` / `edge` removals) applied before this
+    /// round's step.
+    pub departures: u64,
+    /// Alive nodes after this round's events and step.
+    pub alive: u64,
+    /// Live edges after this round's events and step.
+    pub edges: u64,
+    /// Nodes the engine actually evaluated this round (the bounded
+    /// recompute work the dirty-set scheduler admits).
+    pub activations: u64,
+    /// Activations that changed a node's state.
+    pub changes: u64,
+    /// If a churn burst finished reconverging this round: the number of
+    /// rounds from the burst's round to quiescence (the recovery-time
+    /// sample). `None` while converging or when nothing was pending.
+    pub recovered_in: Option<u64>,
+    /// Continuous-oracle verdict, when this round took one: whether the
+    /// sliding window of recent snapshots was reasonably correct.
+    /// `None` on rounds where the oracle was not consulted.
+    pub oracle: Option<bool>,
+}
+
+impl ChurnRoundMetrics {
+    /// One JSON-lines record (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let recovered = match self.recovered_in {
+            Some(r) => r.to_string(),
+            None => "null".to_owned(),
+        };
+        let oracle = match self.oracle {
+            Some(true) => "true",
+            Some(false) => "false",
+            None => "null",
+        };
+        format!(
+            "{{\"t\":\"churn\",\"round\":{},\"arrivals\":{},\"departures\":{},\
+             \"alive\":{},\"edges\":{},\"activations\":{},\"changes\":{},\
+             \"recovered_in\":{},\"oracle\":{}}}",
+            self.round,
+            self.arrivals,
+            self.departures,
+            self.alive,
+            self.edges,
+            self.activations,
+            self.changes,
+            recovered,
+            oracle
+        )
+    }
+}
+
 /// A discrete fault-surgery event (campaign engine only; the tick the
 /// fault fired at plus what died).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -256,6 +338,14 @@ impl FaultSurgery {
             ),
             FaultKind::Node(v) => format!(
                 "{{\"t\":\"fault\",\"round\":{},\"kind\":\"node\",\"v\":{v}}}",
+                self.round
+            ),
+            FaultKind::AddNode(v) => format!(
+                "{{\"t\":\"fault\",\"round\":{},\"kind\":\"add-node\",\"v\":{v}}}",
+                self.round
+            ),
+            FaultKind::AddEdge(u, v) => format!(
+                "{{\"t\":\"fault\",\"round\":{},\"kind\":\"add-edge\",\"u\":{u},\"v\":{v}}}",
                 self.round
             ),
         }
@@ -354,6 +444,8 @@ pub struct RoundLog {
     /// Every per-shard event, in order (round-major, then shard-ascending
     /// — the order the sharded kernel guarantees).
     pub shards: Vec<ShardRoundMetrics>,
+    /// Every churn-round event, in order.
+    pub churns: Vec<ChurnRoundMetrics>,
 }
 
 impl Tracer for RoundLog {
@@ -367,6 +459,10 @@ impl Tracer for RoundLog {
 
     fn shard_round(&mut self, metrics: &ShardRoundMetrics) {
         self.shards.push(*metrics);
+    }
+
+    fn churn_round(&mut self, metrics: &ChurnRoundMetrics) {
+        self.churns.push(*metrics);
     }
 }
 
@@ -404,6 +500,10 @@ impl<W: Write> Tracer for JsonlTrace<W> {
     fn shard_round(&mut self, metrics: &ShardRoundMetrics) {
         writeln!(self.out, "{}", metrics.to_jsonl()).expect("write jsonl trace");
     }
+
+    fn churn_round(&mut self, metrics: &ChurnRoundMetrics) {
+        writeln!(self.out, "{}", metrics.to_jsonl()).expect("write jsonl trace");
+    }
 }
 
 /// Fans one event stream into two sinks (`Tee(a, b)` forwards to `a`
@@ -434,6 +534,12 @@ impl<A: Tracer, B: Tracer> Tracer for Tee<A, B> {
     fn shard_round(&mut self, metrics: &ShardRoundMetrics) {
         self.0.shard_round(metrics);
         self.1.shard_round(metrics);
+    }
+
+    #[inline]
+    fn churn_round(&mut self, metrics: &ChurnRoundMetrics) {
+        self.0.churn_round(metrics);
+        self.1.churn_round(metrics);
     }
 }
 
@@ -598,5 +704,63 @@ mod tests {
     fn invariant_projection_picks_engine_invariant_fields() {
         let m = sample(5);
         assert_eq!(m.invariant(), (5, 10, 2, 1));
+    }
+
+    #[test]
+    fn jsonl_churn_format_is_stable() {
+        let c = ChurnRoundMetrics {
+            round: 9,
+            arrivals: 2,
+            departures: 1,
+            alive: 40,
+            edges: 77,
+            activations: 6,
+            changes: 3,
+            recovered_in: Some(4),
+            oracle: Some(true),
+        };
+        assert_eq!(
+            c.to_jsonl(),
+            "{\"t\":\"churn\",\"round\":9,\"arrivals\":2,\"departures\":1,\
+             \"alive\":40,\"edges\":77,\"activations\":6,\"changes\":3,\
+             \"recovered_in\":4,\"oracle\":true}"
+        );
+        let quiet = ChurnRoundMetrics {
+            round: 10,
+            alive: 40,
+            edges: 77,
+            ..Default::default()
+        };
+        assert_eq!(
+            quiet.to_jsonl(),
+            "{\"t\":\"churn\",\"round\":10,\"arrivals\":0,\"departures\":0,\
+             \"alive\":40,\"edges\":77,\"activations\":0,\"changes\":0,\
+             \"recovered_in\":null,\"oracle\":null}"
+        );
+    }
+
+    #[test]
+    fn churn_events_route_to_logs_and_jsonl() {
+        let c = ChurnRoundMetrics {
+            round: 1,
+            arrivals: 1,
+            ..Default::default()
+        };
+        let mut log = RoundLog::default();
+        log.churn_round(&c);
+        assert_eq!(log.churns, vec![c]);
+
+        let mut sink = JsonlTrace::new(Vec::new());
+        sink.churn_round(&c);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(text.starts_with("{\"t\":\"churn\""));
+
+        // Tee fans churn events into both sides; a &mut reference
+        // forwards them through the blanket impl.
+        let mut tee = Tee(RoundLog::default(), RoundLog::default());
+        let mut by_ref: &mut Tee<RoundLog, RoundLog> = &mut tee;
+        Tracer::churn_round(&mut by_ref, &c);
+        assert_eq!(tee.0.churns.len(), 1);
+        assert_eq!(tee.1.churns.len(), 1);
     }
 }

@@ -153,6 +153,8 @@ where
                         }
                         scratch[idx] += 1;
                     }
+                    // Canonical presence order — see `Network::tally`.
+                    touched.sort_unstable();
                     let view: NeighborView<'_, P::State> =
                         NeighborView::new_with_presence(&scratch, Some(&touched), None);
                     let coin = Network::<P>::coin_for(round_seed, v);

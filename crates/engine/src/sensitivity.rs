@@ -145,6 +145,11 @@ impl FaultInjector {
             FaultKind::Node(v) => {
                 net.remove_node(v);
             }
+            // The injector models the paper's decreasing faults; it never
+            // picks arrivals (`pick` above only constructs removals).
+            FaultKind::AddNode(_) | FaultKind::AddEdge(_, _) => {
+                unreachable!("fault injector generates removals only")
+            }
         }
         self.injected += 1;
         Some(kind)
@@ -437,7 +442,7 @@ impl SensitivityReport {
             .filter(|p| p.time == time)
             .filter_map(|p| match p.kind {
                 FaultKind::Node(v) => Some(v),
-                FaultKind::Edge(_, _) => None,
+                _ => None,
             })
             .collect();
         out.sort_unstable();

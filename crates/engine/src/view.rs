@@ -83,13 +83,19 @@ pub struct NeighborView<'a, S: StateSpace> {
 
 impl<'a, S: StateSpace> NeighborView<'a, S> {
     /// Engine-internal constructor. `counts` has length `S::COUNT`;
-    /// `presence`, if given, lists exactly the indices with nonzero count.
+    /// `presence`, if given, lists exactly the indices with nonzero count
+    /// in ascending order — the canonical [`Self::present_states`]
+    /// iteration order.
     pub(crate) fn new_with_presence(
         counts: &'a [u32],
         presence: Option<&'a [u32]>,
         recorder: Option<&'a RefCell<QueryRecorder>>,
     ) -> Self {
         debug_assert_eq!(counts.len(), S::COUNT);
+        debug_assert!(
+            presence.is_none_or(|p| p.windows(2).all(|w| w[0] < w[1])),
+            "presence list must be strictly ascending"
+        );
         Self {
             counts,
             presence,
@@ -148,6 +154,10 @@ impl<'a, S: StateSpace> NeighborView<'a, S> {
         debug_assert!(
             presence.iter().all(|&i| counts[i as usize] > 0),
             "presence list may only name nonzero indices"
+        );
+        debug_assert!(
+            presence.windows(2).all(|w| w[0] < w[1]),
+            "presence list must be strictly ascending"
         );
         // The exhaustive (exactly-the-nonzero-set) check is O(|Q|) per
         // view; only affordable for small alphabets, and hot callers
@@ -247,9 +257,13 @@ impl<'a, S: StateSpace> NeighborView<'a, S> {
     /// Iterates over the states that occur at least once among the
     /// neighbours (a sequence of `μ_q >= 1` queries — still symmetric).
     ///
-    /// The iteration order is an engine detail; protocols must treat the
-    /// result as an unordered set (aggregate with min/max/any, never
-    /// "first wins").
+    /// Every engine-internal constructor supplies the presence list in
+    /// ascending state-index order, so iteration order is canonical and
+    /// identical across the interpreter, the compiled kernel (fresh or
+    /// incrementally repaired), the sharded backend and the verifier.
+    /// Protocols must still treat the result as an unordered set
+    /// (aggregate with min/max/any, never "first wins") — the canonical
+    /// order is a determinism backstop, not a licence.
     pub fn present_states(&self) -> impl Iterator<Item = S> + '_ {
         // No recorder traffic: this is a `μ_q >= 1` query on every state,
         // and threshold 1 is the recorder's baseline — recording it can

@@ -8,7 +8,9 @@
 //! * [`Graph`] — an immutable, cache-friendly CSR representation used for
 //!   fault-free runs and as the snapshot type everywhere else.
 //! * [`DynGraph`] — a mutable adjacency structure supporting the paper's
-//!   *decreasing benign faults*: edges and nodes may be deleted, never added.
+//!   *decreasing benign faults* (edge and node deletion) and, since the
+//!   streaming-churn work, arrivals too: nodes append at fresh ids and
+//!   edges insert into sorted adjacency in O(log deg + deg).
 //! * [`generators`] — the topology families used by the experiments (paths,
 //!   cycles, grids, tori, hypercubes, random graphs, trees, barbells, ...).
 //! * [`exact`] — classical centralized reference algorithms (BFS, bridges

@@ -59,8 +59,8 @@ pub struct SemanticContract {
     pub config_budget: usize,
 }
 
-/// The contracts of all ten shipped protocols, in the lint pass order.
-pub fn all() -> [&'static SemanticContract; 10] {
+/// The contracts of all twelve shipped protocols, in the lint pass order.
+pub fn all() -> [&'static SemanticContract; 12] {
     [
         &crate::census::CONTRACT,
         &crate::shortest_paths::CONTRACT,
@@ -72,6 +72,8 @@ pub fn all() -> [&'static SemanticContract; 10] {
         &crate::greedy_tourist::CONTRACT,
         &crate::election::CONTRACT,
         &crate::firing_squad::CONTRACT,
+        &crate::parity::CONTRACT,
+        &crate::unison::CONTRACT,
     ]
 }
 
@@ -85,7 +87,7 @@ mod tests {
         assert!(names.iter().all(|n| !n.is_empty()));
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 10);
+        assert_eq!(names.len(), 12);
     }
 
     #[test]

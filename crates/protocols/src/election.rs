@@ -289,6 +289,7 @@ fn scan(own: &ElectState, nbrs: &NeighborView<'_, ElectState>) -> Scan {
             tails: 0,
         },
     };
+    let mut hand_key: Option<usize> = None;
     for ps in nbrs.present_states() {
         if ps.phase == behind {
             s.any_behind = true;
@@ -345,7 +346,14 @@ fn scan(own: &ElectState, nbrs: &NeighborView<'_, ElectState>) -> Scan {
                 s.hood.arm_or_hand = (s.hood.arm_or_hand + nbrs.count_capped(ps, 2)).min(2);
             }
             TStatus::Hand(hp) => {
-                s.hood.hand_phase = Some(hp);
+                // Same max-index tie-break as `traversal::scan`: two
+                // hands only coexist post-fault, and the summary must be
+                // a pure function of the neighbour multiset.
+                let k = ps.index();
+                if hand_key.is_none_or(|best| k > best) {
+                    hand_key = Some(k);
+                    s.hood.hand_phase = Some(hp);
+                }
                 s.hood.arm_or_hand = (s.hood.arm_or_hand + nbrs.count_capped(ps, 2)).min(2);
             }
             TStatus::Blank(e) => {

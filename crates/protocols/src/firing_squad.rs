@@ -344,6 +344,9 @@ impl Protocol for FiringSquad {
         _coin: u32,
     ) -> FsspState {
         // Gather the (at most two, on a path) neighbour states by label.
+        // Off the contract topology a node can see several same-label
+        // neighbours in distinct states; tie-break on the full state
+        // index so the pick is a pure function of the multiset.
         let mut toward: Option<FsspState> = None; // label = mine - 1
         let mut away: Option<FsspState> = None; // label = mine + 1
         let mut any_labelled: Option<u8> = None;
@@ -355,8 +358,12 @@ impl Protocol for FiringSquad {
                 });
                 if own.label < 3 {
                     if ps.label == (own.label + 2) % 3 {
-                        toward = Some(ps);
-                    } else if ps.label == (own.label + 1) % 3 {
+                        if toward.is_none_or(|best| ps.index() > best.index()) {
+                            toward = Some(ps);
+                        }
+                    } else if ps.label == (own.label + 1) % 3
+                        && away.is_none_or(|best| ps.index() > best.index())
+                    {
                         away = Some(ps);
                     }
                 }

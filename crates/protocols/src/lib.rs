@@ -13,6 +13,8 @@
 //! | [`traversal`] | §4.5 | Milgram's arm/hand graph traversal (Algorithm 4.3) |
 //! | [`greedy_tourist`] | §4.6 | The greedy tourist traversal (sensitivity 1) |
 //! | [`election`] | §4.7 | Randomized leader election in O(n log n) (Algorithm 4.4) |
+//! | [`parity`] | §4.3 (generalized) | k-parity: distance-mod-k labelling for any `K >= 3` |
+//! | [`unison`] | §4.2 (companion) | k-unison: a mod-k phase clock that re-synchronises under churn |
 //!
 //! FSSGA algorithms (§4) are [`fssga_engine::Protocol`] implementations —
 //! they read neighbours only through the symmetric, finite
@@ -33,8 +35,10 @@ pub mod contract;
 pub mod election;
 pub mod firing_squad;
 pub mod greedy_tourist;
+pub mod parity;
 pub mod random_walk;
 pub mod shortest_paths;
 pub mod synchronizer;
 pub mod traversal;
 pub mod two_coloring;
+pub mod unison;

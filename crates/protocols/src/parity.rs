@@ -1,0 +1,194 @@
+//! k-parity: distance-mod-k labelling, generalizing Algorithm 4.1's
+//! mod-3 BFS labels to an arbitrary modulus `K >= 3`.
+//!
+//! The source labels itself 0; an unlabelled node adopts `(x + 1) mod K`
+//! on seeing a labelled neighbour `x`. Adjacent distances differ by at
+//! most 1, so any `K >= 3` residues distinguish predecessors, peers and
+//! successors — the same finite-state trick as [`crate::bfs`], exposed as
+//! a reusable labelling layer (mod-3 is the smallest legal instance; a
+//! larger `K` buys slack for layered constructions on top). Labels are
+//! sticky and laid down by the synchronous wavefront, which is exactly
+//! why the protocol sits in the Θ(n) fragility class of Section 2: a
+//! mid-run fault strands stale residues that can never self-correct.
+
+use fssga_engine::{NeighborView, Protocol, StateSpace};
+
+/// Node state of [`KParity`]: a fixed source bit plus a mod-`K` distance
+/// label (`None` = not yet reached, the `⋆` of Algorithm 4.1).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ParityState<const K: usize> {
+    /// The unique labelling source.
+    pub source: bool,
+    /// Distance label in `0..K`, once reached.
+    pub label: Option<u8>,
+}
+
+impl<const K: usize> ParityState<K> {
+    /// Initial (unlabelled) state for a node with the given role.
+    pub fn init(source: bool) -> Self {
+        ParityState {
+            source,
+            label: None,
+        }
+    }
+}
+
+impl<const K: usize> StateSpace for ParityState<K> {
+    const COUNT: usize = 2 * (K + 1);
+
+    fn index(self) -> usize {
+        let l = match self.label {
+            None => 0,
+            Some(r) => r as usize + 1,
+        };
+        usize::from(self.source) * (K + 1) + l
+    }
+
+    fn from_index(i: usize) -> Self {
+        assert!(i < Self::COUNT);
+        let l = i % (K + 1);
+        ParityState {
+            source: i / (K + 1) == 1,
+            label: if l == 0 { None } else { Some((l - 1) as u8) },
+        }
+    }
+}
+
+/// The synchronous distance-mod-`K` labelling protocol. `K` must be in
+/// `3..=128`: two residues cannot separate predecessors from successors,
+/// and labels are stored in a `u8`.
+pub struct KParity<const K: usize>;
+
+impl<const K: usize> Protocol for KParity<K> {
+    type State = ParityState<K>;
+    const COMPILED: bool = true;
+
+    fn transition(
+        &self,
+        own: ParityState<K>,
+        nbrs: &NeighborView<'_, ParityState<K>>,
+        _coin: u32,
+    ) -> ParityState<K> {
+        const {
+            assert!(K >= 3 && K <= 128, "K must be in 3..=128");
+        }
+        if own.label.is_some() {
+            return own;
+        }
+        if own.source {
+            return ParityState {
+                label: Some(0),
+                ..own
+            };
+        }
+        // Adopt from the labelled frontier. Under synchronous rounds
+        // every labelled neighbour of an unlabelled node is at the same
+        // distance; taking the minimum residue keeps the choice
+        // deterministic and symmetric.
+        let mut seen: Option<u8> = None;
+        for nb in nbrs.present_states() {
+            if let Some(r) = nb.label {
+                seen = Some(match seen {
+                    None => r,
+                    Some(x) => x.min(r),
+                });
+            }
+        }
+        match seen {
+            Some(x) => ParityState {
+                label: Some(((x as usize + 1) % K) as u8),
+                ..own
+            },
+            None => own,
+        }
+    }
+}
+
+/// The checked semantic contract (for the `K = 4` instance the verifier
+/// explores). Same shape as [`crate::bfs`]'s: correct under synchronous
+/// rounds only, and Θ(n)-sensitive because stale labels are sticky.
+pub const CONTRACT: crate::contract::SemanticContract = crate::contract::SemanticContract {
+    name: "k-parity",
+    order_independent: false,
+    semilattice: false,
+    scheduling: crate::contract::Scheduling::SyncOnly,
+    sensitivity: fssga_engine::SensitivityClass::Linear,
+    max_nodes: 6,
+    config_budget: 50_000,
+};
+
+/// Convenience: run the labelling to a fixpoint from `source` and return
+/// the rounds taken plus the final states.
+pub fn run_kparity<const K: usize>(
+    g: &fssga_graph::Graph,
+    source: fssga_graph::NodeId,
+    max_rounds: usize,
+) -> Option<(usize, Vec<ParityState<K>>)> {
+    let mut net = fssga_engine::Network::new(g, KParity::<K>, |v| ParityState::init(v == source));
+    let rounds = fssga_engine::Runner::new(&mut net)
+        .budget(fssga_engine::Budget::Fixpoint(max_rounds))
+        .run()
+        .fixpoint?;
+    Some((rounds, net.states().to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fssga_graph::rng::Xoshiro256;
+    use fssga_graph::{exact, generators};
+
+    #[test]
+    fn state_space_roundtrip() {
+        for i in 0..ParityState::<4>::COUNT {
+            assert_eq!(ParityState::<4>::from_index(i).index(), i);
+        }
+        for i in 0..ParityState::<7>::COUNT {
+            assert_eq!(ParityState::<7>::from_index(i).index(), i);
+        }
+        assert_eq!(ParityState::<4>::COUNT, 10);
+    }
+
+    #[test]
+    fn labels_match_distance_mod_k() {
+        let g = generators::grid(5, 6);
+        let dist = exact::bfs_distances(&g, &[0]);
+        let (_, states4) = run_kparity::<4>(&g, 0, 200).expect("stabilizes");
+        let (_, states5) = run_kparity::<5>(&g, 0, 200).expect("stabilizes");
+        for v in g.nodes() {
+            assert_eq!(
+                states4[v as usize].label,
+                Some((dist[v as usize] % 4) as u8)
+            );
+            assert_eq!(
+                states5[v as usize].label,
+                Some((dist[v as usize] % 5) as u8)
+            );
+        }
+    }
+
+    #[test]
+    fn k3_reproduces_bfs_labels() {
+        let g = generators::grid(4, 5);
+        let (_, states) = run_kparity::<3>(&g, 0, 200).expect("stabilizes");
+        let (_, _, bfs_states) = crate::bfs::run_bfs(&g, 0, &[], 200).expect("stabilizes");
+        for v in g.nodes() {
+            assert_eq!(
+                states[v as usize].label.map(u32::from),
+                bfs_states[v as usize].label.residue(),
+                "node {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn stabilizes_on_random_graphs() {
+        let mut rng = Xoshiro256::seed_from_u64(61);
+        for _ in 0..10 {
+            let g = generators::connected_gnp(20, 0.15, &mut rng);
+            let (rounds, states) = run_kparity::<6>(&g, 0, 10 * g.n()).expect("stabilizes");
+            assert!(rounds <= g.n() + 2, "wavefront takes at most diameter+1");
+            assert!(states.iter().all(|s| s.label.is_some()));
+        }
+    }
+}

@@ -167,6 +167,10 @@ pub fn scan(nbrs: &NeighborView<'_, TravState>) -> Hood {
         hand_phase: None,
         tails: 0,
     };
+    // Two hands with distinct phases can be adjacent only in the
+    // corrupted (post-fault) regime; tie-break on the full state index so
+    // the summary stays a pure function of the neighbour multiset.
+    let mut hand_key: Option<usize> = None;
     for ps in nbrs.present_states() {
         match ps.status {
             TStatus::Arm => {
@@ -174,7 +178,11 @@ pub fn scan(nbrs: &NeighborView<'_, TravState>) -> Hood {
                 h.arm_or_hand = (h.arm_or_hand + nbrs.count_capped(ps, 2)).min(2);
             }
             TStatus::Hand(p) => {
-                h.hand_phase = Some(p);
+                let k = ps.index();
+                if hand_key.is_none_or(|best| k > best) {
+                    hand_key = Some(k);
+                    h.hand_phase = Some(p);
+                }
                 h.arm_or_hand = (h.arm_or_hand + nbrs.count_capped(ps, 2)).min(2);
             }
             TStatus::Blank(e) => {

@@ -1,0 +1,221 @@
+//! k-unison: a mod-`K` phase clock (synchronisation under churn).
+//!
+//! Every node carries a clock `c ∈ 0..K` and ticks `c := (c + 1) mod K`
+//! exactly when no clocked neighbour is outside `{c, c+1 mod K}` — the
+//! classic *unison* guard, expressible with `μ_q >= 1` thresh atoms only.
+//! A freshly arrived node starts in a *joining* state and adopts a
+//! neighbour's clock before participating (the minimum clock index
+//! present, a deterministic symmetric choice); with no clocked neighbour
+//! it opens its own epoch at 0.
+//!
+//! Unlike the one-shot algorithms of Section 4, unison never reaches a
+//! fixpoint — its steady state is a global limit cycle (all clocks equal,
+//! advancing one step per round). That makes it the natural companion to
+//! the streaming churn engine ([`fssga_engine::churn`]): from a
+//! synchronised region, a joining node is one adoption step away from
+//! lockstep, a node left behind by a missed tick is caught up by the
+//! guard (its neighbours stall until it arrives), and removals can never
+//! desynchronise the survivors. Benign faults therefore leave the
+//! protocol reasonably correct — sensitivity class 0 — and the verifier
+//! explores its cyclic configuration graph directly (the bounded checker
+//! tolerates non-terminating protocols).
+
+use fssga_engine::{NeighborView, Protocol, StateSpace};
+
+/// Node state of [`KUnison`]: a clock in `0..K`, or *joining* (`None`)
+/// for a node that has not yet adopted a phase.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct UnisonState<const K: usize> {
+    /// The current phase, once adopted.
+    pub clock: Option<u8>,
+}
+
+impl<const K: usize> UnisonState<K> {
+    /// A node already running at phase `c`.
+    pub fn at(c: u8) -> Self {
+        assert!((c as usize) < K);
+        UnisonState { clock: Some(c) }
+    }
+
+    /// A freshly arrived node that has yet to adopt a phase.
+    pub fn joining() -> Self {
+        UnisonState { clock: None }
+    }
+}
+
+impl<const K: usize> StateSpace for UnisonState<K> {
+    const COUNT: usize = K + 1;
+
+    fn index(self) -> usize {
+        match self.clock {
+            None => 0,
+            Some(c) => c as usize + 1,
+        }
+    }
+
+    fn from_index(i: usize) -> Self {
+        assert!(i < Self::COUNT);
+        UnisonState {
+            clock: if i == 0 { None } else { Some((i - 1) as u8) },
+        }
+    }
+}
+
+/// The mod-`K` unison protocol. `K` must be in `3..=128` (with two
+/// phases "one ahead" and "one behind" coincide and the guard cannot
+/// order them).
+pub struct KUnison<const K: usize>;
+
+impl<const K: usize> Protocol for KUnison<K> {
+    type State = UnisonState<K>;
+    const COMPILED: bool = true;
+
+    fn transition(
+        &self,
+        own: UnisonState<K>,
+        nbrs: &NeighborView<'_, UnisonState<K>>,
+        _coin: u32,
+    ) -> UnisonState<K> {
+        const {
+            assert!(K >= 3 && K <= 128, "K must be in 3..=128");
+        }
+        match own.clock {
+            None => {
+                // Joining: adopt the minimum clock present among the
+                // neighbours; with none, open a fresh epoch. (Across a
+                // wrap like {K-1, 0} the minimum index 0 is the *ahead*
+                // phase, which the guard below lets stragglers reach.)
+                let mut seen: Option<u8> = None;
+                for nb in nbrs.present_states() {
+                    if let Some(c) = nb.clock {
+                        seen = Some(match seen {
+                            None => c,
+                            Some(x) => x.min(c),
+                        });
+                    }
+                }
+                UnisonState {
+                    clock: Some(seen.unwrap_or(0)),
+                }
+            }
+            Some(c) => {
+                let next = ((c as usize + 1) % K) as u8;
+                // Tick unless a clocked neighbour is outside {c, c+1}.
+                // Joining neighbours never block: they adopt in their own
+                // next activation.
+                for nb in nbrs.present_states() {
+                    if let Some(x) = nb.clock {
+                        if x != c && x != next {
+                            return own;
+                        }
+                    }
+                }
+                UnisonState { clock: Some(next) }
+            }
+        }
+    }
+}
+
+/// The checked semantic contract (for the `K = 4` instance the verifier
+/// explores). Unison cycles forever, so no fixpoint-flavoured claim is
+/// made; removals cannot desynchronise the survivors, hence class 0.
+pub const CONTRACT: crate::contract::SemanticContract = crate::contract::SemanticContract {
+    name: "k-unison",
+    order_independent: false,
+    semilattice: false,
+    scheduling: crate::contract::Scheduling::SyncOnly,
+    sensitivity: fssga_engine::SensitivityClass::Zero,
+    max_nodes: 5,
+    config_budget: 50_000,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fssga_engine::Network;
+    use fssga_graph::generators;
+
+    fn clocks<const K: usize>(net: &Network<KUnison<K>>) -> Vec<Option<u8>> {
+        net.graph()
+            .alive_nodes()
+            .map(|v| net.state(v).clock)
+            .collect()
+    }
+
+    fn in_unison<const K: usize>(net: &Network<KUnison<K>>) -> bool {
+        let cs = clocks(net);
+        cs.iter().all(|c| c.is_some() && *c == cs[0])
+    }
+
+    #[test]
+    fn state_space_roundtrip() {
+        for i in 0..UnisonState::<4>::COUNT {
+            assert_eq!(UnisonState::<4>::from_index(i).index(), i);
+        }
+        assert_eq!(UnisonState::<4>::COUNT, 5);
+    }
+
+    #[test]
+    fn lockstep_from_the_synchronised_start() {
+        let g = generators::grid(4, 4);
+        let mut net = Network::new_compiled(&g, KUnison::<4>, |_| UnisonState::at(0));
+        for round in 1..=10u8 {
+            net.sync_step_kernel_seeded(0);
+            assert!(
+                clocks(&net).iter().all(|c| *c == Some(round % 4)),
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn straggler_is_caught_up_by_the_guard() {
+        let g = generators::path(3);
+        let mut net = Network::new_compiled(&g, KUnison::<4>, |_| UnisonState::at(1));
+        net.set_state(2, UnisonState::at(0));
+        for _ in 0..6 {
+            net.sync_step_kernel_seeded(0);
+        }
+        assert!(in_unison(&net), "clocks = {:?}", clocks(&net));
+        // And the unison keeps advancing afterwards.
+        let before = clocks(&net)[0].unwrap();
+        net.sync_step_kernel_seeded(0);
+        assert!(clocks(&net).iter().all(|c| *c == Some((before + 1) % 4)));
+    }
+
+    #[test]
+    fn joining_node_adopts_and_rejoins_lockstep() {
+        // The churn story: run a synchronised network, attach a fresh
+        // joining node mid-run, and watch it pull into unison.
+        let g = generators::cycle(6);
+        let mut net = Network::new_compiled(&g, KUnison::<5>, |_| UnisonState::at(0));
+        for _ in 0..3 {
+            net.sync_step_kernel_seeded(0);
+        }
+        let v = net.add_node(UnisonState::joining());
+        assert!(net.add_edge(v, 0));
+        assert!(net.add_edge(v, 3));
+        for _ in 0..12 {
+            net.sync_step_kernel_seeded(0);
+        }
+        assert!(in_unison(&net), "clocks = {:?}", clocks(&net));
+        let before = clocks(&net)[0].unwrap();
+        net.sync_step_kernel_seeded(0);
+        assert!(clocks(&net).iter().all(|c| *c == Some((before + 1) % 5)));
+    }
+
+    #[test]
+    fn removals_never_desynchronise_survivors() {
+        let g = generators::grid(3, 4);
+        let mut net = Network::new_compiled(&g, KUnison::<4>, |_| UnisonState::at(0));
+        for _ in 0..2 {
+            net.sync_step_kernel_seeded(0);
+        }
+        net.remove_node(5);
+        net.remove_edge(0, 1);
+        for round in 0..8u8 {
+            net.sync_step_kernel_seeded(0);
+            assert!(in_unison(&net), "round {round}: {:?}", clocks(&net));
+        }
+    }
+}

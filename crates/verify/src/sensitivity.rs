@@ -35,6 +35,8 @@ fn describe(kind: FaultKind) -> String {
     match kind {
         FaultKind::Node(v) => format!("kill node {v}"),
         FaultKind::Edge(u, v) => format!("cut edge {u}-{v}"),
+        FaultKind::AddNode(v) => format!("add node {v}"),
+        FaultKind::AddEdge(u, v) => format!("add edge {u}-{v}"),
     }
 }
 

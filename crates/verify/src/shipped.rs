@@ -1,4 +1,4 @@
-//! The verification entry point for the ten shipped protocols.
+//! The verification entry point for the twelve shipped protocols.
 //!
 //! Each protocol gets a driver that (a) runs the generic
 //! [`crate::checker::check_protocol`] pipeline over its contract's
@@ -23,13 +23,15 @@ use fssga_protocols::contract::SemanticContract;
 use fssga_protocols::election::{ElectState, Election};
 use fssga_protocols::firing_squad::{FiringSquad, FsspState};
 use fssga_protocols::greedy_tourist::{GreedyTourist, TourLabel, TouristBfs};
+use fssga_protocols::parity::{KParity, ParityState};
 use fssga_protocols::random_walk::{RandomWalk, WalkHarness, WalkState};
 use fssga_protocols::shortest_paths::{labels_as_distances, ShortestPaths};
 use fssga_protocols::synchronizer::{alpha_network, Alpha, AlphaState};
 use fssga_protocols::traversal::{TravState, Traversal};
 use fssga_protocols::two_coloring::{self, Color, ColoringOutcome, TwoColoring};
-use fssga_protocols::{bfs, random_walk, shortest_paths, synchronizer, traversal};
-use fssga_protocols::{census, election, firing_squad, greedy_tourist};
+use fssga_protocols::unison::{KUnison, UnisonState};
+use fssga_protocols::{bfs, parity, random_walk, shortest_paths, synchronizer, traversal};
+use fssga_protocols::{census, election, firing_squad, greedy_tourist, unison};
 
 use crate::checker::check_protocol;
 use crate::graphs::{family, paths};
@@ -88,12 +90,12 @@ fn scaled(c: &SemanticContract, scale: &VerifyScale) -> SemanticContract {
     }
 }
 
-/// Verifies all ten shipped protocols at full contract coverage.
+/// Verifies all twelve shipped protocols at full contract coverage.
 pub fn verify_shipped() -> Vec<ProtocolVerification> {
     verify_shipped_scaled(&VerifyScale::full())
 }
 
-/// Verifies all ten shipped protocols at the given coverage scale, in
+/// Verifies all twelve shipped protocols at the given coverage scale, in
 /// the contract order of [`fssga_protocols::contract::all`].
 pub fn verify_shipped_scaled(scale: &VerifyScale) -> Vec<ProtocolVerification> {
     vec![
@@ -136,6 +138,14 @@ pub fn verify_shipped_scaled(scale: &VerifyScale) -> Vec<ProtocolVerification> {
         ProtocolVerification {
             name: firing_squad::CONTRACT.name,
             report: check_firing_squad(scale),
+        },
+        ProtocolVerification {
+            name: parity::CONTRACT.name,
+            report: check_kparity(scale),
+        },
+        ProtocolVerification {
+            name: unison::CONTRACT.name,
+            report: check_kunison(scale),
         },
     ]
 }
@@ -326,6 +336,9 @@ fn sweep_alpha(c: &SemanticContract, report: &mut Report) {
             FaultKind::Node(v) => {
                 net.remove_node(v);
             }
+            FaultKind::AddNode(_) | FaultKind::AddEdge(_, _) => {
+                unreachable!("exhaustive_kinds generates removals only")
+            }
         }
         let alive: Vec<NodeId> = net.graph().alive_nodes().collect();
         let mut progressed = vec![false; n];
@@ -401,6 +414,9 @@ fn sweep_random_walk(c: &SemanticContract, report: &mut Report) {
             }
             FaultKind::Node(v) => {
                 h.network_mut().remove_node(v);
+            }
+            FaultKind::AddNode(_) | FaultKind::AddEdge(_, _) => {
+                unreachable!("exhaustive_kinds generates removals only")
             }
         }
         let alive_walkers = {
@@ -486,6 +502,9 @@ fn sweep_greedy_tourist(c: &SemanticContract, report: &mut Report) {
             FaultKind::Node(v) => {
                 tour.network_mut().remove_node(v);
             }
+            FaultKind::AddNode(_) | FaultKind::AddEdge(_, _) => {
+                unreachable!("exhaustive_kinds generates removals only")
+            }
         }
         let _ = tour.run(200_000, &mut rng);
         let unvisited_alive = tour
@@ -531,6 +550,86 @@ fn check_firing_squad(scale: &VerifyScale) -> Report {
     });
     note_linear(&c, &mut report);
     report
+}
+
+// --- k-parity ---------------------------------------------------------------
+
+fn check_kparity(scale: &VerifyScale) -> Report {
+    let c = scaled(&parity::CONTRACT, scale);
+    let mut report = check_protocol(&c, &KParity::<4>, &family(c.max_nodes), |_, v| {
+        ParityState::init(v == 0)
+    });
+    note_linear(&c, &mut report);
+    report
+}
+
+// --- k-unison ---------------------------------------------------------------
+
+fn check_kunison(scale: &VerifyScale) -> Report {
+    let c = scaled(&unison::CONTRACT, scale);
+    // Mixed start: one joining node among clocked ones, exercising the
+    // adoption rule alongside the tick guard. Unison never stabilizes —
+    // the explorer tolerates its limit cycles.
+    let mut report = check_protocol(&c, &KUnison::<4>, &family(c.max_nodes), |_, v| {
+        if v == 0 {
+            UnisonState::joining()
+        } else {
+            UnisonState::at(0)
+        }
+    });
+    if scale.sweeps {
+        sweep_kunison(&c, &mut report);
+    }
+    report
+}
+
+fn sweep_kunison(c: &SemanticContract, report: &mut Report) {
+    // cycle(5) stays connected under any single node kill or edge cut, and
+    // survivors start in unison, so after a recovery window they must be
+    // back in unison and still advancing: no probe may be harmful.
+    let g = generators::cycle(5);
+    let kinds = exhaustive_kinds(&g);
+    let sweep = sweep_single_faults(&kinds, &[0, 3, 7], |schedule| {
+        let ev = schedule[0];
+        let mut net = Network::new_compiled(&g, KUnison::<4>, |_| UnisonState::at(0));
+        for _ in 0..ev.time {
+            net.sync_step_kernel_seeded(0);
+        }
+        match ev.kind {
+            FaultKind::Edge(u, v) => {
+                net.remove_edge(u, v);
+            }
+            FaultKind::Node(v) => {
+                net.remove_node(v);
+            }
+            FaultKind::AddNode(_) | FaultKind::AddEdge(_, _) => {
+                unreachable!("exhaustive_kinds generates removals only")
+            }
+        }
+        let clocks = |net: &Network<KUnison<4>>| -> Vec<Option<u8>> {
+            net.graph()
+                .alive_nodes()
+                .map(|v| net.state(v).clock)
+                .collect()
+        };
+        let in_unison = |cs: &[Option<u8>]| cs.iter().all(|x| x.is_some() && *x == cs[0]);
+        for _ in 0..3 * g.n() {
+            net.sync_step_kernel_seeded(0);
+        }
+        let settled = clocks(&net);
+        if settled.is_empty() || !in_unison(&settled) {
+            return Verdict::Incorrect;
+        }
+        let next = settled[0].map(|x| (x + 1) % 4);
+        net.sync_step_kernel_seeded(0);
+        let after = clocks(&net);
+        if in_unison(&after) && after[0] == next {
+            Verdict::ReasonablyCorrect
+        } else {
+            Verdict::Incorrect
+        }
+    });
+    certify(c, "cycle-5", g.n(), &sweep, |_| Vec::new(), report);
 }
 
 #[cfg(test)]

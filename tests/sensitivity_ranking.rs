@@ -146,6 +146,9 @@ fn greedy_tourist_is_at_most_one_critical() {
             FaultKind::Node(v) => {
                 tour.network_mut().remove_node(v);
             }
+            FaultKind::AddNode(_) | FaultKind::AddEdge(_, _) => {
+                unreachable!("exhaustive_kinds generates removals only")
+            }
         }
         let _ = tour.run(200_000, &mut rng);
         let unvisited_alive = tour
@@ -196,6 +199,9 @@ fn bridge_walk_is_at_most_one_critical() {
             }
             FaultKind::Node(v) => {
                 walk.graph_mut().remove_node(v);
+            }
+            FaultKind::AddNode(_) | FaultKind::AddEdge(_, _) => {
+                unreachable!("exhaustive_kinds generates removals only")
             }
         }
         walk.run(30_000, &mut rng);
@@ -256,6 +262,9 @@ fn beta_synchronizer_is_linearly_critical() {
             let applied = match ev.kind {
                 FaultKind::Edge(u, v) => d.remove_edge(u, v),
                 FaultKind::Node(v) => d.remove_node(v),
+                FaultKind::AddNode(_) | FaultKind::AddEdge(_, _) => {
+                    unreachable!("exhaustive_kinds generates removals only")
+                }
             };
             if applied {
                 snapshots.push(d.snapshot());
@@ -309,6 +318,9 @@ fn alpha_synchronizer_is_zero_critical() {
             }
             FaultKind::Node(v) => {
                 net.remove_node(v);
+            }
+            FaultKind::AddNode(_) | FaultKind::AddEdge(_, _) => {
+                unreachable!("exhaustive_kinds generates removals only")
             }
         }
         // Ten post-fault sweeps; a node advances at most one clock tick

@@ -247,6 +247,9 @@ fn campaign_fault_plans_replay_identically_under_sharding() {
                 match trace.schedule[cursor].kind {
                     FaultKind::Edge(u, v) => net.remove_edge(u, v),
                     FaultKind::Node(v) => net.remove_node(v),
+                    FaultKind::AddNode(_) | FaultKind::AddEdge(_, _) => {
+                        unreachable!("removal-only plan")
+                    }
                 };
                 cursor += 1;
             }

@@ -11,7 +11,7 @@ use fssga::verify::{verify_shipped_scaled, Severity, VerifyScale};
 #[test]
 fn all_shipped_protocols_pass_quick_verification() {
     let results = verify_shipped_scaled(&VerifyScale::quick());
-    assert_eq!(results.len(), 10, "one result per shipped protocol");
+    assert_eq!(results.len(), 12, "one result per shipped protocol");
 
     let mut failures = Vec::new();
     for r in &results {
