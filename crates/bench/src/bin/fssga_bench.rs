@@ -72,6 +72,9 @@ struct Row {
     interp: Timing,
     kernel: Timing,
     metrics: RunMetrics,
+    /// Bits per node in the kernel's packed state-index mirror (4, 8,
+    /// 16, or 32 — chosen from the protocol's `|Q|`).
+    packed_bits: u32,
 }
 
 impl Row {
@@ -83,7 +86,7 @@ impl Row {
         format!(
             "{{\"name\":\"{}\",\"n\":{},\"rounds\":{},\
              \"interpreter_median_ns\":{:.0},\"kernel_median_ns\":{:.0},\
-             \"reps\":{},\"speedup\":{:.2},\
+             \"reps\":{},\"speedup\":{:.2},\"packed_bits\":{},\
              \"kernel_activations_per_round\":{:.1},\"dirty_hit_rate\":{:.4}}}",
             self.name,
             self.n,
@@ -92,6 +95,7 @@ impl Row {
             self.kernel.median_ns(),
             self.interp.times_ns.len(),
             self.speedup(),
+            self.packed_bits,
             self.metrics.activations_per_round(),
             self.metrics.dirty_hit_rate()
         )
@@ -160,12 +164,14 @@ fn census_row(g: &Graph, name: &str, reps: usize, tracer: &mut dyn Tracer) -> Ro
         .run()
         .metrics
         .expect("observed run carries metrics");
+    let packed_bits = net.kernel().map_or(32, |k| k.packed_width_bits());
     Row {
         name: name.to_string(),
         n: g.n(),
         interp,
         kernel,
         metrics,
+        packed_bits,
     }
 }
 
@@ -202,12 +208,14 @@ fn shortest_paths_row(g: &Graph, name: &str, reps: usize, tracer: &mut dyn Trace
         .run()
         .metrics
         .expect("observed run carries metrics");
+    let packed_bits = net.kernel().map_or(32, |k| k.packed_width_bits());
     Row {
         name: name.to_string(),
         n: g.n(),
         interp,
         kernel,
         metrics,
+        packed_bits,
     }
 }
 
@@ -222,7 +230,7 @@ fn engine_baseline(smoke: bool, out: &str, trace_out: Option<&str>) {
         g.n()
     );
     let run_rows = |tracer: &mut dyn Tracer| {
-        [
+        let mut rows = vec![
             census_row(&g, &format!("census/torus-{side}x{side}"), reps, tracer),
             shortest_paths_row(
                 &g,
@@ -230,7 +238,32 @@ fn engine_baseline(smoke: bool, out: &str, trace_out: Option<&str>) {
                 reps,
                 tracer,
             ),
-        ]
+        ];
+        if !smoke {
+            // Scale row: one n = 10^6 rep per workload (the interpreter
+            // twin dominates the wall time here; medians over reps add
+            // nothing at this size). See EXPERIMENTS.md for the
+            // protocol.
+            let big = 1000usize;
+            let gb = generators::torus(big, big);
+            println!(
+                "scale row: torus {big}x{big} (n = {}), 1 rep per engine",
+                gb.n()
+            );
+            rows.push(census_row(
+                &gb,
+                &format!("census/torus-{big}x{big}"),
+                1,
+                tracer,
+            ));
+            rows.push(shortest_paths_row(
+                &gb,
+                &format!("shortest-paths/torus-{big}x{big}"),
+                1,
+                tracer,
+            ));
+        }
+        rows
     };
     let rows = match trace_out {
         Some(path) => {
@@ -245,14 +278,15 @@ fn engine_baseline(smoke: bool, out: &str, trace_out: Option<&str>) {
     };
     for row in &rows {
         println!(
-            "{:<36} n={:<6} rounds={:<4} interp {:>12} kernel {:>12} speedup {:>6.2}x \
-             act/round {:>9.1} dirty-hit {:>6.1}%",
+            "{:<36} n={:<7} rounds={:<4} interp {:>12} kernel {:>12} speedup {:>6.2}x \
+             packed {:>2}b act/round {:>9.1} dirty-hit {:>6.1}%",
             row.name,
             row.n,
             row.interp.rounds,
             fmt_ns(row.interp.median_ns()),
             fmt_ns(row.kernel.median_ns()),
             row.speedup(),
+            row.packed_bits,
             row.metrics.activations_per_round(),
             100.0 * row.metrics.dirty_hit_rate()
         );

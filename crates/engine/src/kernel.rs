@@ -1,4 +1,4 @@
-//! The compiled execution path: dense transition/fold tables + CSR
+//! The compiled execution path: packed-state batched reductions + CSR
 //! adjacency + a dirty-set synchronous scheduler.
 //!
 //! The interpreter path ([`crate::network`]) re-tallies every
@@ -9,18 +9,28 @@
 //! and modulo a period `M`. [`CompiledKernel`] exploits this twice:
 //!
 //! 1. **Tabular plan** — when the abstract count space is small
-//!    (`(B + M)^|Q|` within budget), the whole round becomes table
-//!    lookups: a `fold` table maps `(accumulator, neighbour state) →
-//!    accumulator` and a `trans` table maps `(own state, coin,
-//!    accumulator) → new state`. One pass over the CSR row per node, no
-//!    branches, no protocol code on the hot path. This is the
-//!    divide-and-conquer table trick for symmetric FSAs, specialized to
-//!    a left fold.
+//!    (`(B + M)^|Q|` within budget), the whole round becomes a batched
+//!    reduction: histogram the row's packed state indices into a tiny
+//!    stack array, map each count to its class digit with `class_of`,
+//!    and look the digit-vector accumulator up in a `trans` table
+//!    (`(own state, coin, accumulator) → new state`). No branches, no
+//!    protocol code, no serially-dependent table loads on the hot path.
+//!    Count classes commute across states, so the histogram form equals
+//!    the one-neighbour-at-a-time left fold by construction — this is
+//!    the divide-and-conquer regrouping of symmetric-FSA reductions.
 //! 2. **Direct plan** — when the state space is too large to tabulate
-//!    (census sketches, distance labels), the kernel still wins by
-//!    tallying over a flat CSR mirror into a reusable scratch vector and
-//!    handing the protocol a lean [`NeighborView`] — no per-activation
-//!    allocation, no `DynGraph` pointer chasing.
+//!    (census sketches, distance labels), the kernel gathers the row's
+//!    packed indices into a small contiguous buffer, sorts it, and
+//!    run-length-encodes it into a *sparse* [`NeighborView`] — no
+//!    `|Q|`-length scratch vector in the loop, no per-activation
+//!    allocation, no `DynGraph` pointer chasing. Very long rows fall
+//!    back to the dense scratch tally, where one O(len) scatter beats
+//!    an O(len log len) sort.
+//!
+//! Both plans read neighbour states from a [`PackedStates`] mirror — a
+//! 4/8/16/32-bit index array chosen from `|Q|` — so the inner gather
+//! touches a fraction of the memory that full state words would, which
+//! on a single-core host is where the round time goes.
 //!
 //! On top of either plan sits a **dirty-set scheduler** (deterministic
 //! protocols only): a node is re-evaluated in round `t + 1` only if its
@@ -54,6 +64,7 @@ use fssga_graph::NodeId;
 
 use crate::network::{round_coin, Metrics, Network};
 use crate::obs::{NullTracer, RoundMetrics, Tracer};
+use crate::packed::PackedStates;
 use crate::protocol::{Protocol, StateSpace};
 use crate::view::{NeighborView, QueryRecorder};
 
@@ -72,8 +83,10 @@ use crate::pool::ShardPool;
 /// enumerate. Beyond this the kernel falls back to the direct plan.
 const ACC_BUDGET: u64 = 1 << 12;
 
-/// Largest total table size (fold + trans entries) the tabular plan will
-/// materialize.
+/// Largest total table size the tabular plan will materialize (the
+/// historical fold + trans budget; kept unchanged so plan selection is
+/// stable even though the fold table itself gave way to per-row
+/// histograms).
 const ENTRY_BUDGET: u64 = 1 << 22;
 
 /// How many times table construction re-runs bound discovery before
@@ -86,6 +99,16 @@ const DISCOVERY_ROUNDS: usize = 8;
 /// the wakeup latency).
 #[cfg(feature = "parallel")]
 const SHARD_MIN_WORK: usize = 256;
+
+/// Rows up to this length are reduced by insertion sort (branch-light,
+/// no recursion) before run-length encoding; longer rows use
+/// `sort_unstable`.
+const SMALL_SORT: usize = 32;
+
+/// Rows longer than this skip the sort+RLE path and tally into the dense
+/// `|Q|`-length scratch vector instead: one O(len) scatter beats an
+/// O(len log len) sort once a hub row is big enough.
+const DENSE_MIN: usize = 128;
 
 /// Which evaluation plan a [`CompiledKernel`] ended up with.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -144,21 +167,37 @@ struct Tables {
     /// Number of accumulator values `C^|Q|`, `C = B + M` (exact-count
     /// bound `B` = max threshold queried; period `M` = lcm of moduli).
     acc_count: usize,
-    /// `fold[acc * |Q| + s]` — accumulator after one more neighbour in
-    /// state `s`.
-    fold: Vec<u32>,
     /// `trans[(own * R + coin) * acc_count + acc]` — new state index.
     trans: Vec<u32>,
     /// Coin range `R = max(1, RANDOMNESS)`.
     randomness: usize,
+    /// Exact-count bound `B` (max threshold the protocol queries).
+    bound: u64,
+    /// Modular period `M` (lcm of the moduli the protocol queries).
+    period: u64,
+    /// Class radix `C = B + M`; the accumulator is the base-`C` number
+    /// whose digit `j` is `class_of(count_j, B, M)`.
+    classes: u64,
 }
 
 enum Plan {
     Tabular(Tables),
-    Direct {
-        scratch: Vec<u32>,
-        touched: Vec<u32>,
-    },
+    Direct,
+}
+
+/// Reusable per-evaluator buffers for the packed hot loop: the gathered
+/// row (`row`), its run-length encoding (`idx`/`cnt`), and the dense
+/// fallback tally (`scratch`, lazily sized to `|Q|`; `touched` lists its
+/// nonzero indices). One set lives on the kernel for sequential steps
+/// and one in each shard arena — never shared, never reallocated on the
+/// hot path.
+#[derive(Default)]
+struct EvalBufs {
+    row: Vec<u32>,
+    idx: Vec<u32>,
+    cnt: Vec<u32>,
+    scratch: Vec<u32>,
+    touched: Vec<u32>,
 }
 
 /// Read-only slice view of the plan, shareable across worker threads.
@@ -175,10 +214,8 @@ enum PlanRef<'a> {
 struct ShardArena<P: Protocol> {
     /// This shard's proposed `(node, new state)` writes, in node order.
     out: Vec<(NodeId, P::State)>,
-    /// Direct-plan tally vector (empty for the tabular plan).
-    scratch: Vec<u32>,
-    /// Direct-plan touched-state indices.
-    touched: Vec<u32>,
+    /// This shard's private evaluation buffers.
+    bufs: EvalBufs,
     /// This shard's evaluation counters for the round.
     stats: EvalStats,
 }
@@ -234,6 +271,17 @@ pub struct CompiledKernel<P: Protocol> {
     /// for free.
     eligible: u64,
     plan: Plan,
+    /// Width-minimal mirror of the state vector (`packed.get(v) ==
+    /// states[v].index()` whenever `packed_stale` is false): encoded at
+    /// construction, dual-written by [`Self::commit`], grown by
+    /// [`Self::on_node_added`], re-encoded at the top of a step after
+    /// out-of-band writes.
+    packed: PackedStates,
+    /// Set by [`Self::mark_all_dirty`] (out-of-band state writes); the
+    /// next step re-encodes `packed` before evaluating.
+    packed_stale: bool,
+    /// Sequential-step evaluation buffers.
+    bufs: EvalBufs,
     /// Sharded-execution state (partition + per-shard arenas), built on
     /// the first sharded step.
     #[cfg(feature = "parallel")]
@@ -277,10 +325,7 @@ impl<P: Protocol> CompiledKernel<P> {
         );
         let plan = match build_tables::<P>(net.protocol()) {
             Some(t) => Plan::Tabular(t),
-            None => Plan::Direct {
-                scratch: vec![0; P::State::COUNT],
-                touched: Vec::with_capacity(64),
-            },
+            None => Plan::Direct,
         };
         Self {
             offsets,
@@ -295,6 +340,9 @@ impl<P: Protocol> CompiledKernel<P> {
             pending: Vec::new(),
             eligible,
             plan,
+            packed: PackedStates::encode(net.states()),
+            packed_stale: false,
+            bufs: EvalBufs::default(),
             #[cfg(feature = "parallel")]
             sharding: None,
             _protocol: PhantomData,
@@ -305,8 +353,14 @@ impl<P: Protocol> CompiledKernel<P> {
     pub fn plan(&self) -> KernelPlan {
         match self.plan {
             Plan::Tabular(_) => KernelPlan::Tabular,
-            Plan::Direct { .. } => KernelPlan::Direct,
+            Plan::Direct => KernelPlan::Direct,
         }
+    }
+
+    /// Bits per node in the packed state mirror (4, 8, 16, or 32 —
+    /// chosen from `|Q|`; see [`PackedStates`]).
+    pub fn packed_width_bits(&self) -> u32 {
+        self.packed.width_bits()
     }
 
     /// Whether the dirty-set scheduler is active (deterministic protocols
@@ -337,6 +391,11 @@ impl<P: Protocol> CompiledKernel<P> {
     /// Re-schedules every node (out-of-band state writes, interpreter
     /// interleaving, recompilation).
     pub(crate) fn mark_all_dirty(&mut self) {
+        // The packed mirror is invalidated by the same out-of-band writes
+        // that invalidate the dirty set — and it must be flagged even
+        // when there is no dirty set to invalidate (probabilistic
+        // protocols), so this runs before the early return below.
+        self.packed_stale = true;
         if !self.use_dirty {
             return;
         }
@@ -403,6 +462,17 @@ impl<P: Protocol> CompiledKernel<P> {
         }
         self.row_len[vi] = 0;
         self.alive[vi] = false;
+        // The dead node's row capacity is abandoned for good — no future
+        // insertion can reuse it (arrivals get fresh zero-capacity rows).
+        // Account it as dead space so removal-heavy churn trips the
+        // compaction threshold; before this, those slots were invisible
+        // to the accounting and the arena grew without bound relative to
+        // the live topology. (Slack *inside* live rows — `row_len <
+        // row_cap` after edge removals — is different: later insertions
+        // reuse it, so it is not dead.)
+        self.dead_space += self.row_cap[vi] as usize;
+        self.row_cap[vi] = 0;
+        self.maybe_compact();
     }
 
     /// Churn hook: edge `{u, v}` was added to the live topology. Both
@@ -418,13 +488,14 @@ impl<P: Protocol> CompiledKernel<P> {
         }
     }
 
-    /// Churn hook: a fresh node with id `v` joined, isolated and alive.
-    /// `v` must be the next unused slot id (stale arrivals are skipped —
-    /// the same contract as [`crate::FaultKind::AddNode`]). The new row
-    /// starts with zero capacity; its first edge allocates via
-    /// [`Self::grow_row`]. Invalidates the sharded partition, which only
-    /// covers the id space it was built over.
-    pub(crate) fn on_node_added(&mut self, v: NodeId) {
+    /// Churn hook: a fresh node with id `v` joined, isolated and alive,
+    /// in state `state`. `v` must be the next unused slot id (stale
+    /// arrivals are skipped — the same contract as
+    /// [`crate::FaultKind::AddNode`]). The new row starts with zero
+    /// capacity; its first edge allocates via [`Self::grow_row`].
+    /// Invalidates the sharded partition, which only covers the id space
+    /// it was built over.
+    pub(crate) fn on_node_added(&mut self, v: NodeId, state: P::State) {
         let vi = v as usize;
         if vi != self.row_len.len() {
             return;
@@ -434,6 +505,7 @@ impl<P: Protocol> CompiledKernel<P> {
         self.row_cap.push(0);
         self.alive.push(true);
         self.dirty.push(false);
+        self.packed.push(state.index() as u32);
         // Degree 0: not eligible, nothing to schedule until an edge
         // arrives and on_edge_added marks it dirty.
         #[cfg(feature = "parallel")]
@@ -465,26 +537,53 @@ impl<P: Protocol> CompiledKernel<P> {
         if len == 0 {
             self.eligible += 1;
         }
+        self.debug_check_row(vi);
         true
     }
 
     /// Relocates row `vi` to the end of the arena with capacity
     /// `max(2, 2 * cap)`. Doubling makes insertion amortized O(1) and
-    /// bounds total capacity at twice the live entries; the abandoned
+    /// bounds per-row capacity at twice its peak length; the abandoned
     /// slots are tracked in `dead_space` and reclaimed by
-    /// [`Self::compact`] once they exceed half the arena — so the arena
-    /// never exceeds ~4x the live edge entries.
+    /// [`Self::compact`] once they exceed half the arena.
+    ///
+    /// Compaction is considered *before* the relocation, against the
+    /// prospective dead space `dead_space + cap` (the slots this
+    /// relocation is about to abandon). Ordering is load-bearing:
+    /// `compact()` repacks every row tight (`row_cap = row_len`), so if
+    /// it ran *after* the relocation it would confiscate the slack just
+    /// allocated here while the caller (`push_to_row`) still holds a
+    /// pending write into it — `targets[start + len]` would then be the
+    /// next row's first slot (silent adjacency corruption) or one past
+    /// the arena end (panic), and `row_len += 1` would leave `row_len >
+    /// row_cap` standing. Triggering on the prospective total first
+    /// means the row is relocated into a freshly-compacted arena and its
+    /// new slack survives until the caller's write lands.
     fn grow_row(&mut self, vi: usize) {
+        let doomed = self.row_cap[vi] as usize;
+        if (self.dead_space + doomed) * 2 > self.targets.len() && self.targets.len() > 64 {
+            self.compact();
+        }
+        // Re-read after the possible compaction: it moved the row and
+        // tightened its capacity.
         let len = self.row_len[vi] as usize;
         let old_cap = self.row_cap[vi] as usize;
-        let new_cap = (old_cap * 2).max(2);
         let old_start = self.offsets[vi] as usize;
+        let new_cap = (old_cap * 2).max(2);
         let new_start = self.targets.len();
         self.targets.extend_from_within(old_start..old_start + len);
         self.targets.resize(new_start + new_cap, 0);
         self.offsets[vi] = new_start as u32;
         self.row_cap[vi] = new_cap as u32;
         self.dead_space += old_cap;
+        self.debug_check_row(vi);
+    }
+
+    /// Compacts if dead slots exceed half the arena (the same threshold
+    /// `grow_row` applies prospectively). Removal paths call this after
+    /// abandoning a dead node's capacity; there is never a pending write
+    /// at those call sites, so compacting immediately is safe.
+    fn maybe_compact(&mut self) {
         if self.dead_space * 2 > self.targets.len() && self.targets.len() > 64 {
             self.compact();
         }
@@ -494,19 +593,101 @@ impl<P: Protocol> CompiledKernel<P> {
     /// slack, no dead space. O(n + m); triggered only when at least half
     /// the arena is abandoned, so the cost is amortized against the
     /// growth that created the garbage.
+    ///
+    /// **Must not run between a row growth and the write into the grown
+    /// slack** — see [`Self::grow_row`] for the ordering contract.
     fn compact(&mut self) {
         let n = self.row_len.len();
         let total: usize = self.row_len.iter().map(|&l| l as usize).sum();
-        let mut packed = Vec::with_capacity(total);
+        let mut tight = Vec::with_capacity(total);
         for v in 0..n {
             let start = self.offsets[v] as usize;
             let len = self.row_len[v] as usize;
-            self.offsets[v] = packed.len() as u32;
-            packed.extend_from_slice(&self.targets[start..start + len]);
+            self.offsets[v] = tight.len() as u32;
+            tight.extend_from_slice(&self.targets[start..start + len]);
             self.row_cap[v] = len as u32;
         }
-        self.targets = packed;
+        self.targets = tight;
         self.dead_space = 0;
+        // Conservation: with every row tight and no dead slots, the rows
+        // must tile the arena exactly.
+        debug_assert_eq!(
+            self.targets.len(),
+            self.row_cap.iter().map(|&c| c as usize).sum::<usize>(),
+            "compacted arena must equal the sum of row capacities"
+        );
+    }
+
+    /// Cheap per-row invariant probe on the surgery hot paths (debug
+    /// builds only): the row fits its capacity and the capacity fits the
+    /// arena.
+    #[inline]
+    fn debug_check_row(&self, vi: usize) {
+        debug_assert!(
+            self.row_len[vi] <= self.row_cap[vi],
+            "row {vi}: len {} exceeds cap {}",
+            self.row_len[vi],
+            self.row_cap[vi]
+        );
+        debug_assert!(
+            self.offsets[vi] as usize + self.row_cap[vi] as usize <= self.targets.len(),
+            "row {vi} extends past the arena end"
+        );
+    }
+
+    /// Full arena validation — the test oracle behind the equivalence
+    /// suites. Checks, for every row: `row_len <= row_cap` and
+    /// `offset + row_cap <= arena`; that rows with nonzero capacity are
+    /// pairwise disjoint; conservation (`Σ row_cap + dead_space ==
+    /// arena`, which holds exactly through every surgery); and that dead
+    /// space is at most half the arena (the compaction threshold, modulo
+    /// the small-arena cutoff).
+    ///
+    /// O(n log n); uses hard `assert!`s so integration tests (compiled
+    /// without `cfg(test)` for this crate) fail loudly in release runs
+    /// too.
+    pub fn validate_arena(&self) {
+        let n = self.row_len.len();
+        assert_eq!(self.offsets.len(), n, "offsets length mismatch");
+        assert_eq!(self.row_cap.len(), n, "row_cap length mismatch");
+        let mut cap_total = 0usize;
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        for v in 0..n {
+            let len = self.row_len[v] as usize;
+            let cap = self.row_cap[v] as usize;
+            let start = self.offsets[v] as usize;
+            assert!(len <= cap, "row {v}: len {len} exceeds cap {cap}");
+            assert!(
+                start + cap <= self.targets.len(),
+                "row {v} extends past the arena end"
+            );
+            cap_total += cap;
+            if cap > 0 {
+                spans.push((start, cap));
+            }
+        }
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            assert!(
+                w[0].0 + w[0].1 <= w[1].0,
+                "rows overlap: [{}, +{}) and [{}, +{})",
+                w[0].0,
+                w[0].1,
+                w[1].0,
+                w[1].1
+            );
+        }
+        assert_eq!(
+            cap_total + self.dead_space,
+            self.targets.len(),
+            "conservation: capacities + dead space must tile the arena"
+        );
+        assert!(
+            self.dead_space * 2 <= self.targets.len().max(64),
+            "dead space {} exceeds half the arena {}",
+            self.dead_space,
+            self.targets.len()
+        );
     }
 
     /// The live CSR row of node `v` — its neighbour multiset, in arena
@@ -564,6 +745,7 @@ impl<P: Protocol> CompiledKernel<P> {
         faults: u64,
     ) -> usize {
         let trace = tracer.enabled();
+        self.refresh_packed(states);
         self.pending.clear();
         let (stats, scheduled) = if self.use_dirty {
             let mut work = std::mem::take(&mut self.worklist);
@@ -608,6 +790,16 @@ impl<P: Protocol> CompiledKernel<P> {
         changed
     }
 
+    /// Re-encodes the packed mirror if an out-of-band write invalidated
+    /// it. Runs at the top of every step, before evaluation reads it.
+    fn refresh_packed(&mut self, states: &[P::State]) {
+        if self.packed_stale {
+            self.packed.reencode(states);
+            self.packed_stale = false;
+        }
+        debug_assert_eq!(self.packed.len(), states.len(), "packed mirror desynced");
+    }
+
     /// Evaluates `nodes` against the *current* `states`, pushing changes
     /// into `self.pending`. Returns the evaluation counters (only
     /// `evaluated` is maintained when `TRACE` is false).
@@ -624,39 +816,32 @@ impl<P: Protocol> CompiledKernel<P> {
             targets: &self.targets,
             alive: &self.alive,
         };
-        match &mut self.plan {
-            Plan::Tabular(t) => eval_chunk::<P, TRACE>(
-                protocol,
-                &csr,
-                PlanRef::Tabular(t),
-                states,
-                nodes,
-                round_seed,
-                &mut self.pending,
-                &mut [],
-                &mut Vec::new(),
-            ),
-            Plan::Direct { scratch, touched } => eval_chunk::<P, TRACE>(
-                protocol,
-                &csr,
-                PlanRef::Direct,
-                states,
-                nodes,
-                round_seed,
-                &mut self.pending,
-                scratch,
-                touched,
-            ),
-        }
+        let plan_ref = match &self.plan {
+            Plan::Tabular(t) => PlanRef::Tabular(t),
+            Plan::Direct => PlanRef::Direct,
+        };
+        eval_chunk::<P, TRACE>(
+            protocol,
+            &csr,
+            plan_ref,
+            &self.packed,
+            states,
+            nodes,
+            round_seed,
+            &mut self.pending,
+            &mut self.bufs,
+        )
     }
 
     /// Applies `self.pending`, marks changed nodes + their neighbours
-    /// dirty, bumps metrics. Shared by the sequential and parallel steps.
+    /// dirty, keeps the packed mirror in sync, bumps metrics. Shared by
+    /// the sequential and parallel steps.
     fn commit(&mut self, states: &mut [P::State], metrics: &mut Metrics, evaluated: u64) -> usize {
         let changed = self.pending.len();
         for i in 0..changed {
             let (v, s) = self.pending[i];
             states[v as usize] = s;
+            self.packed.set(v as usize, s.index() as u32);
             if self.use_dirty {
                 self.mark_dirty(v);
                 let start = self.offsets[v as usize] as usize;
@@ -723,6 +908,7 @@ fn eval_shards<P, const TRACE: bool>(
     protocol: &P,
     csr: &CsrRef<'_>,
     plan: &Plan,
+    packed: &PackedStates,
     frozen: &[P::State],
     split: &ShardWork<'_>,
     arenas: &[Mutex<ShardArena<P>>],
@@ -738,30 +924,30 @@ fn eval_shards<P, const TRACE: bool>(
         arena.out.clear();
         let plan_ref = match plan {
             Plan::Tabular(t) => PlanRef::Tabular(t),
-            Plan::Direct { .. } => PlanRef::Direct,
+            Plan::Direct => PlanRef::Direct,
         };
         arena.stats = match split {
             ShardWork::Slices(sl) => eval_chunk::<P, TRACE>(
                 protocol,
                 csr,
                 plan_ref,
+                packed,
                 frozen,
                 sl[k].iter().copied(),
                 round_seed,
                 &mut arena.out,
-                &mut arena.scratch,
-                &mut arena.touched,
+                &mut arena.bufs,
             ),
             ShardWork::Ranges(p) => eval_chunk::<P, TRACE>(
                 protocol,
                 csr,
                 plan_ref,
+                packed,
                 frozen,
                 p.range(k),
                 round_seed,
                 &mut arena.out,
-                &mut arena.scratch,
-                &mut arena.touched,
+                &mut arena.bufs,
             ),
         };
     });
@@ -789,11 +975,7 @@ where
             .map(|_| {
                 Mutex::new(ShardArena {
                     out: Vec::new(),
-                    scratch: match self.plan {
-                        Plan::Direct { .. } => vec![0; P::State::COUNT],
-                        Plan::Tabular(_) => Vec::new(),
-                    },
-                    touched: Vec::new(),
+                    bufs: EvalBufs::default(),
                     stats: EvalStats::default(),
                 })
             })
@@ -844,6 +1026,7 @@ where
     ) -> usize {
         let trace = tracer.enabled();
         let shards = pool.threads();
+        self.refresh_packed(states);
         self.pending.clear();
         // Gather this round's work exactly as the sequential step does.
         let work: Option<Vec<NodeId>> = if self.use_dirty {
@@ -902,6 +1085,7 @@ where
                     protocol,
                     &csr,
                     &self.plan,
+                    &self.packed,
                     frozen,
                     &split,
                     &sharding.arenas,
@@ -913,6 +1097,7 @@ where
                     protocol,
                     &csr,
                     &self.plan,
+                    &self.packed,
                     frozen,
                     &split,
                     &sharding.arenas,
@@ -983,29 +1168,59 @@ struct CsrRef<'a> {
     alive: &'a [bool],
 }
 
-/// The shared inner loop: evaluates `nodes` over frozen `states`,
-/// appending `(node, new state)` for changed nodes to `out`. `scratch` /
-/// `touched` are only used by the direct plan (`scratch` must be all-zero
-/// and length `|Q|`, or empty for the tabular plan). With `TRACE` false
-/// every metric branch is a compile-time constant and the loop is the
-/// untraced hot path, unchanged.
+/// Branch-light in-place insertion sort for short gathered rows.
+#[inline]
+fn insertion_sort(a: &mut [u32]) {
+    for i in 1..a.len() {
+        let x = a[i];
+        let mut j = i;
+        while j > 0 && a[j - 1] > x {
+            a[j] = a[j - 1];
+            j -= 1;
+        }
+        a[j] = x;
+    }
+}
+
+/// The shared inner loop: evaluates `nodes` over frozen `states` (whose
+/// packed mirror is `packed`), appending `(node, new state)` for changed
+/// nodes to `out`. `bufs` is the evaluator's private workspace
+/// (`bufs.scratch` must be all-zero between calls — the dense fallback
+/// restores that itself). With `TRACE` false every metric branch is a
+/// compile-time constant and the loop is the untraced hot path,
+/// unchanged.
+///
+/// Both plans are *segmented CSR reductions*: gather the row's packed
+/// state indices into one contiguous buffer (a width dispatch per row,
+/// then a tight widening loop the compiler vectorizes), then reduce the
+/// buffer — a tiny per-state histogram mapped through [`class_of`] for
+/// the tabular plan, or sort + run-length encoding into a sparse
+/// [`NeighborView`] for the direct plan. Regrouping the SM reduction
+/// this way is faithful by symmetry (the transition depends only on the
+/// multiset), so results are bit-identical to the one-neighbour-at-a-
+/// time fold this replaced.
 #[allow(clippy::too_many_arguments)]
 fn eval_chunk<P: Protocol, const TRACE: bool>(
     protocol: &P,
     csr: &CsrRef<'_>,
     plan: PlanRef<'_>,
+    packed: &PackedStates,
     states: &[P::State],
     nodes: impl Iterator<Item = NodeId>,
     round_seed: u64,
     out: &mut Vec<(NodeId, P::State)>,
-    scratch: &mut [u32],
-    touched: &mut Vec<u32>,
+    bufs: &mut EvalBufs,
 ) -> EvalStats {
     let mut stats = EvalStats::default();
     let mut evaluated = 0u64;
     match plan {
         PlanRef::Tabular(t) => {
             let q = P::State::COUNT;
+            // `classes >= 2` and `classes^q <= ACC_BUDGET = 2^12` bound
+            // the tabular alphabet at 12 states; the histogram lives in
+            // registers/L1.
+            debug_assert!(q <= 16, "tabular plan implies a tiny alphabet");
+            let mut hist = [0u32; 16];
             for v in nodes {
                 let vi = v as usize;
                 let len = csr.row_len[vi] as usize;
@@ -1013,13 +1228,26 @@ fn eval_chunk<P: Protocol, const TRACE: bool>(
                     continue;
                 }
                 let start = csr.offsets[vi] as usize;
-                let mut acc = 0usize;
-                for &w in &csr.targets[start..start + len] {
-                    acc = t.fold[acc * q + states[w as usize].index()] as usize;
+                packed.gather(&csr.targets[start..start + len], &mut bufs.row);
+                hist[..q].fill(0);
+                for &s in &bufs.row {
+                    hist[s as usize] += 1;
+                }
+                // Digit-wise accumulator: digit j = class of state j's
+                // count. Count classes are exactly how the per-neighbour
+                // fold saturates, so this equals the fold chain while
+                // replacing `len` serially-dependent table loads with a
+                // q-digit polynomial evaluation.
+                let mut acc = 0u64;
+                let mut weight = 1u64;
+                for &h in &hist[..q] {
+                    acc += class_of(h as u64, t.bound, t.period) * weight;
+                    weight *= t.classes;
                 }
                 let own = states[vi].index();
                 let coin = round_coin(round_seed, v, P::RANDOMNESS) as usize;
-                let new_idx = t.trans[(own * t.randomness + coin) * t.acc_count + acc] as usize;
+                let new_idx =
+                    t.trans[(own * t.randomness + coin) * t.acc_count + acc as usize] as usize;
                 evaluated += 1;
                 if TRACE {
                     stats.reads += len as u64;
@@ -1040,28 +1268,63 @@ fn eval_chunk<P: Protocol, const TRACE: bool>(
                     continue;
                 }
                 let start = csr.offsets[vi] as usize;
-                for &w in &csr.targets[start..start + len] {
-                    let idx = states[w as usize].index();
-                    if scratch[idx] == 0 {
-                        touched.push(idx as u32);
-                    }
-                    scratch[idx] += 1;
-                }
-                // Canonical presence order: insertion order follows the
-                // arena row, which incremental surgery may have relocated
-                // — sort so `present_states` iteration is identical to a
-                // from-scratch build and to the interpreter.
-                touched.sort_unstable();
+                packed.gather(&csr.targets[start..start + len], &mut bufs.row);
                 let old = states[vi];
-                let new = {
+                let coin = round_coin(round_seed, v, P::RANDOMNESS);
+                let new = if len <= DENSE_MIN {
+                    // Sort + run-length encode: ascending indices are the
+                    // canonical `present_states` order (identical to the
+                    // interpreter and to a from-scratch build, however
+                    // incremental surgery permuted the arena row).
+                    if len <= SMALL_SORT {
+                        insertion_sort(&mut bufs.row);
+                    } else {
+                        bufs.row.sort_unstable();
+                    }
+                    bufs.idx.clear();
+                    bufs.cnt.clear();
+                    let mut i = 0;
+                    while i < len {
+                        let s = bufs.row[i];
+                        let mut j = i + 1;
+                        while j < len && bufs.row[j] == s {
+                            j += 1;
+                        }
+                        bufs.idx.push(s);
+                        bufs.cnt.push((j - i) as u32);
+                        i = j;
+                    }
                     let view: NeighborView<'_, P::State> =
-                        NeighborView::new_with_presence(scratch, Some(touched), None);
-                    protocol.transition(old, &view, round_coin(round_seed, v, P::RANDOMNESS))
+                        NeighborView::new_sparse(&bufs.idx, &bufs.cnt, None);
+                    protocol.transition(old, &view, coin)
+                } else {
+                    // Hub rows: one O(len) scatter into the dense tally
+                    // beats sorting. Allocated lazily — most protocols
+                    // and graphs never take this branch.
+                    if bufs.scratch.len() < P::State::COUNT {
+                        bufs.scratch.resize(P::State::COUNT, 0);
+                    }
+                    for &s in &bufs.row {
+                        if bufs.scratch[s as usize] == 0 {
+                            bufs.touched.push(s);
+                        }
+                        bufs.scratch[s as usize] += 1;
+                    }
+                    bufs.touched.sort_unstable();
+                    let new = {
+                        let view: NeighborView<'_, P::State> = NeighborView::new_with_presence(
+                            &bufs.scratch,
+                            Some(&bufs.touched),
+                            None,
+                        );
+                        protocol.transition(old, &view, coin)
+                    };
+                    for &s in bufs.touched.iter() {
+                        bufs.scratch[s as usize] = 0;
+                    }
+                    bufs.touched.clear();
+                    new
                 };
-                for &idx in touched.iter() {
-                    scratch[idx as usize] = 0;
-                }
-                touched.clear();
                 evaluated += 1;
                 if TRACE {
                     stats.reads += len as u64;
@@ -1166,28 +1429,16 @@ fn build_tables<P: Protocol>(protocol: &P) -> Option<Tables> {
         }
 
         // Bounds subsumed: the representative-count evaluation above is
-        // exact on classes. Build the fold table.
-        let mut fold = vec![0u32; acc_total * q];
-        for a in 0..acc_total {
-            let mut rem = a as u64;
-            let mut weight = 1u64;
-            for entry in fold[a * q..(a + 1) * q].iter_mut() {
-                let digit = rem % classes;
-                rem /= classes;
-                let next = if digit < bound {
-                    class_of(digit + 1, bound, period)
-                } else {
-                    bound + (digit - bound + 1) % period
-                };
-                *entry = (a as u64 + (next - digit) * weight) as u32;
-                weight *= classes;
-            }
-        }
+        // exact on classes. The evaluator computes accumulators directly
+        // from per-row histograms via `class_of`, so the table set is
+        // just `trans` plus the class parameters.
         return Some(Tables {
             acc_count: acc_total,
-            fold,
             trans,
             randomness: r,
+            bound,
+            period,
+            classes,
         });
     }
     None
@@ -1647,14 +1898,14 @@ mod tests {
         let mut k = CompiledKernel::new(&net);
         // Row 0 starts tight at cap 1 (degree 1). Growing it past its
         // capacity must relocate with doubling and account dead space.
-        k.on_node_added(2);
+        k.on_node_added(2, Infect::Healthy);
         k.on_edge_added(0, 2);
         assert_eq!(k.row_len[0], 2);
         assert!(k.row_cap[0] >= 2, "row relocated with more capacity");
         assert!(k.dead_space() > 0, "old allocation abandoned");
         // Hammer one hub row: arena stays bounded by compaction.
         for i in 3..200u32 {
-            k.on_node_added(i);
+            k.on_node_added(i, Infect::Healthy);
             k.on_edge_added(0, i);
         }
         assert_eq!(k.row_len[0], 199);
@@ -1679,14 +1930,255 @@ mod tests {
         assert_eq!(row, want);
     }
 
+    /// Abandons removable `ballast` nodes until the *next* growth of
+    /// `hub`'s (full) row must run the prospective compaction inside
+    /// `grow_row`. Returns the hub row capacity at the armed point.
+    ///
+    /// Before the removal-accounting fix, a removed node's capacity was
+    /// never added to `dead_space`, so the trigger window is unreachable
+    /// and the final assertion here fails — this helper is the pre-fix
+    /// discriminator for both mid-growth tests below.
+    fn arm_mid_growth_compaction(
+        net: &mut Network<Spread>,
+        hub: NodeId,
+        ballast: &[NodeId],
+    ) -> usize {
+        let cap = {
+            let k = net.kernel().unwrap();
+            assert_eq!(
+                k.row_len[hub as usize], k.row_cap[hub as usize],
+                "hub row must be full so the next push grows it"
+            );
+            k.row_cap[hub as usize] as usize
+        };
+        for &v in ballast {
+            {
+                let k = net.kernel().unwrap();
+                if (k.dead_space() + cap) * 2 > k.arena_len() {
+                    return cap;
+                }
+            }
+            assert!(net.remove_node(v));
+        }
+        let k = net.kernel().unwrap();
+        assert!(
+            (k.dead_space() + cap) * 2 > k.arena_len(),
+            "abandoned {} ballast rows without arming the compaction \
+             trigger: dead space {} of arena {} (removal accounting lost)",
+            ballast.len(),
+            k.dead_space(),
+            k.arena_len()
+        );
+        cap
+    }
+
+    /// Audits every live CSR row against a kernel rebuilt from scratch,
+    /// then runs both in lockstep for `rounds`.
+    fn assert_matches_rebuilt(net: &mut Network<Spread>, rounds: std::ops::Range<u64>) {
+        let snap = net.graph().snapshot();
+        let mut rebuilt = Network::new(&snap, Spread, |v| net.state(v));
+        for w in 0..snap.n() as NodeId {
+            if !net.graph().is_alive(w) {
+                rebuilt.remove_node(w);
+            }
+        }
+        rebuilt.ensure_kernel();
+        {
+            let (ki, kr) = (net.kernel().unwrap(), rebuilt.kernel().unwrap());
+            for w in 0..snap.n() as NodeId {
+                if net.graph().is_alive(w) {
+                    let mut a = ki.row(w).to_vec();
+                    let mut b = kr.row(w).to_vec();
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    assert_eq!(a, b, "row {w} diverged from the rebuilt kernel");
+                }
+            }
+        }
+        for round in rounds {
+            let ca = net.sync_step_kernel_seeded(round);
+            let cb = rebuilt.sync_step_kernel_seeded(round);
+            assert_eq!(ca, cb, "round {round} change counts");
+            assert_eq!(net.states(), rebuilt.states(), "round {round} states");
+        }
+    }
+
+    /// Ballast whose abandonment never touches the hub rows: isolated
+    /// pairs `v—w`, so each removed node contributes its whole cap-2 row
+    /// to dead space (1:1 dead-to-arena ratio within the ballast region).
+    fn ballast_pairs(net: &mut Network<Spread>, pairs: usize) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(2 * pairs);
+        for _ in 0..pairs {
+            let v = net.add_node(Infect::Healthy);
+            let w = net.add_node(Infect::Healthy);
+            assert!(net.add_edge(v, w));
+            out.push(v);
+            out.push(w);
+        }
+        out
+    }
+
+    #[test]
+    fn compaction_fires_mid_growth_on_interior_row() {
+        // Regression for the mid-growth compaction bug: row 0 has the
+        // lowest index, so compaction packs it *first* and other rows
+        // follow it. Before the fix, a compaction firing inside
+        // `grow_row` repacked the arena tight after the grown slack was
+        // reserved, and the pending neighbour write landed in the next
+        // row's first slot instead of row 0's own slack.
+        let g = generators::path(2);
+        let mut net = Network::new(&g, Spread, |v| {
+            if v == 0 {
+                Infect::Infected
+            } else {
+                Infect::Healthy
+            }
+        });
+        net.ensure_kernel();
+        // Fill row 0 until it sits exactly at a doubling boundary.
+        let mut spokes = vec![1u32];
+        loop {
+            let k = net.kernel().unwrap();
+            if k.row_cap[0] >= 64 && k.row_len[0] == k.row_cap[0] {
+                break;
+            }
+            let v = net.add_node(Infect::Healthy);
+            assert!(net.add_edge(0, v));
+            spokes.push(v);
+        }
+        let ballast = ballast_pairs(&mut net, 300);
+        let cap = arm_mid_growth_compaction(&mut net, 0, &ballast);
+        let dead_before = net.kernel().unwrap().dead_space();
+        // The poisoned push: row 0 is full and the prospective trigger
+        // is armed, so this growth compacts first, relocates the row,
+        // and the pending write must land in the fresh slack.
+        let trigger = net.add_node(Infect::Healthy);
+        assert!(net.add_edge(0, trigger));
+        spokes.push(trigger);
+        {
+            let k = net.kernel().unwrap();
+            k.validate_arena();
+            // Compaction observably ran inside the growth: all prior
+            // garbage was reclaimed, leaving exactly the relocated
+            // row's tightened capacity behind.
+            assert_eq!(k.dead_space(), cap, "compaction ran inside grow_row");
+            assert!(dead_before > k.dead_space(), "garbage was reclaimed");
+            let mut row: Vec<NodeId> = k.row(0).to_vec();
+            row.sort_unstable();
+            spokes.sort_unstable();
+            assert_eq!(row, spokes, "write landed in row 0's own slack");
+        }
+        assert_matches_rebuilt(&mut net, 0..5);
+    }
+
+    #[test]
+    fn compaction_fires_mid_growth_on_last_arena_row() {
+        // Same scenario, but the grown row is the highest-index node:
+        // compaction packs it at the very end of the arena, so before
+        // the fix the pending write targeted one slot *past* the arena
+        // (an out-of-bounds panic rather than silent corruption).
+        let g = generators::path(2);
+        let mut net = Network::new(&g, Spread, |v| {
+            if v == 0 {
+                Infect::Infected
+            } else {
+                Infect::Healthy
+            }
+        });
+        net.ensure_kernel();
+        // Persistent partners the hub will connect to, plus an isolated
+        // spare kept for the poisoned push: its empty row (cap 0) grows
+        // without abandoning anything, so the only dead space left after
+        // the trigger is the hub row's own relocation.
+        let partners: Vec<NodeId> = (0..64).map(|_| net.add_node(Infect::Healthy)).collect();
+        let spare = net.add_node(Infect::Healthy);
+        let ballast = ballast_pairs(&mut net, 300);
+        // The hub arrives last: highest node index, hence the last row
+        // the compaction pass packs.
+        let hub = net.add_node(Infect::Healthy);
+        for &p in &partners {
+            assert!(net.add_edge(hub, p));
+        }
+        {
+            let k = net.kernel().unwrap();
+            assert_eq!(k.row_len[hub as usize], 64);
+            assert_eq!(k.row_cap[hub as usize], 64, "doubling lands exactly full");
+        }
+        let cap = arm_mid_growth_compaction(&mut net, hub, &ballast);
+        // The poisoned push: the spare is not yet adjacent to the hub.
+        assert!(net.add_edge(hub, spare));
+        {
+            let k = net.kernel().unwrap();
+            k.validate_arena();
+            assert_eq!(k.dead_space(), cap, "compaction ran inside grow_row");
+            let mut row: Vec<NodeId> = k.row(hub).to_vec();
+            row.sort_unstable();
+            let mut want = partners.clone();
+            want.push(spare);
+            want.sort_unstable();
+            assert_eq!(row, want, "write stayed inside the arena");
+        }
+        assert_matches_rebuilt(&mut net, 0..5);
+    }
+
+    #[test]
+    fn removal_heavy_churn_keeps_arena_bounded() {
+        // Seeded removal-heavy sweep. Before the fix, a removed node's
+        // capacity was never counted as dead space, compaction never
+        // fired, and the arena grew linearly with churn volume. After
+        // it, doubling bounds each live row at 2x its length and the
+        // compaction trigger bounds garbage at half the arena, so the
+        // arena stays within ~4x the live entries no matter how long
+        // the churn runs.
+        let g = generators::grid(8, 8);
+        let mut net = Network::new(&g, Spread, |v| {
+            if v == 0 {
+                Infect::Infected
+            } else {
+                Infect::Healthy
+            }
+        });
+        net.ensure_kernel();
+        let mut rng = Xoshiro256::seed_from_u64(0x0C5A);
+        let mut alive: Vec<NodeId> = (1..64).collect();
+        for cycle in 0..30u64 {
+            let removals = alive.len() / 2;
+            for _ in 0..removals {
+                let i = rng.next_u64() as usize % alive.len();
+                let v = alive.swap_remove(i);
+                assert!(net.remove_node(v));
+            }
+            for _ in 0..removals {
+                let v = net.add_node(Infect::Healthy);
+                for _ in 0..3 {
+                    let w = alive[rng.next_u64() as usize % alive.len()];
+                    net.add_edge(v, w);
+                }
+                alive.push(v);
+            }
+            for r in 0..2 {
+                net.sync_step_kernel_seeded(cycle * 2 + r);
+            }
+            net.kernel().unwrap().validate_arena();
+        }
+        let k = net.kernel().unwrap();
+        let live: usize = k.row_len.iter().map(|&l| l as usize).sum();
+        assert!(live > 0, "churn must leave live structure behind");
+        assert!(
+            k.arena_len() <= 4 * live + 64,
+            "arena {} not bounded by ~4x live {live}",
+            k.arena_len()
+        );
+    }
+
     #[test]
     fn stale_node_addition_is_skipped() {
         let mut net = infected_path(3);
         net.ensure_kernel();
         let mut k = CompiledKernel::new(&net);
-        k.on_node_added(7); // not the next slot: must be ignored
+        k.on_node_added(7, Infect::Healthy); // not the next slot: must be ignored
         assert_eq!(k.row_len.len(), 3);
-        k.on_node_added(3);
+        k.on_node_added(3, Infect::Healthy);
         assert_eq!(k.row_len.len(), 4);
     }
 

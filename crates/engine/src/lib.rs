@@ -22,9 +22,14 @@
 //!   3.4 (uniform-random, round-robin sweeps, random-permutation sweeps),
 //!   fully adversarial orders, and engine selection (interpreter vs
 //!   compiled kernel).
-//! * [`kernel`] — the compiled execution path: dense transition/fold
-//!   tables over `StateSpace::index`, CSR adjacency, and a dirty-set
+//! * [`kernel`] — the compiled execution path: a [`PackedStates`] index
+//!   mirror gathered row-by-row over CSR adjacency (batched histogram /
+//!   run-length reductions instead of per-neighbour fold chains), dense
+//!   transition tables over `StateSpace::index`, and a dirty-set
 //!   synchronous scheduler.
+//! * [`packed`] — the width-specialized per-node state-index array (4,
+//!   8, 16, or 32 bits per node, chosen from `|Q|`) behind the kernel's
+//!   segmented reductions.
 //! * [`scheduler`] — the deprecated pre-[`Runner`] entry points
 //!   ([`SyncScheduler`], [`AsyncScheduler`]), kept as thin wrappers.
 //! * [`parallel`] (feature `parallel`, default on) — a multi-threaded
@@ -72,6 +77,7 @@ pub mod interp;
 pub mod kernel;
 pub mod network;
 pub mod obs;
+pub mod packed;
 #[cfg(feature = "parallel")]
 pub mod parallel;
 #[cfg(feature = "parallel")]
@@ -102,6 +108,7 @@ pub use obs::{
     ChurnRoundMetrics, Counters, FaultSurgery, JsonlTrace, NullTracer, RoundLog, RoundMetrics,
     RunMetrics, ShardRoundMetrics, Tee, Tracer,
 };
+pub use packed::PackedStates;
 #[cfg(feature = "parallel")]
 pub use pool::ShardPool;
 pub use protocol::{Protocol, StateSpace};

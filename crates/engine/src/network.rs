@@ -269,7 +269,7 @@ impl<P: Protocol> Network<P> {
         self.next.push(state);
         self.pending_faults += 1;
         if let Some(k) = self.kernel.as_mut() {
-            k.on_node_added(v);
+            k.on_node_added(v, state);
         }
         v
     }

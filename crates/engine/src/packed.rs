@@ -1,0 +1,257 @@
+//! Packed per-node state mirrors for the compiled kernel.
+//!
+//! FSSGA protocols are *finite-state* by construction (paper §2–3): a
+//! node's state is an index in `0..|Q|`, and `|Q|` is a compile-time
+//! constant of the protocol. Storing one full `P::State` word per node is
+//! therefore pure slack — the kernel only ever needs the *index* of a
+//! neighbour's state to tally a multiset. [`PackedStates`] is that dense
+//! index array at the narrowest width that fits `|Q|`:
+//!
+//! | `|Q|`        | representation       | bits/node |
+//! |--------------|----------------------|-----------|
+//! | `<= 16`      | nibble-packed `u8`   | 4         |
+//! | `<= 256`     | `u8`                 | 8         |
+//! | `<= 65536`   | `u16`                | 16        |
+//! | otherwise    | `u32`                | 32        |
+//!
+//! The kernel's hot loop is a segmented CSR reduction: for each
+//! evaluated node, gather the packed indices of its CSR row into a small
+//! contiguous buffer, then reduce that buffer (sort + run-length tally,
+//! or a tiny histogram for tabular plans). Pritchard's divide-and-conquer
+//! treatment of symmetric FSAs licenses *any* regrouping of the SM
+//! reduction, so batching per row is faithful by construction — and the
+//! gather touches 2–8x less memory than reading full state words, which
+//! is the entire win on a single-core host. [`PackedStates::gather`] is
+//! written as one branchless `extend` per representation so the width
+//! dispatch happens once per row, never per element, and the widening
+//! loop autovectorizes.
+//!
+//! The mirror is maintained exactly like the kernel's CSR topology
+//! mirror: encoded once at kernel construction, dual-written on every
+//! commit, grown on node arrival, and re-encoded wholesale when states
+//! were written out-of-band (the same `kernel_stale` events that
+//! invalidate the dirty set).
+
+use fssga_graph::NodeId;
+
+use crate::protocol::StateSpace;
+
+/// The width-specialized storage (see the module table).
+enum Repr {
+    /// Two states per byte, low nibble first. `|Q| <= 16`.
+    Nibble(Vec<u8>),
+    /// `|Q| <= 256`.
+    Byte(Vec<u8>),
+    /// `|Q| <= 65536`.
+    Wide(Vec<u16>),
+    /// Fallback for huge product alphabets.
+    Word(Vec<u32>),
+}
+
+/// A dense array of state *indices*, one per node slot, stored at the
+/// narrowest width that fits the protocol's `|Q|`.
+pub struct PackedStates {
+    repr: Repr,
+    len: usize,
+}
+
+impl PackedStates {
+    /// Packs `states[i].index()` for every slot, choosing the width from
+    /// `S::COUNT`.
+    pub fn encode<S: StateSpace>(states: &[S]) -> Self {
+        let mut p = Self::with_width(S::COUNT);
+        p.extend_from(states);
+        p
+    }
+
+    /// An empty packed array sized for an alphabet of `count` states.
+    fn with_width(count: usize) -> Self {
+        let repr = if count <= 16 {
+            Repr::Nibble(Vec::new())
+        } else if count <= 1 << 8 {
+            Repr::Byte(Vec::new())
+        } else if count <= 1 << 16 {
+            Repr::Wide(Vec::new())
+        } else {
+            Repr::Word(Vec::new())
+        };
+        Self { repr, len: 0 }
+    }
+
+    /// Re-packs every slot from `states`, keeping the allocation. Used
+    /// when states were written outside the kernel (interpreter rounds,
+    /// [`crate::Network::set_state`]) and the mirror must be rebuilt.
+    pub fn reencode<S: StateSpace>(&mut self, states: &[S]) {
+        match &mut self.repr {
+            Repr::Nibble(d) => d.clear(),
+            Repr::Byte(d) => d.clear(),
+            Repr::Wide(d) => d.clear(),
+            Repr::Word(d) => d.clear(),
+        }
+        self.len = 0;
+        self.extend_from(states);
+    }
+
+    fn extend_from<S: StateSpace>(&mut self, states: &[S]) {
+        for &s in states {
+            self.push(s.index() as u32);
+        }
+    }
+
+    /// Bits per node slot (4, 8, 16, or 32) — the compression the mirror
+    /// achieves over full state words.
+    pub fn width_bits(&self) -> u32 {
+        match self.repr {
+            Repr::Nibble(_) => 4,
+            Repr::Byte(_) => 8,
+            Repr::Wide(_) => 16,
+            Repr::Word(_) => 32,
+        }
+    }
+
+    /// Number of node slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slots are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The state index of slot `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        debug_assert!(i < self.len);
+        match &self.repr {
+            Repr::Nibble(d) => ((d[i >> 1] >> ((i & 1) * 4)) & 0xF) as u32,
+            Repr::Byte(d) => d[i] as u32,
+            Repr::Wide(d) => d[i] as u32,
+            Repr::Word(d) => d[i],
+        }
+    }
+
+    /// Overwrites the state index of slot `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, idx: u32) {
+        debug_assert!(i < self.len);
+        match &mut self.repr {
+            Repr::Nibble(d) => {
+                debug_assert!(idx < 16);
+                let shift = (i & 1) * 4;
+                let b = &mut d[i >> 1];
+                *b = (*b & !(0xF << shift)) | ((idx as u8) << shift);
+            }
+            Repr::Byte(d) => d[i] = idx as u8,
+            Repr::Wide(d) => d[i] = idx as u16,
+            Repr::Word(d) => d[i] = idx,
+        }
+    }
+
+    /// Appends one slot (a node arrival).
+    pub fn push(&mut self, idx: u32) {
+        match &mut self.repr {
+            Repr::Nibble(d) => {
+                debug_assert!(idx < 16);
+                if self.len & 1 == 0 {
+                    d.push(idx as u8);
+                } else {
+                    let b = d.last_mut().expect("odd length implies a last byte");
+                    *b |= (idx as u8) << 4;
+                }
+            }
+            Repr::Byte(d) => d.push(idx as u8),
+            Repr::Wide(d) => d.push(idx as u16),
+            Repr::Word(d) => d.push(idx),
+        }
+        self.len += 1;
+    }
+
+    /// Gathers the state indices of `targets` (a CSR row) into `out`,
+    /// widened to `u32`. One width dispatch per call; the per-element
+    /// loop is branch-free.
+    #[inline]
+    pub fn gather(&self, targets: &[NodeId], out: &mut Vec<u32>) {
+        out.clear();
+        match &self.repr {
+            Repr::Nibble(d) => out.extend(targets.iter().map(|&w| {
+                let i = w as usize;
+                ((d[i >> 1] >> ((i & 1) * 4)) & 0xF) as u32
+            })),
+            Repr::Byte(d) => out.extend(targets.iter().map(|&w| d[w as usize] as u32)),
+            Repr::Wide(d) => out.extend(targets.iter().map(|&w| d[w as usize] as u32)),
+            Repr::Word(d) => out.extend(targets.iter().map(|&w| d[w as usize])),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::StateSpace;
+
+    /// A fake alphabet of `N` states over plain indices.
+    #[derive(Copy, Clone, PartialEq, Eq, Debug)]
+    struct Ix<const N: usize>(u32);
+    impl<const N: usize> StateSpace for Ix<N> {
+        const COUNT: usize = N;
+        fn index(self) -> usize {
+            self.0 as usize
+        }
+        fn from_index(i: usize) -> Self {
+            Ix(i as u32)
+        }
+    }
+
+    fn roundtrip<const N: usize>(expect_bits: u32) {
+        let states: Vec<Ix<N>> = (0..37u32).map(|i| Ix(i % N as u32)).collect();
+        let mut p = PackedStates::encode(&states);
+        assert_eq!(p.width_bits(), expect_bits);
+        assert_eq!(p.len(), 37);
+        for (i, s) in states.iter().enumerate() {
+            assert_eq!(p.get(i), s.0, "width {expect_bits}, slot {i}");
+        }
+        // Overwrite every slot with a different value and read back.
+        for i in 0..p.len() {
+            p.set(i, (i as u32 * 7 + 1) % N as u32);
+        }
+        for i in 0..p.len() {
+            assert_eq!(p.get(i), (i as u32 * 7 + 1) % N as u32);
+        }
+        // Push growth (odd and even parity for the nibble case).
+        p.push(3 % N as u32);
+        p.push(5 % N as u32);
+        assert_eq!(p.len(), 39);
+        assert_eq!(p.get(37), 3 % N as u32);
+        assert_eq!(p.get(38), 5 % N as u32);
+        // Gather arbitrary targets.
+        let targets: Vec<NodeId> = vec![38, 0, 7, 7, 37];
+        let mut out = Vec::new();
+        p.gather(&targets, &mut out);
+        let want: Vec<u32> = targets.iter().map(|&t| p.get(t as usize)).collect();
+        assert_eq!(out, want);
+        // Re-encode restores the original mapping.
+        p.reencode(&states);
+        assert_eq!(p.len(), 37);
+        for (i, s) in states.iter().enumerate() {
+            assert_eq!(p.get(i), s.0);
+        }
+    }
+
+    #[test]
+    fn widths_roundtrip() {
+        roundtrip::<16>(4);
+        roundtrip::<17>(8);
+        roundtrip::<256>(8);
+        roundtrip::<257>(16);
+        roundtrip::<65536>(16);
+        roundtrip::<65537>(32);
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        let p = PackedStates::encode::<Ix<4>>(&[]);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+}

@@ -32,11 +32,14 @@
 //!
 //! The runner also decides *how* to execute: with [`Engine::Auto`] (the
 //! default), synchronous rounds of a protocol that opted in via
-//! [`Protocol::COMPILED`] run on the [`crate::CompiledKernel`] — dense
-//! tables, CSR adjacency, dirty-set scheduling — and everything else runs
-//! on the interpreter. Trajectories (states, change counts, fixpoint
-//! rounds) are bit-identical between engines; only the `activations`
-//! metric differs (the kernel provably skips no-op re-evaluations).
+//! [`Protocol::COMPILED`] run on the [`crate::CompiledKernel`] — a
+//! [`crate::PackedStates`] index mirror (4–32 bits per node) reduced row
+//! by row over CSR adjacency, with batched histogram/run-length
+//! tallies, dirty-set scheduling, and slack-growth arena repair under
+//! churn — and everything else runs on the interpreter. Trajectories
+//! (states, change counts, fixpoint rounds) are bit-identical between
+//! engines; only the `activations` metric differs (the kernel provably
+//! skips no-op re-evaluations).
 //!
 //! # Observability
 //!

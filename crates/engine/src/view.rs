@@ -65,18 +65,39 @@ impl QueryRecorder {
     }
 }
 
+/// How the multiplicity vector is stored behind a view.
+///
+/// The dense form is the classic length-`|Q|` vector (with an optional
+/// list of its nonzero indices). The sparse form stores only the nonzero
+/// entries as parallel `(index, count)` arrays in ascending index order —
+/// the run-length encoding the packed kernel produces per CSR row, where
+/// materializing a `|Q|`-length scratch vector per activation would undo
+/// the cache win of packing states in the first place.
+enum CountsRepr<'a> {
+    Dense {
+        counts: &'a [u32],
+        /// Indices with nonzero count, when the engine already knows them
+        /// (the activation tally's touched-list). Lets
+        /// [`NeighborView::present_states`] run in O(distinct states)
+        /// instead of O(|Q|) — essential for product-state protocols with
+        /// tens of thousands of states.
+        presence: Option<&'a [u32]>,
+    },
+    Sparse {
+        /// Nonzero state indices, strictly ascending.
+        idx: &'a [u32],
+        /// `cnt[i]` is the multiplicity of state `idx[i]`; all nonzero.
+        cnt: &'a [u32],
+    },
+}
+
 /// A symmetric, finite-state view of a neighbour multiset.
 ///
 /// All methods are functions of the multiplicity vector only, and each is
 /// realizable by a finite boolean combination of mod/thresh atoms — the
 /// doc comment of every method names the realization.
 pub struct NeighborView<'a, S: StateSpace> {
-    counts: &'a [u32],
-    /// Indices with nonzero count, when the engine already knows them
-    /// (the activation tally's touched-list). Lets [`Self::present_states`]
-    /// run in O(distinct states) instead of O(|Q|) — essential for
-    /// product-state protocols with tens of thousands of states.
-    presence: Option<&'a [u32]>,
+    repr: CountsRepr<'a>,
     recorder: Option<&'a RefCell<QueryRecorder>>,
     _ph: PhantomData<S>,
 }
@@ -97,10 +118,52 @@ impl<'a, S: StateSpace> NeighborView<'a, S> {
             "presence list must be strictly ascending"
         );
         Self {
-            counts,
-            presence,
+            repr: CountsRepr::Dense { counts, presence },
             recorder,
             _ph: PhantomData,
+        }
+    }
+
+    /// Engine-internal constructor over a run-length-encoded multiset:
+    /// `idx` lists the nonzero state indices in strictly ascending order
+    /// and `cnt` the matching multiplicities. This is what the packed
+    /// kernel builds per CSR row — no `|Q|`-length scratch involved.
+    pub(crate) fn new_sparse(
+        idx: &'a [u32],
+        cnt: &'a [u32],
+        recorder: Option<&'a RefCell<QueryRecorder>>,
+    ) -> Self {
+        debug_assert_eq!(idx.len(), cnt.len());
+        debug_assert!(
+            idx.windows(2).all(|w| w[0] < w[1]),
+            "sparse indices must be strictly ascending"
+        );
+        debug_assert!(
+            idx.iter().all(|&i| (i as usize) < S::COUNT),
+            "sparse index out of alphabet range"
+        );
+        debug_assert!(
+            cnt.iter().all(|&c| c > 0),
+            "sparse entries must have nonzero multiplicity"
+        );
+        Self {
+            repr: CountsRepr::Sparse { idx, cnt },
+            recorder,
+            _ph: PhantomData,
+        }
+    }
+
+    /// The multiplicity of state index `i`, under either representation.
+    /// Sparse lookup is a binary search over the (tiny, degree-bounded)
+    /// nonzero list.
+    #[inline]
+    fn count_of(&self, i: usize) -> u32 {
+        match &self.repr {
+            CountsRepr::Dense { counts, .. } => counts[i],
+            CountsRepr::Sparse { idx, cnt } => match idx.binary_search(&(i as u32)) {
+                Ok(p) => cnt[p],
+                Err(_) => 0,
+            },
         }
     }
 
@@ -115,8 +178,10 @@ impl<'a, S: StateSpace> NeighborView<'a, S> {
     pub fn over(counts: &'a [u32]) -> Self {
         assert_eq!(counts.len(), S::COUNT);
         Self {
-            counts,
-            presence: None,
+            repr: CountsRepr::Dense {
+                counts,
+                presence: None,
+            },
             recorder: None,
             _ph: PhantomData,
         }
@@ -130,8 +195,10 @@ impl<'a, S: StateSpace> NeighborView<'a, S> {
         assert_eq!(counts.len(), S::COUNT);
         assert_eq!(recorder.borrow().thresholds.len(), S::COUNT);
         Self {
-            counts,
-            presence: None,
+            repr: CountsRepr::Dense {
+                counts,
+                presence: None,
+            },
             recorder: Some(recorder),
             _ph: PhantomData,
         }
@@ -170,8 +237,10 @@ impl<'a, S: StateSpace> NeighborView<'a, S> {
             assert_eq!(rec.borrow().thresholds.len(), S::COUNT);
         }
         Self {
-            counts,
-            presence: Some(presence),
+            repr: CountsRepr::Dense {
+                counts,
+                presence: Some(presence),
+            },
             recorder,
             _ph: PhantomData,
         }
@@ -183,7 +252,7 @@ impl<'a, S: StateSpace> NeighborView<'a, S> {
         if let Some(rec) = self.recorder {
             rec.borrow_mut().record_thresh(q.index(), t as u64);
         }
-        self.counts[q.index()] >= t
+        self.count_of(q.index()) >= t
     }
 
     /// `μ_q < t` — a thresh atom. `t >= 1`.
@@ -213,7 +282,7 @@ impl<'a, S: StateSpace> NeighborView<'a, S> {
         if let Some(rec) = self.recorder {
             rec.borrow_mut().record_thresh(q.index(), cap as u64);
         }
-        self.counts[q.index()].min(cap)
+        self.count_of(q.index()).min(cap)
     }
 
     /// `μ_q mod m` — realizable from the mod atoms `μ_q ≡ r (mod m)`,
@@ -223,7 +292,7 @@ impl<'a, S: StateSpace> NeighborView<'a, S> {
         if let Some(rec) = self.recorder {
             rec.borrow_mut().record_mod(q.index(), m as u64);
         }
-        self.counts[q.index()] % m
+        self.count_of(q.index()) % m
     }
 
     /// `μ_q ≡ r (mod m)` — a mod atom.
@@ -244,8 +313,12 @@ impl<'a, S: StateSpace> NeighborView<'a, S> {
                 rec.record_thresh(q, t as u64);
             }
         }
+        let multiplicities: &[u32] = match &self.repr {
+            CountsRepr::Dense { counts, .. } => counts,
+            CountsRepr::Sparse { cnt, .. } => cnt,
+        };
         let mut total = 0u64;
-        for &c in self.counts {
+        for &c in multiplicities {
             total += c as u64;
             if total >= t as u64 {
                 return true;
@@ -269,21 +342,29 @@ impl<'a, S: StateSpace> NeighborView<'a, S> {
         // and threshold 1 is the recorder's baseline — recording it can
         // never change an entry. (Walking all of `S::COUNT` here used to
         // dominate exhaustive exploration of product-state protocols.)
-        let from_presence = self
-            .presence
-            .map(|p| p.iter().map(|&i| S::from_index(i as usize)));
-        let from_scan = if self.presence.is_none() {
-            Some(
-                self.counts
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &c)| c > 0)
-                    .map(|(i, _)| S::from_index(i)),
-            )
-        } else {
-            None
+        //
+        // Both the sparse index list and a dense presence list are already
+        // the ascending nonzero indices, so they share an iterator arm;
+        // only a presence-less dense view must scan the full vector.
+        let (listed, scan): (Option<&[u32]>, Option<&[u32]>) = match &self.repr {
+            CountsRepr::Sparse { idx, .. } => (Some(idx), None),
+            CountsRepr::Dense {
+                presence: Some(p), ..
+            } => (Some(p), None),
+            CountsRepr::Dense {
+                counts,
+                presence: None,
+            } => (None, Some(counts)),
         };
-        from_presence
+        let from_list = listed.map(|p| p.iter().map(|&i| S::from_index(i as usize)));
+        let from_scan = scan.map(|counts| {
+            counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, _)| S::from_index(i))
+        });
+        from_list
             .into_iter()
             .flatten()
             .chain(from_scan.into_iter().flatten())
@@ -377,6 +458,45 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.thresholds, vec![3, 1]);
         assert_eq!(a.moduli, vec![1, 12]);
+    }
+
+    #[test]
+    fn sparse_view_matches_dense() {
+        // The run-length form the packed kernel builds per row must
+        // answer every query exactly like the dense vector it encodes.
+        let counts = [0u32, 2, 5];
+        let idx = [1u32, 2];
+        let cnt = [2u32, 5];
+        let dense: NeighborView<'_, S3> = NeighborView::over(&counts);
+        let sparse: NeighborView<'_, S3> = NeighborView::new_sparse(&idx, &cnt, None);
+        for q in [S3::X, S3::Y, S3::Z] {
+            for t in 1..=6 {
+                assert_eq!(sparse.at_least(q, t), dense.at_least(q, t));
+            }
+            for m in 1..=5 {
+                assert_eq!(sparse.count_mod(q, m), dense.count_mod(q, m));
+            }
+            assert_eq!(sparse.count_capped(q, 3), dense.count_capped(q, 3));
+        }
+        for t in 1..=8 {
+            assert_eq!(sparse.degree_at_least(t), dense.degree_at_least(t));
+        }
+        let a: Vec<S3> = sparse.present_states().collect();
+        let b: Vec<S3> = dense.present_states().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sparse_view_records_queries() {
+        let idx = [2u32];
+        let cnt = [3u32];
+        let rec = RefCell::new(QueryRecorder::new(3));
+        let v: NeighborView<'_, S3> = NeighborView::new_sparse(&idx, &cnt, Some(&rec));
+        let _ = v.at_least(S3::Z, 4);
+        let _ = v.count_mod(S3::Y, 6);
+        let r = rec.borrow();
+        assert_eq!(r.thresholds, vec![1, 1, 4]);
+        assert_eq!(r.moduli, vec![1, 6, 1]);
     }
 
     #[test]

@@ -94,6 +94,12 @@ fn lockstep_under_churn<P: Protocol>(
             (b.graph().n_alive(), b.graph().m()),
             "{name}: topology diverged at round {round}"
         );
+        // Structural audit of the incrementally-repaired arena: row
+        // bounds, disjointness, capacity/dead-space conservation, and
+        // the compaction threshold — every round, not just at the end.
+        if let Some(k) = a.kernel() {
+            k.validate_arena();
+        }
     }
     assert!(
         a.graph().n_alive() > 0,
