@@ -11,6 +11,9 @@
 //! fssga-bench golden --check [--out path]  # diff against the recorded snapshot
 //! fssga-bench churn                   # streaming-churn baseline, BENCH_churn.json
 //! fssga-bench churn --smoke [--out PATH] [--trace-out PATH]
+//! fssga-bench serve                   # service load baseline, BENCH_serve.json
+//! fssga-bench serve --smoke [--out PATH] [--addr HOST:PORT] [--clients N]
+//!                   [--jsonl-out PATH] [--shutdown]
 //! ```
 //!
 //! The `engine` baseline races the interpreter against the compiled
@@ -28,6 +31,17 @@
 //! (full recompute every round) and asserts the final states are
 //! bit-identical — the dirty-set repair path must be semantically
 //! invisible.
+//!
+//! The `serve` baseline is a load generator for the `fssga-serve`
+//! service: it spawns many concurrent TCP clients (100 in full mode),
+//! each submitting framed jobs from a fixed census / shortest-paths /
+//! k-parity mix, retrying on `overloaded` sheds, and records sustained
+//! jobs/sec plus the p50/p99/max submit-to-done latency. Every `done`
+//! fingerprint is checked against an in-process run of the same spec,
+//! so the baseline doubles as a concurrency bit-identity test. By
+//! default it boots an in-process server on an ephemeral port;
+//! `--addr` targets an already-running one instead (`--shutdown` then
+//! sends the shutdown frame when finished).
 //!
 //! The timed runs carry a [`fssga_engine::NullTracer`] — the zero-cost
 //! observability default — so the recorded medians are untraced numbers.
@@ -701,6 +715,236 @@ fn golden(check: bool, path: &str) {
     }
 }
 
+/// What one client's one job produced.
+struct ServeJobResult {
+    latency_ns: f64,
+    fingerprint: String,
+    round_frames: u64,
+    sheds: u64,
+    captured: Vec<String>,
+}
+
+/// Submits one job over a fresh connection (reconnecting after
+/// `overloaded` sheds — the server closes the connection with the
+/// error frame) and reads the stream to its final frame.
+fn serve_submit(target: &str, spec_json: &str, capture: bool) -> Result<ServeJobResult, String> {
+    use fssga_serve::{read_frame, write_frame, Json};
+    use std::net::TcpStream;
+    let mut sheds = 0u64;
+    loop {
+        let mut stream = TcpStream::connect(target).map_err(|e| format!("connect: {e}"))?;
+        let t0 = Instant::now();
+        write_frame(&mut stream, spec_json).map_err(|e| format!("submit: {e}"))?;
+        let mut round_frames = 0u64;
+        let mut captured = Vec::new();
+        let shed = loop {
+            let text = read_frame(&mut stream)
+                .map_err(|e| format!("read: {e}"))?
+                .ok_or("server closed mid-job")?;
+            let v = Json::parse(&text).map_err(|e| format!("bad frame: {e}"))?;
+            if capture {
+                captured.push(text.clone());
+            }
+            match v.get("t").and_then(Json::as_str) {
+                Some("accepted") => {}
+                Some("round") | Some("shard") | Some("churn") | Some("fault") => round_frames += 1,
+                Some("done") => {
+                    let fingerprint = v
+                        .get("fingerprint")
+                        .and_then(Json::as_str)
+                        .ok_or("done frame without fingerprint")?
+                        .to_owned();
+                    return Ok(ServeJobResult {
+                        latency_ns: t0.elapsed().as_nanos() as f64,
+                        fingerprint,
+                        round_frames,
+                        sheds,
+                        captured,
+                    });
+                }
+                Some("error") => {
+                    let code = v.get("code").and_then(Json::as_str).unwrap_or("?");
+                    if code == "overloaded" {
+                        break true; // shed: back off and resubmit
+                    }
+                    return Err(format!("job failed: {text}"));
+                }
+                other => return Err(format!("unexpected frame type {other:?}")),
+            }
+        };
+        if shed {
+            sheds += 1;
+            std::thread::sleep(std::time::Duration::from_millis(2 * sheds.min(25)));
+        }
+    }
+}
+
+/// Runs `spec_json` in-process through the service's own executor to
+/// get the reference fingerprint the served runs must reproduce.
+fn serve_local_fingerprint(spec_json: &str) -> String {
+    use fssga_serve::{execute, JobCancel, JobSpec, Json, Limits};
+    let v = Json::parse(spec_json).expect("spec json");
+    let spec = JobSpec::parse(&v, &Limits::default()).expect("spec parses");
+    let (tx, rx) = std::sync::mpsc::sync_channel(1 << 14);
+    let done = execute(0, &spec, &JobCancel::new(), &tx).expect("local reference run");
+    drop((tx, rx));
+    Json::parse(&done)
+        .expect("done json")
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .expect("fingerprint")
+        .to_owned()
+}
+
+/// The service throughput/latency baseline (see the module docs).
+fn serve_baseline(
+    smoke: bool,
+    out: &str,
+    addr: Option<&str>,
+    clients_override: Option<usize>,
+    jsonl_out: Option<&str>,
+    send_shutdown: bool,
+) {
+    use fssga_serve::{serve, write_frame, ServeConfig};
+    let (default_clients, jobs_per_client, side) = if smoke { (8, 2, 8) } else { (100, 3, 12) };
+    let clients = clients_override.unwrap_or(default_clients);
+    let specs: Vec<String> = vec![
+        format!(
+            r#"{{"t":"job","proto":"census","graph":{{"gen":"torus","rows":{side},"cols":{side}}}}}"#
+        ),
+        format!(
+            r#"{{"t":"job","proto":"shortest-paths","graph":{{"gen":"torus","rows":{side},"cols":{side}}}}}"#
+        ),
+        format!(
+            r#"{{"t":"job","proto":"kparity","graph":{{"gen":"cycle","n":{}}}}}"#,
+            side * side
+        ),
+    ];
+    let expected: Vec<String> = specs.iter().map(|s| serve_local_fingerprint(s)).collect();
+
+    let (workers, queue_cap) = (2usize, 32usize);
+    let (handle, target) = match addr {
+        Some(a) => (None, a.to_string()),
+        None => {
+            let h = serve(ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                workers,
+                queue_cap,
+                allow_shutdown: true,
+                read_timeout_ms: 2_000,
+                ..ServeConfig::default()
+            })
+            .expect("boot in-process server");
+            let t = h.addr().to_string();
+            (Some(h), t)
+        }
+    };
+    println!(
+        "serve load: {clients} clients x {jobs_per_client} jobs against {target} \
+         ({} in-process)",
+        if handle.is_some() { "booted" } else { "not" }
+    );
+
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|ci| {
+            let target = target.clone();
+            let specs = specs.clone();
+            let expected = expected.clone();
+            let capture = jsonl_out.is_some() && ci == 0;
+            std::thread::spawn(move || -> Result<Vec<ServeJobResult>, String> {
+                let mut results = Vec::new();
+                for j in 0..jobs_per_client {
+                    let which = (ci + j) % specs.len();
+                    let r = serve_submit(&target, &specs[which], capture && j == 0)?;
+                    if r.fingerprint != expected[which] {
+                        return Err(format!(
+                            "client {ci} job {j}: fingerprint {} != expected {}",
+                            r.fingerprint, expected[which]
+                        ));
+                    }
+                    results.push(r);
+                }
+                Ok(results)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut round_frames = 0u64;
+    let mut sheds = 0u64;
+    let mut captured: Vec<String> = Vec::new();
+    for t in threads {
+        let results = t
+            .join()
+            .expect("client thread")
+            .unwrap_or_else(|e| panic!("serve load client failed: {e}"));
+        for r in results {
+            latencies.push(r.latency_ns);
+            round_frames += r.round_frames;
+            sheds += r.sheds;
+            if !r.captured.is_empty() {
+                captured = r.captured;
+            }
+        }
+    }
+    let elapsed_ns = t0.elapsed().as_nanos() as f64;
+
+    if let (Some(path), false) = (jsonl_out, captured.is_empty()) {
+        let mut text = captured.join("\n");
+        text.push('\n');
+        std::fs::write(path, text).expect("write jsonl artifact");
+        println!("wrote {path}");
+    }
+    if let Some(a) = addr {
+        if send_shutdown {
+            let mut s = std::net::TcpStream::connect(a).expect("connect for shutdown");
+            write_frame(&mut s, r#"{"t":"shutdown"}"#).expect("send shutdown");
+            println!("sent shutdown frame to {a}");
+        }
+    }
+    if let Some(h) = handle {
+        h.shutdown();
+    }
+
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let pct = |q: f64| latencies[((latencies.len() - 1) as f64 * q).round() as usize];
+    let jobs = latencies.len();
+    let jobs_per_sec = jobs as f64 / (elapsed_ns / 1e9);
+    println!(
+        "{jobs} jobs ok ({sheds} sheds retried), {round_frames} streamed round frames, \
+         all fingerprints bit-identical to in-process runs"
+    );
+    println!(
+        "jobs/sec {jobs_per_sec:>7.1}  latency p50/p99/max {}/{}/{}",
+        fmt_ns(pct(0.5)),
+        fmt_ns(pct(0.99)),
+        fmt_ns(pct(1.0)),
+    );
+    let json = format!(
+        "{{\"bench\":\"serve\",\"smoke\":{},\"clients\":{},\"jobs_per_client\":{},\
+         \"jobs\":{},\"workers\":{},\"queue_cap\":{},\"sheds\":{},\"round_frames\":{},\
+         \"elapsed_ns\":{:.0},\"jobs_per_sec\":{:.1},\"latency_p50_ns\":{:.0},\
+         \"latency_p90_ns\":{:.0},\"latency_p99_ns\":{:.0},\"latency_max_ns\":{:.0},\
+         \"bit_identical\":true}}\n",
+        smoke,
+        clients,
+        jobs_per_client,
+        jobs,
+        workers,
+        queue_cap,
+        sheds,
+        round_frames,
+        elapsed_ns,
+        jobs_per_sec,
+        pct(0.5),
+        pct(0.9),
+        pct(0.99),
+        pct(1.0),
+    );
+    std::fs::write(out, json).expect("write baseline json");
+    println!("wrote {out}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -730,12 +974,29 @@ fn main() {
             let out = flag("--out").unwrap_or_else(|| "BENCH_churn.json".to_string());
             churn_baseline(smoke, &out, trace_out.as_deref());
         }
+        Some("serve") => {
+            let out = flag("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+            let addr = flag("--addr");
+            let clients = flag("--clients").map(|c| c.parse().expect("--clients is a count"));
+            let jsonl_out = flag("--jsonl-out");
+            let send_shutdown = args.iter().any(|a| a == "--shutdown");
+            serve_baseline(
+                smoke,
+                &out,
+                addr.as_deref(),
+                clients,
+                jsonl_out.as_deref(),
+                send_shutdown,
+            );
+        }
         other => {
             eprintln!(
                 "usage: fssga-bench engine [--smoke] [--out PATH] [--trace-out PATH]\n\
                  \x20      fssga-bench parallel [--smoke] [--out PATH] [--trace-out PATH]\n\
                  \x20      fssga-bench golden [--check] [--out PATH]\n\
-                 \x20      fssga-bench churn [--smoke] [--out PATH] [--trace-out PATH]  \
+                 \x20      fssga-bench churn [--smoke] [--out PATH] [--trace-out PATH]\n\
+                 \x20      fssga-bench serve [--smoke] [--out PATH] [--addr HOST:PORT] \
+                 [--clients N] [--jsonl-out PATH] [--shutdown]  \
                  (got {other:?})"
             );
             std::process::exit(2);

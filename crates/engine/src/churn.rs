@@ -39,6 +39,7 @@ use crate::faults::{FaultEvent, FaultKind, FaultPlan};
 use crate::network::Network;
 use crate::obs::{ChurnRoundMetrics, FaultSurgery, Tracer};
 use crate::protocol::Protocol;
+use crate::runner::CancelToken;
 use crate::sensitivity::reasonably_correct;
 
 /// Parameters for [`ChurnStream::generate`].
@@ -410,6 +411,12 @@ pub struct ChurnOptions {
     /// Oracle cadence in rounds (`1` = every round). `0` disables the
     /// oracle and snapshotting entirely.
     pub check_every: u64,
+    /// Cooperative cancellation: when the token fires, the harness stops
+    /// before applying the next round's events (the same round-boundary
+    /// contract as [`crate::Runner`]'s — see [`CancelToken`]). The
+    /// report then covers only the rounds actually executed
+    /// (`report.rounds < stream.horizon()`).
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for ChurnOptions {
@@ -417,6 +424,7 @@ impl Default for ChurnOptions {
         Self {
             window: 4,
             check_every: 1,
+            cancel: None,
         }
     }
 }
@@ -495,6 +503,7 @@ pub fn run_churn_traced<P: Protocol, T: Tracer>(
     let opts = ChurnOptions {
         window: 0,
         check_every: 0,
+        cancel: None,
     };
     run_churn_oracle_traced(
         net,
@@ -537,6 +546,9 @@ pub fn run_churn_oracle_traced<P: Protocol, A: PartialEq, T: Tracer>(
     let trace = tracer.enabled();
 
     for round in 0..stream.horizon {
+        if opts.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            break;
+        }
         let mut arrivals = 0u64;
         let mut departures = 0u64;
         while cursor < events.len() && events[cursor].time <= round {
@@ -811,6 +823,31 @@ mod tests {
     }
 
     #[test]
+    fn cancellation_stops_at_a_round_boundary() {
+        let g = generators::grid(4, 4);
+        let mut net = Network::new_compiled(&g, Idle, |_| Unit::Only);
+        let stream = ChurnStream::generate(net.graph(), &cfg(41));
+        let token = CancelToken::new();
+        token.cancel(); // fires before the first round
+        let opts = ChurnOptions {
+            window: 0,
+            check_every: 0,
+            cancel: Some(token),
+        };
+        let report = run_churn_oracle_traced(
+            &mut net,
+            &stream,
+            &opts,
+            |_| Unit::Only,
+            |_| -> Option<()> { None },
+            |_| (),
+            &mut crate::obs::NullTracer,
+        );
+        assert_eq!(report.rounds, 0, "pre-fired token stops before round 0");
+        assert_eq!(report.events(), 0, "no events applied after cancellation");
+    }
+
+    #[test]
     fn oracle_cadence_is_respected() {
         let g = generators::grid(3, 3);
         let mut net = Network::new_compiled(&g, Idle, |_| Unit::Only);
@@ -818,6 +855,7 @@ mod tests {
         let opts = ChurnOptions {
             window: 4,
             check_every: 10,
+            cancel: None,
         };
         let report = run_churn_oracle_traced(
             &mut net,

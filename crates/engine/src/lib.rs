@@ -105,14 +105,14 @@ pub use history::History;
 pub use kernel::{CompiledKernel, DirtySchedule, KernelPlan};
 pub use network::{Metrics, Network};
 pub use obs::{
-    ChurnRoundMetrics, Counters, FaultSurgery, JsonlTrace, NullTracer, RoundLog, RoundMetrics,
-    RunMetrics, ShardRoundMetrics, Tee, Tracer,
+    ChannelTrace, ChurnRoundMetrics, Counters, FaultSurgery, JsonlTrace, NullTracer, RoundLog,
+    RoundMetrics, RunMetrics, ShardRoundMetrics, Tee, Tracer,
 };
 pub use packed::PackedStates;
 #[cfg(feature = "parallel")]
 pub use pool::ShardPool;
 pub use protocol::{Protocol, StateSpace};
-pub use runner::{Budget, Engine, Policy, RunReport, Runner};
+pub use runner::{Budget, CancelToken, Engine, Policy, RunReport, Runner};
 pub use scheduler::{AsyncPolicy, AsyncScheduler, SyncScheduler};
 #[cfg(feature = "parallel")]
 pub use sensitivity::sweep_single_faults_parallel;

@@ -32,8 +32,11 @@
 //! workspace.
 
 use std::io::Write;
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::time::Duration;
 
 use crate::faults::FaultKind;
+use crate::runner::CancelToken;
 
 /// A sink for per-round engine events.
 ///
@@ -506,6 +509,101 @@ impl<W: Write> Tracer for JsonlTrace<W> {
     }
 }
 
+/// A tracer that streams each event's JSONL line into a bounded
+/// [`SyncSender`] channel — the sink behind `fssga-serve`'s incremental
+/// per-round streaming: a worker thread runs the simulation with a
+/// `ChannelTrace` while a connection thread drains the receiver and
+/// writes frames to the client socket.
+///
+/// Flow control is cooperative, not blocking-forever:
+///
+/// * **Channel full** (slow consumer): the sink retries `try_send` with
+///   a short sleep, re-checking the attached [`CancelToken`] between
+///   attempts — so a wall-clock watchdog can still cancel a run whose
+///   tracer is wedged on a stalled client. Once the token has fired,
+///   further events are dropped (counted in [`ChannelTrace::lost`]).
+/// * **Receiver dropped** (client gone): the sink fires the token
+///   itself, turning a disconnect into a prompt cooperative
+///   cancellation, and drops subsequent events.
+///
+/// Without a token the full-channel retry spins until the consumer
+/// drains (pure backpressure), and a disconnect silently drops events.
+#[derive(Debug)]
+pub struct ChannelTrace {
+    tx: SyncSender<String>,
+    cancel: Option<CancelToken>,
+    lost: u64,
+}
+
+impl ChannelTrace {
+    /// A sink sending every event line into `tx`.
+    pub fn new(tx: SyncSender<String>) -> Self {
+        Self {
+            tx,
+            cancel: None,
+            lost: 0,
+        }
+    }
+
+    /// As [`Self::new`], with a [`CancelToken`] that is both *consulted*
+    /// (stop retrying once cancelled) and *fired* (when the receiver
+    /// hangs up).
+    pub fn with_cancel(tx: SyncSender<String>, cancel: CancelToken) -> Self {
+        Self {
+            tx,
+            cancel: Some(cancel),
+            lost: 0,
+        }
+    }
+
+    /// Events dropped because the run was cancelled or the receiver
+    /// disappeared.
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    fn push(&mut self, mut line: String) {
+        loop {
+            match self.tx.try_send(line) {
+                Ok(()) => return,
+                Err(TrySendError::Full(l)) => {
+                    if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                        self.lost += 1;
+                        return;
+                    }
+                    line = l;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    if let Some(c) = &self.cancel {
+                        c.cancel();
+                    }
+                    self.lost += 1;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Tracer for ChannelTrace {
+    fn round(&mut self, metrics: &RoundMetrics) {
+        self.push(metrics.to_jsonl());
+    }
+
+    fn fault(&mut self, surgery: &FaultSurgery) {
+        self.push(surgery.to_jsonl());
+    }
+
+    fn shard_round(&mut self, metrics: &ShardRoundMetrics) {
+        self.push(metrics.to_jsonl());
+    }
+
+    fn churn_round(&mut self, metrics: &ChurnRoundMetrics) {
+        self.push(metrics.to_jsonl());
+    }
+}
+
 /// Fans one event stream into two sinks (`Tee(a, b)` forwards to `a`
 /// then `b`). Enabled iff either side is, so tracing work is done once
 /// even when only one side listens.
@@ -737,6 +835,31 @@ mod tests {
              \"alive\":40,\"edges\":77,\"activations\":0,\"changes\":0,\
              \"recovered_in\":null,\"oracle\":null}"
         );
+    }
+
+    #[test]
+    fn channel_trace_streams_lines_and_cancels_on_disconnect() {
+        let (tx, rx) = std::sync::mpsc::sync_channel(4);
+        let token = CancelToken::new();
+        let mut sink = ChannelTrace::with_cancel(tx, token.clone());
+        sink.round(&sample(1));
+        assert_eq!(rx.recv().unwrap(), sample(1).to_jsonl());
+        drop(rx);
+        sink.round(&sample(2));
+        assert!(token.is_cancelled(), "receiver hangup fires the token");
+        assert_eq!(sink.lost(), 1);
+    }
+
+    #[test]
+    fn channel_trace_drops_instead_of_blocking_once_cancelled() {
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        let token = CancelToken::new();
+        let mut sink = ChannelTrace::with_cancel(tx, token.clone());
+        sink.round(&sample(1)); // fills the only slot
+        token.cancel();
+        sink.round(&sample(2)); // full + cancelled: dropped, no deadlock
+        assert_eq!(sink.lost(), 1);
+        assert_eq!(rx.try_iter().count(), 1, "only the first event landed");
     }
 
     #[test]

@@ -53,6 +53,9 @@
 //! can stride or decimate; see [`crate::history`]) at the start of the
 //! run and after every round.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use fssga_graph::rng::Xoshiro256;
 use fssga_graph::NodeId;
 
@@ -61,6 +64,45 @@ use crate::network::{Metrics, Network};
 use crate::obs::{Counters, NullTracer, RoundMetrics, RunMetrics, Tee, Tracer};
 use crate::protocol::Protocol;
 use crate::scheduler::AsyncPolicy;
+
+/// A cheap, cloneable cancellation flag for cooperative run interruption.
+///
+/// Clones share one flag: hand one clone to a watchdog (or any other
+/// thread) and another to [`Runner::cancel`] (or
+/// [`crate::ChurnOptions::cancel`]), and the run stops at the next
+/// **round boundary** after [`CancelToken::cancel`] is called, reporting
+/// [`RunReport::cancelled`].
+///
+/// Round granularity is a deliberate safety choice, not a limitation:
+/// a synchronous round — sharded or not — is the engine's atomic unit of
+/// progress. Workers of a sharded round write proposals into per-shard
+/// scratch arenas and nothing becomes visible until the committing
+/// thread merges them in shard order; interrupting *between* rounds
+/// therefore can never leave half-committed states, a torn dirty set, or
+/// an arena mid-compaction (see DESIGN.md §12 for the full argument).
+/// The token is checked with one relaxed atomic load per round (or per
+/// asynchronous activation), so an un-cancelled token costs nothing
+/// measurable.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 /// Which execution engine [`Runner`] uses for synchronous rounds.
 /// (Asynchronous activations always run on the interpreter — single-node
@@ -144,6 +186,10 @@ pub struct RunReport {
     /// observed, if any. For an empty asynchronous sweep set this is
     /// `Some(1)` (vacuous fixpoint).
     pub fixpoint: Option<usize>,
+    /// Whether the run stopped early because its [`CancelToken`] fired
+    /// (always at a round/activation boundary — never mid-round). All
+    /// other counters cover the work actually done before the stop.
+    pub cancelled: bool,
     /// Raw counter delta for this run.
     pub counters: Metrics,
     /// Aggregated per-round metrics — present iff the run was observed
@@ -171,6 +217,7 @@ pub struct Runner<'n, 'r, 'o, 'h, P: Protocol, T: Tracer = NullTracer> {
     tracer: T,
     record: Option<&'h mut History<P::State>>,
     observe: bool,
+    cancel: Option<CancelToken>,
     /// Thread count for synchronous rounds; set by [`Self::threads`]
     /// together with the dispatch capabilities.
     #[cfg(feature = "parallel")]
@@ -193,6 +240,7 @@ impl<'n, P: Protocol> Runner<'n, '_, '_, '_, P, NullTracer> {
             tracer: NullTracer,
             record: None,
             observe: false,
+            cancel: None,
             #[cfg(feature = "parallel")]
             threads: 1,
             #[cfg(feature = "parallel")]
@@ -249,6 +297,7 @@ impl<'n, 'r, 'o, 'h, P: Protocol, T: Tracer> Runner<'n, 'r, 'o, 'h, P, T> {
             tracer,
             record: self.record,
             observe: self.observe,
+            cancel: self.cancel,
             #[cfg(feature = "parallel")]
             threads: self.threads,
             #[cfg(feature = "parallel")]
@@ -260,6 +309,16 @@ impl<'n, 'r, 'o, 'h, P: Protocol, T: Tracer> Runner<'n, 'r, 'o, 'h, P, T> {
     /// [`RunMetrics`] aggregate into [`RunReport::metrics`].
     pub fn observed(mut self) -> Self {
         self.observe = true;
+        self
+    }
+
+    /// Attaches a cooperative [`CancelToken`]: the run stops at the next
+    /// round (or activation) boundary after the token fires and the
+    /// report carries [`RunReport::cancelled`]. Pass a clone and keep
+    /// the original to cancel from another thread (a wall-clock
+    /// watchdog, a client-disconnect handler).
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -310,6 +369,7 @@ impl<'n, 'r, 'o, 'h, P: Protocol, T: Tracer> Runner<'n, 'r, 'o, 'h, P, T> {
             rng,
             mut tracer,
             record,
+            cancel,
             ..
         } = self;
         if observe {
@@ -322,6 +382,7 @@ impl<'n, 'r, 'o, 'h, P: Protocol, T: Tracer> Runner<'n, 'r, 'o, 'h, P, T> {
                 seed,
                 rng,
                 record,
+                cancel,
                 &mut tee,
                 |net, round_seed, t| {
                     #[cfg(feature = "parallel")]
@@ -353,6 +414,7 @@ impl<'n, 'r, 'o, 'h, P: Protocol, T: Tracer> Runner<'n, 'r, 'o, 'h, P, T> {
                 seed,
                 rng,
                 record,
+                cancel,
                 &mut NullTracer,
                 |net, round_seed, _| {
                     #[cfg(feature = "parallel")]
@@ -430,11 +492,21 @@ fn run_core<P: Protocol, Tr: Tracer>(
     seed: u64,
     rng: Option<&mut Xoshiro256>,
     mut record: Option<&mut History<P::State>>,
+    cancel: Option<CancelToken>,
     tracer: &mut Tr,
     mut step_sync: impl FnMut(&mut Network<P>, u64, &mut Tr) -> usize,
 ) -> RunReport {
     let before = net.metrics.clone();
     let tr = tracer.enabled();
+    // One relaxed load per round/activation boundary; `None` folds to a
+    // constant `false`.
+    let mut cancelled = false;
+    let stop = |cancelled: &mut bool| -> bool {
+        if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            *cancelled = true;
+        }
+        *cancelled
+    };
     let mut local_rng;
     let rng: &mut Xoshiro256 = match rng {
         Some(r) => r,
@@ -459,6 +531,9 @@ fn run_core<P: Protocol, Tr: Tracer>(
                 ),
             };
             for round in 1..=max_rounds {
+                if stop(&mut cancelled) {
+                    break;
+                }
                 let round_seed = if P::RANDOMNESS > 1 { rng.next_u64() } else { 0 };
                 let changed = step_sync(net, round_seed, tracer);
                 rounds = round;
@@ -486,6 +561,9 @@ fn run_core<P: Protocol, Tr: Tracer>(
                     match policy {
                         AsyncPolicy::UniformRandom => {
                             for _ in 0..steps {
+                                if stop(&mut cancelled) {
+                                    break;
+                                }
                                 let v = alive[rng.gen_index(n)];
                                 if tr && net.can_activate(v) {
                                     reads += net.graph().degree(v) as u64;
@@ -495,6 +573,9 @@ fn run_core<P: Protocol, Tr: Tracer>(
                         }
                         AsyncPolicy::RoundRobin => {
                             for i in 0..steps {
+                                if stop(&mut cancelled) {
+                                    break;
+                                }
                                 let v = alive[i % n];
                                 if tr && net.can_activate(v) {
                                     reads += net.graph().degree(v) as u64;
@@ -506,6 +587,9 @@ fn run_core<P: Protocol, Tr: Tracer>(
                             let mut order = alive;
                             let mut idx = order.len(); // reshuffle first
                             for _ in 0..steps {
+                                if stop(&mut cancelled) {
+                                    break;
+                                }
                                 if idx == order.len() {
                                     rng.shuffle(&mut order);
                                     idx = 0;
@@ -538,6 +622,9 @@ fn run_core<P: Protocol, Tr: Tracer>(
                     fixpoint = Some(1);
                 } else {
                     for sweep in 1..=sweeps {
+                        if stop(&mut cancelled) {
+                            break;
+                        }
                         match policy {
                             AsyncPolicy::RandomPermutation => rng.shuffle(&mut order),
                             // A uniform-random "sweep" is |alive|
@@ -588,6 +675,9 @@ fn run_core<P: Protocol, Tr: Tracer>(
         Policy::Order(order) => {
             let mut reads = 0u64;
             for &v in order {
+                if stop(&mut cancelled) {
+                    break;
+                }
                 if tr && net.can_activate(v) {
                     reads += net.graph().degree(v) as u64;
                 }
@@ -613,6 +703,7 @@ fn run_core<P: Protocol, Tr: Tracer>(
         activations: counters.activations,
         changes: counters.changes,
         fixpoint,
+        cancelled,
         counters,
         metrics: None,
     }
@@ -644,4 +735,80 @@ fn emit_aggregate<P: Protocol, Tr: Tracer>(
         direct: delta.activations,
         faults,
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impl_state_space;
+    use crate::view::NeighborView;
+
+    #[derive(Copy, Clone, PartialEq, Eq, Debug)]
+    enum Tick {
+        A,
+        B,
+    }
+    impl_state_space!(Tick { A, B });
+
+    /// Oscillates forever: no fixpoint, so budgets and cancellation are
+    /// the only ways out.
+    struct Osc;
+    impl Protocol for Osc {
+        type State = Tick;
+        fn transition(&self, own: Tick, _n: &NeighborView<'_, Tick>, _c: u32) -> Tick {
+            match own {
+                Tick::A => Tick::B,
+                Tick::B => Tick::A,
+            }
+        }
+    }
+
+    #[test]
+    fn pre_fired_token_stops_before_any_round() {
+        let g = fssga_graph::generators::path(4);
+        let mut net = Network::new(&g, Osc, |_| Tick::A);
+        let token = CancelToken::new();
+        token.cancel();
+        let report = Runner::new(&mut net)
+            .budget(Budget::Rounds(100))
+            .cancel(token)
+            .run();
+        assert!(report.cancelled);
+        assert_eq!(report.rounds, 0);
+        assert_eq!(report.activations, 0);
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        let g = fssga_graph::generators::path(4);
+        let run = |cancel: Option<CancelToken>| {
+            let mut net = Network::new(&g, Osc, |_| Tick::A);
+            let mut r = Runner::new(&mut net).budget(Budget::Rounds(7));
+            if let Some(token) = cancel {
+                r = r.cancel(token);
+            }
+            let report = r.run();
+            (report.rounds, report.activations, report.cancelled)
+        };
+        let plain = run(None);
+        let tokened = run(Some(CancelToken::new()));
+        assert_eq!(plain.0, tokened.0);
+        assert_eq!(plain.1, tokened.1);
+        assert!(!plain.2 && !tokened.2);
+    }
+
+    #[test]
+    fn async_sweeps_observe_cancellation() {
+        let g = fssga_graph::generators::cycle(6);
+        let mut net = Network::new(&g, Osc, |_| Tick::A);
+        let token = CancelToken::new();
+        token.cancel();
+        let report = Runner::new(&mut net)
+            .policy(Policy::Async(AsyncPolicy::RoundRobin))
+            .budget(Budget::Steps(1000))
+            .cancel(token)
+            .run();
+        assert!(report.cancelled);
+        assert_eq!(report.activations, 0);
+    }
 }

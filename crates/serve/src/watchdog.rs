@@ -1,0 +1,169 @@
+//! The wall-clock watchdog: one thread, many deadlines.
+//!
+//! Every job entering a worker is registered here with its admission
+//! deadline; the watchdog thread sleeps until the *nearest* deadline,
+//! fires that job's [`JobCancel`] with `budget-wall`, and moves on.
+//! Cancellation is cooperative — the engine observes the token at the
+//! next round boundary (see the cancellation-safety argument in
+//! DESIGN.md §12.6) — so "cancelled at deadline" means "no new round
+//! starts after the deadline", not a mid-round abort.
+//!
+//! Ownership and shutdown: the watchdog owns only its registry and
+//! thread. Workers call [`Watchdog::watch`] / [`Watchdog::unwatch`]
+//! around each job; the server calls [`Watchdog::stop`] *after* the
+//! worker pool has been joined, so no entry can be registered during
+//! teardown and stopping cannot strand a live job.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::exec::JobCancel;
+use crate::job::codes;
+
+#[derive(Debug)]
+struct Entry {
+    id: u64,
+    deadline: Instant,
+    cancel: JobCancel,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    entries: Vec<Entry>,
+    stopping: bool,
+}
+
+/// The deadline registry plus its firing thread.
+#[derive(Debug)]
+pub struct Watchdog {
+    state: Mutex<State>,
+    wake: Condvar,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Watchdog {
+    /// Starts the watchdog thread and returns the shared registry.
+    pub fn start() -> Arc<Self> {
+        let dog = Arc::new(Watchdog {
+            state: Mutex::new(State::default()),
+            wake: Condvar::new(),
+            thread: Mutex::new(None),
+        });
+        let for_thread = Arc::clone(&dog);
+        let handle = std::thread::Builder::new()
+            .name("fssga-serve-watchdog".into())
+            .spawn(move || for_thread.run())
+            .expect("spawn watchdog");
+        *dog.thread.lock().expect("watchdog thread slot") = Some(handle);
+        dog
+    }
+
+    /// Registers job `id`: at `deadline`, `cancel` fires `budget-wall`
+    /// (unless some other cause beat it to the punch — [`JobCancel`]
+    /// is first-cause-wins).
+    pub fn watch(&self, id: u64, deadline: Instant, cancel: JobCancel) {
+        let mut s = self.state.lock().expect("watchdog lock");
+        s.entries.push(Entry {
+            id,
+            deadline,
+            cancel,
+        });
+        drop(s);
+        self.wake.notify_one();
+    }
+
+    /// Deregisters job `id` (idempotent; the job finished or was
+    /// already fired).
+    pub fn unwatch(&self, id: u64) {
+        let mut s = self.state.lock().expect("watchdog lock");
+        s.entries.retain(|e| e.id != id);
+    }
+
+    /// Stops and joins the watchdog thread. Entries still registered
+    /// are dropped without firing; call after the workers are joined.
+    pub fn stop(&self) {
+        self.state.lock().expect("watchdog lock").stopping = true;
+        self.wake.notify_all();
+        let handle = self.thread.lock().expect("watchdog thread slot").take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+
+    /// Live registrations (diagnostic only).
+    pub fn watching(&self) -> usize {
+        self.state.lock().expect("watchdog lock").entries.len()
+    }
+
+    fn run(&self) {
+        let mut s = self.state.lock().expect("watchdog lock");
+        loop {
+            if s.stopping {
+                return;
+            }
+            let now = Instant::now();
+            // Fire everything due; keep the rest and find the nearest.
+            let mut nearest: Option<Instant> = None;
+            s.entries.retain(|e| {
+                if e.deadline <= now {
+                    e.cancel.fire(codes::BUDGET_WALL);
+                    false
+                } else {
+                    nearest = Some(match nearest {
+                        None => e.deadline,
+                        Some(t) => t.min(e.deadline),
+                    });
+                    true
+                }
+            });
+            s = match nearest {
+                None => self.wake.wait(s).expect("watchdog lock"),
+                Some(t) => {
+                    let timeout = t.saturating_duration_since(Instant::now());
+                    self.wake.wait_timeout(s, timeout).expect("watchdog lock").0
+                }
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fires_only_expired_deadlines() {
+        let dog = Watchdog::start();
+        let soon = JobCancel::new();
+        let later = JobCancel::new();
+        dog.watch(1, Instant::now() + Duration::from_millis(20), soon.clone());
+        dog.watch(2, Instant::now() + Duration::from_secs(60), later.clone());
+        let t0 = Instant::now();
+        while soon.cause().is_none() && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(soon.cause(), Some(codes::BUDGET_WALL));
+        assert_eq!(later.cause(), None, "future deadline must not fire");
+        assert_eq!(dog.watching(), 1, "fired entry is removed");
+        dog.unwatch(2);
+        assert_eq!(dog.watching(), 0);
+        dog.stop();
+    }
+
+    #[test]
+    fn unwatch_prevents_firing() {
+        let dog = Watchdog::start();
+        let cancel = JobCancel::new();
+        dog.watch(
+            7,
+            Instant::now() + Duration::from_millis(30),
+            cancel.clone(),
+        );
+        dog.unwatch(7);
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(cancel.cause(), None);
+        dog.stop();
+    }
+}

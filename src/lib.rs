@@ -24,6 +24,9 @@
 //!   and greedy-tourist traversals, and randomized leader election.
 //! * [`iwa`] — Section 5.1: isotonic web automata and the mutual
 //!   simulations between IWA and FSSGA.
+//! * [`serve`] — the always-on simulation service: framed TCP job
+//!   protocol, per-job budgets with watchdog cancellation, backpressure,
+//!   and streamed per-round metrics (DESIGN.md §12).
 //! * [`verify`] — bounded exhaustive model checking of the protocols'
 //!   semantic contracts: confluence / order-independence, semantic
 //!   totality within declared query bounds, and sensitivity-class
@@ -53,4 +56,5 @@ pub use fssga_engine as engine;
 pub use fssga_graph as graph;
 pub use fssga_iwa as iwa;
 pub use fssga_protocols as protocols;
+pub use fssga_serve as serve;
 pub use fssga_verify as verify;
